@@ -1,0 +1,324 @@
+(* sv — the SilverVale-ML command line.
+
+   Subcommands mirror the paper's workflow (§IV, Fig. 2):
+     emit     write a mini-app port (sources + compile_commands.json) to disk
+     index    run the pipeline on a port and save the Codebase DB artifact
+     inspect  print the stats of a saved Codebase DB
+     compare  divergence of one model from a base model, all metrics
+     cluster  divergence matrix + dendrogram for an app under one metric
+     phi      cascade plot (performance portability)
+     chart    navigation chart (Phi vs TBMD)
+     verify   run every port's built-in verification
+     models   list apps, models and platforms *)
+
+open Cmdliner
+
+module Pipeline = Sv_core.Pipeline
+module Tbmd = Sv_core.Tbmd
+module Report = Sv_report.Report
+
+let corpus_of_app app =
+  match String.lowercase_ascii app with
+  | "babelstream" -> Some (Sv_corpus.Babelstream.all ())
+  | "babelstream-f" | "babelstream-fortran" -> Some (Sv_corpus.Babelstream_f.all ())
+  | "tealeaf" -> Some (Sv_corpus.Tealeaf.all ())
+  | "cloverleaf" -> Some (Sv_corpus.Cloverleaf.all ())
+  | "minibude" -> Some (Sv_corpus.Minibude.all ())
+  | _ -> None
+
+let perf_app_of app =
+  match String.lowercase_ascii app with
+  | "babelstream" -> Sv_perf.Pmodel.babelstream
+  | "tealeaf" -> Sv_perf.Pmodel.tealeaf
+  | "cloverleaf" -> Sv_perf.Pmodel.cloverleaf
+  | "minibude" -> Sv_perf.Pmodel.minibude
+  | _ -> Sv_perf.Pmodel.tealeaf
+
+let app_names = [ "babelstream"; "babelstream-f"; "tealeaf"; "cloverleaf"; "minibude" ]
+
+let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
+
+let with_app app f =
+  match corpus_of_app app with
+  | Some cbs -> f cbs
+  | None -> fail "unknown app %S (expected one of: %s)" app (String.concat ", " app_names)
+
+let codebase_builder_of app =
+  match String.lowercase_ascii app with
+  | "babelstream" -> Some (fun model -> Sv_corpus.Babelstream.codebase ~model)
+  | "tealeaf" -> Some (fun model -> Sv_corpus.Tealeaf.codebase ~model)
+  | "cloverleaf" -> Some (fun model -> Sv_corpus.Cloverleaf.codebase ~model)
+  | "minibude" -> Some (fun model -> Sv_corpus.Minibude.codebase ~model)
+  | "babelstream-f" | "babelstream-fortran" ->
+      Some (fun model -> Sv_corpus.Babelstream_f.codebase ~model)
+  | _ -> None
+
+let find_codebase ?app cbs model =
+  match
+    List.find_opt (fun (cb : Sv_corpus.Emit.codebase) -> cb.Sv_corpus.Emit.model = model) cbs
+  with
+  | Some cb -> Some cb
+  | None -> (
+      (* extension models (e.g. raja) are built on demand *)
+      match Option.bind app codebase_builder_of with
+      | Some build -> build model
+      | None -> None)
+
+(* --- args --- *)
+
+let app_arg =
+  Arg.(required & opt (some string) None & info [ "app"; "a" ] ~docv:"APP"
+         ~doc:"Mini-app: babelstream, babelstream-f, tealeaf, cloverleaf, minibude.")
+
+let model_arg names doc =
+  Arg.(required & opt (some string) None & info names ~docv:"MODEL" ~doc)
+
+let metric_arg =
+  Arg.(value & opt string "t_sem" & info [ "metric"; "m" ] ~docv:"METRIC"
+         ~doc:"Metric: sloc, lloc, source, t_src, t_sem, t_sem+i, t_ir.")
+
+(* --- commands --- *)
+
+let models_cmd =
+  let run () =
+    print_endline "mini-apps:";
+    List.iter (fun a -> Printf.printf "  %s\n" a) app_names;
+    print_endline "\nC++ models:";
+    List.iter
+      (fun id ->
+        match Sv_corpus.Emit.gen_for id with
+        | Some g ->
+            Printf.printf "  %-12s %s%s\n" id (Sv_corpus.Emit.model_name g)
+              (if List.mem id Sv_corpus.Emit.all_ids then ""
+               else " (extension, outside the paper's Table II)")
+        | None -> ())
+      Sv_corpus.Emit.extended_ids;
+    print_endline "\nFortran models (babelstream-f):";
+    List.iter
+      (fun id -> Printf.printf "  %-12s %s\n" id (Sv_corpus.Babelstream_f.model_name id))
+      Sv_corpus.Babelstream_f.model_ids;
+    print_endline "\nplatforms:";
+    List.iter
+      (fun (p : Sv_perf.Platform.t) ->
+        Printf.printf "  %-7s %s (%s)\n" p.Sv_perf.Platform.abbr p.Sv_perf.Platform.name
+          p.Sv_perf.Platform.vendor)
+      Sv_perf.Platform.all;
+    `Ok ()
+  in
+  Cmd.v (Cmd.info "models" ~doc:"List mini-apps, programming models and platforms.")
+    Term.(ret (const run $ const ()))
+
+let emit_cmd =
+  let run app model out =
+    with_app app (fun cbs ->
+        match find_codebase ~app cbs model with
+        | None -> fail "app %s has no model %s" app model
+        | Some cb ->
+            (try Unix.mkdir out 0o755 with Unix.Unix_error (Unix.EEXIST, _, _) -> ());
+            List.iter
+              (fun (name, content) ->
+                let oc = open_out (Filename.concat out name) in
+                output_string oc content;
+                close_out oc)
+              cb.Sv_corpus.Emit.files;
+            let entry =
+              {
+                Sv_db.Compdb.directory = out;
+                file = cb.Sv_corpus.Emit.main_file;
+                arguments =
+                  [ "cc"; "-O3" ]
+                  @ List.map (fun (k, v) -> Printf.sprintf "-D%s=%s" k v)
+                      cb.Sv_corpus.Emit.defines
+                  @ [ cb.Sv_corpus.Emit.main_file ];
+              }
+            in
+            let oc = open_out (Filename.concat out "compile_commands.json") in
+            output_string oc (Sv_db.Compdb.to_json_string [ entry ]);
+            close_out oc;
+            Printf.printf "wrote %d files + compile_commands.json to %s\n"
+              (List.length cb.Sv_corpus.Emit.files) out;
+            `Ok ())
+  in
+  let out =
+    Arg.(value & opt string "." & info [ "out"; "o" ] ~docv:"DIR" ~doc:"Output directory.")
+  in
+  Cmd.v
+    (Cmd.info "emit" ~doc:"Write one mini-app port's sources and compilation DB to disk.")
+    Term.(ret (const run $ app_arg $ model_arg [ "model" ] "Model id." $ out))
+
+let index_cmd =
+  let run app model out =
+    with_app app (fun cbs ->
+        match find_codebase ~app cbs model with
+        | None -> fail "app %s has no model %s" app model
+        | Some cb ->
+            let ix = Pipeline.index cb in
+            let db = Pipeline.to_db ix in
+            let bytes = Sv_db.Codebase_db.save db in
+            let oc = open_out_bin out in
+            output_string oc bytes;
+            close_out oc;
+            Printf.printf "%s\n" (Sv_db.Codebase_db.stats db);
+            (match ix.Pipeline.ix_verification with
+            | Some v ->
+                Printf.printf "built-in verification: %s\n"
+                  (if v.Pipeline.v_ok then "PASSED" else "FAILED")
+            | None -> ());
+            Printf.printf "saved Codebase DB to %s (%d bytes)\n" out (String.length bytes);
+            `Ok ())
+  in
+  let out =
+    Arg.(value & opt string "codebase.svdb" & info [ "out"; "o" ] ~docv:"FILE"
+           ~doc:"Output artifact path.")
+  in
+  Cmd.v
+    (Cmd.info "index"
+       ~doc:"Index one port (preprocess, parse, lower, run) and save its Codebase DB.")
+    Term.(ret (const run $ app_arg $ model_arg [ "model" ] "Model id." $ out))
+
+let inspect_cmd =
+  let run path =
+    let ic = open_in_bin path in
+    let len = in_channel_length ic in
+    let bytes = really_input_string ic len in
+    close_in ic;
+    match Sv_db.Codebase_db.load bytes with
+    | Error e -> fail "cannot load %s: %s" path e
+    | Ok db ->
+        Printf.printf "%s\n" (Sv_db.Codebase_db.stats db);
+        List.iter
+          (fun (u : Sv_db.Codebase_db.unit_record) ->
+            Printf.printf "  unit %s: sloc=%d lloc=%d deps=[%s]\n" u.ur_file u.ur_sloc
+              u.ur_lloc
+              (String.concat ", " u.ur_deps);
+            List.iter
+              (fun (name, t) ->
+                Printf.printf "    %-12s %d nodes\n" name (Sv_tree.Tree.size t))
+              u.ur_trees)
+          db.Sv_db.Codebase_db.db_units;
+        `Ok ()
+  in
+  let path = Arg.(required & pos 0 (some file) None & info [] ~docv:"FILE") in
+  Cmd.v (Cmd.info "inspect" ~doc:"Print the contents of a saved Codebase DB.")
+    Term.(ret (const run $ path))
+
+let compare_cmd =
+  let run app base target =
+    with_app app (fun cbs ->
+        match (find_codebase ~app cbs base, find_codebase ~app cbs target) with
+        | Some b, Some t ->
+            let bix = Pipeline.index b and tix = Pipeline.index t in
+            let rows =
+              List.map
+                (fun m ->
+                  let d, dmax = Tbmd.raw_divergence m bix tix in
+                  [
+                    Tbmd.metric_label m;
+                    string_of_int d;
+                    string_of_int dmax;
+                    Printf.sprintf "%.3f" (Tbmd.divergence m bix tix);
+                  ])
+                Tbmd.all_metrics
+            in
+            Printf.printf "divergence %s: %s -> %s\n" app base target;
+            print_string
+              (Report.table ~headers:[ "metric"; "d"; "dmax"; "normalised" ] ~rows);
+            `Ok ()
+        | _ -> fail "unknown model (base %s / target %s)" base target)
+  in
+  Cmd.v
+    (Cmd.info "compare" ~doc:"Divergence of a target model from a base model.")
+    Term.(
+      ret
+        (const run $ app_arg
+        $ model_arg [ "base"; "b" ] "Base model id (the port's origin)."
+        $ model_arg [ "target"; "t" ] "Target model id."))
+
+let cluster_cmd =
+  let run app metric =
+    match Tbmd.metric_of_string metric with
+    | None -> fail "unknown metric %S" metric
+    | Some m ->
+        with_app app (fun cbs ->
+            let ixs = List.map Pipeline.index cbs in
+            let matrix, dendro = Tbmd.dendrogram m ixs in
+            print_string
+              (Report.heatmap
+                 ~row_labels:(Array.to_list matrix.Sv_cluster.Cluster.labels)
+                 ~col_labels:(Array.to_list matrix.Sv_cluster.Cluster.labels)
+                 matrix.Sv_cluster.Cluster.data);
+            print_string (Report.dendrogram ~labels:matrix.Sv_cluster.Cluster.labels dendro);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "cluster"
+       ~doc:"Pairwise divergence matrix and dendrogram for every model of an app.")
+    Term.(ret (const run $ app_arg $ metric_arg))
+
+let phi_cmd =
+  let run app =
+    print_string
+      (Report.cascade
+         (Sv_perf.Cascade.cascade ~app:(perf_app_of app)
+            ~models:Sv_perf.Pmodel.all_parallel ~platforms:Sv_perf.Platform.all));
+    `Ok ()
+  in
+  Cmd.v
+    (Cmd.info "phi" ~doc:"Cascade plot of the performance-portability metric Phi.")
+    Term.(ret (const run $ app_arg))
+
+let chart_cmd =
+  let run app =
+    with_app app (fun cbs ->
+        let ixs = List.map Pipeline.index cbs in
+        match
+          List.find_opt (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model = "serial") ixs
+        with
+        | None -> fail "app %s has no serial baseline for a navigation chart" app
+        | Some serial ->
+            let pts =
+              Sv_core.Navigation.points ~app:(perf_app_of app) ~serial
+                ~codebases:
+                  (List.filter
+                     (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model <> "serial")
+                     ixs)
+                ~platforms:Sv_perf.Platform.all
+            in
+            print_string (Sv_core.Navigation.render pts);
+            `Ok ())
+  in
+  Cmd.v
+    (Cmd.info "chart" ~doc:"Navigation chart: Phi against TBMD divergence from serial.")
+    Term.(ret (const run $ app_arg))
+
+let verify_cmd =
+  let run app =
+    with_app app (fun cbs ->
+        let all_ok = ref true in
+        List.iter
+          (fun cb ->
+            let ix = Pipeline.index cb in
+            let ok =
+              match ix.Pipeline.ix_verification with
+              | Some v -> v.Pipeline.v_ok
+              | None -> false
+            in
+            if not ok then all_ok := false;
+            Printf.printf "  %-14s %s\n" ix.Pipeline.ix_model
+              (if ok then "PASSED" else "FAILED"))
+          cbs;
+        if !all_ok then `Ok () else fail "some ports failed verification")
+  in
+  Cmd.v
+    (Cmd.info "verify" ~doc:"Run every port's built-in verification under the interpreter.")
+    Term.(ret (const run $ app_arg))
+
+let main_cmd =
+  let doc = "SilverVale-ML: tree-based programming-model productivity analysis" in
+  Cmd.group (Cmd.info "sv" ~version:"1.0.0" ~doc)
+    [
+      models_cmd; emit_cmd; index_cmd; inspect_cmd; compare_cmd; cluster_cmd;
+      phi_cmd; chart_cmd; verify_cmd;
+    ]
+
+let () = exit (Cmd.eval main_cmd)

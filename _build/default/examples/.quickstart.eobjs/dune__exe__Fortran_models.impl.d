@@ -1,0 +1,1 @@
+examples/fortran_models.ml: List Printf Sv_cluster Sv_core Sv_corpus Sv_report Sv_tree

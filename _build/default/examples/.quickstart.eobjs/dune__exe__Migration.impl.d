@@ -1,0 +1,1 @@
+examples/migration.ml: List Printf Sv_core Sv_corpus Sv_report

@@ -1,0 +1,1 @@
+examples/navigation.ml: List Printf Sv_core Sv_corpus Sv_perf Sv_report

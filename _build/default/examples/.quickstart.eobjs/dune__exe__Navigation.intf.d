@@ -1,0 +1,1 @@
+examples/navigation.mli:

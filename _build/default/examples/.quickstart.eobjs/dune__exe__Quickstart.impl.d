@@ -1,0 +1,1 @@
+examples/quickstart.ml: List Printf String Sv_core Sv_corpus Sv_report Sv_tree

@@ -1,0 +1,42 @@
+(* Fortran model family (§V-B, Fig. 6): cluster the eight BabelStream
+   Fortran variants and look at the OpenACC quality-of-implementation
+   effect.
+
+   Run with:  dune exec examples/fortran_models.exe *)
+
+module Pipeline = Sv_core.Pipeline
+module Tbmd = Sv_core.Tbmd
+
+let () =
+  print_endline "== BabelStream Fortran: eight models, one algorithm ==\n";
+  let ixs = List.map Pipeline.index (Sv_corpus.Babelstream_f.all ()) in
+  List.iter
+    (fun (ix : Pipeline.indexed) ->
+      let u = List.hd ix.Pipeline.ix_units in
+      Printf.printf "  %-14s SLOC=%-4d |T_sem|=%-4d |T_ir|=%-4d verification:%s\n"
+        ix.Pipeline.ix_model u.Pipeline.u_sloc
+        (Sv_tree.Tree.size u.Pipeline.u_t_sem)
+        (Sv_tree.Tree.size u.Pipeline.u_t_ir)
+        (match ix.Pipeline.ix_verification with
+        | Some v when v.Pipeline.v_ok -> "PASSED"
+        | _ -> "FAILED"))
+    ixs;
+  (* clustering under T_sem, the paper's Fig. 6 recipe *)
+  List.iter
+    (fun metric ->
+      Printf.printf "\n--- clustering by %s ---\n" (Tbmd.metric_label metric);
+      let m, d = Tbmd.dendrogram metric ixs in
+      print_string (Sv_report.Report.dendrogram ~labels:m.Sv_cluster.Cluster.labels d))
+    [ Tbmd.TSrc; Tbmd.TSem; Tbmd.TIr ];
+  (* the OpenACC effect: directives visible in the source, absent from IR *)
+  let find id = List.find (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model = id) ixs in
+  let seq = find "sequential" in
+  let d_src_acc = Tbmd.divergence Tbmd.TSrc seq (find "acc") in
+  let d_ir_acc = Tbmd.divergence Tbmd.TIr seq (find "acc") in
+  let d_ir_omp = Tbmd.divergence Tbmd.TIr seq (find "omp") in
+  Printf.printf
+    "\nOpenACC vs sequential: T_src = %.3f but T_ir = %.3f (OpenMP: %.3f).\n\
+     The directives are visible in the source, yet GCC's OpenACC lowers the\n\
+     loops serially — no parallel runtime structure reaches the IR, matching\n\
+     the paper's single-threaded-OpenACC observation (§V-B).\n"
+    d_src_acc d_ir_acc d_ir_omp

@@ -1,0 +1,47 @@
+(* Navigation chart (§VI): combine performance portability (Phi) with
+   model divergence (TBMD) to pick a programming model for CloverLeaf.
+
+   Run with:  dune exec examples/navigation.exe *)
+
+module Pipeline = Sv_core.Pipeline
+
+let () =
+  print_endline "== CloverLeaf: picking a model with Phi x TBMD ==\n";
+  let ixs = List.map Pipeline.index (Sv_corpus.Cloverleaf.all ()) in
+  let serial =
+    List.find (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model = "serial") ixs
+  in
+  let others =
+    List.filter (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model <> "serial") ixs
+  in
+  (* the cascade: who runs where, and how Phi decays as platforms pile up *)
+  print_string
+    (Sv_report.Report.cascade
+       (Sv_perf.Cascade.cascade ~app:Sv_perf.Pmodel.cloverleaf
+          ~models:Sv_perf.Pmodel.all_parallel ~platforms:Sv_perf.Platform.all));
+  print_newline ();
+  (* the navigation chart itself *)
+  let pts =
+    Sv_core.Navigation.points ~app:Sv_perf.Pmodel.cloverleaf ~serial ~codebases:others
+      ~platforms:Sv_perf.Platform.all
+  in
+  print_string (Sv_core.Navigation.render pts);
+  (* a simple recommendation: maximise Phi x proximity-to-serial *)
+  let scored =
+    List.map
+      (fun (p : Sv_core.Navigation.point) ->
+        (p.Sv_core.Navigation.model_name,
+         p.Sv_core.Navigation.phi *. (1.0 -. p.Sv_core.Navigation.div_t_sem)))
+      pts
+    |> List.sort (fun (_, a) (_, b) -> compare b a)
+  in
+  print_endline "\nPhi x (1 - T_sem divergence), best first:";
+  print_string (Sv_report.Report.bars scored);
+  match scored with
+  | (best, _) :: _ ->
+      Printf.printf
+        "\nFor a new CloverLeaf port starting from serial, the chart nominates %s:\n\
+         portable across all six platforms while staying structurally closest\n\
+         to the serial algorithm.\n"
+        best
+  | [] -> ()

@@ -1,0 +1,144 @@
+(* Quickstart: measure the model divergence between two ports of YOUR own
+   code — no corpus involved.
+
+   We write a small serial kernel and its OpenMP port as plain source
+   strings, push both through the pipeline by wrapping them as codebases,
+   and print every metric of Table I.
+
+   Run with:  dune exec examples/quickstart.exe *)
+
+let serial_src =
+  {|// daxpy, serial
+#include "stdio.h"
+#include "stdlib.h"
+#include "math.h"
+
+void daxpy(double *y, const double *x, double alpha, int n) {
+  for (int i = 0; i < n; i++) {
+    y[i] = alpha * x[i] + y[i];
+  }
+}
+
+int main() {
+  const int n = 512;
+  double *x = new double[n];
+  double *y = new double[n];
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0;
+    y[i] = 2.0;
+  }
+  daxpy(y, x, 0.5, n);
+  if (fabs(y[0] - 2.5) > 1.0e-12) {
+    printf("FAILED\n");
+    return 1;
+  }
+  printf("OK\n");
+  return 0;
+}
+|}
+
+let omp_src =
+  {|// daxpy, OpenMP port
+#include "stdio.h"
+#include "stdlib.h"
+#include "math.h"
+#include "omp.h"
+
+void daxpy(double *y, const double *x, double alpha, int n) {
+#pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    y[i] = alpha * x[i] + y[i];
+  }
+}
+
+int main() {
+  const int n = 512;
+  double *x = new double[n];
+  double *y = new double[n];
+#pragma omp parallel for
+  for (int i = 0; i < n; i++) {
+    x[i] = 1.0;
+    y[i] = 2.0;
+  }
+  daxpy(y, x, 0.5, n);
+  if (fabs(y[0] - 2.5) > 1.0e-12) {
+    printf("FAILED\n");
+    return 1;
+  }
+  printf("OK\n");
+  return 0;
+}
+|}
+
+(* Wrap a source string as a codebase the pipeline can index. The shim
+   and system headers resolve the includes. *)
+let codebase ~model ~model_name ~file source =
+  {
+    Sv_corpus.Emit.app = "daxpy";
+    model;
+    model_name;
+    lang = `C;
+    main_file = file;
+    extra_units = [];
+    files = ((file, source) :: Sv_corpus.Shim.for_model model) @ Sv_corpus.Shim.system;
+    system_headers = Sv_corpus.Shim.system_names;
+    defines = [];
+  }
+
+let () =
+  print_endline "== quickstart: TBMD on a hand-written daxpy port ==\n";
+  (* 1. index both codebases: preprocess, parse, lower, run *)
+  let serial =
+    Sv_core.Pipeline.index
+      (codebase ~model:"serial" ~model_name:"Serial" ~file:"daxpy.cpp" serial_src)
+  in
+  let omp =
+    Sv_core.Pipeline.index
+      (codebase ~model:"omp" ~model_name:"OpenMP" ~file:"daxpy_omp.cpp" omp_src)
+  in
+  (* 2. both ports must pass their built-in check under the interpreter *)
+  List.iter
+    (fun (ix : Sv_core.Pipeline.indexed) ->
+      match ix.Sv_core.Pipeline.ix_verification with
+      | Some v ->
+          Printf.printf "%-8s verification: %s (output %S)\n"
+            ix.Sv_core.Pipeline.ix_model
+            (if v.Sv_core.Pipeline.v_ok then "PASSED" else "FAILED")
+            (String.trim v.Sv_core.Pipeline.v_output)
+      | None -> ())
+    [ serial; omp ];
+  (* 3. absolute metrics per codebase *)
+  print_newline ();
+  List.iter
+    (fun (ix : Sv_core.Pipeline.indexed) ->
+      let u = List.hd ix.Sv_core.Pipeline.ix_units in
+      Printf.printf "%-8s SLOC=%-4d LLOC=%-4d |T_src|=%-5d |T_sem|=%-5d |T_ir|=%d\n"
+        ix.Sv_core.Pipeline.ix_model u.Sv_core.Pipeline.u_sloc
+        u.Sv_core.Pipeline.u_lloc
+        (Sv_tree.Tree.size u.Sv_core.Pipeline.u_t_src)
+        (Sv_tree.Tree.size u.Sv_core.Pipeline.u_t_sem)
+        (Sv_tree.Tree.size u.Sv_core.Pipeline.u_t_ir))
+    [ serial; omp ];
+  (* 4. the divergence table serial -> OpenMP *)
+  print_newline ();
+  let rows =
+    List.map
+      (fun m ->
+        let d, dmax = Sv_core.Tbmd.raw_divergence m serial omp in
+        [
+          Sv_core.Tbmd.metric_label m;
+          string_of_int d;
+          string_of_int dmax;
+          Printf.sprintf "%.3f" (Sv_core.Tbmd.divergence m serial omp);
+        ])
+      Sv_core.Tbmd.all_metrics
+  in
+  print_string
+    (Sv_report.Report.table ~headers:[ "metric"; "d"; "dmax"; "normalised" ] ~rows);
+  (* 5. the paper's OpenMP observation holds even for this tiny kernel *)
+  let t_src = Sv_core.Tbmd.divergence Sv_core.Tbmd.TSrc serial omp in
+  let t_sem = Sv_core.Tbmd.divergence Sv_core.Tbmd.TSem serial omp in
+  Printf.printf
+    "\nOpenMP looks cheap in the source (T_src = %.3f) but carries hidden\n\
+     compiler-level semantics (T_sem = %.3f > T_src) — §V-C of the paper.\n"
+    t_src t_sem

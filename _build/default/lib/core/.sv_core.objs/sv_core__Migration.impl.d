@@ -1,0 +1,1 @@
+lib/core/migration.ml: List Pipeline Tbmd

@@ -1,0 +1,1 @@
+lib/core/navigation.ml: Char List Pipeline Printf String Sv_perf Sv_report Tbmd

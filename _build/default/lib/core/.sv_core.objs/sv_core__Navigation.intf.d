@@ -1,0 +1,1 @@
+lib/core/navigation.mli: Pipeline Sv_perf

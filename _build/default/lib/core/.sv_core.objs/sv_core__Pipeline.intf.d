@@ -1,0 +1,1 @@
+lib/core/pipeline.mli: Sv_corpus Sv_db Sv_tree Sv_util

@@ -1,0 +1,1 @@
+lib/core/tbmd.ml: Array Hashtbl List Pipeline Printf String Sv_cluster Sv_metrics Sv_tree

@@ -1,0 +1,1 @@
+lib/core/tbmd.mli: Pipeline Sv_cluster

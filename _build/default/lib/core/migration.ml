@@ -1,0 +1,31 @@
+type row = { target : string; values : (string * float) list }
+
+let divergence_from ~base ~targets ~metrics =
+  List.map
+    (fun (t : Pipeline.indexed) ->
+      {
+        target = t.Pipeline.ix_model_name;
+        values =
+          List.map
+            (fun (m, v) ->
+              ( Tbmd.metric_label m ^ Tbmd.variant_label v,
+                Tbmd.divergence ~variant:v m base t ))
+            metrics;
+      })
+    targets
+
+let cheapest ~metric rows =
+  let label = Tbmd.metric_label metric in
+  List.fold_left
+    (fun best row ->
+      match List.assoc_opt label row.values with
+      | None -> best
+      | Some v -> (
+          match best with
+          | Some (_, bv) when bv <= v -> best
+          | _ -> Some (row.target, v)))
+    None rows
+
+let stepping_stone_gain ~base ~via ~target ~metric =
+  let d a b = Tbmd.divergence metric a b in
+  d base target -. (d base via +. d via target)

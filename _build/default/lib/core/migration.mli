@@ -1,0 +1,38 @@
+(** Code-migration cost studies (§V-D, Figs. 9–10).
+
+    Porting direction matters: the divergence from a serial baseline to an
+    offload model differs from the divergence from an existing CUDA port,
+    because CUDA already encodes platform-specific semantics. This module
+    computes the per-target divergence tables for any base codebase. *)
+
+type row = {
+  target : string;  (** target model display name *)
+  values : (string * float) list;
+      (** (metric label, normalised divergence base→target) *)
+}
+
+val divergence_from :
+  base:Pipeline.indexed ->
+  targets:Pipeline.indexed list ->
+  metrics:(Tbmd.metric * Tbmd.variant) list ->
+  row list
+(** [divergence_from ~base ~targets ~metrics] — one row per target, one
+    column per metric; divergence is measured with the target as the
+    normalisation side (Eq. 7: the codebase being ported {e to}). *)
+
+val cheapest :
+  metric:Tbmd.metric -> row list -> (string * float) option
+(** The target with the lowest divergence under [metric] — §V-D's
+    observation that OpenMP target is the cheapest offload port from
+    serial. *)
+
+val stepping_stone_gain :
+  base:Pipeline.indexed ->
+  via:Pipeline.indexed ->
+  target:Pipeline.indexed ->
+  metric:Tbmd.metric ->
+  float
+(** [stepping_stone_gain ~base ~via ~target ~metric] is
+    [d(base→target) - (d(base→via) + d(via→target))]: positive when the
+    paper's conjectured two-hop port (serial → declarative model →
+    target) is cheaper than the direct port. *)

@@ -1,0 +1,48 @@
+(** Navigation charts: Φ against TBMD (§VI, Figs. 13–15).
+
+    Combines the performance-portability metric with model divergence
+    into one picture: the x axis is proximity to the serial baseline
+    (1 − normalised divergence, so right = productive), the y axis is Φ.
+    Each model contributes two linked points — [T_sem] (semantic) and
+    [T_src] (perceived) — whose gap is the paper's model-bloat signal. *)
+
+type point = {
+  model_id : string;
+  model_name : string;
+  marker : char;          (** letter used in the ASCII chart *)
+  phi : float;
+  div_t_sem : float;      (** normalised T_sem divergence from serial *)
+  div_t_src : float;
+}
+
+val points :
+  app:Sv_perf.Pmodel.app ->
+  serial:Pipeline.indexed ->
+  codebases:Pipeline.indexed list ->
+  platforms:Sv_perf.Platform.t list ->
+  point list
+(** [points ~app ~serial ~codebases ~platforms] — one point per non-serial
+    codebase whose model id the performance model knows. Φ is computed
+    over [platforms]; divergences against [serial]. *)
+
+val render : point list -> string
+(** The chart plus its legend. Each model plots its [T_sem] position with
+    an uppercase marker and its [T_src] position with the lowercase one. *)
+
+type scenario_stage = {
+  stage : int;
+  description : string;
+  platform_abbrs : string list;
+  phi_cuda : float;
+  best_alternative : (string * float) option;
+      (** highest-Φ model over the stage's platform set *)
+}
+
+val cuda_scenario :
+  app:Sv_perf.Pmodel.app ->
+  serial:Pipeline.indexed ->
+  codebases:Pipeline.indexed list ->
+  scenario_stage list
+(** Fig. 15's story: stage 1 — NVIDIA-only world, CUDA has Φ = 1; stage 2
+    — an AMD platform arrives and CUDA's Φ collapses to 0; stage 3 — the
+    chart nominates the portable model to move to. *)

@@ -1,0 +1,66 @@
+(** The Tree-Based Model Divergence metric (§III-C) over indexed
+    codebases.
+
+    Implements Eq. (2)–(7): absolute counts (SLOC/LLOC) summed across
+    units; relative measures ([Source] via O(NP) edit distance, the tree
+    metrics via TED) summed over matched unit pairs, normalised by the
+    maximum divergence [dmax] (the target codebase's size), clamped to
+    [0, 1] like the paper's heatmaps.
+
+    The [match] function of Eq. (4)/(6) pairs units positionally: every
+    corpus port has the same unit structure, which is exactly the
+    "units with the same purpose" pairing the paper requires. Comparing
+    codebases of different languages is a programming error
+    ([Invalid_argument]) — §IV-B: frontend trees are not comparable
+    across compilers. *)
+
+type metric = SLOC | LLOC | Source | TSrc | TSem | TSemI | TIr
+
+type variant =
+  | Base  (** as written *)
+  | PP    (** after the preprocessor ([+preprocessor]) *)
+  | Cov   (** coverage-masked ([+coverage]) *)
+
+val all_metrics : metric list
+(** Table I order. *)
+
+val metric_label : metric -> string
+(** e.g. ["T_sem+i"]. *)
+
+val variant_label : variant -> string
+(** [""], ["+pp"], ["+cov"]. *)
+
+val metric_of_string : string -> metric option
+(** Parse a CLI spelling (["sloc"], ["t_sem"], ["t_sem+i"], ...). *)
+
+val absolute : metric -> Pipeline.indexed -> int option
+(** [absolute m ix] is the codebase-level value for absolute metrics
+    (Eq. 2–3); [None] for relative metrics. *)
+
+val raw_divergence :
+  ?variant:variant -> metric -> Pipeline.indexed -> Pipeline.indexed -> int * int
+(** [raw_divergence m c1 c2] is [(d, dmax)] summed over matched units.
+    For SLOC/LLOC, [d] is the absolute difference of totals and [dmax]
+    the target's total. *)
+
+val divergence :
+  ?variant:variant -> metric -> Pipeline.indexed -> Pipeline.indexed -> float
+(** Normalised divergence in [0, 1]: [d / dmax] clamped (Figs. 7–8's cell
+    value). Zero iff the codebases are metric-identical. *)
+
+val matrix :
+  ?variant:variant ->
+  metric ->
+  Pipeline.indexed list ->
+  Sv_cluster.Cluster.matrix
+(** Pairwise divergence over the cartesian product (Fig. 4's input),
+    labelled with model display names. *)
+
+val dendrogram :
+  ?variant:variant ->
+  ?linkage:Sv_cluster.Cluster.linkage ->
+  metric ->
+  Pipeline.indexed list ->
+  Sv_cluster.Cluster.matrix * Sv_cluster.Cluster.dendro
+(** The paper's clustering recipe: divergence matrix → Euclidean row
+    distance → agglomerative clustering (complete linkage by default). *)

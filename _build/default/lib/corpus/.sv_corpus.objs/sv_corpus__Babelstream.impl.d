@@ -1,0 +1,1 @@
+lib/corpus/babelstream.ml: Emit List Printf

@@ -1,0 +1,1 @@
+lib/corpus/babelstream.mli: Emit

@@ -1,0 +1,1 @@
+lib/corpus/babelstream_f.ml: Buffer Emit List Printf String

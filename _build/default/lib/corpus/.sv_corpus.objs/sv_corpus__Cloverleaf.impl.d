@@ -1,0 +1,1 @@
+lib/corpus/cloverleaf.ml: Emit List Printf String

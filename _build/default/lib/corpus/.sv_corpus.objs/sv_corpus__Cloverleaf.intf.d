@@ -1,0 +1,1 @@
+lib/corpus/cloverleaf.mli: Emit

@@ -1,0 +1,1 @@
+lib/corpus/emit.ml: Buffer List Printf Shim String

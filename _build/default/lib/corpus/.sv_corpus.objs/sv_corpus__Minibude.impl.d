@@ -1,0 +1,1 @@
+lib/corpus/minibude.ml: Emit List Printf

@@ -1,0 +1,1 @@
+lib/corpus/shim.ml: List

@@ -1,0 +1,1 @@
+lib/corpus/tealeaf.ml: Emit List Printf

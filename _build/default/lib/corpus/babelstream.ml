@@ -1,0 +1,126 @@
+let problem_size = 1024
+
+let codebase ~model =
+  match Emit.gen_for model with
+  | None -> None
+  | Some g ->
+      let arr = Emit.arr g in
+      let n = "n" in
+      let abc = [ "a"; "b"; "c" ] in
+      (* the five STREAM kernels, written through the model's accessor *)
+      let k_init =
+        Emit.map_kernel g ~name:"init_arrays" ~n ~arrays:abc
+          ~scalars:[ ("double", "init_a"); ("double", "init_b"); ("double", "init_c") ]
+          ~body:
+            [
+              Printf.sprintf "%s = init_a;" (arr "a" "i");
+              Printf.sprintf "%s = init_b;" (arr "b" "i");
+              Printf.sprintf "%s = init_c;" (arr "c" "i");
+            ]
+      in
+      let k_copy =
+        Emit.map_kernel g ~name:"copy" ~n ~arrays:[ "a"; "c" ] ~scalars:[]
+          ~body:[ Printf.sprintf "%s = %s;" (arr "c" "i") (arr "a" "i") ]
+      in
+      let k_mul =
+        Emit.map_kernel g ~name:"mul" ~n ~arrays:[ "b"; "c" ]
+          ~scalars:[ ("double", "scalar") ]
+          ~body:[ Printf.sprintf "%s = scalar * %s;" (arr "b" "i") (arr "c" "i") ]
+      in
+      let k_add =
+        Emit.map_kernel g ~name:"add" ~n ~arrays:abc ~scalars:[]
+          ~body:
+            [ Printf.sprintf "%s = %s + %s;" (arr "c" "i") (arr "a" "i") (arr "b" "i") ]
+      in
+      let k_triad =
+        Emit.map_kernel g ~name:"triad" ~n ~arrays:abc
+          ~scalars:[ ("double", "scalar") ]
+          ~body:
+            [
+              Printf.sprintf "%s = %s + scalar * %s;" (arr "a" "i") (arr "b" "i")
+                (arr "c" "i");
+            ]
+      in
+      let k_dot =
+        Emit.reduce_kernel g ~name:"dot" ~n ~arrays:[ "a"; "b" ] ~scalars:[]
+          ~result:"sum"
+          ~expr:(Printf.sprintf "%s * %s" (arr "a" "i") (arr "b" "i"))
+      in
+      let tops =
+        List.concat_map fst [ k_init; k_copy; k_mul; k_add; k_triad; k_dot ]
+      in
+      (* verification reads: staged models verify through a host copy *)
+      let rb name = Emit.read_back g ~host:("h_" ^ name) ~dev:name ~n in
+      let staged = rb "a" <> [] in
+      let vread name i = if staged then Printf.sprintf "h_%s[%s]" name i else arr name i in
+      let verify_error name gold =
+        [
+          Printf.sprintf "double err_%s = 0.0;" name;
+          Printf.sprintf "for (int i = 0; i < %s; i++) {" n;
+          Printf.sprintf "  err_%s += fabs(%s - %s);" name (vread name "i") gold;
+          "}";
+          Printf.sprintf "err_%s = err_%s / (double)%s;" name name n;
+        ]
+      in
+      let main_body =
+        [
+          Printf.sprintf "const int n = %d;" problem_size;
+          "const int num_times = 4;";
+          "const double scalar = 0.4;";
+          "double sum = 0.0;";
+        ]
+        @ Emit.alloc g ~name:"a" ~n
+        @ Emit.alloc g ~name:"b" ~n
+        @ Emit.alloc g ~name:"c" ~n
+        @ [ "const double init_a = 0.1;"; "const double init_b = 0.2;";
+            "const double init_c = 0.0;" ]
+        @ snd k_init
+        @ [ "for (int t = 0; t < num_times; t++) {" ]
+        @ Emit.indent_block
+            (snd k_copy @ snd k_mul @ snd k_add @ snd k_triad)
+        @ [ "}" ]
+        @ snd k_dot
+        @ (if staged then rb "a" @ rb "b" @ rb "c" else [])
+        @ [
+            "// gold values follow the same kernel sequence analytically";
+            "double gold_a = init_a;";
+            "double gold_b = init_b;";
+            "double gold_c = init_c;";
+            "for (int t = 0; t < num_times; t++) {";
+            "  gold_c = gold_a;";
+            "  gold_b = scalar * gold_c;";
+            "  gold_c = gold_a + gold_b;";
+            "  gold_a = gold_b + scalar * gold_c;";
+            "}";
+          ]
+        @ verify_error "a" "gold_a"
+        @ verify_error "b" "gold_b"
+        @ verify_error "c" "gold_c"
+        @ [
+            "const double epsi = 1.0e-8;";
+            Printf.sprintf
+              "double dot_err = fabs((sum - gold_a * gold_b * (double)%s) / (gold_a * gold_b * (double)%s));"
+              n n;
+            "if (err_a < epsi && err_b < epsi && err_c < epsi && dot_err < 1.0e-8) {";
+            "  printf(\"Validation PASSED\\n\");";
+            "} else {";
+            "  printf(\"Validation FAILED\\n\");";
+            "  return 1;";
+            "}";
+          ]
+        @ Emit.dealloc g ~name:"a" ~n
+        @ Emit.dealloc g ~name:"b" ~n
+        @ Emit.dealloc g ~name:"c" ~n
+      in
+      let source =
+        Emit.render
+          ~header_comment:
+            (Printf.sprintf "BabelStream (%s port): STREAM kernels copy/mul/add/triad/dot"
+               (Emit.model_name g))
+          ~tops ~main_body g
+      in
+      Some
+        (Emit.wrap ~app:"babelstream" g ~source
+           ~main_file:(Printf.sprintf "stream_%s.cpp" model) ())
+
+let all () = List.filter_map (fun m -> codebase ~model:m) Emit.all_ids

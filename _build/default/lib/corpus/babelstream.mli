@@ -1,0 +1,18 @@
+(** BabelStream (C++): the McCalpin STREAM kernels in every model.
+
+    Five kernels — copy, mul, add, triad, dot — over three double arrays,
+    exactly the structure of UoB-HPC/BabelStream: a high
+    boilerplate-to-algorithm ratio (§V-A notes the kernels are short in
+    SLOC), which makes it the stress test for how much scaffolding each
+    model imposes. Each emitted port self-verifies against the
+    analytically tracked gold values, like the real mini-app. *)
+
+val codebase : model:string -> Emit.codebase option
+(** [codebase ~model] emits the port for a model id ([None] for unknown
+    ids). *)
+
+val all : unit -> Emit.codebase list
+(** All ten ports, ["serial"] first. *)
+
+val problem_size : int
+(** Array extent used by the emitted deck (small enough to interpret). *)

@@ -1,0 +1,175 @@
+let problem_size = 1024
+
+let models =
+  [
+    ("sequential", "Sequential");
+    ("array", "Array");
+    ("doconcurrent", "DoConcurrent");
+    ("omp", "OpenMP");
+    ("omp-taskloop", "OpenMP Taskloop");
+    ("omp-target", "OpenMP Target");
+    ("acc", "OpenACC");
+    ("acc-array", "OpenACC Array");
+  ]
+
+let model_ids = List.map fst models
+let model_name id = List.assoc id models
+
+(* One STREAM kernel as element statements (i is the loop index) and as
+   whole-array statements; each model picks its form. *)
+type kernel = { loop_body : string list; array_form : string list }
+
+let k_init =
+  {
+    loop_body = [ "a(i) = 0.1d0"; "b(i) = 0.2d0"; "c(i) = 0.0d0" ];
+    array_form = [ "a(:) = 0.1d0"; "b(:) = 0.2d0"; "c(:) = 0.0d0" ];
+  }
+
+let k_copy = { loop_body = [ "c(i) = a(i)" ]; array_form = [ "c(:) = a(:)" ] }
+let k_mul = { loop_body = [ "b(i) = scalar * c(i)" ]; array_form = [ "b(:) = scalar * c(:)" ] }
+let k_add = { loop_body = [ "c(i) = a(i) + b(i)" ]; array_form = [ "c(:) = a(:) + b(:)" ] }
+
+let k_triad =
+  {
+    loop_body = [ "a(i) = b(i) + scalar * c(i)" ];
+    array_form = [ "a(:) = b(:) + scalar * c(:)" ];
+  }
+
+let indent n lines = List.map (fun l -> String.make n ' ' ^ l) lines
+
+let do_loop body = ("do i = 1, n" :: indent 2 body) @ [ "end do" ]
+let do_concurrent body = ("do concurrent (i = 1:n)" :: indent 2 body) @ [ "end do" ]
+
+(* Per-model renderings of a map kernel and of the dot reduction. *)
+let map_stmts model k =
+  match model with
+  | "sequential" -> do_loop k.loop_body
+  | "array" -> k.array_form
+  | "doconcurrent" -> do_concurrent k.loop_body
+  | "omp" -> ("!$omp parallel do" :: do_loop k.loop_body) @ [ "!$omp end parallel do" ]
+  | "omp-taskloop" ->
+      [ "!$omp parallel"; "!$omp single"; "!$omp taskloop" ]
+      @ do_loop k.loop_body
+      @ [ "!$omp end taskloop"; "!$omp end single"; "!$omp end parallel" ]
+  | "omp-target" ->
+      ("!$omp target teams distribute parallel do" :: do_loop k.loop_body)
+      @ [ "!$omp end target teams distribute parallel do" ]
+  | "acc" -> ("!$acc parallel loop" :: do_loop k.loop_body) @ [ "!$acc end parallel loop" ]
+  | "acc-array" -> ("!$acc kernels" :: k.array_form) @ [ "!$acc end kernels" ]
+  | _ -> invalid_arg "map_stmts: unknown model"
+
+let dot_loop = do_loop [ "summ = summ + a(i) * b(i)" ]
+
+let dot_stmts model =
+  match model with
+  | "sequential" -> "summ = 0.0d0" :: dot_loop
+  | "array" -> [ "summ = dot_product(a, b)" ]
+  | "doconcurrent" -> "summ = 0.0d0" :: do_concurrent [ "summ = summ + a(i) * b(i)" ]
+  | "omp" ->
+      [ "summ = 0.0d0"; "!$omp parallel do reduction(+:summ)" ]
+      @ dot_loop
+      @ [ "!$omp end parallel do" ]
+  | "omp-taskloop" ->
+      [ "summ = 0.0d0"; "!$omp parallel"; "!$omp single";
+        "!$omp taskloop reduction(+:summ)" ]
+      @ dot_loop
+      @ [ "!$omp end taskloop"; "!$omp end single"; "!$omp end parallel" ]
+  | "omp-target" ->
+      [ "summ = 0.0d0";
+        "!$omp target teams distribute parallel do map(tofrom: summ) reduction(+:summ)" ]
+      @ dot_loop
+      @ [ "!$omp end target teams distribute parallel do" ]
+  | "acc" ->
+      [ "summ = 0.0d0"; "!$acc parallel loop reduction(+:summ)" ]
+      @ dot_loop
+      @ [ "!$acc end parallel loop" ]
+  | "acc-array" ->
+      [ "!$acc kernels"; "summ = dot_product(a, b)"; "!$acc end kernels" ]
+  | _ -> invalid_arg "dot_stmts: unknown model"
+
+let data_begin model =
+  match model with
+  | "omp-target" -> [ "!$omp target enter data map(alloc: a, b, c)" ]
+  | "acc" | "acc-array" -> [ "!$acc enter data create(a, b, c)" ]
+  | _ -> []
+
+let data_end model =
+  match model with
+  | "omp-target" ->
+      [ "!$omp target update from(a)"; "!$omp target update from(b)";
+        "!$omp target update from(c)"; "!$omp target exit data map(release: a, b, c)" ]
+  | "acc" | "acc-array" ->
+      [ "!$acc update self(a)"; "!$acc update self(b)"; "!$acc update self(c)";
+        "!$acc exit data delete(a, b, c)" ]
+  | _ -> []
+
+let source ~model =
+  let name = model_name model in
+  let b = Buffer.create 4096 in
+  let line l =
+    Buffer.add_string b l;
+    Buffer.add_char b '\n'
+  in
+  line (Printf.sprintf "! BabelStream Fortran (%s): STREAM kernels copy/mul/add/triad/dot" name);
+  line "program babelstream";
+  line "  implicit none";
+  line (Printf.sprintf "  integer, parameter :: n = %d" problem_size);
+  line "  integer, parameter :: num_times = 4";
+  line "  integer :: i, t";
+  line "  real(kind=8) :: scalar, summ, gold_a, gold_b, gold_c";
+  line "  real(kind=8) :: err_a, err_b, err_c, dot_err, epsi";
+  line "  real(kind=8), allocatable, dimension(:) :: a, b, c";
+  line "  allocate(a(n), b(n), c(n))";
+  line "  scalar = 0.4d0";
+  List.iter line (indent 2 (data_begin model));
+  List.iter line (indent 2 (map_stmts model k_init));
+  line "  do t = 1, num_times";
+  List.iter line
+    (indent 4
+       (map_stmts model k_copy @ map_stmts model k_mul @ map_stmts model k_add
+       @ map_stmts model k_triad));
+  line "  end do";
+  List.iter line (indent 2 (dot_stmts model));
+  List.iter line (indent 2 (data_end model));
+  line "  ! gold values follow the same kernel sequence analytically";
+  line "  gold_a = 0.1d0";
+  line "  gold_b = 0.2d0";
+  line "  gold_c = 0.0d0";
+  line "  do t = 1, num_times";
+  line "    gold_c = gold_a";
+  line "    gold_b = scalar * gold_c";
+  line "    gold_c = gold_a + gold_b";
+  line "    gold_a = gold_b + scalar * gold_c";
+  line "  end do";
+  line "  err_a = sum(abs(a - gold_a)) / real(n, 8)";
+  line "  err_b = sum(abs(b - gold_b)) / real(n, 8)";
+  line "  err_c = sum(abs(c - gold_c)) / real(n, 8)";
+  line "  dot_err = abs((summ - gold_a * gold_b * real(n, 8)) / (gold_a * gold_b * real(n, 8)))";
+  line "  epsi = 1.0d-8";
+  line "  if (err_a < epsi .and. err_b < epsi .and. err_c < epsi .and. dot_err < epsi) then";
+  line "    print *, 'Validation PASSED'";
+  line "  else";
+  line "    print *, 'Validation FAILED'";
+  line "  end if";
+  line "  deallocate(a, b, c)";
+  line "end program babelstream";
+  Buffer.contents b
+
+let codebase ~model =
+  if not (List.mem_assoc model models) then None
+  else
+    let file = Printf.sprintf "stream_%s.f90" model in
+    Some
+      {
+        Emit.app = "babelstream-f";
+        model;
+        model_name = model_name model;
+        lang = `F;
+        main_file = file;
+        extra_units = [];
+        files = [ (file, source ~model) ];
+        system_headers = [];
+        defines = [];
+      }
+
+let all () = List.filter_map (fun m -> codebase ~model:m) model_ids

@@ -1,0 +1,25 @@
+(** BabelStream (Fortran): the model family of §V-B and Fig. 6.
+
+    Emits the Hammond et al. BabelStream.F90 model variants the paper's
+    Table II lists — [Sequential], [Array] (whole-array syntax),
+    [DoConcurrent], [OpenMP], [OpenMP Taskloop], [OpenACC],
+    [OpenACC Array] — plus [OpenMP Target]. Each port runs the five
+    STREAM kernels and self-verifies against analytically tracked gold
+    values, like the C++ side. *)
+
+val model_ids : string list
+(** ["sequential"; "array"; "doconcurrent"; "omp"; "omp-taskloop";
+    "omp-target"; "acc"; "acc-array"]. *)
+
+val model_name : string -> string
+(** Display name for a model id (raises [Not_found] on unknown ids). *)
+
+val codebase : model:string -> Emit.codebase option
+(** Emit one Fortran port (the [Emit.codebase] has [lang = `F] and a
+    single file). *)
+
+val all : unit -> Emit.codebase list
+(** All eight ports, in {!model_ids} order. *)
+
+val problem_size : int
+(** Array extent used by the emitted deck. *)

@@ -1,0 +1,277 @@
+let grid = (32, 32)
+let steps = 4
+
+let codebase ~model =
+  match Emit.gen_for model with
+  | None -> None
+  | Some g ->
+      let arr = Emit.arr g in
+      let nx, ny = grid in
+      let nn = "nn" in
+      let a = arr in
+      let xy_prelude = [ "const int x = i % nx;"; "const int y = i / nx;" ] in
+      let interior_guard = "x > 0 && x < nx - 1 && y > 0 && y < ny - 1" in
+      let k_initialise =
+        Emit.map_kernel g ~name:"initialise_chunk" ~n:nn
+          ~arrays:[ "density"; "energy"; "xvel"; "yvel" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny") ]
+          ~body:
+            (xy_prelude
+            @ [
+                "if (x < nx / 2) {";
+                Printf.sprintf "  %s = 1.0;" (a "density" "i");
+                Printf.sprintf "  %s = 2.5;" (a "energy" "i");
+                "} else {";
+                Printf.sprintf "  %s = 0.125;" (a "density" "i");
+                Printf.sprintf "  %s = 2.0;" (a "energy" "i");
+                "}";
+                Printf.sprintf "%s = 0.1;" (a "xvel" "i");
+                "if (x >= nx / 2) {";
+                Printf.sprintf "  %s = -0.1;" (a "xvel" "i");
+                "}";
+                Printf.sprintf "%s = 0.05;" (a "yvel" "i");
+              ])
+      in
+      let k_ideal_gas =
+        Emit.map_kernel g ~name:"ideal_gas" ~n:nn
+          ~arrays:[ "density"; "energy"; "pressure"; "soundspeed" ] ~scalars:[]
+          ~body:
+            [
+              Printf.sprintf "%s = 0.4 * %s * %s;" (a "pressure" "i") (a "density" "i")
+                (a "energy" "i");
+              Printf.sprintf "%s = sqrt(1.4 * %s / %s);" (a "soundspeed" "i")
+                (a "pressure" "i") (a "density" "i");
+            ]
+      in
+      let k_viscosity =
+        Emit.map_kernel g ~name:"viscosity" ~n:nn
+          ~arrays:[ "xvel"; "yvel"; "density"; "work" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny") ]
+          ~body:
+            (xy_prelude
+            @ [
+                Printf.sprintf "%s = 0.0;" (a "work" "i");
+                Printf.sprintf "if (%s) {" interior_guard;
+                Printf.sprintf "  const double du = %s - %s;" (a "xvel" "i + 1")
+                  (a "xvel" "i - 1");
+                Printf.sprintf "  const double dv = %s - %s;" (a "yvel" "i + nx")
+                  (a "yvel" "i - nx");
+                "  const double div = du + dv;";
+                "  if (div < 0.0) {";
+                Printf.sprintf "    %s = 2.0 * %s * div * div;" (a "work" "i")
+                  (a "density" "i");
+                "  }";
+                "}";
+              ])
+      in
+      let k_accelerate =
+        Emit.map_kernel g ~name:"accelerate" ~n:nn
+          ~arrays:[ "xvel"; "yvel"; "pressure"; "work"; "density" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny"); ("double", "dt") ]
+          ~body:
+            (xy_prelude
+            @ [
+                Printf.sprintf "if (%s) {" interior_guard;
+                Printf.sprintf
+                  "  const double pgx = (%s + %s) - (%s + %s);"
+                  (a "pressure" "i + 1") (a "work" "i + 1") (a "pressure" "i - 1")
+                  (a "work" "i - 1");
+                Printf.sprintf
+                  "  const double pgy = (%s + %s) - (%s + %s);"
+                  (a "pressure" "i + nx") (a "work" "i + nx") (a "pressure" "i - nx")
+                  (a "work" "i - nx");
+                Printf.sprintf "  %s = %s - dt * pgx / (2.0 * %s);" (a "xvel" "i")
+                  (a "xvel" "i") (a "density" "i");
+                Printf.sprintf "  %s = %s - dt * pgy / (2.0 * %s);" (a "yvel" "i")
+                  (a "yvel" "i") (a "density" "i");
+                "}";
+              ])
+      in
+      let k_pdv =
+        Emit.map_kernel g ~name:"pdv" ~n:nn
+          ~arrays:[ "xvel"; "yvel"; "pressure"; "density"; "energy" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny"); ("double", "dt") ]
+          ~body:
+            (xy_prelude
+            @ [
+                Printf.sprintf "if (%s) {" interior_guard;
+                Printf.sprintf "  const double du = %s - %s;" (a "xvel" "i + 1")
+                  (a "xvel" "i - 1");
+                Printf.sprintf "  const double dv = %s - %s;" (a "yvel" "i + nx")
+                  (a "yvel" "i - nx");
+                "  const double div = 0.5 * (du + dv);";
+                Printf.sprintf "  %s = %s - dt * %s * div / %s;" (a "energy" "i")
+                  (a "energy" "i") (a "pressure" "i") (a "density" "i");
+                Printf.sprintf "  if (%s < 0.01) {" (a "energy" "i");
+                Printf.sprintf "    %s = 0.01;" (a "energy" "i");
+                "  }";
+                "}";
+              ])
+      in
+      let k_flux =
+        (* face flux between cell i and i+1 along x; zero on boundary *)
+        Emit.map_kernel g ~name:"calc_flux" ~n:nn
+          ~arrays:[ "xvel"; "density"; "flux" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny") ]
+          ~body:
+            (xy_prelude
+            @ [
+                Printf.sprintf "%s = 0.0;" (a "flux" "i");
+                "if (x < nx - 1 && y > 0 && y < ny - 1) {";
+                Printf.sprintf "  const double vface = 0.5 * (%s + %s);" (a "xvel" "i")
+                  (a "xvel" "i + 1");
+                "  double upwind = 0.0;";
+                "  if (vface > 0.0) {";
+                Printf.sprintf "    upwind = %s;" (a "density" "i");
+                "  } else {";
+                Printf.sprintf "    upwind = %s;" (a "density" "i + 1");
+                "  }";
+                Printf.sprintf "  %s = vface * upwind;" (a "flux" "i");
+                "}";
+              ])
+      in
+      let k_advec =
+        Emit.map_kernel g ~name:"advec_cell" ~n:nn ~arrays:[ "density"; "flux" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny"); ("double", "dt") ]
+          ~body:
+            (xy_prelude
+            @ [
+                "double inflow = 0.0;";
+                "if (x > 0) {";
+                Printf.sprintf "  inflow = %s;" (a "flux" "i - 1");
+                "}";
+                Printf.sprintf "%s = %s + dt * (inflow - %s);" (a "density" "i")
+                  (a "density" "i") (a "flux" "i");
+              ])
+      in
+      let k_mass =
+        Emit.reduce_kernel g ~name:"summary_mass" ~n:nn ~arrays:[ "density" ] ~scalars:[]
+          ~result:"total_mass" ~expr:(a "density" "i")
+      in
+      let k_ie =
+        Emit.reduce_kernel g ~name:"summary_ie" ~n:nn ~arrays:[ "density"; "energy" ]
+          ~scalars:[] ~result:"total_ie"
+          ~expr:(Printf.sprintf "%s * %s" (a "density" "i") (a "energy" "i"))
+      in
+      let k_ke =
+        Emit.reduce_kernel g ~name:"summary_ke" ~n:nn
+          ~arrays:[ "density"; "xvel"; "yvel" ] ~scalars:[] ~result:"total_ke"
+          ~expr:
+            (Printf.sprintf "0.5 * %s * (%s * %s + %s * %s)" (a "density" "i")
+               (a "xvel" "i") (a "xvel" "i") (a "yvel" "i") (a "yvel" "i"))
+      in
+      let k_press =
+        Emit.reduce_kernel g ~name:"summary_press" ~n:nn ~arrays:[ "pressure" ]
+          ~scalars:[] ~result:"total_press" ~expr:(a "pressure" "i")
+      in
+      (* field_summary lives in its own translation unit, like the real
+         CloverLeaf's per-kernel source files — this exercises the
+         multi-unit match of Eq. (1)/(6) *)
+      let ctx = Emit.ctx_params g in
+      let ctx_decl = List.map (fun (ty, nm) -> ty ^ nm) ctx in
+      let ctx_args = List.map snd ctx in
+      let summary_fn fname result arrays (kernel : string list * string list) =
+        let params =
+          String.concat ", "
+            (ctx_decl @ List.map (Emit.arr_param g) arrays @ [ "int nn" ])
+        in
+        [
+          Printf.sprintf "double %s(%s) {" fname params;
+          Printf.sprintf "  double %s = 0.0;" result;
+        ]
+        @ Emit.indent_block (snd kernel)
+        @ [ Printf.sprintf "  return %s;" result; "}" ]
+      in
+      let summary_proto fname arrays =
+        Printf.sprintf "double %s(%s);" fname
+          (String.concat ", "
+             (ctx_decl @ List.map (Emit.arr_param g) arrays @ [ "int nn" ]))
+      in
+      let summary_call fname result arrays =
+        Printf.sprintf "%s = %s(%s);" result fname
+          (String.concat ", " (ctx_args @ arrays @ [ "nn" ]))
+      in
+      let summaries =
+        [
+          ("compute_total_mass", "total_mass", [ "density" ], k_mass);
+          ("compute_total_ie", "total_ie", [ "density"; "energy" ], k_ie);
+          ("compute_total_ke", "total_ke", [ "density"; "xvel"; "yvel" ], k_ke);
+          ("compute_total_press", "total_press", [ "pressure" ], k_press);
+        ]
+      in
+      let summary_unit =
+        Emit.render_support
+          ~header_comment:
+            (Printf.sprintf "CloverLeaf (%s port): field_summary reductions"
+               (Emit.model_name g))
+          ~tops:(List.concat_map (fun (_, _, _, k) -> fst k) summaries)
+          ~functions:
+            (List.concat_map
+               (fun (fname, result, arrays, k) ->
+                 summary_fn fname result arrays k @ [ "" ])
+               summaries)
+          g
+      in
+      let kernels =
+        [ k_initialise; k_ideal_gas; k_viscosity; k_accelerate; k_pdv; k_flux; k_advec ]
+      in
+      let tops =
+        List.concat_map fst kernels
+        @ List.map (fun (fname, _, arrays, _) -> summary_proto fname arrays) summaries
+      in
+      let fields =
+        [ "density"; "energy"; "pressure"; "soundspeed"; "xvel"; "yvel"; "work"; "flux" ]
+      in
+      let main_body =
+        [
+          Printf.sprintf "const int nx = %d;" nx;
+          Printf.sprintf "const int ny = %d;" ny;
+          "const int nn = nx * ny;";
+          Printf.sprintf "const int end_step = %d;" steps;
+          "const double dt = 0.04;";
+          "double total_mass = 0.0;";
+          "double total_ie = 0.0;";
+          "double total_ke = 0.0;";
+          "double total_press = 0.0;";
+        ]
+        @ List.concat_map (fun f -> Emit.alloc g ~name:f ~n:nn) fields
+        @ snd k_initialise
+        @ [ summary_call "compute_total_mass" "total_mass" [ "density" ];
+            "const double initial_mass = total_mass;" ]
+        @ [ "for (int step = 0; step < end_step; step++) {" ]
+        @ Emit.indent_block
+            (snd k_ideal_gas @ snd k_viscosity @ snd k_accelerate @ snd k_pdv
+            @ snd k_flux @ snd k_advec)
+        @ [ "}" ]
+        @ snd k_ideal_gas
+        @ List.map
+            (fun (fname, result, arrays, _) -> summary_call fname result arrays)
+            summaries
+        @ [
+            "printf(\"step %d complete\\n\", end_step);";
+            "printf(\"mass %f ie %f ke %f pressure %f\\n\", total_mass, total_ie, total_ke, total_press);";
+            "const double mass_drift = fabs(total_mass - initial_mass) / initial_mass;";
+            "if (mass_drift < 1.0e-12 && total_ie > 0.0 && total_ke >= 0.0 && total_press > 0.0) {";
+            "  printf(\"field summary check PASSED\\n\");";
+            "} else {";
+            "  printf(\"field summary check FAILED\\n\");";
+            "  return 1;";
+            "}";
+          ]
+        @ List.concat_map (fun f -> Emit.dealloc g ~name:f ~n:nn) fields
+      in
+      let source =
+        Emit.render
+          ~header_comment:
+            (Printf.sprintf
+               "CloverLeaf (%s port): explicit compressible hydrodynamics on a staggered grid"
+               (Emit.model_name g))
+          ~tops ~main_body g
+      in
+      let summary_file = Printf.sprintf "clover_summary_%s.cpp" model in
+      Some
+        (Emit.wrap ~app:"cloverleaf" g ~source
+           ~main_file:(Printf.sprintf "clover_%s.cpp" model)
+           ~extra:[ (summary_file, summary_unit) ] ())
+
+let all () = List.filter_map (fun m -> codebase ~model:m) Emit.all_ids

@@ -1,0 +1,23 @@
+(** CloverLeaf (C++): explicit compressible-hydrodynamics step.
+
+    Mirrors UoB-HPC/CloverLeaf's structure: a staggered 2D grid, an
+    ideal-gas equation of state, artificial viscosity, pressure-gradient
+    acceleration, PdV energy work, conservative (flux-form) cell
+    advection, and the [field_summary] reductions (mass, internal energy,
+    kinetic energy, pressure). The largest mini-app in the corpus; the
+    paper's BM64-style deck runs 300 iterations — the emitted deck scales
+    that down while keeping every kernel.
+
+    Verification: flux-form advection conserves total mass to roundoff;
+    field summaries must stay positive and finite (the built-in
+    verification of the real mini-app checks field summaries the same
+    way). *)
+
+val codebase : model:string -> Emit.codebase option
+val all : unit -> Emit.codebase list
+
+val grid : int * int
+(** Emitted deck grid. *)
+
+val steps : int
+(** Hydro steps in the emitted deck. *)

@@ -1,0 +1,160 @@
+let nposes = 64
+let natlig = 8
+let natpro = 32
+
+let codebase ~model =
+  match Emit.gen_for model with
+  | None -> None
+  | Some g ->
+      let arr = Emit.arr g in
+      let a = arr in
+      (* deterministic pseudo-positions/charges, same in every port *)
+      let k_init_protein =
+        Emit.map_kernel g ~name:"init_protein" ~n:"natpro"
+          ~arrays:[ "px"; "py"; "pz"; "pq" ] ~scalars:[]
+          ~body:
+            [
+              Printf.sprintf "%s = (double)((i * 37) %% 100) / 25.0 - 2.0;" (a "px" "i");
+              Printf.sprintf "%s = (double)((i * 53) %% 100) / 25.0 - 2.0;" (a "py" "i");
+              Printf.sprintf "%s = (double)((i * 71) %% 100) / 25.0 - 2.0;" (a "pz" "i");
+              Printf.sprintf "%s = (double)((i %% 3) - 1);" (a "pq" "i");
+            ]
+      in
+      let k_init_ligand =
+        Emit.map_kernel g ~name:"init_ligand" ~n:"natlig"
+          ~arrays:[ "lx"; "ly"; "lz"; "lq" ] ~scalars:[]
+          ~body:
+            [
+              Printf.sprintf "%s = (double)((i * 13) %% 40) / 20.0 - 1.0;" (a "lx" "i");
+              Printf.sprintf "%s = (double)((i * 17) %% 40) / 20.0 - 1.0;" (a "ly" "i");
+              Printf.sprintf "%s = (double)((i * 19) %% 40) / 20.0 - 1.0;" (a "lz" "i");
+              Printf.sprintf "%s = (double)((i %% 2) * 2 - 1);" (a "lq" "i");
+            ]
+      in
+      (* the docking energy of one pose, shared between the parallel kernel
+         and the serial reference loop *)
+      let docking_body ~out ~pose =
+        [
+          Printf.sprintf "const double ang = 0.05 * (double)%s;" pose;
+          "const double cs = cos(ang);";
+          "const double sn = sin(ang);";
+          "double etot = 0.0;";
+          "for (int l = 0; l < natlig; l++) {";
+          Printf.sprintf "  const double lxt = cs * %s - sn * %s;" (a "lx" "l") (a "ly" "l");
+          Printf.sprintf "  const double lyt = sn * %s + cs * %s;" (a "lx" "l") (a "ly" "l");
+          Printf.sprintf "  const double lzt = %s + 0.01 * (double)%s;" (a "lz" "l") pose;
+          "  for (int p = 0; p < natpro; p++) {";
+          Printf.sprintf "    const double dx = lxt - %s;" (a "px" "p");
+          Printf.sprintf "    const double dy = lyt - %s;" (a "py" "p");
+          Printf.sprintf "    const double dz = lzt - %s;" (a "pz" "p");
+          "    const double r2 = dx * dx + dy * dy + dz * dz + 0.05;";
+          "    const double r6 = r2 * r2 * r2;";
+          Printf.sprintf
+            "    etot += 1.0 / r6 - 0.5 / r2 + 0.1 * %s * %s / sqrt(r2);"
+            (a "lq" "l") (a "pq" "p");
+          "  }";
+          "}";
+          Printf.sprintf "%s = 0.5 * etot;" out;
+        ]
+      in
+      let k_fasten =
+        Emit.map_kernel g ~name:"fasten_main" ~n:"nposes"
+          ~arrays:[ "px"; "py"; "pz"; "pq"; "lx"; "ly"; "lz"; "lq"; "energies" ]
+          ~scalars:[ ("int", "natlig"); ("int", "natpro") ]
+          ~body:(docking_body ~out:(a "energies" "i") ~pose:"i")
+      in
+      let kernels = [ k_init_protein; k_init_ligand; k_fasten ] in
+      let tops = List.concat_map fst kernels in
+      let rb name = Emit.read_back g ~host:("h_" ^ name) ~dev:name ~n:"nposes" in
+      let staged = rb "energies" <> [] in
+      let vread i =
+        if staged then Printf.sprintf "h_energies[%s]" i else arr "energies" i
+      in
+      let protein = [ "px"; "py"; "pz"; "pq" ] and ligand = [ "lx"; "ly"; "lz"; "lq" ] in
+      let rb_field name =
+        Emit.read_back g ~host:("h_" ^ name) ~dev:name
+          ~n:(if List.mem name protein then "natpro" else "natlig")
+      in
+      (* the serial reference needs host copies of positions too *)
+      let host_a name idx =
+        if staged then Printf.sprintf "h_%s[%s]" name idx else arr name idx
+      in
+      let reference_body =
+        [
+          "double max_diff = 0.0;";
+          "for (int pose = 0; pose < nposes; pose++) {";
+        ]
+        @ Emit.indent_block
+            ((let a = host_a in
+              [
+                "const double ang = 0.05 * (double)pose;";
+                "const double cs = cos(ang);";
+                "const double sn = sin(ang);";
+                "double etot = 0.0;";
+                "for (int l = 0; l < natlig; l++) {";
+                Printf.sprintf "  const double lxt = cs * %s - sn * %s;" (a "lx" "l")
+                  (a "ly" "l");
+                Printf.sprintf "  const double lyt = sn * %s + cs * %s;" (a "lx" "l")
+                  (a "ly" "l");
+                Printf.sprintf "  const double lzt = %s + 0.01 * (double)pose;" (a "lz" "l");
+                "  for (int p = 0; p < natpro; p++) {";
+                Printf.sprintf "    const double dx = lxt - %s;" (a "px" "p");
+                Printf.sprintf "    const double dy = lyt - %s;" (a "py" "p");
+                Printf.sprintf "    const double dz = lzt - %s;" (a "pz" "p");
+                "    const double r2 = dx * dx + dy * dy + dz * dz + 0.05;";
+                "    const double r6 = r2 * r2 * r2;";
+                Printf.sprintf
+                  "    etot += 1.0 / r6 - 0.5 / r2 + 0.1 * %s * %s / sqrt(r2);"
+                  (a "lq" "l") (a "pq" "p");
+                "  }";
+                "}";
+                "const double reference = 0.5 * etot;";
+                Printf.sprintf "const double diff = fabs(%s - reference);" (vread "pose");
+                "if (diff > max_diff) {";
+                "  max_diff = diff;";
+                "}";
+              ]))
+        @ [ "}" ]
+      in
+      let main_body =
+        [
+          Printf.sprintf "const int nposes = %d;" nposes;
+          Printf.sprintf "const int natlig = %d;" natlig;
+          Printf.sprintf "const int natpro = %d;" natpro;
+        ]
+        @ List.concat_map (fun f -> Emit.alloc g ~name:f ~n:"natpro") protein
+        @ List.concat_map (fun f -> Emit.alloc g ~name:f ~n:"natlig") ligand
+        @ Emit.alloc g ~name:"energies" ~n:"nposes"
+        @ snd k_init_protein
+        @ snd k_init_ligand
+        @ snd k_fasten
+        @ (if staged then
+             List.concat_map rb_field (protein @ ligand) @ rb "energies"
+           else [])
+        @ reference_body
+        @ [
+            "printf(\"largest difference was %f\\n\", max_diff);";
+            "if (max_diff < 1.0e-9) {";
+            "  printf(\"Validation PASSED\\n\");";
+            "} else {";
+            "  printf(\"Validation FAILED\\n\");";
+            "  return 1;";
+            "}";
+          ]
+        @ List.concat_map (fun f -> Emit.dealloc g ~name:f ~n:"natpro") protein
+        @ List.concat_map (fun f -> Emit.dealloc g ~name:f ~n:"natlig") ligand
+        @ Emit.dealloc g ~name:"energies" ~n:"nposes"
+      in
+      let source =
+        Emit.render
+          ~header_comment:
+            (Printf.sprintf
+               "miniBUDE (%s port): molecular docking energy evaluation over poses"
+               (Emit.model_name g))
+          ~tops ~main_body g
+      in
+      Some
+        (Emit.wrap ~app:"minibude" g ~source
+           ~main_file:(Printf.sprintf "bude_%s.cpp" model) ())
+
+let all () = List.filter_map (fun m -> codebase ~model:m) Emit.all_ids

@@ -1,0 +1,18 @@
+(** miniBUDE (C++): compute-bound molecular-docking kernel.
+
+    Mirrors UoB-HPC/miniBUDE: one hot kernel ([fasten_main]) that, for
+    every candidate pose, rotates the ligand and accumulates a pairwise
+    ligand–protein interaction energy. Compute-bound with a deep inner
+    loop — the opposite profile to BabelStream, which is why the paper
+    pairs them (Table II).
+
+    Verification: kernel energies are checked against a reference
+    computed by the built-in serial evaluation of the same docking
+    function, mirroring the real mini-app's reference-energies check. *)
+
+val codebase : model:string -> Emit.codebase option
+val all : unit -> Emit.codebase list
+
+val nposes : int
+val natlig : int
+val natpro : int

@@ -1,0 +1,298 @@
+(* Each shim is a MiniC header; corpus sources include them. Function
+   definitions use underscore names (MiniC cannot define qualified names);
+   the inliner maps a call to [ns::f] onto a definition of [ns_f]. *)
+
+let stdio_h =
+  {|#pragma once
+int printf(const char *fmt);
+int fprintf(int stream, const char *fmt);
+|}
+
+let stdlib_h =
+  {|#pragma once
+void *malloc(size_t bytes);
+void free(void *p);
+void exit(int code);
+|}
+
+let math_h =
+  {|#pragma once
+double sqrt(double x);
+double fabs(double x);
+double pow(double x, double y);
+double exp(double x);
+double fmin(double a, double b);
+double fmax(double a, double b);
+|}
+
+let system = [ ("stdio.h", stdio_h); ("stdlib.h", stdlib_h); ("math.h", math_h) ]
+let system_names = List.map fst system
+
+let omp_h =
+  {|#pragma once
+// OpenMP runtime entry points: the model itself lives in the compiler.
+int omp_get_num_threads();
+int omp_get_max_threads();
+int omp_get_thread_num();
+double omp_get_wtime();
+|}
+
+let cuda_h =
+  {|#pragma once
+// CUDA runtime API surface: thin declarations, the dialect is compiled.
+#define cudaMemcpyHostToDevice 1
+#define cudaMemcpyDeviceToHost 2
+#define cudaMemcpyDeviceToDevice 3
+struct dim3 { int x; int y; int z; };
+int cudaMalloc(void **ptr, size_t bytes);
+int cudaMemcpy(void *dst, const void *src, size_t bytes, int kind);
+int cudaMemset(void *ptr, int value, size_t bytes);
+int cudaFree(void *ptr);
+int cudaDeviceSynchronize();
+int cudaGetLastError();
+double atomicAdd(double *address, double value);
+|}
+
+let hip_h =
+  {|#pragma once
+// HIP runtime: same surface as CUDA but with non-trivial inline
+// portability wrappers in the header (the runtime-header mass the
+// divergence metric sees).
+#define hipMemcpyHostToDevice 1
+#define hipMemcpyDeviceToHost 2
+#define hipMemcpyDeviceToDevice 3
+struct dim3 { int x; int y; int z; };
+int hipMalloc(void **ptr, size_t bytes);
+int hipMemcpy(void *dst, const void *src, size_t bytes, int kind);
+int hipMemset(void *ptr, int value, size_t bytes);
+int hipFree(void *ptr);
+int hipDeviceSynchronize();
+int hipGetLastError();
+double atomicAdd(double *address, double value);
+inline int hip_check_status(int status, int line) {
+  if (status != 0) {
+    printf("hip error at line %d\n");
+    exit(status);
+  }
+  return status;
+}
+inline int hip_round_up(int value, int granularity) {
+  int rem = value % granularity;
+  if (rem == 0) {
+    return value;
+  }
+  return value + granularity - rem;
+}
+inline void hip_launch_bounds_guard(int block, int max_threads) {
+  if (block > max_threads) {
+    printf("block size exceeds launch bounds\n");
+    exit(1);
+  }
+}
+#define HIP_CHECK(x) hip_check_status(x, 0)
+|}
+
+let sycl_h =
+  {|#pragma once
+// SYCL: a heavily templated API surface. Much of the semantic mass of a
+// SYCL port lives in these headers (queues, buffers, accessors, ranges,
+// handlers and their default template arguments) even when the user
+// source looks compact.
+struct sycl_device { int id; int is_gpu; int max_compute_units; };
+struct sycl_context { int id; int device_count; };
+struct sycl_event { int id; int status; };
+struct sycl_property_list { int flags; };
+template<typename T>
+T *sycl_malloc_shared(size_t bytes, sycl::queue &q) {
+  void *p = malloc(bytes);
+  return (T *)p;
+}
+template<typename T>
+T *sycl_malloc_device(size_t bytes, sycl::queue &q) {
+  void *p = malloc(bytes);
+  return (T *)p;
+}
+inline void sycl_free(void *p, sycl::queue &q) {
+  free(p);
+}
+template<typename T>
+void sycl_buffer_init(sycl::buffer<T, 1> &buf, size_t count) {
+  size_t i = 0;
+  while (i < count) {
+    i = i + 1;
+  }
+}
+template<typename T>
+T sycl_accessor_load(const T *base, size_t offset, int mode, int target) {
+  return base[offset];
+}
+template<typename T>
+void sycl_accessor_store(T *base, size_t offset, T value, int mode, int target) {
+  base[offset] = value;
+}
+inline int sycl_default_selector(sycl_device d, int prefer_gpu) {
+  int score = 0;
+  if (d.is_gpu == prefer_gpu) {
+    score = score + 100;
+  }
+  score = score + d.max_compute_units;
+  return score;
+}
+inline void sycl_queue_submit_barrier(sycl_event e, int ordered) {
+  if (ordered != 0) {
+    e.status = 1;
+  }
+}
+template<typename T>
+T sycl_reduce_over_group(T *partials, int group_size, T init) {
+  T acc = init;
+  for (int i = 0; i < group_size; i++) {
+    acc = acc + partials[i];
+  }
+  return acc;
+}
+template<typename T>
+void sycl_group_broadcast(T *slots, int group_size, T value) {
+  for (int i = 0; i < group_size; i++) {
+    slots[i] = value;
+  }
+}
+inline size_t sycl_range_linearize(size_t r0, size_t r1, size_t r2) {
+  return r0 * r1 * r2;
+}
+inline size_t sycl_nd_item_global_id(size_t group, size_t local_size, size_t local_id) {
+  return group * local_size + local_id;
+}
+|}
+
+let kokkos_h =
+  {|#pragma once
+// Kokkos: an opinionated library abstraction; the header carries the
+// dispatch and view machinery a port links against.
+#define KOKKOS_LAMBDA [=]
+struct kokkos_exec_space { int concurrency; int device_id; };
+inline void Kokkos_initialize() {
+  int ready = 1;
+  if (ready == 0) {
+    exit(1);
+  }
+}
+inline void Kokkos_finalize() {
+  int live_views = 0;
+  if (live_views != 0) {
+    printf("leaked views\n");
+  }
+}
+template<typename F>
+void Kokkos_parallel_for(const char *label, int range, F functor) {
+  for (int i = 0; i < range; i++) {
+    functor(i);
+  }
+}
+template<typename F, typename T>
+void Kokkos_parallel_reduce(const char *label, int range, F functor, T *result) {
+  T acc = 0;
+  for (int i = 0; i < range; i++) {
+    functor(i, acc);
+  }
+  result[0] = acc;
+}
+template<typename T>
+void Kokkos_deep_copy(T *dst, const T *src, int count) {
+  for (int i = 0; i < count; i++) {
+    dst[i] = src[i];
+  }
+}
+inline void Kokkos_fence() {
+  int pending = 0;
+  while (pending > 0) {
+    pending = pending - 1;
+  }
+}
+|}
+
+let tbb_h =
+  {|#pragma once
+// TBB: STL-inspired blocked ranges plus task-splitting dispatch.
+struct tbb_range_tag { int grainsize; };
+template<typename F>
+void tbb_parallel_for(tbb::blocked_range<int> r, F functor) {
+  functor(r);
+}
+template<typename F, typename J, typename T>
+T tbb_parallel_reduce(tbb::blocked_range<int> r, T init, F body, J join) {
+  T partial = body(r, init);
+  return join(partial, init);
+}
+inline int tbb_split_range(int begin, int end, int grainsize) {
+  int mid = begin + (end - begin) / 2;
+  if (end - begin <= grainsize) {
+    mid = end;
+  }
+  return mid;
+}
+|}
+
+let stdpar_h =
+  {|#pragma once
+// StdPar (ISO C++ parallel algorithms): counting iterators plus the
+// algorithm skeletons the offloading backend specialises.
+inline int counting_iterator(int value) {
+  return value;
+}
+template<typename F>
+void std_for_each(int policy, int first, int last, F functor) {
+  for (int i = first; i < last; i++) {
+    functor(i);
+  }
+}
+template<typename R, typename T, typename Tr>
+T std_transform_reduce(int policy, int first, int last, T init, R reduce, Tr transform) {
+  T acc = init;
+  for (int i = first; i < last; i++) {
+    acc = reduce(acc, transform(i));
+  }
+  return acc;
+}
+|}
+
+let raja_h =
+  {|#pragma once
+// RAJA: execution-policy templates over loop abstractions; like Kokkos,
+// an opinionated library layer whose dispatch lives in headers.
+struct raja_exec_policy { int async; int chunk; };
+template<typename F>
+void RAJA_forall(RAJA::RangeSegment seg, F functor) {
+  for (int i = seg.begin(); i < seg.end(); i++) {
+    functor(i);
+  }
+}
+inline int raja_policy_select(int device, int openmp) {
+  int policy = 0;
+  if (device != 0) {
+    policy = 2;
+  } else {
+    if (openmp != 0) {
+      policy = 1;
+    }
+  }
+  return policy;
+}
+template<typename T>
+T raja_reduce_combine(T a, T b) {
+  return a + b;
+}
+|}
+
+let for_model id =
+  match id with
+  | "serial" -> []
+  | "omp" | "omp-target" -> [ ("omp.h", omp_h) ]
+  | "cuda" -> [ ("cuda.h", cuda_h) ]
+  | "hip" -> [ ("hip.h", hip_h) ]
+  | "sycl-usm" | "sycl-acc" -> [ ("sycl.h", sycl_h) ]
+  | "kokkos" -> [ ("kokkos.h", kokkos_h) ]
+  | "tbb" -> [ ("tbb.h", tbb_h) ]
+  | "stdpar" -> [ ("stdpar.h", stdpar_h) ]
+  | "raja" -> [ ("raja.h", raja_h) ]
+  | _ -> []

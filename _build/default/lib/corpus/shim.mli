@@ -1,0 +1,25 @@
+(** Runtime shim headers for the MiniC programming models.
+
+    Real ports pull model headers into every translation unit; the unit
+    construction of Eq. (1) then attributes their semantic mass to the
+    port. These shims play that role: each is a small MiniC header
+    modelled on the corresponding runtime's API surface — SYCL's heavily
+    templated and comparatively large (the effect §V-C measures), HIP's
+    carrying non-trivial inline wrappers, CUDA/OpenMP's nearly empty
+    (their semantics live in the compiler), Kokkos/TBB/StdPar in
+    between.
+
+    [system] headers (stdio/stdlib/math) model libc: they resolve during
+    preprocessing but are masked out of the trees, the way SilverVale
+    masks system headers (§III-C). *)
+
+val system : (string * string) list
+(** [(name, content)] for ["stdio.h"], ["stdlib.h"], ["math.h"]. *)
+
+val system_names : string list
+(** Names of the system headers, for masking. *)
+
+val for_model : string -> (string * string) list
+(** [for_model id] is the shim header set a model's sources include
+    (empty for ["serial"]; ["omp"] gets ["omp.h"], ["sycl-usm"] gets
+    ["sycl.h"], ...). Unknown ids get no shims. *)

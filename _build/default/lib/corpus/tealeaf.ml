@@ -1,0 +1,149 @@
+let grid = (32, 32)
+let iterations = 8
+
+let codebase ~model =
+  match Emit.gen_for model with
+  | None -> None
+  | Some g ->
+      let arr = Emit.arr g in
+      let nx, ny = grid in
+      let nn = "nn" in
+      let a = arr in
+      (* The implicit diffusion operator: identity on the halo so the
+         matrix stays SPD over the whole flattened domain. *)
+      let apply_op ~dst ~src =
+        [
+          "const int x = i % nx;";
+          "const int y = i / nx;";
+          "if (x > 0 && x < nx - 1 && y > 0 && y < ny - 1) {";
+          Printf.sprintf
+            "  %s = (1.0 + 2.0 * rx + 2.0 * ry) * %s - rx * (%s + %s) - ry * (%s + %s);"
+            (a dst "i") (a src "i") (a src "i + 1") (a src "i - 1") (a src "i + nx")
+            (a src "i - nx");
+          "} else {";
+          Printf.sprintf "  %s = %s;" (a dst "i") (a src "i");
+          "}";
+        ]
+      in
+      let stencil_scalars =
+        [ ("int", "nx"); ("int", "ny"); ("double", "rx"); ("double", "ry") ]
+      in
+      let k_init =
+        (* hot square in the corner of the domain, like a TeaLeaf state *)
+        Emit.map_kernel g ~name:"set_initial_state" ~n:nn ~arrays:[ "u0"; "u" ]
+          ~scalars:[ ("int", "nx"); ("int", "ny") ]
+          ~body:
+            [
+              "const int x = i % nx;";
+              "const int y = i / nx;";
+              "double value = 0.1;";
+              "if (x > nx / 4 && x < nx / 2 && y > ny / 4 && y < ny / 2) {";
+              "  value = 10.0;";
+              "}";
+              Printf.sprintf "%s = value;" (a "u0" "i");
+              Printf.sprintf "%s = value;" (a "u" "i");
+            ]
+      in
+      let k_residual =
+        (* r = u0 - A u *)
+        Emit.map_kernel g ~name:"cg_init_residual" ~n:nn ~arrays:[ "r"; "u"; "u0" ]
+          ~scalars:stencil_scalars
+          ~body:
+            (apply_op ~dst:"r" ~src:"u"
+            @ [ Printf.sprintf "%s = %s - %s;" (a "r" "i") (a "u0" "i") (a "r" "i") ])
+      in
+      let k_copy_p =
+        Emit.map_kernel g ~name:"cg_init_p" ~n:nn ~arrays:[ "p"; "r" ] ~scalars:[]
+          ~body:[ Printf.sprintf "%s = %s;" (a "p" "i") (a "r" "i") ]
+      in
+      let k_w =
+        Emit.map_kernel g ~name:"cg_calc_w" ~n:nn ~arrays:[ "w"; "p" ]
+          ~scalars:stencil_scalars ~body:(apply_op ~dst:"w" ~src:"p")
+      in
+      let k_rro =
+        Emit.reduce_kernel g ~name:"cg_rro" ~n:nn ~arrays:[ "r" ] ~scalars:[]
+          ~result:"rro"
+          ~expr:(Printf.sprintf "%s * %s" (a "r" "i") (a "r" "i"))
+      in
+      let k_pw =
+        Emit.reduce_kernel g ~name:"cg_pw" ~n:nn ~arrays:[ "p"; "w" ] ~scalars:[]
+          ~result:"pw"
+          ~expr:(Printf.sprintf "%s * %s" (a "p" "i") (a "w" "i"))
+      in
+      let k_ur =
+        Emit.map_kernel g ~name:"cg_calc_ur" ~n:nn ~arrays:[ "u"; "r"; "p"; "w" ]
+          ~scalars:[ ("double", "alpha") ]
+          ~body:
+            [
+              Printf.sprintf "%s = %s + alpha * %s;" (a "u" "i") (a "u" "i") (a "p" "i");
+              Printf.sprintf "%s = %s - alpha * %s;" (a "r" "i") (a "r" "i") (a "w" "i");
+            ]
+      in
+      let k_rrn =
+        Emit.reduce_kernel g ~name:"cg_rrn" ~n:nn ~arrays:[ "r" ] ~scalars:[]
+          ~result:"rrn"
+          ~expr:(Printf.sprintf "%s * %s" (a "r" "i") (a "r" "i"))
+      in
+      let k_p =
+        Emit.map_kernel g ~name:"cg_calc_p" ~n:nn ~arrays:[ "p"; "r" ]
+          ~scalars:[ ("double", "beta") ]
+          ~body:
+            [ Printf.sprintf "%s = %s + beta * %s;" (a "p" "i") (a "r" "i") (a "p" "i") ]
+      in
+      let kernels =
+        [ k_init; k_residual; k_copy_p; k_w; k_rro; k_pw; k_ur; k_rrn; k_p ]
+      in
+      let tops = List.concat_map fst kernels in
+      let fields = [ "u"; "u0"; "r"; "p"; "w" ] in
+      let main_body =
+        [
+          Printf.sprintf "const int nx = %d;" nx;
+          Printf.sprintf "const int ny = %d;" ny;
+          "const int nn = nx * ny;";
+          Printf.sprintf "const int max_iters = %d;" iterations;
+          "const double rx = 0.1;";
+          "const double ry = 0.1;";
+          "double rro = 0.0;";
+          "double pw = 0.0;";
+          "double rrn = 0.0;";
+        ]
+        @ List.concat_map (fun f -> Emit.alloc g ~name:f ~n:nn) fields
+        @ snd k_init
+        @ snd k_residual
+        @ snd k_copy_p
+        @ snd k_rro
+        @ [ "const double initial_rr = rro;" ]
+        @ [ "for (int iter = 0; iter < max_iters; iter++) {" ]
+        @ Emit.indent_block
+            (snd k_w @ snd k_pw
+            @ [ "const double alpha = rro / pw;" ]
+            @ snd k_ur @ snd k_rrn
+            @ [ "const double beta = rrn / rro;" ]
+            @ snd k_p
+            @ [ "rro = rrn;" ])
+        @ [ "}" ]
+        @ [
+            "printf(\"initial residual %f\\n\", initial_rr);";
+            "printf(\"final residual %f\\n\", rrn);";
+            "if (rrn >= 0.0 && rrn < initial_rr / 100.0) {";
+            "  printf(\"Verification PASSED\\n\");";
+            "} else {";
+            "  printf(\"Verification FAILED\\n\");";
+            "  return 1;";
+            "}";
+          ]
+        @ List.concat_map (fun f -> Emit.dealloc g ~name:f ~n:nn) fields
+      in
+      let source =
+        Emit.render
+          ~header_comment:
+            (Printf.sprintf
+               "TeaLeaf (%s port): implicit heat diffusion solved with Conjugate Gradient"
+               (Emit.model_name g))
+          ~tops ~main_body g
+      in
+      Some
+        (Emit.wrap ~app:"tealeaf" g ~source
+           ~main_file:(Printf.sprintf "tea_%s.cpp" model) ())
+
+let all () = List.filter_map (fun m -> codebase ~model:m) Emit.all_ids

@@ -1,0 +1,24 @@
+(** TeaLeaf (C++): implicit heat-equation solve with Conjugate Gradient.
+
+    Mirrors UoB-HPC/TeaLeaf's CG solver: a 5-point implicit diffusion
+    stencil on a 2D structured grid, solved with textbook CG (w = Ap,
+    pw/rro/rrn reductions, axpy updates). The paper selects TeaLeaf for
+    clustering because its shared-vs-model-specific code ratio is balanced
+    (§V-A); the emitted ports preserve that property — kernels carry the
+    algorithm, the gen layer carries each model's scaffolding.
+
+    Verification: the CG residual must drop by at least two orders of
+    magnitude over the deck's iterations and stay non-negative (the BM5
+    verification spirit). *)
+
+val codebase : model:string -> Emit.codebase option
+(** Emit the port for a model id. *)
+
+val all : unit -> Emit.codebase list
+(** All ten ports. *)
+
+val grid : int * int
+(** The emitted deck's grid (nx, ny). *)
+
+val iterations : int
+(** CG iterations in the emitted deck. *)

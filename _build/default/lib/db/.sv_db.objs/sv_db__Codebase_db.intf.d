@@ -1,0 +1,1 @@
+lib/db/codebase_db.mli: Result Sv_msgpack Sv_tree

@@ -1,0 +1,1 @@
+lib/db/compdb.ml: List Result String Sv_jsonx

@@ -1,0 +1,41 @@
+(** The Codebase DB — SilverVale's portable analysis artifact (§IV).
+
+    The index step turns a compiled codebase into "a portable set of
+    semantic-bearing trees and metadata files all stored in a Zstd
+    compressed MessagePack format". This module is that store: trees plus
+    per-unit metadata, serialised to MessagePack ({!Sv_msgpack}) and
+    compressed with the LZ77 codec ({!Sv_svz}, the Zstd stand-in). *)
+
+type unit_record = {
+  ur_file : string;                     (** unit main file *)
+  ur_deps : string list;                (** headers spliced into the unit *)
+  ur_sloc : int;
+  ur_lloc : int;
+  ur_lines : string list;               (** normalised source lines *)
+  ur_trees : (string * Sv_tree.Label.tree) list;
+      (** named trees: ["t_src"], ["t_src_pp"], ["t_sem"], ["t_sem_i"],
+          ["t_ir"], and their ["+cov"] variants when coverage ran *)
+}
+
+type t = {
+  db_app : string;    (** application name, e.g. ["tealeaf"] *)
+  db_model : string;  (** programming model id *)
+  db_units : unit_record list;
+}
+
+val save : t -> string
+(** [save db] is the compressed binary artifact. *)
+
+val load : string -> (t, string) Result.t
+(** [load bytes] decodes an artifact produced by {!save}; reports
+    corruption and schema mismatches as [Error]. *)
+
+val tree_to_msgpack : Sv_tree.Label.tree -> Sv_msgpack.Msgpack.t
+(** Tree codec, exposed for tests: node → [\[kind; text; loc; children\]]. *)
+
+val tree_of_msgpack : Sv_msgpack.Msgpack.t -> (Sv_tree.Label.tree, string) Result.t
+(** Inverse of {!tree_to_msgpack}. *)
+
+val stats : t -> string
+(** One-line summary: unit count, total tree nodes, compressed and
+    uncompressed artifact sizes and ratio. *)

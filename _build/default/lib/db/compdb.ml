@@ -1,0 +1,88 @@
+module J = Sv_jsonx.Jsonx
+
+type entry = { directory : string; file : string; arguments : string list }
+
+let entry_of_json j =
+  let str k =
+    match J.member k j with
+    | Some (J.String s) -> Some s
+    | _ -> None
+  in
+  match (str "directory", str "file") with
+  | Some directory, Some file -> (
+      match J.member "arguments" j with
+      | Some (J.List args) ->
+          let arguments =
+            List.filter_map (function J.String s -> Some s | _ -> None) args
+          in
+          Ok { directory; file; arguments }
+      | _ -> (
+          match str "command" with
+          | Some cmd ->
+              Ok
+                {
+                  directory;
+                  file;
+                  arguments =
+                    List.filter (fun s -> s <> "") (String.split_on_char ' ' cmd);
+                }
+          | None -> Error "entry lacks both \"arguments\" and \"command\""))
+  | _ -> Error "entry lacks \"directory\" or \"file\""
+
+let parse text =
+  match J.of_string text with
+  | exception J.Parse_error msg -> Error msg
+  | J.List entries ->
+      List.fold_left
+        (fun acc e ->
+          match (acc, entry_of_json e) with
+          | Ok es, Ok e -> Ok (e :: es)
+          | Error m, _ -> Error m
+          | _, Error m -> Error m)
+        (Ok []) entries
+      |> Result.map List.rev
+  | _ -> Error "compilation DB must be a JSON array"
+
+let to_json_string entries =
+  J.to_string ~indent:2
+    (J.List
+       (List.map
+          (fun e ->
+            J.Obj
+              [
+                ("directory", J.String e.directory);
+                ("file", J.String e.file);
+                ("arguments", J.List (List.map (fun a -> J.String a) e.arguments));
+              ])
+          entries))
+
+let defines e =
+  List.filter_map
+    (fun a ->
+      if String.length a > 2 && String.sub a 0 2 = "-D" then
+        let rest = String.sub a 2 (String.length a - 2) in
+        match String.index_opt rest '=' with
+        | Some i ->
+            Some (String.sub rest 0 i, String.sub rest (i + 1) (String.length rest - i - 1))
+        | None -> Some (rest, "1")
+      else None)
+    e.arguments
+
+let include_dirs e =
+  let rec go = function
+    | [] -> []
+    | "-I" :: dir :: rest -> dir :: go rest
+    | a :: rest when String.length a > 2 && String.sub a 0 2 = "-I" ->
+        String.sub a 2 (String.length a - 2) :: go rest
+    | _ :: rest -> go rest
+  in
+  go e.arguments
+
+let language e =
+  match String.rindex_opt e.file '.' with
+  | None -> `Unknown
+  | Some i -> (
+      match String.lowercase_ascii (String.sub e.file i (String.length e.file - i)) with
+      | ".c" | ".cc" | ".cpp" | ".cxx" | ".cu" -> `C
+      | ".f" | ".f90" | ".f95" -> `Fortran
+      | _ -> `Unknown)

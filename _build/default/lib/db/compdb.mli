@@ -1,0 +1,32 @@
+(** Compilation Databases (§IV).
+
+    SilverVale ingests the [compile_commands.json] file build tools emit:
+    one entry per compiler invocation, recording the working directory,
+    the source file and the full argument vector. This module parses and
+    emits that format and extracts the information the indexer needs
+    ([-D] macro definitions, [-I] include paths, the language implied by
+    the file suffix). *)
+
+type entry = {
+  directory : string;
+  file : string;
+  arguments : string list;  (** argv, compiler executable first *)
+}
+
+val parse : string -> (entry list, string) Result.t
+(** [parse json_text] reads a whole compilation DB. Entries using the
+    single-string ["command"] field are word-split (no quote handling —
+    the corpus emitter always uses ["arguments"]). *)
+
+val to_json_string : entry list -> string
+(** Pretty-printed compile_commands.json content for the given entries. *)
+
+val defines : entry -> (string * string) list
+(** [-DNAME] and [-DNAME=VALUE] arguments, in order. *)
+
+val include_dirs : entry -> string list
+(** [-Idir] and [-I dir] arguments, in order. *)
+
+val language : entry -> [ `C | `Fortran | `Unknown ]
+(** Guessed from the file suffix: [.c .cc .cpp .cu .cxx] → [`C];
+    [.f .f90 .f95 .F90] → [`Fortran]. *)

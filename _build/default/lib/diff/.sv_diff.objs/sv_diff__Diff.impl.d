@@ -1,0 +1,1 @@
+lib/diff/diff.ml: Array Fun

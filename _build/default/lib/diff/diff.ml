@@ -1,0 +1,97 @@
+(* Wu–Manber–Myers–Miller O(NP) sequence comparison ("An O(NP) Sequence
+   Comparison Algorithm", IPL 1990). Convention: [short] has length n,
+   [long] has length m >= n; diagonal k = y - x where y indexes [long] and
+   x indexes [short]; [fp.(k)] is the furthest y reached on diagonal k.
+   The distance is delta + 2p where delta = m - n and p is the number of
+   iterations of the outer loop. *)
+let edit_distance ~eq a b =
+  let a, b = if Array.length a <= Array.length b then (a, b) else (b, a) in
+  let n = Array.length a and m = Array.length b in
+  if n = 0 then m
+  else begin
+    let delta = m - n in
+    let offset = n + 1 in
+    let fp = Array.make (n + m + 3) (-1) in
+    let snake k y =
+      let x = ref (y - k) and y = ref y in
+      while !x < n && !y < m && eq a.(!x) b.(!y) do
+        incr x;
+        incr y
+      done;
+      !y
+    in
+    let p = ref (-1) in
+    let finished () = fp.(delta + offset) = m in
+    while not (finished ()) do
+      incr p;
+      for k = - !p to delta - 1 do
+        fp.(k + offset) <- snake k (max (fp.(k - 1 + offset) + 1) fp.(k + 1 + offset))
+      done;
+      for k = delta + !p downto delta + 1 do
+        fp.(k + offset) <- snake k (max (fp.(k - 1 + offset) + 1) fp.(k + 1 + offset))
+      done;
+      fp.(delta + offset) <-
+        snake delta (max (fp.(delta - 1 + offset) + 1) fp.(delta + 1 + offset))
+    done;
+    delta + (2 * !p)
+  end
+
+let edit_distance_dp ~eq a b =
+  let n = Array.length a and m = Array.length b in
+  let prev = Array.init (m + 1) Fun.id in
+  let cur = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    cur.(0) <- i;
+    for j = 1 to m do
+      cur.(j) <-
+        (if eq a.(i - 1) b.(j - 1) then prev.(j - 1)
+         else 1 + min prev.(j) cur.(j - 1))
+    done;
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+let lcs_length ~eq a b =
+  (Array.length a + Array.length b - edit_distance ~eq a b) / 2
+
+let levenshtein ~eq a b =
+  let n = Array.length a and m = Array.length b in
+  let prev = Array.init (m + 1) Fun.id in
+  let cur = Array.make (m + 1) 0 in
+  for i = 1 to n do
+    cur.(0) <- i;
+    for j = 1 to m do
+      let sub = prev.(j - 1) + if eq a.(i - 1) b.(j - 1) then 0 else 1 in
+      cur.(j) <- min sub (1 + min prev.(j) cur.(j - 1))
+    done;
+    Array.blit cur 0 prev 0 (m + 1)
+  done;
+  prev.(m)
+
+type 'a op = Keep of 'a | Delete of 'a | Insert of 'a
+
+let script ~eq a b =
+  let n = Array.length a and m = Array.length b in
+  let d = Array.make_matrix (n + 1) (m + 1) 0 in
+  for i = 0 to n do
+    d.(i).(0) <- i
+  done;
+  for j = 0 to m do
+    d.(0).(j) <- j
+  done;
+  for i = 1 to n do
+    for j = 1 to m do
+      d.(i).(j) <-
+        (if eq a.(i - 1) b.(j - 1) then d.(i - 1).(j - 1)
+         else 1 + min d.(i - 1).(j) d.(i).(j - 1))
+    done
+  done;
+  let rec back i j acc =
+    if i = 0 && j = 0 then acc
+    else if i > 0 && j > 0 && eq a.(i - 1) b.(j - 1) && d.(i).(j) = d.(i - 1).(j - 1)
+    then back (i - 1) (j - 1) (Keep a.(i - 1) :: acc)
+    else if i > 0 && d.(i).(j) = d.(i - 1).(j) + 1 then
+      back (i - 1) j (Delete a.(i - 1) :: acc)
+    else back i (j - 1) (Insert b.(j - 1) :: acc)
+  in
+  back n m []

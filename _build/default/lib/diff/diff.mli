@@ -1,0 +1,37 @@
+(** Sequence comparison.
+
+    The paper's [Source] metric (Eq. 4) compares normalised source lines of
+    matched unit pairs with the O(NP) sequence-comparison algorithm of Wu,
+    Manber, Myers & Miller — the algorithm behind the Linux [diff] utility
+    and the dtl library SilverVale integrates. We implement it directly,
+    with the quadratic dynamic programs kept as test oracles. *)
+
+val edit_distance : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** [edit_distance ~eq a b] is the minimal number of insertions plus
+    deletions turning [a] into [b] (no substitutions — the diff model).
+    Computed with the Wu et al. O(NP) algorithm: O((min n m)·D) expected
+    time, where D is the resulting distance. *)
+
+val edit_distance_dp : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** Quadratic dynamic-programming version of {!edit_distance}; the
+    property-test oracle. *)
+
+val lcs_length : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** [lcs_length ~eq a b] is the length of the longest common subsequence;
+    derived from {!edit_distance} via [lcs = (|a| + |b| - d) / 2]. *)
+
+val levenshtein : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> int
+(** [levenshtein ~eq a b] allows substitutions at cost 1 as well; mentioned
+    in §III as an alternative string-style measure. O(n·m) time, O(min)
+    space. *)
+
+type 'a op =
+  | Keep of 'a      (** element common to both sequences *)
+  | Delete of 'a    (** element only in the first sequence *)
+  | Insert of 'a    (** element only in the second sequence *)
+
+val script : eq:('a -> 'a -> bool) -> 'a array -> 'a array -> 'a op list
+(** [script ~eq a b] is a minimal edit script (diff hunks flattened);
+    the number of [Delete]s plus [Insert]s equals [edit_distance a b].
+    Computed by the quadratic DP with traceback, so intended for
+    modest inputs (unit tests, reports). *)

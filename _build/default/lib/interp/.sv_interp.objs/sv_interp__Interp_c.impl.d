@@ -1,0 +1,1 @@
+lib/interp/interp_c.ml: Array Buffer Char Float Format Hashtbl List Printf Result Stdlib String Sv_lang_c Sv_util

@@ -1,0 +1,1 @@
+lib/interp/interp_c.mli: Format Hashtbl Result Sv_lang_c Sv_util

@@ -1,0 +1,1 @@
+lib/interp/interp_f.ml: Array Buffer Float Hashtbl List Printf Result Stdlib String Sv_lang_f Sv_util

@@ -1,0 +1,1 @@
+lib/interp/interp_f.mli: Result Sv_lang_f Sv_util

@@ -1,0 +1,1000 @@
+module Loc = Sv_util.Loc
+module Coverage = Sv_util.Coverage
+open Sv_lang_c.Ast
+
+type value =
+  | VUnit
+  | VInt of int
+  | VFloat of float
+  | VBool of bool
+  | VStr of string
+  | VArrF of float array
+  | VArrI of int array
+  | VRef of value ref
+  | VFun of func
+  | VClosure of closure
+  | VObj of string * (string, value) Hashtbl.t
+
+and closure = { c_params : param list; c_body : stmt list; c_env : scope list }
+and scope = (string, value ref) Hashtbl.t
+
+exception Runtime_error of string * Loc.t
+
+(* Internal control flow. *)
+exception Return_exc of value
+exception Break_exc
+exception Continue_exc
+
+type state = {
+  funcs : (string, func) Hashtbl.t;
+  records : (string, record) Hashtbl.t;
+  globals : scope;
+  cov : Coverage.t;
+  out : Buffer.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+type outcome = {
+  result : (value, string) Result.t;
+  coverage : Coverage.t;
+  output : string;
+  steps : int;
+}
+
+let err loc fmt = Printf.ksprintf (fun m -> raise (Runtime_error (m, loc))) fmt
+
+let value_to_float = function
+  | VInt n -> Some (float_of_int n)
+  | VFloat f -> Some f
+  | VBool b -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+let rec pp_value fmt = function
+  | VUnit -> Format.pp_print_string fmt "()"
+  | VInt n -> Format.pp_print_int fmt n
+  | VFloat f -> Format.fprintf fmt "%g" f
+  | VBool b -> Format.pp_print_bool fmt b
+  | VStr s -> Format.fprintf fmt "%S" s
+  | VArrF a -> Format.fprintf fmt "<f64[%d]>" (Array.length a)
+  | VArrI a -> Format.fprintf fmt "<i32[%d]>" (Array.length a)
+  | VRef r -> Format.fprintf fmt "&%a" pp_value !r
+  | VFun f -> Format.fprintf fmt "<fun %s>" f.f_name
+  | VClosure _ -> Format.pp_print_string fmt "<lambda>"
+  | VObj (tag, _) -> Format.fprintf fmt "<%s>" tag
+
+(* --- numeric helpers -------------------------------------------------- *)
+
+let to_float loc v =
+  match value_to_float v with
+  | Some f -> f
+  | None -> err loc "expected a number, got %s" (Format.asprintf "%a" pp_value v)
+
+let to_int loc v =
+  match v with
+  | VInt n -> n
+  | VFloat f -> int_of_float f
+  | VBool b -> if b then 1 else 0
+  | _ -> err loc "expected an integer, got %s" (Format.asprintf "%a" pp_value v)
+
+let to_bool loc v =
+  match v with
+  | VBool b -> b
+  | VInt n -> n <> 0
+  | VFloat f -> f <> 0.0
+  | _ -> err loc "expected a boolean"
+
+let is_float_v = function VFloat _ -> true | _ -> false
+
+(* --- environments ----------------------------------------------------- *)
+
+let lookup st (env : scope list) name : value ref option =
+  let rec go = function
+    | [] -> Hashtbl.find_opt st.globals name
+    | sc :: rest -> (
+        match Hashtbl.find_opt sc name with Some r -> Some r | None -> go rest)
+  in
+  go env
+
+let bind (env : scope list) name v =
+  match env with
+  | sc :: _ -> Hashtbl.replace sc name (ref v)
+  | [] -> invalid_arg "bind: empty environment"
+
+let bind_ref (env : scope list) name r =
+  match env with
+  | sc :: _ -> Hashtbl.replace sc name r
+  | [] -> invalid_arg "bind_ref: empty environment"
+
+let obj tag fields =
+  let tbl = Hashtbl.create 8 in
+  List.iter (fun (k, v) -> Hashtbl.replace tbl k v) fields;
+  VObj (tag, tbl)
+
+(* --- arithmetic -------------------------------------------------------- *)
+
+let arith loc op a b =
+  match op with
+  (* RAJA-style reducer objects absorb += : operator+= on ReduceSum *)
+  | Add when (match a with VObj (_, f) -> Hashtbl.mem f "acc" | _ -> false) -> (
+      match a with
+      | VObj (_, fields) ->
+          let cur = to_float loc (Hashtbl.find fields "acc") in
+          Hashtbl.replace fields "acc" (VFloat (cur +. to_float loc b));
+          a
+      | _ -> assert false)
+  | LAnd -> VBool (to_bool loc a && to_bool loc b)
+  | LOr -> VBool (to_bool loc a || to_bool loc b)
+  | Eq | Ne | Lt | Gt | Le | Ge ->
+      let fa = to_float loc a and fb = to_float loc b in
+      let r =
+        match op with
+        | Eq -> fa = fb
+        | Ne -> fa <> fb
+        | Lt -> fa < fb
+        | Gt -> fa > fb
+        | Le -> fa <= fb
+        | Ge -> fa >= fb
+        | _ -> assert false
+      in
+      VBool r
+  | Add | Sub | Mul | Div | Mod | BitAnd | BitOr | BitXor | Shl | Shr ->
+      if is_float_v a || is_float_v b then begin
+        let fa = to_float loc a and fb = to_float loc b in
+        match op with
+        | Add -> VFloat (fa +. fb)
+        | Sub -> VFloat (fa -. fb)
+        | Mul -> VFloat (fa *. fb)
+        | Div -> VFloat (fa /. fb)
+        | Mod -> VFloat (Float.rem fa fb)
+        | _ -> err loc "bitwise operator on float"
+      end
+      else begin
+        let ia = to_int loc a and ib = to_int loc b in
+        match op with
+        | Add -> VInt (ia + ib)
+        | Sub -> VInt (ia - ib)
+        | Mul -> VInt (ia * ib)
+        | Div -> if ib = 0 then err loc "integer division by zero" else VInt (ia / ib)
+        | Mod -> if ib = 0 then err loc "integer modulo by zero" else VInt (ia mod ib)
+        | BitAnd -> VInt (ia land ib)
+        | BitOr -> VInt (ia lor ib)
+        | BitXor -> VInt (ia lxor ib)
+        | Shl -> VInt (ia lsl ib)
+        | Shr -> VInt (ia asr ib)
+        | _ -> assert false
+      end
+
+(* --- default values ---------------------------------------------------- *)
+
+let rec default_value st ty loc =
+  match ty with
+  | TVoid -> VUnit
+  | TBool -> VBool false
+  | TChar | TInt | TLong | TSizeT -> VInt 0
+  | TFloat | TDouble | TAuto -> VFloat 0.0
+  | TPtr _ | TRef _ -> VUnit
+  | TConst t -> default_value st t loc
+  | TArr (elem, Some n) -> (
+      match elem with
+      | TInt | TLong | TSizeT | TConst TInt -> VArrI (Array.make n 0)
+      | _ -> VArrF (Array.make n 0.0))
+  | TArr (_, None) -> VUnit
+  | TNamed (name, _) -> (
+      match Hashtbl.find_opt st.records name with
+      | Some r ->
+          obj name (List.map (fun (fty, fname) -> (fname, default_value st fty loc)) r.r_fields)
+      | None -> VUnit)
+
+let elem_count loc ty bytes =
+  (* translate a byte count from [n * sizeof(T)] into an element count *)
+  let sz = match ty with TInt | TConst TInt -> 4 | TFloat -> 4 | _ -> 8 in
+  let b = to_int loc bytes in
+  if b mod sz <> 0 then err loc "byte count %d not divisible by %d" b sz else b / sz
+
+(* Find the sizeof type mentioned in an allocation-size expression, to
+   decide between int and float storage. *)
+let rec sizeof_type_of (e : expr) =
+  match e.e with
+  | SizeofT ty -> Some ty
+  | Binary (_, a, b) -> (
+      match sizeof_type_of a with Some t -> Some t | None -> sizeof_type_of b)
+  | Cast (_, a) -> sizeof_type_of a
+  | _ -> None
+
+let alloc_array loc ty_opt bytes =
+  match ty_opt with
+  | Some (TInt | TConst TInt) -> VArrI (Array.make (elem_count loc TInt bytes) 0)
+  | Some (TFloat | TConst TFloat) -> VArrF (Array.make (elem_count loc TFloat bytes) 0.0)
+  | _ -> VArrF (Array.make (elem_count loc TDouble bytes) 0.0)
+
+(* --- interpreter core --------------------------------------------------- *)
+
+let record_line (st : state) (loc : Loc.t) =
+  if not (Loc.is_none loc) then Coverage.hit st.cov ~file:loc.Loc.file ~line:loc.Loc.start.Loc.line
+
+let tick (st : state) loc =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then err loc "step budget exhausted (%d)" st.max_steps
+
+let rec eval (st : state) env (e : expr) : value =
+  let loc = e.eloc in
+  match e.e with
+  | IntE n -> VInt n
+  | FloatE f -> VFloat f
+  | BoolE b -> VBool b
+  | StrE s -> VStr s
+  | CharE c -> VInt (Char.code c)
+  | NullE -> VUnit
+  | Var name -> (
+      match lookup st env name with
+      | Some r -> !r
+      | None -> (
+          match Hashtbl.find_opt st.funcs name with
+          | Some f -> VFun f
+          | None -> eval_builtin_const st env loc name))
+  | Unary (op, a) -> eval_unary st env loc op a
+  | Binary (LAnd, a, b) ->
+      if to_bool loc (eval st env a) then VBool (to_bool loc (eval st env b))
+      else VBool false
+  | Binary (LOr, a, b) ->
+      if to_bool loc (eval st env a) then VBool true
+      else VBool (to_bool loc (eval st env b))
+  | Binary (op, a, b) -> arith loc op (eval st env a) (eval st env b)
+  | Assign (op, lhs, rhs) ->
+      let v = eval st env rhs in
+      let get, set = lvalue st env lhs in
+      let stored =
+        match op with None -> v | Some bop -> arith loc bop (get ()) v
+      in
+      set stored;
+      stored
+  | Ternary (c, a, b) -> if to_bool loc (eval st env c) then eval st env a else eval st env b
+  | Call (callee, _, args) -> eval_call st env loc callee args
+  | KernelLaunch (callee, cfg, args) -> eval_launch st env loc callee cfg args
+  | Index (a, i) -> (
+      let va = eval st env a in
+      let idx = to_int loc (eval st env i) in
+      match va with
+      | VArrF arr ->
+          if idx < 0 || idx >= Array.length arr then err loc "index %d out of bounds [0,%d)" idx (Array.length arr);
+          VFloat arr.(idx)
+      | VArrI arr ->
+          if idx < 0 || idx >= Array.length arr then err loc "index %d out of bounds [0,%d)" idx (Array.length arr);
+          VInt arr.(idx)
+      | VRef r -> (
+          match !r with
+          | VArrF arr -> VFloat arr.(idx)
+          | VArrI arr -> VInt arr.(idx)
+          | _ -> err loc "cannot index through this reference")
+      | _ -> err loc "cannot index a non-array value")
+  | Member (a, fieldname, _) -> (
+      let va = eval st env a in
+      match va with
+      | VObj (_, fields) -> (
+          match Hashtbl.find_opt fields fieldname with
+          | Some v -> v
+          | None -> err loc "object has no field %s" fieldname)
+      | _ -> err loc "member access on non-object")
+  | Lambda (_, params, body) -> VClosure { c_params = params; c_body = body; c_env = env }
+  | Cast (ty, a) -> (
+      let v = eval st env a in
+      match ty with
+      | TInt | TLong | TSizeT | TConst (TInt | TLong | TSizeT) -> VInt (to_int loc v)
+      | TFloat | TDouble | TConst (TFloat | TDouble) -> VFloat (to_float loc v)
+      | _ -> v)
+  | New (ty, n) -> (
+      match n with
+      | Some n -> (
+          let count = to_int loc (eval st env n) in
+          match ty with
+          | TInt | TConst TInt -> VArrI (Array.make count 0)
+          | _ -> VArrF (Array.make count 0.0))
+      | None -> default_value st ty loc)
+  | InitList es ->
+      (* bare brace initialiser: keep evaluated elements in an object *)
+      let vs = List.map (eval st env) es in
+      obj "init-list" (List.mapi (fun i v -> (string_of_int i, v)) vs)
+  | SizeofT ty -> (
+      match ty with
+      | TInt | TFloat | TConst (TInt | TFloat) -> VInt 4
+      | TChar | TBool -> VInt 1
+      | _ -> VInt 8)
+
+and eval_builtin_const _st _env loc name =
+  (* names that resolve without declaration *)
+  match name with
+  | "std::execution::par_unseq" | "std::execution::par" | "std::execution::seq" ->
+      VStr "execution-policy"
+  | "RAND_MAX" -> VInt 0x7FFFFFFF
+  | "M_PI" -> VFloat Float.pi
+  | _ -> err loc "unknown name %s" name
+
+and eval_unary st env loc op a =
+  match op with
+  | Neg -> (
+      match eval st env a with
+      | VInt n -> VInt (-n)
+      | VFloat f -> VFloat (-.f)
+      | v -> err loc "cannot negate %s" (Format.asprintf "%a" pp_value v))
+  | Not -> VBool (not (to_bool loc (eval st env a)))
+  | BitNot -> VInt (lnot (to_int loc (eval st env a)))
+  | PreInc | PreDec | PostInc | PostDec ->
+      let get, set = lvalue st env a in
+      let old = get () in
+      let delta = match op with PreInc | PostInc -> 1 | _ -> -1 in
+      let updated = arith loc Add old (VInt delta) in
+      set updated;
+      (match op with PostInc | PostDec -> old | _ -> updated)
+  | Deref -> (
+      match eval st env a with
+      | VRef r -> !r
+      | VArrF arr -> VFloat arr.(0)
+      | VArrI arr -> VInt arr.(0)
+      | v -> err loc "cannot dereference %s" (Format.asprintf "%a" pp_value v))
+  | AddrOf -> (
+      match a.e with
+      | Var name -> (
+          match lookup st env name with
+          | Some r -> VRef r
+          | None -> err loc "address of unknown variable %s" name)
+      | _ ->
+          let v = eval st env a in
+          VRef (ref v))
+
+(* lvalue = (getter, setter) pair *)
+and lvalue st env (e : expr) : (unit -> value) * (value -> unit) =
+  let loc = e.eloc in
+  match e.e with
+  | Var name -> (
+      match lookup st env name with
+      | Some r -> ((fun () -> !r), fun v -> r := v)
+      | None -> err loc "assignment to unknown variable %s" name)
+  | Index (a, i) -> (
+      let va = eval st env a in
+      let idx = to_int loc (eval st env i) in
+      let elem arr_get arr_set =
+        ((fun () -> arr_get idx), fun v -> arr_set idx v)
+      in
+      match va with
+      | VArrF arr ->
+          if idx < 0 || idx >= Array.length arr then err loc "index %d out of bounds [0,%d)" idx (Array.length arr);
+          elem (fun i -> VFloat arr.(i)) (fun i v -> arr.(i) <- to_float loc v)
+      | VArrI arr ->
+          if idx < 0 || idx >= Array.length arr then err loc "index %d out of bounds [0,%d)" idx (Array.length arr);
+          elem (fun i -> VInt arr.(i)) (fun i v -> arr.(i) <- to_int loc v)
+      | VRef r -> (
+          match !r with
+          | VArrF arr -> elem (fun i -> VFloat arr.(i)) (fun i v -> arr.(i) <- to_float loc v)
+          | VArrI arr -> elem (fun i -> VInt arr.(i)) (fun i v -> arr.(i) <- to_int loc v)
+          | _ -> err loc "cannot index through this reference")
+      | _ -> err loc "cannot index non-array")
+  | Member (a, fieldname, _) -> (
+      let va = eval st env a in
+      match va with
+      | VObj (_, fields) ->
+          ( (fun () ->
+              match Hashtbl.find_opt fields fieldname with
+              | Some v -> v
+              | None -> err loc "object has no field %s" fieldname),
+            fun v -> Hashtbl.replace fields fieldname v )
+      | _ -> err loc "member assignment on non-object")
+  | Unary (Deref, a) -> (
+      match eval st env a with
+      | VRef r -> ((fun () -> !r), fun v -> r := v)
+      | VArrF arr -> ((fun () -> VFloat arr.(0)), fun v -> arr.(0) <- to_float loc v)
+      | _ -> err loc "cannot assign through this pointer")
+  | Call (callee, _, [ idx ]) -> (
+      (* Kokkos view element access: a(i) = v *)
+      let va = eval st env callee in
+      let i = to_int loc (eval st env idx) in
+      match va with
+      | VArrF arr -> ((fun () -> VFloat arr.(i)), fun v -> arr.(i) <- to_float loc v)
+      | VArrI arr -> ((fun () -> VInt arr.(i)), fun v -> arr.(i) <- to_int loc v)
+      | _ -> err loc "call-form assignment on non-view value")
+  | _ -> err loc "expression is not assignable"
+
+(* --- calls ------------------------------------------------------------- *)
+
+and call_value st loc callee args =
+  match callee with
+  | VFun f -> call_func st f args loc
+  | VClosure c -> call_closure st c args loc
+  | VArrF arr -> (
+      (* Kokkos view read access a(i) *)
+      match args with
+      | [ VInt i ] -> VFloat arr.(i)
+      | _ -> err loc "bad view access")
+  | VArrI arr -> (
+      match args with
+      | [ VInt i ] -> VInt arr.(i)
+      | _ -> err loc "bad view access")
+  | v -> err loc "cannot call %s" (Format.asprintf "%a" pp_value v)
+
+and bind_params st env_scopes params args loc =
+  let sc : scope = Hashtbl.create 8 in
+  let env = sc :: env_scopes in
+  let rec go params args =
+    match (params, args) with
+    | [], [] -> ()
+    | p :: ps, a :: as_ ->
+        (match (p.p_ty, a) with
+        | (TRef _ | TConst (TRef _)), VRef r -> bind_ref env p.p_name r
+        | _, VRef r -> bind env p.p_name !r
+        | _, v -> bind env p.p_name v);
+        go ps as_
+    | p :: ps, [] ->
+        (* tolerate missing trailing args (e.g. main's argc/argv) *)
+        bind env p.p_name (default_value st p.p_ty loc);
+        go ps []
+    | [], _ :: _ -> err loc "too many arguments"
+  in
+  go params args;
+  env
+
+and call_func st (f : func) args loc =
+  record_line st f.f_loc;
+  match f.f_body with
+  | None -> err loc "call to undefined function %s" f.f_name
+  | Some body -> (
+      let env = bind_params st [] f.f_params args loc in
+      try
+        exec_stmts st env body;
+        VUnit
+      with Return_exc v -> v)
+
+and call_closure st (c : closure) args loc =
+  let env = bind_params st c.c_env c.c_params args loc in
+  try
+    exec_stmts st env c.c_body;
+    VUnit
+  with Return_exc v -> v
+
+and eval_call st env loc callee args =
+  (* Member-method dispatch first, then named builtins, then user code. *)
+  match callee.e with
+  | Member (recv, meth, _) ->
+      let vrecv = eval st env recv in
+      eval_method st env loc vrecv meth args
+  | Var name -> (
+      match lookup st env name with
+      | Some r -> call_value st loc !r (List.map (eval st env) args)
+      | None -> (
+          match Hashtbl.find_opt st.funcs name with
+          | Some f when f.f_body <> None ->
+              call_func st f (List.map (eval_arg st env) args) loc
+          | _ -> eval_builtin st env loc name args))
+  | _ ->
+      let vcallee = eval st env callee in
+      call_value st loc vcallee (List.map (eval st env) args)
+
+(* Reference-producing argument evaluation: [&x] stays a reference, and a
+   bare variable holding an array passes the array (aliasing). *)
+and eval_arg st env (a : expr) = eval st env a
+
+and eval_method st env loc vrecv meth args =
+  let evargs () = List.map (eval st env) args in
+  match (vrecv, meth) with
+  (* SYCL queue *)
+  | VObj ("sycl::queue", _), "submit" -> (
+      match evargs () with
+      | [ VClosure c ] -> call_closure st c [ obj "sycl::handler" [] ] loc
+      | _ -> err loc "queue.submit expects a lambda")
+  | VObj ("sycl::queue", _), ("wait" | "wait_and_throw") -> VUnit
+  | VObj ("sycl::queue", _), "memcpy" -> (
+      match evargs () with
+      | [ dst; src; _bytes ] ->
+          copy_array loc ~dst ~src;
+          VUnit
+      | _ -> err loc "queue.memcpy expects three arguments")
+  | VObj ("sycl::queue", _), "parallel_for" -> sycl_parallel_for st loc (evargs ())
+  | VObj ("sycl::queue", _), "copy" -> (
+      match evargs () with
+      | [ src; dst; _n ] ->
+          copy_array loc ~dst ~src;
+          VUnit
+      | _ -> err loc "queue.copy expects three arguments")
+  (* SYCL handler *)
+  | VObj ("sycl::handler", _), "parallel_for" -> sycl_parallel_for st loc (evargs ())
+  | VObj ("sycl::handler", _), "copy" -> (
+      match evargs () with
+      | [ src; dst ] ->
+          copy_array loc ~dst ~src;
+          VUnit
+      | _ -> err loc "handler.copy expects two arguments")
+  (* SYCL buffer / accessor *)
+  | VObj ("sycl::buffer", fields), ("get_access" | "get_host_access") ->
+      Hashtbl.find fields "data"
+  | VObj ("sycl::buffer", fields), "size" -> (
+      match Hashtbl.find fields "data" with
+      | VArrF a -> VInt (Array.length a)
+      | VArrI a -> VInt (Array.length a)
+      | _ -> VInt 0)
+  (* RAJA reducers *)
+  | VObj ("RAJA::ReduceSum", fields), "get" -> Hashtbl.find fields "acc"
+  (* TBB blocked_range *)
+  | VObj ("tbb::blocked_range", fields), "begin" -> Hashtbl.find fields "b"
+  | VObj ("tbb::blocked_range", fields), "end" -> Hashtbl.find fields "e"
+  (* dim3-like structs and Kokkos views fall through to errors *)
+  | VObj (tag, _), m -> err loc "unknown method %s on %s" m tag
+  | VArrF _, "size" -> (
+      match vrecv with VArrF a -> VInt (Array.length a) | _ -> VUnit)
+  | _, m -> err loc "method call %s on non-object" m
+
+and sycl_parallel_for st loc args =
+  match args with
+  | [ VObj ("sycl::range", fields); VClosure c ] | [ VObj ("sycl::nd_range", fields); VClosure c ]
+    ->
+      let n = to_int loc (Hashtbl.find fields "n") in
+      for i = 0 to n - 1 do
+        ignore (call_closure st c [ VInt i ] loc)
+      done;
+      VUnit
+  | [ VInt n; VClosure c ] ->
+      for i = 0 to n - 1 do
+        ignore (call_closure st c [ VInt i ] loc)
+      done;
+      VUnit
+  | _ -> err loc "parallel_for expects (range, lambda)"
+
+and copy_array loc ~dst ~src =
+  match (dst, src) with
+  | VArrF d, VArrF s -> Array.blit s 0 d 0 (min (Array.length s) (Array.length d))
+  | VArrI d, VArrI s -> Array.blit s 0 d 0 (min (Array.length s) (Array.length d))
+  | VRef d, s -> (
+      match (!d, s) with
+      | VArrF d, VArrF s -> Array.blit s 0 d 0 (min (Array.length s) (Array.length d))
+      | VArrI d, VArrI s -> Array.blit s 0 d 0 (min (Array.length s) (Array.length d))
+      | _ -> err loc "incompatible copy")
+  | _ -> err loc "incompatible copy"
+
+and eval_launch st env loc callee cfg args =
+  (* CUDA/HIP triple-chevron launch: iterate the grid sequentially. *)
+  let grid = to_int loc (eval st env (List.nth cfg 0)) in
+  let block = to_int loc (eval st env (List.hd (List.tl cfg))) in
+  let f =
+    match callee.e with
+    | Var name -> (
+        match Hashtbl.find_opt st.funcs name with
+        | Some f -> f
+        | None -> err loc "unknown kernel %s" name)
+    | _ -> err loc "kernel launch callee must be a function name"
+  in
+  let vargs = List.map (eval st env) args in
+  let dim3 x = obj "dim3" [ ("x", VInt x); ("y", VInt 1); ("z", VInt 1) ] in
+  Hashtbl.replace st.globals "gridDim" (ref (dim3 grid));
+  Hashtbl.replace st.globals "blockDim" (ref (dim3 block));
+  for b = 0 to grid - 1 do
+    Hashtbl.replace st.globals "blockIdx" (ref (dim3 b));
+    for t = 0 to block - 1 do
+      Hashtbl.replace st.globals "threadIdx" (ref (dim3 t));
+      ignore (call_func st f vargs loc)
+    done
+  done;
+  VUnit
+
+(* --- named builtins ------------------------------------------------------ *)
+
+and eval_builtin st env loc name args =
+  let ev () = List.map (eval st env) args in
+  let f1 fn =
+    match ev () with
+    | [ v ] -> VFloat (fn (to_float loc v))
+    | _ -> err loc "%s expects one argument" name
+  in
+  let f2 fn =
+    match ev () with
+    | [ a; b ] -> VFloat (fn (to_float loc a) (to_float loc b))
+    | _ -> err loc "%s expects two arguments" name
+  in
+  match name with
+  (* math *)
+  | "sqrt" | "std::sqrt" | "sycl::sqrt" -> f1 sqrt
+  | "fabs" | "std::fabs" | "std::abs" | "sycl::fabs" -> f1 Float.abs
+  | "abs" -> (
+      match ev () with
+      | [ VInt n ] -> VInt (Stdlib.abs n)
+      | [ v ] -> VFloat (Float.abs (to_float loc v))
+      | _ -> err loc "abs expects one argument")
+  | "exp" | "std::exp" -> f1 exp
+  | "log" | "std::log" -> f1 log
+  | "cos" | "std::cos" -> f1 cos
+  | "sin" | "std::sin" -> f1 sin
+  | "floor" | "std::floor" -> f1 Float.floor
+  | "ceil" | "std::ceil" -> f1 Float.ceil
+  | "pow" | "std::pow" -> f2 ( ** )
+  | "fmin" | "std::fmin" -> f2 Float.min
+  | "fmax" | "std::fmax" -> f2 Float.max
+  | "fmod" -> f2 Float.rem
+  | "min" | "std::min" -> (
+      match ev () with
+      | [ VInt a; VInt b ] -> VInt (Stdlib.min a b)
+      | [ a; b ] -> VFloat (Float.min (to_float loc a) (to_float loc b))
+      | _ -> err loc "min expects two arguments")
+  | "max" | "std::max" -> (
+      match ev () with
+      | [ VInt a; VInt b ] -> VInt (Stdlib.max a b)
+      | [ a; b ] -> VFloat (Float.max (to_float loc a) (to_float loc b))
+      | _ -> err loc "max expects two arguments")
+  (* io *)
+  | "printf" | "fprintf" -> (
+      match ev () with
+      | VStr fmtstr :: rest ->
+          Buffer.add_string st.out (format_printf loc fmtstr rest);
+          VInt 0
+      | _ :: VStr fmtstr :: rest ->
+          Buffer.add_string st.out (format_printf loc fmtstr rest);
+          VInt 0
+      | _ -> err loc "printf expects a format string")
+  | "exit" -> raise (Return_exc (match ev () with [ v ] -> v | _ -> VInt 0))
+  (* allocation *)
+  | "malloc" -> (
+      match (args, ev ()) with
+      | [ size_expr ], [ bytes ] -> alloc_array loc (sizeof_type_of size_expr) bytes
+      | _ -> err loc "malloc expects one argument")
+  | "free" -> VUnit
+  (* CUDA / HIP runtime *)
+  | "cudaMalloc" | "hipMalloc" -> (
+      match (args, ev ()) with
+      | [ _; size_expr ], [ VRef r; bytes ] ->
+          r := alloc_array loc (sizeof_type_of size_expr) bytes;
+          VInt 0
+      | _ -> err loc "%s expects (&ptr, bytes)" name)
+  | "cudaMemcpy" | "hipMemcpy" -> (
+      match ev () with
+      | dst :: src :: _ ->
+          copy_array loc ~dst ~src;
+          VInt 0
+      | _ -> err loc "%s expects (dst, src, bytes, kind)" name)
+  | "cudaFree" | "hipFree" | "cudaDeviceSynchronize" | "hipDeviceSynchronize"
+  | "cudaGetLastError" | "hipGetLastError" ->
+      VInt 0
+  | "cudaMemset" | "hipMemset" -> (
+      match ev () with
+      | [ VArrF arr; v; _bytes ] ->
+          Array.fill arr 0 (Array.length arr) (to_float loc v);
+          VInt 0
+      | [ VArrI arr; v; _bytes ] ->
+          Array.fill arr 0 (Array.length arr) (to_int loc v);
+          VInt 0
+      | _ -> err loc "%s expects (ptr, value, bytes)" name)
+  | "atomicAdd" | "atomicAdd_system" -> (
+      match ev () with
+      | [ VRef r; v ] ->
+          let cur = to_float loc !r in
+          r := VFloat (cur +. to_float loc v);
+          VFloat cur
+      | _ -> err loc "atomicAdd expects (&x, v)")
+  (* OpenMP runtime *)
+  | "omp_get_num_threads" | "omp_get_max_threads" -> VInt 1
+  | "omp_get_thread_num" -> VInt 0
+  | "omp_get_wtime" ->
+      st.steps <- st.steps + 1;
+      VFloat (float_of_int st.steps *. 1e-9)
+  (* SYCL free functions *)
+  | "sycl::malloc_shared" | "sycl::malloc_device" | "sycl::malloc_host" -> (
+      match (args, ev ()) with
+      | [ size_expr; _ ], [ bytes; _ ] -> alloc_array loc (sizeof_type_of size_expr) bytes
+      | _ -> err loc "%s expects (bytes, queue)" name)
+  | "sycl::free" -> VUnit
+  (* Kokkos *)
+  | "Kokkos::initialize" | "Kokkos::finalize" | "Kokkos::fence" -> VUnit
+  | "Kokkos::parallel_for" -> (
+      match ev () with
+      | [ VStr _; VInt n; VClosure c ] | [ VInt n; VClosure c ] ->
+          for i = 0 to n - 1 do
+            ignore (call_closure st c [ VInt i ] loc)
+          done;
+          VUnit
+      | _ -> err loc "Kokkos::parallel_for expects (label, n, lambda)")
+  | "Kokkos::parallel_reduce" -> (
+      match ev () with
+      | [ VStr _; VInt n; VClosure c; acc ] | [ VInt n; VClosure c; acc ] ->
+          let accr = match acc with VRef r -> r | _ -> ref acc in
+          accr := VFloat 0.0;
+          for i = 0 to n - 1 do
+            ignore (call_closure st c [ VInt i; VRef accr ] loc)
+          done;
+          VUnit
+      | _ -> err loc "Kokkos::parallel_reduce expects (label, n, lambda, result)")
+  | "Kokkos::deep_copy" -> (
+      match ev () with
+      | [ dst; src ] ->
+          copy_array loc ~dst ~src;
+          VUnit
+      | _ -> err loc "Kokkos::deep_copy expects (dst, src)")
+  (* RAJA *)
+  | "RAJA::forall" -> (
+      match ev () with
+      | [ VObj ("RAJA::RangeSegment", fields); VClosure c ] ->
+          let b = to_int loc (Hashtbl.find fields "b") in
+          let e = to_int loc (Hashtbl.find fields "e") in
+          for i = b to e - 1 do
+            ignore (call_closure st c [ VInt i ] loc)
+          done;
+          VUnit
+      | _ -> err loc "RAJA::forall expects (range, lambda)")
+  (* TBB *)
+  | "tbb::parallel_for" -> (
+      match ev () with
+      | [ range; VClosure c ] ->
+          ignore (call_closure st c [ range ] loc);
+          VUnit
+      | _ -> err loc "tbb::parallel_for expects (range, lambda)")
+  | "tbb::parallel_reduce" -> (
+      match ev () with
+      | [ range; init; VClosure body; VClosure join ] ->
+          let partial = call_closure st body [ range; init ] loc in
+          call_closure st join [ partial; init ] loc
+      | _ -> err loc "tbb::parallel_reduce expects (range, init, body, join)")
+  (* StdPar *)
+  | "std::for_each" -> (
+      match ev () with
+      | [ _policy; VInt first; VInt last; VClosure c ] ->
+          for i = first to last - 1 do
+            ignore (call_closure st c [ VInt i ] loc)
+          done;
+          VUnit
+      | _ -> err loc "std::for_each expects (policy, first, last, lambda)")
+  | "std::transform_reduce" -> (
+      match ev () with
+      | [ _policy; VInt first; VInt last; init; VClosure reduce; VClosure transform ] ->
+          let acc = ref init in
+          for i = first to last - 1 do
+            let t = call_closure st transform [ VInt i ] loc in
+            acc := call_closure st reduce [ !acc; t ] loc
+          done;
+          !acc
+      | _ ->
+          err loc
+            "std::transform_reduce expects (policy, first, last, init, reduce, transform)")
+  | "counting_iterator" | "thrust::counting_iterator" -> (
+      match ev () with [ v ] -> v | _ -> err loc "counting_iterator expects one argument")
+  (* misc *)
+  | "assert" -> (
+      match ev () with
+      | [ v ] -> if to_bool loc v then VUnit else err loc "assertion failed"
+      | _ -> err loc "assert expects one argument")
+  | "__syncthreads" | "__threadfence" -> VUnit
+  | _ -> (
+      (* constructor syntax in expression position: sycl::range<1>(n),
+         tbb::blocked_range<int>(0, n), dim3(g), struct literals... *)
+      match construct st env loc (TNamed (name, [])) args with
+      | v -> v
+      | exception Runtime_error _ -> err loc "unknown function %s" name)
+
+and format_printf loc fmtstr args =
+  (* tiny %d / %g / %f / %e / %s / %% support *)
+  let b = Buffer.create 64 in
+  let args = ref args in
+  let pop () =
+    match !args with
+    | a :: rest ->
+        args := rest;
+        a
+    | [] -> err loc "printf: not enough arguments"
+  in
+  let n = String.length fmtstr in
+  let i = ref 0 in
+  while !i < n do
+    if fmtstr.[!i] = '%' && !i + 1 < n then begin
+      (* skip width/precision chars *)
+      let j = ref (!i + 1) in
+      while
+        !j < n
+        && (match fmtstr.[!j] with
+           | '0' .. '9' | '.' | '-' | '+' | 'l' -> true
+           | _ -> false)
+      do
+        incr j
+      done;
+      (if !j < n then
+         match fmtstr.[!j] with
+         | 'd' | 'i' | 'u' -> Buffer.add_string b (string_of_int (to_int loc (pop ())))
+         | 'f' | 'g' | 'e' ->
+             Buffer.add_string b (Printf.sprintf "%.6f" (to_float loc (pop ())))
+         | 's' -> (
+             match pop () with
+             | VStr s -> Buffer.add_string b s
+             | v -> Buffer.add_string b (Format.asprintf "%a" pp_value v))
+         | '%' -> Buffer.add_char b '%'
+         | c -> Buffer.add_char b c);
+      i := !j + 1
+    end
+    else begin
+      Buffer.add_char b fmtstr.[!i];
+      incr i
+    end
+  done;
+  Buffer.contents b
+
+(* --- statements ----------------------------------------------------------- *)
+
+and exec_stmts st env stmts = List.iter (exec_stmt st env) stmts
+
+and exec_stmt st env (s : stmt) =
+  tick st s.sloc;
+  record_line st s.sloc;
+  match s.s with
+  | Decl (ty, names) ->
+      List.iter
+        (fun (name, init) ->
+          let v =
+            match init with
+            | Some ({ e = InitList ctor_args; _ } as e) -> construct st env e.eloc ty ctor_args
+            | Some e -> eval st env e
+            | None -> (
+                match ty with
+                | TNamed _ | TConst (TNamed _) -> (
+                    (* a default-constructed library/record object *)
+                    try construct st env s.sloc ty []
+                    with Runtime_error _ -> default_value st ty s.sloc)
+                | _ -> default_value st ty s.sloc)
+          in
+          bind env name v)
+        names
+  | ExprS e -> ignore (eval st env e)
+  | If (c, t, f) ->
+      if to_bool c.eloc (eval st env c) then exec_block st env t
+      else exec_block st env f
+  | For (init, cond, step, body) ->
+      let sc : scope = Hashtbl.create 4 in
+      let env' = sc :: env in
+      (match init with Some i -> exec_stmt st env' i | None -> ());
+      let continue = ref true in
+      while !continue do
+        let go =
+          match cond with Some c -> to_bool c.eloc (eval st env' c) | None -> true
+        in
+        if not go then continue := false
+        else begin
+          (try exec_block st env' body with
+          | Break_exc -> continue := false
+          | Continue_exc -> ());
+          if !continue then
+            match step with Some e -> ignore (eval st env' e) | None -> ()
+        end
+      done
+  | While (c, body) ->
+      let continue = ref true in
+      while !continue && to_bool c.eloc (eval st env c) do
+        try exec_block st env body with
+        | Break_exc -> continue := false
+        | Continue_exc -> ()
+      done
+  | DoWhile (body, c) ->
+      let continue = ref true in
+      while !continue do
+        (try exec_block st env body with
+        | Break_exc -> continue := false
+        | Continue_exc -> ());
+        if !continue && not (to_bool c.eloc (eval st env c)) then continue := false
+      done
+  | Return e -> raise (Return_exc (match e with Some e -> eval st env e | None -> VUnit))
+  | Break -> raise Break_exc
+  | Continue -> raise Continue_exc
+  | Block body -> exec_block st env body
+  | Directive (_, body) -> (
+      (* directives execute their governed statement serially *)
+      match body with Some b -> exec_stmt st env b | None -> ())
+  | DeleteS (e, _) ->
+      ignore (eval st env e)
+
+and exec_block st env stmts =
+  let sc : scope = Hashtbl.create 4 in
+  exec_stmts st (sc :: env) stmts
+
+(* Constructor-style initialisers for library types. *)
+and construct st env loc ty ctor_args =
+  let evargs () = List.map (eval st env) ctor_args in
+  match ty with
+  | TNamed (name, targs) -> (
+      match name with
+      | "sycl::queue" -> obj "sycl::queue" []
+      | "sycl::range" | "sycl::nd_range" -> (
+          match evargs () with
+          | [ n ] -> obj "sycl::range" [ ("n", n) ]
+          | [ n; _ ] -> obj "sycl::range" [ ("n", n) ]
+          | _ -> err loc "sycl::range expects a size")
+      | "sycl::buffer" -> (
+          match evargs () with
+          | [ VInt n ] ->
+              let data =
+                match targs with
+                | TyArg TInt :: _ -> VArrI (Array.make n 0)
+                | _ -> VArrF (Array.make n 0.0)
+              in
+              obj "sycl::buffer" [ ("data", data) ]
+          | [ (VArrF _ | VArrI _) as data; _ ] | [ (VArrF _ | VArrI _) as data ] ->
+              obj "sycl::buffer" [ ("data", data) ]
+          | _ -> err loc "sycl::buffer expects a size or host data")
+      | "Kokkos::View" -> (
+          match evargs () with
+          | [ VStr _; VInt n ] | [ VInt n ] -> (
+              match targs with
+              | TyArg (TPtr TInt) :: _ -> VArrI (Array.make n 0)
+              | _ -> VArrF (Array.make n 0.0))
+          | _ -> err loc "Kokkos::View expects (label, n)")
+      | "RAJA::RangeSegment" -> (
+          match evargs () with
+          | [ b; e ] -> obj "RAJA::RangeSegment" [ ("b", b); ("e", e) ]
+          | _ -> err loc "RAJA::RangeSegment expects (begin, end)")
+      | "RAJA::ReduceSum" -> (
+          match evargs () with
+          | [ init ] -> obj "RAJA::ReduceSum" [ ("acc", init) ]
+          | [] -> obj "RAJA::ReduceSum" [ ("acc", VFloat 0.0) ]
+          | _ -> err loc "RAJA::ReduceSum expects an initial value")
+      | "tbb::blocked_range" -> (
+          match evargs () with
+          | [ b; e ] -> obj "tbb::blocked_range" [ ("b", b); ("e", e) ]
+          | _ -> err loc "tbb::blocked_range expects (begin, end)")
+      | "dim3" -> (
+          match evargs () with
+          | [ x ] -> obj "dim3" [ ("x", x); ("y", VInt 1); ("z", VInt 1) ]
+          | _ -> err loc "dim3 expects one argument")
+      | _ -> (
+          match Hashtbl.find_opt st.records name with
+          | Some r ->
+              let vs = evargs () in
+              obj name
+                (List.mapi
+                   (fun i (fty, fname) ->
+                     ( fname,
+                       match List.nth_opt vs i with
+                       | Some v -> v
+                       | None -> default_value st fty loc ))
+                   r.r_fields)
+          | None -> err loc "cannot construct unknown type %s" name))
+  | _ -> err loc "constructor initialiser on non-class type"
+
+(* --- entry ------------------------------------------------------------- *)
+
+let run ?(max_steps = 50_000_000) ?(entry = "main") ?(args = []) units =
+  let st =
+    {
+      funcs = Hashtbl.create 64;
+      records = Hashtbl.create 16;
+      globals = Hashtbl.create 16;
+      cov = Coverage.create ();
+      out = Buffer.create 256;
+      steps = 0;
+      max_steps;
+    }
+  in
+  (* Collect functions, records and globals across all units; later
+     definitions win (prototype then definition). *)
+  List.iter
+    (fun u ->
+      List.iter
+        (fun top ->
+          match top with
+          | Func f ->
+              if
+                f.f_body <> None
+                ||
+                match Hashtbl.find_opt st.funcs f.f_name with
+                | Some prev -> prev.f_body = None
+                | None -> true
+              then Hashtbl.replace st.funcs f.f_name f
+          | Record r -> Hashtbl.replace st.records r.r_name r
+          | GlobalVar (_, ty, name, init, loc) ->
+              let v =
+                match init with
+                | Some e -> ( try eval st [] e with Runtime_error _ -> default_value st ty loc)
+                | None -> default_value st ty loc
+              in
+              Hashtbl.replace st.globals name (ref v)
+          | Using _ | TopDirective _ -> ())
+        u.t_tops)
+    units;
+  let result =
+    match Hashtbl.find_opt st.funcs entry with
+    | None -> Error (Printf.sprintf "entry function %s not found" entry)
+    | Some f -> (
+        try Ok (call_func st f args f.f_loc) with
+        | Runtime_error (msg, loc) ->
+            Error (Printf.sprintf "%s at %s" msg (Loc.to_string loc))
+        | Return_exc v -> Ok v
+        | Break_exc | Continue_exc -> Error "break/continue escaped a loop")
+  in
+  { result; coverage = st.cov; output = Buffer.contents st.out; steps = st.steps }

@@ -1,0 +1,452 @@
+module Loc = Sv_util.Loc
+module Coverage = Sv_util.Coverage
+open Sv_lang_f.Ast
+
+type value =
+  | FUnit
+  | FIntV of int
+  | FFloatV of float
+  | FBoolV of bool
+  | FStrV of string
+  | FArrV of float array
+  | FRefV of value ref
+
+exception Runtime_error of string * Loc.t
+exception Exit_loop
+exception Cycle_loop
+exception Return_unit
+exception Stop_program
+
+type scope = (string, value ref) Hashtbl.t
+
+type state = {
+  units : (string, prog_unit) Hashtbl.t;
+  cov : Coverage.t;
+  out : Buffer.t;
+  mutable steps : int;
+  max_steps : int;
+}
+
+type outcome = {
+  result : (unit, string) Result.t;
+  coverage : Coverage.t;
+  output : string;
+  steps : int;
+}
+
+let err loc fmt = Printf.ksprintf (fun m -> raise (Runtime_error (m, loc))) fmt
+
+let value_to_float = function
+  | FIntV n -> Some (float_of_int n)
+  | FFloatV f -> Some f
+  | FBoolV b -> Some (if b then 1.0 else 0.0)
+  | _ -> None
+
+let to_float loc v =
+  match value_to_float v with Some f -> f | None -> err loc "expected a number"
+
+let to_int loc v =
+  match v with
+  | FIntV n -> n
+  | FFloatV f -> int_of_float f
+  | _ -> err loc "expected an integer"
+
+let to_bool loc v =
+  match v with
+  | FBoolV b -> b
+  | FIntV n -> n <> 0
+  | _ -> err loc "expected a logical"
+
+let record_line (st : state) (loc : Loc.t) =
+  if not (Loc.is_none loc) then
+    Coverage.hit st.cov ~file:loc.Loc.file ~line:loc.Loc.start.Loc.line
+
+let tick (st : state) loc =
+  st.steps <- st.steps + 1;
+  if st.steps > st.max_steps then err loc "step budget exhausted (%d)" st.max_steps
+
+let lookup (env : scope) name = Hashtbl.find_opt env name
+
+let get_ref loc env name =
+  match lookup env name with
+  | Some r -> r
+  | None -> err loc "unknown name %s" name
+
+(* --- elementwise array arithmetic ------------------------------------- *)
+
+let binf loc op a b =
+  match op with
+  | "+" -> a +. b
+  | "-" -> a -. b
+  | "*" -> a *. b
+  | "/" -> a /. b
+  | "**" -> a ** b
+  | _ -> err loc "operator %s is not arithmetic" op
+
+let rec eval (st : state) (env : scope) (e : expr) : value =
+  let loc = e.eloc in
+  match e.e with
+  | FInt n -> FIntV n
+  | FRealLit f -> FFloatV f
+  | FStr s -> FStrV s
+  | FBool b -> FBoolV b
+  | FVar name -> (
+      match lookup env name with
+      | Some r -> !r
+      | None -> err loc "unknown name %s" name)
+  | FUn ("-", a) -> (
+      match eval st env a with
+      | FIntV n -> FIntV (-n)
+      | FFloatV f -> FFloatV (-.f)
+      | FArrV arr -> FArrV (Array.map (fun x -> -.x) arr)
+      | _ -> err loc "cannot negate value")
+  | FUn (".not.", a) -> FBoolV (not (to_bool loc (eval st env a)))
+  | FUn (op, _) -> err loc "unknown unary %s" op
+  | FBin (op, a, b) -> eval_bin st env loc op a b
+  | FRef (name, args) -> eval_ref st env loc name args
+
+and eval_bin st env loc op a b =
+  let va = eval st env a and vb = eval st env b in
+  match op with
+  | ".and." -> FBoolV (to_bool loc va && to_bool loc vb)
+  | ".or." -> FBoolV (to_bool loc va || to_bool loc vb)
+  | "==" | "/=" | "<" | ">" | "<=" | ">=" ->
+      let fa = to_float loc va and fb = to_float loc vb in
+      let r =
+        match op with
+        | "==" -> fa = fb
+        | "/=" -> fa <> fb
+        | "<" -> fa < fb
+        | ">" -> fa > fb
+        | "<=" -> fa <= fb
+        | _ -> fa >= fb
+      in
+      FBoolV r
+  | _ -> (
+      (* arithmetic, possibly elementwise with broadcasting *)
+      match (va, vb) with
+      | FArrV x, FArrV y ->
+          let n = min (Array.length x) (Array.length y) in
+          FArrV (Array.init n (fun i -> binf loc op x.(i) y.(i)))
+      | FArrV x, v ->
+          let s = to_float loc v in
+          FArrV (Array.map (fun e -> binf loc op e s) x)
+      | v, FArrV y ->
+          let s = to_float loc v in
+          FArrV (Array.map (fun e -> binf loc op s e) y)
+      | FIntV x, FIntV y when op <> "/" || (y <> 0 && x mod y = 0) -> (
+          match op with
+          | "+" -> FIntV (x + y)
+          | "-" -> FIntV (x - y)
+          | "*" -> FIntV (x * y)
+          | "/" -> FIntV (x / y)
+          | "**" -> FFloatV (float_of_int x ** float_of_int y)
+          | _ -> err loc "unknown operator %s" op)
+      | _ -> FFloatV (binf loc op (to_float loc va) (to_float loc vb)))
+
+and eval_ref st env loc name args =
+  match lookup env name with
+  | Some r -> (
+      match (!r, args) with
+      | FArrV arr, [ AExpr i ] ->
+          let idx = to_int loc (eval st env i) in
+          if idx < 1 || idx > Array.length arr then
+            err loc "index %d out of bounds [1,%d]" idx (Array.length arr);
+          FFloatV arr.(idx - 1)
+      | FArrV arr, [ ARange (None, None) ] -> FArrV arr
+      | FArrV arr, [ ARange (lo, hi) ] ->
+          let l = match lo with Some e -> to_int loc (eval st env e) | None -> 1 in
+          let h =
+            match hi with Some e -> to_int loc (eval st env e) | None -> Array.length arr
+          in
+          FArrV (Array.sub arr (l - 1) (h - l + 1))
+      | v, [] -> v
+      | _ -> err loc "bad reference to %s" name)
+  | None -> eval_intrinsic st env loc name args
+
+and eval_intrinsic st env loc name args =
+  let ev = function
+    | AExpr e -> eval st env e
+    | ARange _ -> err loc "range in intrinsic argument"
+  in
+  let one () =
+    match args with [ a ] -> ev a | _ -> err loc "%s expects one argument" name
+  in
+  let two () =
+    match args with
+    | [ a; b ] -> (ev a, ev b)
+    | _ -> err loc "%s expects two arguments" name
+  in
+  match name with
+  | "sqrt" -> (
+      match one () with
+      | FArrV arr -> FArrV (Array.map sqrt arr)
+      | v -> FFloatV (sqrt (to_float loc v)))
+  | "abs" -> (
+      (* elemental intrinsic: applies elementwise to array arguments *)
+      match one () with
+      | FIntV n -> FIntV (Stdlib.abs n)
+      | FArrV arr -> FArrV (Array.map Float.abs arr)
+      | v -> FFloatV (Float.abs (to_float loc v)))
+  | "exp" -> FFloatV (exp (to_float loc (one ())))
+  | "mod" ->
+      let a, b = two () in
+      FIntV (to_int loc a mod to_int loc b)
+  | "max" ->
+      let a, b = two () in
+      FFloatV (Float.max (to_float loc a) (to_float loc b))
+  | "min" ->
+      let a, b = two () in
+      FFloatV (Float.min (to_float loc a) (to_float loc b))
+  | "real" | "dble" -> (
+      match args with
+      | [ a ] | [ a; _ ] -> FFloatV (to_float loc (ev a))
+      | _ -> err loc "real expects one or two arguments")
+  | "int" -> FIntV (to_int loc (one ()))
+  | "epsilon" -> FFloatV epsilon_float
+  | "huge" -> FFloatV max_float
+  | "size" -> (
+      match one () with
+      | FArrV arr -> FIntV (Array.length arr)
+      | _ -> err loc "size expects an array")
+  | "sum" -> (
+      match one () with
+      | FArrV arr -> FFloatV (Array.fold_left ( +. ) 0.0 arr)
+      | v -> v)
+  | "maxval" -> (
+      match one () with
+      | FArrV arr -> FFloatV (Array.fold_left Float.max neg_infinity arr)
+      | _ -> err loc "maxval expects an array")
+  | "minval" -> (
+      match one () with
+      | FArrV arr -> FFloatV (Array.fold_left Float.min infinity arr)
+      | _ -> err loc "minval expects an array")
+  | "dot_product" -> (
+      match two () with
+      | FArrV a, FArrV b ->
+          let n = min (Array.length a) (Array.length b) in
+          let s = ref 0.0 in
+          for i = 0 to n - 1 do
+            s := !s +. (a.(i) *. b.(i))
+          done;
+          FFloatV !s
+      | _ -> err loc "dot_product expects two arrays")
+  | "omp_get_num_threads" | "omp_get_max_threads" -> FIntV 1
+  | "omp_get_thread_num" -> FIntV 0
+  | _ -> err loc "unknown function %s" name
+
+(* --- statements -------------------------------------------------------- *)
+
+let rec exec_stmts st env stmts = List.iter (exec_stmt st env) stmts
+
+and exec_stmt st env (s : stmt) =
+  tick st s.sloc;
+  record_line st s.sloc;
+  let loc = s.sloc in
+  match s.s with
+  | FAssign (lhs, rhs) -> assign st env loc lhs rhs
+  | FCallS (name, args) -> call_subroutine st env loc name args
+  | FIf (c, t, f) ->
+      if to_bool c.eloc (eval st env c) then exec_stmts st env t else exec_stmts st env f
+  | FDo (v, lo, hi, step, body) ->
+      let l = to_int loc (eval st env lo) and h = to_int loc (eval st env hi) in
+      let stp = match step with Some e -> to_int loc (eval st env e) | None -> 1 in
+      let r = get_or_bind env v in
+      (try
+         let i = ref l in
+         while (stp > 0 && !i <= h) || (stp < 0 && !i >= h) do
+           r := FIntV !i;
+           (try exec_stmts st env body with Cycle_loop -> ());
+           i := !i + stp
+         done
+       with Exit_loop -> ())
+  | FDoConcurrent (v, lo, hi, body) ->
+      let l = to_int loc (eval st env lo) and h = to_int loc (eval st env hi) in
+      let r = get_or_bind env v in
+      (try
+         for i = l to h do
+           r := FIntV i;
+           try exec_stmts st env body with Cycle_loop -> ()
+         done
+       with Exit_loop -> ())
+  | FDoWhile (c, body) -> (
+      try
+        while to_bool c.eloc (eval st env c) do
+          try exec_stmts st env body with Cycle_loop -> ()
+        done
+      with Exit_loop -> ())
+  | FAllocate allocs ->
+      List.iter
+        (fun (name, dims) ->
+          let n =
+            List.fold_left (fun acc d -> acc * to_int loc (eval st env d)) 1 dims
+          in
+          let r = get_or_bind env name in
+          r := FArrV (Array.make n 0.0))
+        allocs
+  | FDeallocate names ->
+      List.iter
+        (fun name ->
+          let r = get_or_bind env name in
+          r := FUnit)
+        names
+  | FDirective (_, body) -> exec_stmts st env body
+  | FPrint args ->
+      let parts =
+        List.map
+          (fun a ->
+            match eval st env a with
+            | FStrV s -> s
+            | FIntV n -> string_of_int n
+            | FFloatV f -> Printf.sprintf "%.6f" f
+            | FBoolV b -> if b then "T" else "F"
+            | FArrV arr -> Printf.sprintf "<array[%d]>" (Array.length arr)
+            | _ -> "?")
+          args
+      in
+      Buffer.add_string st.out (String.concat " " parts);
+      Buffer.add_char st.out '\n'
+  | FReturn -> raise Return_unit
+  | FExit -> raise Exit_loop
+  | FCycle -> raise Cycle_loop
+  | FStop _ -> raise Stop_program
+
+and get_or_bind env name =
+  match Hashtbl.find_opt env name with
+  | Some r -> r
+  | None ->
+      let r = ref FUnit in
+      Hashtbl.replace env name r;
+      r
+
+and assign st env loc lhs rhs =
+  let v = eval st env rhs in
+  match lhs.e with
+  | FVar name -> (
+      let r = get_or_bind env name in
+      match (!r, v) with
+      | FArrV dst, FArrV src -> Array.blit src 0 dst 0 (min (Array.length src) (Array.length dst))
+      | FArrV dst, other -> Array.fill dst 0 (Array.length dst) (to_float loc other)
+      | _ -> r := v)
+  | FRef (name, [ AExpr i ]) -> (
+      let r = get_or_bind env name in
+      match !r with
+      | FArrV arr ->
+          let idx = to_int loc (eval st env i) in
+          if idx < 1 || idx > Array.length arr then
+            err loc "index %d out of bounds [1,%d]" idx (Array.length arr);
+          arr.(idx - 1) <- to_float loc v
+      | _ -> err loc "%s is not an array" name)
+  | FRef (name, [ ARange (lo, hi) ]) -> (
+      let r = get_or_bind env name in
+      match !r with
+      | FArrV arr ->
+          let l = match lo with Some e -> to_int loc (eval st env e) | None -> 1 in
+          let h =
+            match hi with Some e -> to_int loc (eval st env e) | None -> Array.length arr
+          in
+          (match v with
+          | FArrV src ->
+              for k = l to h do
+                arr.(k - 1) <- src.(k - l)
+              done
+          | other ->
+              let x = to_float loc other in
+              for k = l to h do
+                arr.(k - 1) <- x
+              done)
+      | _ -> err loc "%s is not an array" name)
+  | _ -> err loc "left-hand side is not assignable"
+
+and call_subroutine st env loc name args =
+  match Hashtbl.find_opt st.units name with
+  | None -> (
+      (* intrinsic subroutines *)
+      match name with
+      | "random_number" -> (
+          match args with
+          | [ { e = FVar n; _ } ] ->
+              let r = get_ref loc env n in
+              (* deterministic pseudo-random fill *)
+              (match !r with
+              | FArrV arr ->
+                  Array.iteri (fun i _ -> arr.(i) <- float_of_int ((i * 37) mod 100) /. 100.0) arr
+              | _ -> r := FFloatV 0.5);
+              ()
+          | _ -> err loc "random_number expects a variable")
+      | "cpu_time" | "system_clock" -> ()
+      | _ -> err loc "unknown subroutine %s" name)
+  | Some u -> (
+      let params = match u.u_kind with Subroutine ps -> ps | Program -> [] in
+      if List.length params <> List.length args then
+        err loc "subroutine %s arity mismatch" name;
+      let callee_env : scope = Hashtbl.create 16 in
+      (* pass-by-reference for variable arguments, by value otherwise *)
+      List.iter2
+        (fun p a ->
+          match a.e with
+          | FVar n -> Hashtbl.replace callee_env p (get_ref loc env n)
+          | _ -> Hashtbl.replace callee_env p (ref (eval st env a)))
+        params args;
+      declare st callee_env u;
+      record_line st u.u_loc;
+      try exec_stmts st callee_env u.u_body with Return_unit -> ())
+
+and declare st (env : scope) (u : prog_unit) =
+  List.iter
+    (fun d ->
+      record_line st d.d_loc;
+      List.iter
+        (fun (name, rank, init) ->
+          if not (Hashtbl.mem env name) then begin
+            let v =
+              match init with
+              | Some e -> eval st env e
+              | None ->
+                  let has_alloc = List.mem Allocatable d.d_attrs in
+                  let attr_rank =
+                    List.fold_left
+                      (fun acc a -> match a with Dimension r -> max acc r | _ -> acc)
+                      0 d.d_attrs
+                  in
+                  if has_alloc || max rank attr_rank > 0 then FUnit (* allocated later or dummy *)
+                  else (
+                    match d.d_ty with
+                    | FReal _ -> FFloatV 0.0
+                    | FInteger -> FIntV 0
+                    | FLogical -> FBoolV false
+                    | FCharacter -> FStrV "")
+            in
+            Hashtbl.replace env name (ref v)
+          end)
+        d.d_names)
+    u.u_decls
+
+let run ?(max_steps = 50_000_000) (f : file) =
+  let st =
+    {
+      units = Hashtbl.create 8;
+      cov = Coverage.create ();
+      out = Buffer.create 256;
+      steps = 0;
+      max_steps;
+    }
+  in
+  List.iter (fun u -> Hashtbl.replace st.units u.u_name u) f.f_units;
+  let result =
+    match main_program f with
+    | None -> Error "no program unit"
+    | Some u -> (
+        let env : scope = Hashtbl.create 32 in
+        declare st env u;
+        record_line st u.u_loc;
+        try
+          exec_stmts st env u.u_body;
+          Ok ()
+        with
+        | Stop_program | Return_unit -> Ok ()
+        | Runtime_error (msg, loc) ->
+            Error (Printf.sprintf "%s at %s" msg (Loc.to_string loc))
+        | Exit_loop | Cycle_loop -> Error "exit/cycle escaped a loop")
+  in
+  { result; coverage = st.cov; output = Buffer.contents st.out; steps = st.steps }

@@ -1,0 +1,32 @@
+(** Tree-walking interpreter for MiniF.
+
+    Executes the Fortran BabelStream family for verification and coverage
+    (the GCov stand-in of §IV-D). Semantics follow serial Fortran: arrays
+    are 1-based, whole-array expressions evaluate elementwise with scalar
+    broadcasting, [do concurrent] iterates in order, directive regions run
+    serially, and subroutine arguments pass by reference. *)
+
+type value =
+  | FUnit
+  | FIntV of int
+  | FFloatV of float
+  | FBoolV of bool
+  | FStrV of string
+  | FArrV of float array  (** 1-based externally; stored 0-based *)
+  | FRefV of value ref
+
+exception Runtime_error of string * Sv_util.Loc.t
+
+type outcome = {
+  result : (unit, string) Result.t;
+  coverage : Sv_util.Coverage.t;
+  output : string;   (** accumulated [print] text *)
+  steps : int;
+}
+
+val run : ?max_steps:int -> Sv_lang_f.Ast.file -> outcome
+(** [run f] executes the file's [program] unit. [max_steps] defaults to
+    [50_000_000]. Never raises; failures land in [result]. *)
+
+val value_to_float : value -> float option
+(** Numeric view, for test assertions. *)

@@ -1,0 +1,1 @@
+lib/ir/ir.ml: Format Hashtbl List Printf Result String Sv_tree Sv_util

@@ -1,0 +1,1 @@
+lib/ir/ir.mli: Format Result Sv_tree Sv_util

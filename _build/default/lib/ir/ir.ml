@@ -1,0 +1,261 @@
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+type ty = I1 | I32 | I64 | F32 | F64 | Ptr | Void
+
+type value = Reg of int | ImmI of int | ImmF of float | Glob of string | Undef
+
+type instr = { i : instr_node; iloc : Sv_util.Loc.t }
+
+and instr_node =
+  | Bin of int * string * ty * value * value
+  | Cmp of int * string * ty * value * value
+  | Load of int * ty * value
+  | Store of ty * value * value
+  | Alloca of int * ty
+  | Gep of int * value * value
+  | CallI of int option * ty * value * value list
+  | CastI of int * string * ty * value
+  | Select of int * value * value * value
+
+type terminator =
+  | Ret of (ty * value) option
+  | Br of int
+  | CondBr of value * int * int
+  | Unreachable
+
+type block = { b_id : int; b_instrs : instr list; b_term : terminator }
+type linkage = Internal | External
+type func_kind = Host | Device | RuntimeStub
+
+type func = {
+  fn_name : string;
+  fn_kind : func_kind;
+  fn_linkage : linkage;
+  fn_ret : ty;
+  fn_params : ty list;
+  fn_blocks : block list;
+}
+
+type global = { g_name : string; g_ty : ty; g_const : bool }
+type modul = { m_file : string; m_globals : global list; m_funcs : func list }
+
+let ty_name = function
+  | I1 -> "i1" | I32 -> "i32" | I64 -> "i64"
+  | F32 -> "f32" | F64 -> "f64" | Ptr -> "ptr" | Void -> "void"
+
+let instr_kind = function
+  | Bin (_, op, ty, _, _) -> Printf.sprintf "%s.%s" op (ty_name ty)
+  | Cmp (_, pred, ty, _, _) -> Printf.sprintf "cmp-%s.%s" pred (ty_name ty)
+  | Load (_, ty, _) -> "load." ^ ty_name ty
+  | Store (ty, _, _) -> "store." ^ ty_name ty
+  | Alloca (_, ty) -> "alloca." ^ ty_name ty
+  | Gep _ -> "gep"
+  | CallI _ -> "call"
+  | CastI (_, op, ty, _) -> Printf.sprintf "%s.%s" op (ty_name ty)
+  | Select _ -> "select"
+
+(* --- tree projection ------------------------------------------------ *)
+
+let value_leaf ~loc = function
+  | Reg _ -> None (* register operands are structural noise *)
+  | ImmI n -> Some (Tree.leaf (Label.v ~text:(string_of_int n) ~loc "imm-int"))
+  | ImmF f -> Some (Tree.leaf (Label.v ~text:(Printf.sprintf "%.17g" f) ~loc "imm-float"))
+  | Glob _ -> Some (Tree.leaf (Label.v ~loc "global-ref"))
+  | Undef -> Some (Tree.leaf (Label.v ~loc "undef"))
+
+let instr_tree (ins : instr) =
+  let loc = ins.iloc in
+  let operands =
+    match ins.i with
+    | Bin (_, _, _, a, b) | Cmp (_, _, _, a, b) | Gep (_, a, b) -> [ a; b ]
+    | Load (_, _, p) -> [ p ]
+    | Store (_, v, p) -> [ v; p ]
+    | Alloca _ -> []
+    | CallI (_, _, callee, args) -> callee :: args
+    | CastI (_, _, _, v) -> [ v ]
+    | Select (_, c, a, b) -> [ c; a; b ]
+  in
+  Tree.node
+    (Label.v ~loc (instr_kind ins.i))
+    (List.filter_map (value_leaf ~loc) operands)
+
+let term_tree t =
+  match t with
+  | Ret None -> Tree.leaf (Label.v "ret-void")
+  | Ret (Some (ty, v)) ->
+      Tree.node (Label.v ("ret." ^ ty_name ty))
+        (List.filter_map (value_leaf ~loc:Sv_util.Loc.none) [ v ])
+  | Br _ -> Tree.leaf (Label.v "br")
+  | CondBr (c, _, _) ->
+      Tree.node (Label.v "cond-br")
+        (List.filter_map (value_leaf ~loc:Sv_util.Loc.none) [ c ])
+  | Unreachable -> Tree.leaf (Label.v "unreachable")
+
+let block_tree b =
+  Tree.node (Label.v "block") (List.map instr_tree b.b_instrs @ [ term_tree b.b_term ])
+
+let func_kind_label = function
+  | Host -> "ir-function"
+  | Device -> "ir-device-function"
+  | RuntimeStub -> "ir-stub-function"
+
+let func_tree f =
+  Tree.node
+    (Label.v (func_kind_label f.fn_kind))
+    (List.map (fun ty -> Tree.leaf (Label.v ("ir-param." ^ ty_name ty))) f.fn_params
+    @ List.map block_tree f.fn_blocks)
+
+let to_tree m =
+  Tree.node
+    (Label.v ~loc:(Sv_util.Loc.make ~file:m.m_file ~line:1 ~col:0) "ir-module")
+    (List.map
+       (fun g ->
+         Tree.leaf
+           (Label.v
+              (if g.g_const then "ir-const-global." ^ ty_name g.g_ty
+               else "ir-global." ^ ty_name g.g_ty)))
+       m.m_globals
+    @ List.map func_tree m.m_funcs)
+
+(* --- validation ------------------------------------------------------ *)
+
+let instr_result = function
+  | Bin (r, _, _, _, _)
+  | Cmp (r, _, _, _, _)
+  | Load (r, _, _)
+  | Alloca (r, _)
+  | Gep (r, _, _)
+  | CastI (r, _, _, _)
+  | Select (r, _, _, _) -> Some r
+  | CallI (r, _, _, _) -> r
+  | Store _ -> None
+
+let instr_operands = function
+  | Bin (_, _, _, a, b) | Cmp (_, _, _, a, b) | Gep (_, a, b) -> [ a; b ]
+  | Load (_, _, p) -> [ p ]
+  | Store (_, v, p) -> [ v; p ]
+  | Alloca _ -> []
+  | CallI (_, _, callee, args) -> callee :: args
+  | CastI (_, _, _, v) -> [ v ]
+  | Select (_, c, a, b) -> [ c; a; b ]
+
+let validate m =
+  let ( let* ) = Result.bind in
+  let check_func f =
+    if f.fn_blocks = [] && f.fn_linkage = Internal then
+      Error (Printf.sprintf "%s: internal function with no body" f.fn_name)
+    else begin
+      let ids = List.map (fun b -> b.b_id) f.fn_blocks in
+      let sorted = List.sort_uniq compare ids in
+      if List.length sorted <> List.length ids then
+        Error (Printf.sprintf "%s: duplicate block ids" f.fn_name)
+      else begin
+        let exists id = List.mem id ids in
+        let check_term = function
+          | Br t when not (exists t) -> Error "branch to missing block"
+          | CondBr (_, a, b) when not (exists a && exists b) ->
+              Error "conditional branch to missing block"
+          | _ -> Ok ()
+        in
+        (* Parameters occupy registers 0 .. n-1 by the lowering convention. *)
+        let defined = Hashtbl.create 64 in
+        List.iteri (fun i _ -> Hashtbl.replace defined i ()) f.fn_params;
+        let check_value v =
+          match v with
+          | Reg r ->
+              if Hashtbl.mem defined r then Ok ()
+              else Error (Printf.sprintf "%s: use of undefined register %%%d" f.fn_name r)
+          | _ -> Ok ()
+        in
+        List.fold_left
+          (fun acc b ->
+            let* () = acc in
+            let* () =
+              List.fold_left
+                (fun acc ins ->
+                  let* () = acc in
+                  let* () =
+                    List.fold_left
+                      (fun acc v ->
+                        let* () = acc in
+                        check_value v)
+                      (Ok ()) (instr_operands ins.i)
+                  in
+                  (match instr_result ins.i with
+                  | Some r -> Hashtbl.replace defined r ()
+                  | None -> ());
+                  Ok ())
+                (Ok ()) b.b_instrs
+            in
+            check_term b.b_term)
+          (Ok ()) f.fn_blocks
+      end
+    end
+  in
+  List.fold_left
+    (fun acc f ->
+      let* () = acc in
+      check_func f)
+    (Ok ()) m.m_funcs
+
+(* --- pretty printing ------------------------------------------------- *)
+
+let pp_value fmt = function
+  | Reg r -> Format.fprintf fmt "%%%d" r
+  | ImmI n -> Format.fprintf fmt "%d" n
+  | ImmF f -> Format.fprintf fmt "%g" f
+  | Glob g -> Format.fprintf fmt "@%s" g
+  | Undef -> Format.fprintf fmt "undef"
+
+let pp_instr fmt ins =
+  let pv = pp_value in
+  match ins.i with
+  | Bin (r, op, ty, a, b) ->
+      Format.fprintf fmt "%%%d = %s %s %a, %a" r op (ty_name ty) pv a pv b
+  | Cmp (r, pred, ty, a, b) ->
+      Format.fprintf fmt "%%%d = cmp %s %s %a, %a" r pred (ty_name ty) pv a pv b
+  | Load (r, ty, p) -> Format.fprintf fmt "%%%d = load %s, %a" r (ty_name ty) pv p
+  | Store (ty, v, p) -> Format.fprintf fmt "store %s %a, %a" (ty_name ty) pv v pv p
+  | Alloca (r, ty) -> Format.fprintf fmt "%%%d = alloca %s" r (ty_name ty)
+  | Gep (r, base, idx) -> Format.fprintf fmt "%%%d = gep %a, %a" r pv base pv idx
+  | CallI (r, ty, callee, args) ->
+      (match r with
+      | Some r -> Format.fprintf fmt "%%%d = call %s %a(" r (ty_name ty) pv callee
+      | None -> Format.fprintf fmt "call %s %a(" (ty_name ty) pv callee);
+      List.iteri
+        (fun k a ->
+          if k > 0 then Format.fprintf fmt ", ";
+          pv fmt a)
+        args;
+      Format.fprintf fmt ")"
+  | CastI (r, op, ty, v) -> Format.fprintf fmt "%%%d = %s %s %a" r op (ty_name ty) pv v
+  | Select (r, c, a, b) -> Format.fprintf fmt "%%%d = select %a, %a, %a" r pv c pv a pv b
+
+let pp_term fmt = function
+  | Ret None -> Format.fprintf fmt "ret void"
+  | Ret (Some (ty, v)) -> Format.fprintf fmt "ret %s %a" (ty_name ty) pp_value v
+  | Br t -> Format.fprintf fmt "br bb%d" t
+  | CondBr (c, a, b) -> Format.fprintf fmt "condbr %a, bb%d, bb%d" pp_value c a b
+  | Unreachable -> Format.fprintf fmt "unreachable"
+
+let pp fmt m =
+  Format.fprintf fmt "; module %s@\n" m.m_file;
+  List.iter
+    (fun g -> Format.fprintf fmt "@%s = global %s@\n" g.g_name (ty_name g.g_ty))
+    m.m_globals;
+  List.iter
+    (fun f ->
+      let kind =
+        match f.fn_kind with Host -> "" | Device -> " device" | RuntimeStub -> " stub"
+      in
+      Format.fprintf fmt "define%s %s @%s(%s) {@\n" kind (ty_name f.fn_ret) f.fn_name
+        (String.concat ", " (List.map ty_name f.fn_params));
+      List.iter
+        (fun b ->
+          Format.fprintf fmt "bb%d:@\n" b.b_id;
+          List.iter (fun i -> Format.fprintf fmt "  %a@\n" pp_instr i) b.b_instrs;
+          Format.fprintf fmt "  %a@\n" pp_term b.b_term)
+        f.fn_blocks;
+      Format.fprintf fmt "}@\n")
+    m.m_funcs

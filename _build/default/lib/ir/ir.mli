@@ -1,0 +1,88 @@
+(** The platform-independent intermediate representation behind [T_ir].
+
+    An SSA-flavoured, block-structured IR in the spirit of LLVM IR /
+    Low GIMPLE (§IV-A, §IV-B): functions of basic blocks, each ending in a
+    terminator; typed instructions; module-level globals. Frontends (MiniC
+    and MiniF) lower into this one IR, so [T_ir] trees are comparable
+    across models exactly as stripped LLVM bitcode is in the paper.
+
+    Following §IV-A, the tree projection {!to_tree} discards all symbol
+    names but keeps instruction names, function/block/global structure,
+    and per-instruction source back-references (for coverage masks). *)
+
+type ty = I1 | I32 | I64 | F32 | F64 | Ptr | Void
+
+type value =
+  | Reg of int        (** SSA register *)
+  | ImmI of int       (** integer immediate *)
+  | ImmF of float     (** floating immediate *)
+  | Glob of string    (** address of a global or function *)
+  | Undef
+
+type instr = { i : instr_node; iloc : Sv_util.Loc.t }
+
+and instr_node =
+  | Bin of int * string * ty * value * value
+      (** [%r = op ty a, b]; op ∈ add/sub/mul/div/rem/and/or/xor/shl/shr *)
+  | Cmp of int * string * ty * value * value
+      (** [%r = cmp pred ty a, b]; pred ∈ eq/ne/lt/gt/le/ge *)
+  | Load of int * ty * value
+  | Store of ty * value * value  (** [store ty v, ptr] *)
+  | Alloca of int * ty
+  | Gep of int * value * value   (** address arithmetic: base + index *)
+  | CallI of int option * ty * value * value list
+      (** optional result, return type, callee, arguments *)
+  | CastI of int * string * ty * value
+      (** conversions: [sitofp], [fptosi], [trunc], [ext], [bitcast] *)
+  | Select of int * value * value * value
+
+type terminator =
+  | Ret of (ty * value) option
+  | Br of int                      (** unconditional, target block id *)
+  | CondBr of value * int * int    (** condition, then-block, else-block *)
+  | Unreachable
+
+type block = { b_id : int; b_instrs : instr list; b_term : terminator }
+
+type linkage = Internal | External
+
+type func_kind =
+  | Host          (** ordinary host code *)
+  | Device        (** offload kernel / outlined target region *)
+  | RuntimeStub   (** synthesised driver/registration code — the offload
+                      boilerplate §V-C observes inflating [T_ir] *)
+
+type func = {
+  fn_name : string;
+  fn_kind : func_kind;
+  fn_linkage : linkage;
+  fn_ret : ty;
+  fn_params : ty list;
+  fn_blocks : block list;
+}
+
+type global = { g_name : string; g_ty : ty; g_const : bool }
+
+type modul = { m_file : string; m_globals : global list; m_funcs : func list }
+
+val ty_name : ty -> string
+(** Stable lowercase spelling: ["i1"], ["f64"], ["ptr"], ... *)
+
+val instr_kind : instr_node -> string
+(** The tree-label kind of an instruction, e.g. ["add.f64"], ["load.i32"],
+    ["call"]. *)
+
+val to_tree : modul -> Sv_tree.Label.tree
+(** [to_tree m] is the [T_ir] of the module: root ["ir-module"], children
+    are globals and functions; function kind is reflected in the label
+    kind (["ir-function"], ["ir-device-function"], ["ir-stub-function"]),
+    names are dropped. *)
+
+val validate : modul -> (unit, string) Result.t
+(** Structural well-formedness: block ids unique within a function,
+    branch targets exist, every register is defined before use within its
+    block sequence (a linear over-approximation of SSA dominance that the
+    lowering respects), no empty function bodies. *)
+
+val pp : Format.formatter -> modul -> unit
+(** Human-readable listing, LLVM-ish, for debugging and docs. *)

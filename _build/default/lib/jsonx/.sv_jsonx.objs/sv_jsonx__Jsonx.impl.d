@@ -1,0 +1,1 @@
+lib/jsonx/jsonx.ml: Buffer Char Float List Printf String

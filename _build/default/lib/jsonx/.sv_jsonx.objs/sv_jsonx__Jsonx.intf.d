@@ -1,0 +1,1 @@
+lib/jsonx/jsonx.mli:

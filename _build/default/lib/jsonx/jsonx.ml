@@ -1,0 +1,270 @@
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+
+exception Parse_error of string
+
+(* --- parsing ------------------------------------------------------- *)
+
+type state = { src : string; mutable pos : int }
+
+let fail st msg = raise (Parse_error (Printf.sprintf "%s at offset %d" msg st.pos))
+let peek st = if st.pos < String.length st.src then Some st.src.[st.pos] else None
+
+let advance st = st.pos <- st.pos + 1
+
+let rec skip_ws st =
+  match peek st with
+  | Some (' ' | '\t' | '\n' | '\r') ->
+      advance st;
+      skip_ws st
+  | _ -> ()
+
+let expect st c =
+  match peek st with
+  | Some c' when c' = c -> advance st
+  | _ -> fail st (Printf.sprintf "expected '%c'" c)
+
+let parse_hex4 st =
+  let v = ref 0 in
+  for _ = 1 to 4 do
+    (match peek st with
+    | Some c ->
+        let d =
+          match c with
+          | '0' .. '9' -> Char.code c - Char.code '0'
+          | 'a' .. 'f' -> Char.code c - Char.code 'a' + 10
+          | 'A' .. 'F' -> Char.code c - Char.code 'A' + 10
+          | _ -> fail st "invalid \\u escape"
+        in
+        v := (!v * 16) + d
+    | None -> fail st "truncated \\u escape");
+    advance st
+  done;
+  !v
+
+let utf8_encode b cp =
+  if cp < 0x80 then Buffer.add_char b (Char.chr cp)
+  else if cp < 0x800 then begin
+    Buffer.add_char b (Char.chr (0xC0 lor (cp lsr 6)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+  else begin
+    Buffer.add_char b (Char.chr (0xE0 lor (cp lsr 12)));
+    Buffer.add_char b (Char.chr (0x80 lor ((cp lsr 6) land 0x3F)));
+    Buffer.add_char b (Char.chr (0x80 lor (cp land 0x3F)))
+  end
+
+let parse_string st =
+  expect st '"';
+  let b = Buffer.create 16 in
+  let rec go () =
+    match peek st with
+    | None -> fail st "unterminated string"
+    | Some '"' -> advance st
+    | Some '\\' ->
+        advance st;
+        (match peek st with
+        | Some 'n' -> Buffer.add_char b '\n'; advance st
+        | Some 't' -> Buffer.add_char b '\t'; advance st
+        | Some 'r' -> Buffer.add_char b '\r'; advance st
+        | Some 'b' -> Buffer.add_char b '\b'; advance st
+        | Some 'f' -> Buffer.add_char b '\012'; advance st
+        | Some '"' -> Buffer.add_char b '"'; advance st
+        | Some '\\' -> Buffer.add_char b '\\'; advance st
+        | Some '/' -> Buffer.add_char b '/'; advance st
+        | Some 'u' ->
+            advance st;
+            utf8_encode b (parse_hex4 st)
+        | _ -> fail st "invalid escape");
+        go ()
+    | Some c ->
+        Buffer.add_char b c;
+        advance st;
+        go ()
+  in
+  go ();
+  Buffer.contents b
+
+let parse_number st =
+  let start = st.pos in
+  let is_num c =
+    match c with '0' .. '9' | '-' | '+' | '.' | 'e' | 'E' -> true | _ -> false
+  in
+  let rec consume () =
+    match peek st with
+    | Some c when is_num c ->
+        advance st;
+        consume ()
+    | _ -> ()
+  in
+  consume ();
+  let text = String.sub st.src start (st.pos - start) in
+  if String.exists (fun c -> c = '.' || c = 'e' || c = 'E') text then
+    match float_of_string_opt text with
+    | Some f -> Float f
+    | None -> fail st "invalid number"
+  else
+    match int_of_string_opt text with
+    | Some i -> Int i
+    | None -> fail st "invalid number"
+
+let rec parse_value st =
+  skip_ws st;
+  match peek st with
+  | Some '{' -> parse_obj st
+  | Some '[' -> parse_list st
+  | Some '"' -> String (parse_string st)
+  | Some 't' -> parse_lit st "true" (Bool true)
+  | Some 'f' -> parse_lit st "false" (Bool false)
+  | Some 'n' -> parse_lit st "null" Null
+  | Some ('-' | '0' .. '9') -> parse_number st
+  | _ -> fail st "expected a JSON value"
+
+and parse_lit st lit v =
+  String.iter (fun c -> expect st c) lit;
+  v
+
+and parse_obj st =
+  expect st '{';
+  skip_ws st;
+  if peek st = Some '}' then begin
+    advance st;
+    Obj []
+  end
+  else begin
+    let members = ref [] in
+    let rec go () =
+      skip_ws st;
+      let k = parse_string st in
+      skip_ws st;
+      expect st ':';
+      let v = parse_value st in
+      members := (k, v) :: !members;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          go ()
+      | Some '}' -> advance st
+      | _ -> fail st "expected ',' or '}'"
+    in
+    go ();
+    Obj (List.rev !members)
+  end
+
+and parse_list st =
+  expect st '[';
+  skip_ws st;
+  if peek st = Some ']' then begin
+    advance st;
+    List []
+  end
+  else begin
+    let elems = ref [] in
+    let rec go () =
+      let v = parse_value st in
+      elems := v :: !elems;
+      skip_ws st;
+      match peek st with
+      | Some ',' ->
+          advance st;
+          go ()
+      | Some ']' -> advance st
+      | _ -> fail st "expected ',' or ']'"
+    in
+    go ();
+    List (List.rev !elems)
+  end
+
+let of_string s =
+  let st = { src = s; pos = 0 } in
+  let v = parse_value st in
+  skip_ws st;
+  if st.pos <> String.length s then fail st "trailing content";
+  v
+
+(* --- printing ------------------------------------------------------ *)
+
+let escape s =
+  let b = Buffer.create (String.length s + 2) in
+  String.iter
+    (fun c ->
+      match c with
+      | '"' -> Buffer.add_string b "\\\""
+      | '\\' -> Buffer.add_string b "\\\\"
+      | '\n' -> Buffer.add_string b "\\n"
+      | '\t' -> Buffer.add_string b "\\t"
+      | '\r' -> Buffer.add_string b "\\r"
+      | c when Char.code c < 0x20 -> Buffer.add_string b (Printf.sprintf "\\u%04x" (Char.code c))
+      | c -> Buffer.add_char b c)
+    s;
+  Buffer.contents b
+
+let to_string ?indent v =
+  let b = Buffer.create 256 in
+  let nl level =
+    match indent with
+    | None -> ()
+    | Some n ->
+        Buffer.add_char b '\n';
+        Buffer.add_string b (String.make (n * level) ' ')
+  in
+  let sep () = match indent with None -> () | Some _ -> Buffer.add_char b ' ' in
+  let rec go level v =
+    match v with
+    | Null -> Buffer.add_string b "null"
+    | Bool true -> Buffer.add_string b "true"
+    | Bool false -> Buffer.add_string b "false"
+    | Int i -> Buffer.add_string b (string_of_int i)
+    | Float f ->
+        if Float.is_integer f && Float.abs f < 1e15 then
+          Buffer.add_string b (Printf.sprintf "%.1f" f)
+        else Buffer.add_string b (Printf.sprintf "%.17g" f)
+    | String s ->
+        Buffer.add_char b '"';
+        Buffer.add_string b (escape s);
+        Buffer.add_char b '"'
+    | List [] -> Buffer.add_string b "[]"
+    | List xs ->
+        Buffer.add_char b '[';
+        List.iteri
+          (fun i x ->
+            if i > 0 then Buffer.add_char b ',';
+            nl (level + 1);
+            go (level + 1) x)
+          xs;
+        nl level;
+        Buffer.add_char b ']'
+    | Obj [] -> Buffer.add_string b "{}"
+    | Obj kvs ->
+        Buffer.add_char b '{';
+        List.iteri
+          (fun i (k, x) ->
+            if i > 0 then Buffer.add_char b ',';
+            nl (level + 1);
+            Buffer.add_char b '"';
+            Buffer.add_string b (escape k);
+            Buffer.add_string b "\":";
+            sep ();
+            go (level + 1) x)
+          kvs;
+        nl level;
+        Buffer.add_char b '}'
+  in
+  go 0 v;
+  Buffer.contents b
+
+let member k = function
+  | Obj kvs ->
+      List.fold_left (fun acc (k', v) -> if k' = k then Some v else acc) None kvs
+  | _ -> None
+
+let to_list = function List xs -> xs | _ -> []
+let string_value = function String s -> Some s | _ -> None
+let equal (a : t) (b : t) = a = b

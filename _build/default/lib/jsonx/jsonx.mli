@@ -1,0 +1,43 @@
+(** Minimal JSON parsing and printing.
+
+    SilverVale ingests Compilation Databases — the single
+    [compile_commands.json] file CMake/Meson/Bear emit (§IV). This module
+    is a small, dependency-free JSON implementation sufficient for that
+    format plus the framework's own report exports. *)
+
+type t =
+  | Null
+  | Bool of bool
+  | Int of int
+  | Float of float
+  | String of string
+  | List of t list
+  | Obj of (string * t) list
+      (** Object members in source order; duplicate keys are preserved
+          (last wins in {!member}). *)
+
+exception Parse_error of string
+(** Raised by {!of_string} with a human-readable position message. *)
+
+val of_string : string -> t
+(** [of_string s] parses one JSON value; trailing whitespace is allowed,
+    trailing content is not. Raises {!Parse_error}. *)
+
+val to_string : ?indent:int -> t -> string
+(** [to_string v] serialises [v]; with [~indent] the output is
+    pretty-printed with that many spaces per level. *)
+
+val member : string -> t -> t option
+(** [member k v] looks up key [k] when [v] is an object ([None]
+    otherwise or when absent). For duplicate keys the last entry wins. *)
+
+val to_list : t -> t list
+(** [to_list v] is the element list of an array, or [[]] for any other
+    value. *)
+
+val string_value : t -> string option
+(** [string_value v] extracts a [String] payload. *)
+
+val equal : t -> t -> bool
+(** Structural equality; object key order is significant (round-trip
+    equality). *)

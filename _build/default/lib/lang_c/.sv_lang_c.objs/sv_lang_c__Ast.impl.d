@@ -1,0 +1,1 @@
+lib/lang_c/ast.ml: List Sv_util

@@ -1,0 +1,1 @@
+lib/lang_c/ast.mli: Sv_util

@@ -1,0 +1,1 @@
+lib/lang_c/cst.ml: List String Sv_tree Sv_util Token

@@ -1,0 +1,1 @@
+lib/lang_c/cst.mli: Sv_tree Sv_util Token

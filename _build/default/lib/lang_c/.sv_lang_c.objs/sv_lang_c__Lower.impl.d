@@ -1,0 +1,1 @@
+lib/lang_c/lower.ml: Ast Char List Option Printf Sv_ir Sv_util

@@ -1,0 +1,1 @@
+lib/lang_c/lower.mli: Ast Sv_ir

@@ -1,0 +1,1 @@
+lib/lang_c/parser.ml: Array Ast Buffer Cst List Printf Scanf String Sv_tree Sv_util Token

@@ -1,0 +1,1 @@
+lib/lang_c/parser.mli: Ast Sv_util Token

@@ -1,0 +1,1 @@
+lib/lang_c/preproc.ml: Fun Hashtbl List String Sv_util Token

@@ -1,0 +1,1 @@
+lib/lang_c/preproc.mli: Token

@@ -1,0 +1,1 @@
+lib/lang_c/sem_tree.ml: Ast List Option Printf String Sv_tree Sv_util

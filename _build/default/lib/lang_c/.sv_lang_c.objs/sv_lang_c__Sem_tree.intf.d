@@ -1,0 +1,1 @@
+lib/lang_c/sem_tree.mli: Ast Sv_tree

@@ -1,0 +1,1 @@
+lib/lang_c/token.ml: Hashtbl List Printf String Sv_util

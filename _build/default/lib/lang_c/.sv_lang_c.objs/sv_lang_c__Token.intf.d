@@ -1,0 +1,1 @@
+lib/lang_c/token.mli: Sv_util

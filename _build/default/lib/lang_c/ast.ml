@@ -1,0 +1,125 @@
+type ty =
+  | TVoid
+  | TBool
+  | TChar
+  | TInt
+  | TLong
+  | TSizeT
+  | TFloat
+  | TDouble
+  | TAuto
+  | TPtr of ty
+  | TRef of ty
+  | TConst of ty
+  | TNamed of string * targ list
+  | TArr of ty * int option
+
+and targ = TyArg of ty | IntArg of int
+
+type unop = Neg | Not | BitNot | PreInc | PreDec | PostInc | PostDec | Deref | AddrOf
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | LAnd | LOr
+  | BitAnd | BitOr | BitXor | Shl | Shr
+
+type capture = ByValue | ByRef
+
+type expr = { e : expr_node; eloc : Sv_util.Loc.t }
+
+and expr_node =
+  | IntE of int
+  | FloatE of float
+  | BoolE of bool
+  | StrE of string
+  | CharE of char
+  | NullE
+  | Var of string
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of binop option * expr * expr
+  | Ternary of expr * expr * expr
+  | Call of expr * targ list * expr list
+  | KernelLaunch of expr * expr list * expr list
+  | Index of expr * expr
+  | Member of expr * string * [ `Dot | `Arrow ]
+  | Lambda of capture * param list * stmt list
+  | Cast of ty * expr
+  | New of ty * expr option
+  | InitList of expr list
+  | SizeofT of ty
+
+and param = { p_ty : ty; p_name : string; p_loc : Sv_util.Loc.t }
+
+and stmt = { s : stmt_node; sloc : Sv_util.Loc.t }
+
+and stmt_node =
+  | Decl of ty * (string * expr option) list
+  | ExprS of expr
+  | If of expr * stmt list * stmt list
+  | For of stmt option * expr option * expr option * stmt list
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+  | Directive of directive * stmt option
+  | DeleteS of expr * bool
+
+and directive = {
+  d_origin : [ `Omp | `Acc ];
+  d_clauses : (string * string option) list;
+  d_loc : Sv_util.Loc.t;
+}
+
+type attr = AGlobal | ADevice | AHost | AShared | AStatic | AInline | AExtern | AConstant
+
+type func = {
+  f_attrs : attr list;
+  f_tparams : string list;
+  f_ret : ty;
+  f_name : string;
+  f_params : param list;
+  f_body : stmt list option;
+  f_loc : Sv_util.Loc.t;
+}
+
+type record = { r_name : string; r_fields : (ty * string) list; r_loc : Sv_util.Loc.t }
+
+type top =
+  | Func of func
+  | Record of record
+  | GlobalVar of attr list * ty * string * expr option * Sv_util.Loc.t
+  | Using of string * Sv_util.Loc.t
+  | TopDirective of directive
+      (** a top-level pragma such as [#pragma omp declare target] *)
+
+type tunit = { t_file : string; t_tops : top list }
+
+let binop_name = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+  | BitAnd -> "&" | BitOr -> "|" | BitXor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let unop_name = function
+  | Neg -> "-" | Not -> "!" | BitNot -> "~"
+  | PreInc -> "++pre" | PreDec -> "--pre"
+  | PostInc -> "++post" | PostDec -> "--post"
+  | Deref -> "*" | AddrOf -> "&"
+
+let rec ty_kind = function
+  | TVoid -> "void" | TBool -> "bool" | TChar -> "char" | TInt -> "int"
+  | TLong -> "long" | TSizeT -> "size_t" | TFloat -> "float"
+  | TDouble -> "double" | TAuto -> "auto"
+  | TPtr _ -> "ptr" | TRef _ -> "ref" | TConst t -> ty_kind t
+  | TNamed _ -> "named-type"
+  | TArr _ -> "array"
+
+let functions u =
+  List.filter_map (function Func f -> Some f | _ -> None) u.t_tops
+
+let find_function u name =
+  List.find_opt (fun f -> f.f_name = name && f.f_body <> None) (functions u)

@@ -1,0 +1,147 @@
+(** Abstract syntax for MiniC.
+
+    This is the frontend representation that generates [T_sem] — the
+    counterpart of ClangAST in §IV-A. Like ClangAST, it represents every
+    dialect uniformly: OpenMP/OpenACC directives are first-class nodes
+    ({!stmt_node.Directive}), CUDA/HIP kernel launches have their own
+    expression form, and lambdas (SYCL, Kokkos, TBB, StdPar) are ordinary
+    expressions. *)
+
+type ty =
+  | TVoid
+  | TBool
+  | TChar
+  | TInt
+  | TLong
+  | TSizeT
+  | TFloat
+  | TDouble
+  | TAuto
+  | TPtr of ty
+  | TRef of ty
+  | TConst of ty
+  | TNamed of string * targ list
+      (** a (possibly [::]-qualified) named type with optional template
+          arguments, e.g. [sycl::buffer<double, 1>] *)
+  | TArr of ty * int option
+      (** fixed-size array declarator, e.g. [double s\[64\]] *)
+
+and targ = TyArg of ty | IntArg of int  (** template argument *)
+
+type unop =
+  | Neg | Not | BitNot
+  | PreInc | PreDec | PostInc | PostDec
+  | Deref | AddrOf
+
+type binop =
+  | Add | Sub | Mul | Div | Mod
+  | Eq | Ne | Lt | Gt | Le | Ge
+  | LAnd | LOr
+  | BitAnd | BitOr | BitXor | Shl | Shr
+
+type capture = ByValue | ByRef  (** lambda introducer: [=] or [&] *)
+
+type expr = { e : expr_node; eloc : Sv_util.Loc.t }
+
+and expr_node =
+  | IntE of int
+  | FloatE of float
+  | BoolE of bool
+  | StrE of string
+  | CharE of char
+  | NullE
+  | Var of string  (** possibly qualified, e.g. ["std::execution::par_unseq"] *)
+  | Unary of unop * expr
+  | Binary of binop * expr * expr
+  | Assign of binop option * expr * expr
+      (** [Assign (None, l, r)] is [l = r]; [Assign (Some Add, l, r)] is
+          [l += r] *)
+  | Ternary of expr * expr * expr
+  | Call of expr * targ list * expr list
+      (** callee, explicit template arguments, arguments *)
+  | KernelLaunch of expr * expr list * expr list
+      (** CUDA/HIP [f<<<cfg...>>>(args)]: callee, launch config,
+          arguments *)
+  | Index of expr * expr
+  | Member of expr * string * [ `Dot | `Arrow ]
+  | Lambda of capture * param list * stmt list
+  | Cast of ty * expr
+  | New of ty * expr option  (** [new T] / [new T\[n\]] *)
+  | InitList of expr list    (** brace initialiser [{a, b}] *)
+  | SizeofT of ty
+
+and param = { p_ty : ty; p_name : string; p_loc : Sv_util.Loc.t }
+
+and stmt = { s : stmt_node; sloc : Sv_util.Loc.t }
+
+and stmt_node =
+  | Decl of ty * (string * expr option) list
+      (** one declaration statement, possibly declaring several names *)
+  | ExprS of expr
+  | If of expr * stmt list * stmt list
+  | For of stmt option * expr option * expr option * stmt list
+  | While of expr * stmt list
+  | DoWhile of stmt list * expr
+  | Return of expr option
+  | Break
+  | Continue
+  | Block of stmt list
+  | Directive of directive * stmt option
+      (** an OpenMP/OpenACC pragma and the statement it governs (none for
+          stand-alone directives like [barrier]) *)
+  | DeleteS of expr * bool  (** [delete p] / [delete\[\] p] *)
+
+and directive = {
+  d_origin : [ `Omp | `Acc ];
+  d_clauses : (string * string option) list;
+      (** clause word and optional parenthesised argument text, e.g.
+          [("reduction", Some "(+ : sum)")] *)
+  d_loc : Sv_util.Loc.t;
+}
+
+type attr = AGlobal | ADevice | AHost | AShared | AStatic | AInline | AExtern | AConstant
+
+type func = {
+  f_attrs : attr list;
+  f_tparams : string list;  (** template type parameters, e.g. [template<typename T>] *)
+  f_ret : ty;
+  f_name : string;
+  f_params : param list;
+  f_body : stmt list option;  (** [None] for a bare prototype *)
+  f_loc : Sv_util.Loc.t;
+}
+
+type record = {
+  r_name : string;
+  r_fields : (ty * string) list;
+  r_loc : Sv_util.Loc.t;
+}
+
+type top =
+  | Func of func
+  | Record of record
+  | GlobalVar of attr list * ty * string * expr option * Sv_util.Loc.t
+  | Using of string * Sv_util.Loc.t
+  | TopDirective of directive
+      (** a top-level pragma such as [#pragma omp declare target] *)
+
+type tunit = { t_file : string; t_tops : top list }
+(** A parsed translation unit. *)
+
+val binop_name : binop -> string
+(** Stable spelling used as tree-label text, e.g. ["+"], ["&&"]. *)
+
+val unop_name : unop -> string
+(** Stable spelling, e.g. ["!"], ["++pre"]. *)
+
+val ty_kind : ty -> string
+(** The label kind of a type node: builtin types keep their keyword
+    (["double"]), named types become the anonymous ["named-type"] per the
+    paper's name-normalisation rule. *)
+
+val functions : tunit -> func list
+(** All function definitions and prototypes in order. *)
+
+val find_function : tunit -> string -> func option
+(** [find_function u name] finds a function {e definition} by name (used by
+    the inliner and the interpreter). *)

@@ -1,0 +1,123 @@
+module Loc = Sv_util.Loc
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+type node =
+  | Tok of Token.t
+  | Group of char * node list * Loc.t
+
+let closer_of = function '(' -> ")" | '{' -> "}" | '[' -> "]" | _ -> assert false
+
+let parse tokens =
+  (* One stack frame per open bracket: the opener and the children
+     accumulated so far (reversed). *)
+  let rec go stack acc = function
+    | [] ->
+        (* Unclosed groups degrade to a plain opener token followed by
+           their contents. *)
+        let rec unwind stack inner =
+          match stack with
+          | [] -> inner
+          | ((opener : Token.t), outer_acc) :: rest ->
+              unwind rest (List.rev_append outer_acc (Tok opener :: inner))
+        in
+        unwind stack (List.rev acc)
+    | (t : Token.t) :: rest -> (
+        match t.kind with
+        | Punct when t.text = "(" || t.text = "{" || t.text = "[" ->
+            go ((t, acc) :: stack) [] rest
+        | Punct when t.text = ")" || t.text = "}" || t.text = "]" -> (
+            match stack with
+            | (opener, outer_acc) :: stack'
+              when closer_of opener.text.[0] = t.text ->
+                let g =
+                  Group (opener.text.[0], List.rev acc, Loc.span opener.loc t.loc)
+                in
+                go stack' (g :: outer_acc) rest
+            | _ -> go stack (Tok t :: acc) rest)
+        | _ -> go stack (Tok t :: acc) rest)
+  in
+  go [] [] tokens
+
+let reconstruct tokens = String.concat "" (List.map (fun (t : Token.t) -> t.text) tokens)
+
+(* --- directive structuring ---------------------------------------- *)
+
+let split_directive = Sv_util.Directive_syntax.split
+
+let directive_label (tok : Token.t) =
+  if tok.kind <> Token.Pragma then None
+  else
+    let text = Sv_util.Xstring.collapse_spaces (String.trim tok.text) in
+    let body () =
+      if String.length text > 12 then String.sub text 12 (String.length text - 12)
+      else ""
+    in
+    if Sv_util.Xstring.starts_with ~prefix:"#pragma omp" text then
+      Some (Label.v ~text:(body ()) ~loc:tok.loc "omp-directive")
+    else if Sv_util.Xstring.starts_with ~prefix:"#pragma acc" text then
+      Some (Label.v ~text:(body ()) ~loc:tok.loc "acc-directive")
+    else None
+
+let directive_tree (tok : Token.t) =
+  match directive_label tok with
+  | None -> None
+  | Some root ->
+      let prefix = if root.Label.kind = "omp-directive" then "omp" else "acc" in
+      let clause_node (word, args) =
+        let kids =
+          match args with
+          | None -> []
+          | Some a -> [ Tree.leaf (Label.v ~text:a ~loc:tok.loc (prefix ^ "-clause-args")) ]
+        in
+        Tree.node (Label.v ~text:word ~loc:tok.loc (prefix ^ ":" ^ word)) kids
+      in
+      let clauses = split_directive root.Label.text in
+      Some (Tree.node { root with Label.text = "" } (List.map clause_node clauses))
+
+(* --- normalisation to T_src ---------------------------------------- *)
+
+let pp_directive_tree (tok : Token.t) =
+  (* "#include <x>" / "#define N V": keep the directive keyword, anonymise
+     the payload (it names files and macros, i.e. programmer names). *)
+  let text = String.trim tok.text in
+  let word =
+    match String.index_opt text ' ' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  Tree.leaf (Label.v ~text:word ~loc:tok.loc "pp-directive")
+
+let token_tree (t : Token.t) : Label.tree option =
+  match t.kind with
+  | Token.Whitespace | Token.LineComment | Token.BlockComment -> None
+  | Token.Punct -> None (* control tokens: ; , and stray brackets *)
+  | Token.Ident -> Some (Tree.leaf (Label.v ~loc:t.loc "ident"))
+  | Token.Keyword -> Some (Tree.leaf (Label.v ~text:t.text ~loc:t.loc "kw"))
+  | Token.Op -> Some (Tree.leaf (Label.v ~text:t.text ~loc:t.loc "op"))
+  | Token.IntLit | Token.FloatLit | Token.StringLit | Token.CharLit ->
+      Some (Tree.leaf (Label.v ~text:t.text ~loc:t.loc (Token.kind_name t.kind)))
+  | Token.Pragma -> (
+      match directive_tree t with
+      | Some d -> Some d
+      | None -> Some (Tree.leaf (Label.v ~loc:t.loc "pragma")))
+  | Token.PpDirective -> Some (pp_directive_tree t)
+
+let group_kind = function
+  | '(' -> "parens"
+  | '{' -> "braces"
+  | '[' -> "brackets"
+  | _ -> "group"
+
+let rec node_tree = function
+  | Tok t -> token_tree t
+  | Group (c, kids, loc) ->
+      Some (Tree.node (Label.v ~loc (group_kind c)) (List.filter_map node_tree kids))
+
+let t_src_of_tokens ~file tokens =
+  let nodes = parse (Token.significant tokens) in
+  Tree.node
+    (Label.v ~text:"" ~loc:(Loc.make ~file ~line:1 ~col:0) "src-file")
+    (List.filter_map node_tree nodes)
+
+let t_src ~file src = t_src_of_tokens ~file (Token.lex ~file src)

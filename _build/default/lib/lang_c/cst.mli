@@ -1,0 +1,49 @@
+(** Concrete syntax trees for MiniC.
+
+    SilverVale obtains CSTs from tree-sitter because compiler plugin APIs
+    expose none (§IV-C); here the lexer's token stream is structured into a
+    bracket-nesting tree, which plays the same role: it captures every
+    syntactic token, supports exact source reconstruction, and — once
+    normalised — becomes the perceived-semantics tree [T_src] of §III-A.
+
+    Normalisation (§III-C) removes whitespace, comments and low-value
+    control tokens (semicolons, commas), anonymises identifier spellings
+    (name-normalisation of §III-B), and expands [#pragma omp]/[#pragma acc]
+    lines into structured directive nodes so directive semantics survive —
+    the "special provision" the paper makes for OpenMP. *)
+
+type node =
+  | Tok of Token.t                  (** an atomic token *)
+  | Group of char * node list * Sv_util.Loc.t
+      (** a bracketed region; the [char] is ['('], ['{'] or ['[']; children
+          include the nested tokens but not the brackets themselves *)
+
+val parse : Token.t list -> node list
+(** [parse tokens] nests a {e significant} token stream by brackets.
+    Unbalanced closers are tolerated (kept as plain tokens) so the CST
+    stage never fails on partial code. *)
+
+val reconstruct : Token.t list -> string
+(** [reconstruct tokens] concatenates the raw token texts — with the full
+    (non-significant) stream this is the identity back to the source. *)
+
+val t_src : file:string -> string -> Sv_tree.Label.tree
+(** [t_src ~file src] is the normalised perceived tree of one file: lex,
+    nest, normalise. Root label kind is ["src-file"]. *)
+
+val t_src_of_tokens : file:string -> Token.t list -> Sv_tree.Label.tree
+(** As {!t_src} but from an already-lexed (significant or full) stream —
+    used for the post-preprocessor variant where the stream was spliced
+    together from several files. *)
+
+val split_directive : string -> (string * string option) list
+(** [split_directive body] splits a pragma body such as
+    ["omp target teams map(tofrom: a)"] into clause words, each with the
+    parenthesised argument text that immediately follows it (if any).
+    Shared by the CST normaliser and the parser. *)
+
+val directive_label : Token.t -> Sv_tree.Label.t option
+(** [directive_label tok] classifies a [Pragma] token: [Some] structured
+    label for [omp]/[acc] pragmas (kind ["omp-directive"] or
+    ["acc-directive"], text = the normalised clause list), [None] for
+    other tokens. Exposed for the metric layer's directive statistics. *)

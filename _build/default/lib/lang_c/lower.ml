@@ -1,0 +1,585 @@
+module Loc = Sv_util.Loc
+module Ir = Sv_ir.Ir
+open Ast
+
+(* Module-level lowering state: lifted lambdas, outlined regions, runtime
+   stubs and globals accumulate here. *)
+type mstate = {
+  mutable funcs : Ir.func list;  (* reversed *)
+  mutable globals : Ir.global list;  (* reversed *)
+  mutable lifted : int;
+  mutable outlined : int;
+  mutable has_device : bool;
+  mutable has_fork : bool;
+}
+
+(* Per-function lowering state. *)
+type fstate = {
+  ms : mstate;
+  mutable reg : int;
+  mutable blocks : Ir.block list;  (* reversed, finished blocks *)
+  mutable cur_id : int;
+  mutable cur_instrs : Ir.instr list;  (* reversed *)
+  mutable next_block : int;
+  mutable env : (string * int) list;  (* var -> alloca register *)
+  mutable loops : (int * int) list;  (* (continue target, break target) *)
+  mutable terminated : bool;
+}
+
+let rec map_ty = function
+  | TVoid -> Ir.Void
+  | TBool -> Ir.I1
+  | TChar -> Ir.I32
+  | TInt -> Ir.I32
+  | TLong | TSizeT -> Ir.I64
+  | TFloat -> Ir.F32
+  | TDouble -> Ir.F64
+  | TAuto -> Ir.F64
+  | TPtr _ | TRef _ | TNamed _ | TArr _ -> Ir.Ptr
+  | TConst t -> map_ty t
+
+let fresh fs =
+  let r = fs.reg in
+  fs.reg <- r + 1;
+  r
+
+let emit fs ~loc node = fs.cur_instrs <- { Ir.i = node; iloc = loc } :: fs.cur_instrs
+
+let new_block_id fs =
+  let id = fs.next_block in
+  fs.next_block <- id + 1;
+  id
+
+let finish_block fs term =
+  fs.blocks <-
+    { Ir.b_id = fs.cur_id; b_instrs = List.rev fs.cur_instrs; b_term = term }
+    :: fs.blocks;
+  fs.cur_instrs <- [];
+  fs.terminated <- false
+
+let start_block fs id =
+  fs.cur_id <- id;
+  fs.cur_instrs <- [];
+  fs.terminated <- false
+
+(* --- expressions ----------------------------------------------------- *)
+
+let float_ty = function Ir.F32 | Ir.F64 -> true | _ -> false
+
+let join_ty a b =
+  match (a, b) with
+  | Ir.F64, _ | _, Ir.F64 -> Ir.F64
+  | Ir.F32, _ | _, Ir.F32 -> Ir.F32
+  | Ir.I64, _ | _, Ir.I64 -> Ir.I64
+  | Ir.Ptr, _ | _, Ir.Ptr -> Ir.Ptr
+  | _ -> Ir.I32
+
+let binop_ir_name = function
+  | Add -> "add" | Sub -> "sub" | Mul -> "mul" | Div -> "div" | Mod -> "rem"
+  | BitAnd | LAnd -> "and" | BitOr | LOr -> "or" | BitXor -> "xor"
+  | Shl -> "shl" | Shr -> "shr"
+  | Eq -> "eq" | Ne -> "ne" | Lt -> "lt" | Gt -> "gt" | Le -> "le" | Ge -> "ge"
+
+let is_cmp = function Eq | Ne | Lt | Gt | Le | Ge -> true | _ -> false
+
+let rec lower_expr fs (e : expr) : Ir.value * Ir.ty =
+  let loc = e.eloc in
+  match e.e with
+  | IntE n -> (Ir.ImmI n, Ir.I32)
+  | FloatE f -> (Ir.ImmF f, Ir.F64)
+  | BoolE b -> (Ir.ImmI (if b then 1 else 0), Ir.I1)
+  | CharE c -> (Ir.ImmI (Char.code c), Ir.I32)
+  | StrE _ -> (Ir.Glob ".str", Ir.Ptr)
+  | NullE -> (Ir.ImmI 0, Ir.Ptr)
+  | Var name -> (
+      match List.assoc_opt name fs.env with
+      | Some slot ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.Load (r, Ir.F64, Ir.Reg slot));
+          (Ir.Reg r, Ir.F64)
+      | None -> (Ir.Glob name, Ir.Ptr))
+  | Unary (op, a) -> lower_unary fs ~loc op a
+  | Binary (op, a, b) ->
+      let va, ta = lower_expr fs a in
+      let vb, tb = lower_expr fs b in
+      let ty = join_ty ta tb in
+      let r = fresh fs in
+      if is_cmp op then begin
+        emit fs ~loc (Ir.Cmp (r, binop_ir_name op, ty, va, vb));
+        (Ir.Reg r, Ir.I1)
+      end
+      else begin
+        emit fs ~loc (Ir.Bin (r, binop_ir_name op, ty, va, vb));
+        (Ir.Reg r, ty)
+      end
+  | Assign (op, lhs, rhs) ->
+      let addr, lty = lower_addr fs lhs in
+      let vr, tr = lower_expr fs rhs in
+      let stored =
+        match op with
+        | None -> vr
+        | Some bop ->
+            let cur = fresh fs in
+            emit fs ~loc (Ir.Load (cur, lty, addr));
+            let r = fresh fs in
+            emit fs ~loc (Ir.Bin (r, binop_ir_name bop, join_ty lty tr, Ir.Reg cur, vr));
+            Ir.Reg r
+      in
+      emit fs ~loc (Ir.Store (lty, stored, addr));
+      (stored, lty)
+  | Ternary (c, a, b) ->
+      let vc, _ = lower_expr fs c in
+      let va, ta = lower_expr fs a in
+      let vb, tb = lower_expr fs b in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Select (r, vc, va, vb));
+      (Ir.Reg r, join_ty ta tb)
+  | Call (callee, _, args) ->
+      let vcallee =
+        match callee.e with
+        | Var name -> Ir.Glob name
+        | _ -> fst (lower_expr fs callee)
+      in
+      let vargs = List.map (fun a -> fst (lower_expr fs a)) args in
+      let r = fresh fs in
+      emit fs ~loc (Ir.CallI (Some r, Ir.F64, vcallee, vargs));
+      (Ir.Reg r, Ir.F64)
+  | KernelLaunch (callee, cfg, args) ->
+      let vcfg = List.map (fun c -> fst (lower_expr fs c)) cfg in
+      emit fs ~loc (Ir.CallI (None, Ir.I32, Ir.Glob "__push_call_configuration", vcfg));
+      let vcallee =
+        match callee.e with Var n -> Ir.Glob n | _ -> fst (lower_expr fs callee)
+      in
+      let vargs = List.map (fun a -> fst (lower_expr fs a)) args in
+      emit fs ~loc (Ir.CallI (None, Ir.I32, Ir.Glob "__launch_kernel", vcallee :: vargs));
+      fs.ms.has_device <- true;
+      (Ir.Undef, Ir.Void)
+  | Index (a, i) ->
+      let addr, ty = lower_addr fs e in
+      ignore (a, i);
+      let r = fresh fs in
+      emit fs ~loc (Ir.Load (r, ty, addr));
+      (Ir.Reg r, ty)
+  | Member (_, _, _) ->
+      let addr, ty = lower_addr fs e in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Load (r, ty, addr));
+      (Ir.Reg r, ty)
+  | Lambda (_, params, body) ->
+      let name = lift_lambda fs ~loc params body in
+      (Ir.Glob name, Ir.Ptr)
+  | Cast (ty, a) ->
+      let va, ta = lower_expr fs a in
+      let ity = map_ty ty in
+      if ity = ta then (va, ity)
+      else begin
+        let r = fresh fs in
+        let op =
+          match (float_ty ta, float_ty ity) with
+          | true, false -> "fptosi"
+          | false, true -> "sitofp"
+          | true, true -> "fpcast"
+          | false, false -> "intcast"
+        in
+        emit fs ~loc (Ir.CastI (r, op, ity, va));
+        (Ir.Reg r, ity)
+      end
+  | New (ty, n) ->
+      let size = match n with Some n -> fst (lower_expr fs n) | None -> Ir.ImmI 1 in
+      let r = fresh fs in
+      emit fs ~loc (Ir.CallI (Some r, Ir.Ptr, Ir.Glob "malloc", [ size ]));
+      ignore (map_ty ty);
+      (Ir.Reg r, Ir.Ptr)
+  | InitList es ->
+      let r = fresh fs in
+      emit fs ~loc (Ir.Alloca (r, Ir.Ptr));
+      List.iter
+        (fun el ->
+          let v, ty = lower_expr fs el in
+          emit fs ~loc (Ir.Store (ty, v, Ir.Reg r)))
+        es;
+      (Ir.Reg r, Ir.Ptr)
+  | SizeofT ty -> (Ir.ImmI (match map_ty ty with Ir.F64 | Ir.I64 -> 8 | _ -> 4), Ir.I64)
+
+and lower_unary fs ~loc op a =
+  match op with
+  | Neg ->
+      let v, ty = lower_expr fs a in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Bin (r, "sub", ty, (if float_ty ty then Ir.ImmF 0.0 else Ir.ImmI 0), v));
+      (Ir.Reg r, ty)
+  | Not ->
+      let v, _ = lower_expr fs a in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Cmp (r, "eq", Ir.I1, v, Ir.ImmI 0));
+      (Ir.Reg r, Ir.I1)
+  | BitNot ->
+      let v, ty = lower_expr fs a in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Bin (r, "xor", ty, v, Ir.ImmI (-1)));
+      (Ir.Reg r, ty)
+  | PreInc | PostInc | PreDec | PostDec ->
+      let addr, ty = lower_addr fs a in
+      let cur = fresh fs in
+      emit fs ~loc (Ir.Load (cur, ty, addr));
+      let r = fresh fs in
+      let opn = match op with PreInc | PostInc -> "add" | _ -> "sub" in
+      emit fs ~loc (Ir.Bin (r, opn, ty, Ir.Reg cur, Ir.ImmI 1));
+      emit fs ~loc (Ir.Store (ty, Ir.Reg r, addr));
+      (Ir.Reg (match op with PostInc | PostDec -> cur | _ -> r), ty)
+  | Deref ->
+      let v, _ = lower_expr fs a in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Load (r, Ir.F64, v));
+      (Ir.Reg r, Ir.F64)
+  | AddrOf -> (
+      match a.e with
+      | Var name -> (
+          match List.assoc_opt name fs.env with
+          | Some slot -> (Ir.Reg slot, Ir.Ptr)
+          | None -> (Ir.Glob name, Ir.Ptr))
+      | _ ->
+          let addr, _ = lower_addr fs a in
+          (addr, Ir.Ptr))
+
+(* Address of an lvalue; returns (pointer value, pointee type guess). *)
+and lower_addr fs (e : expr) : Ir.value * Ir.ty =
+  let loc = e.eloc in
+  match e.e with
+  | Var name -> (
+      match List.assoc_opt name fs.env with
+      | Some slot -> (Ir.Reg slot, Ir.F64)
+      | None -> (Ir.Glob name, Ir.F64))
+  | Index (a, i) ->
+      let base, _ = lower_expr fs a in
+      let idx, _ = lower_expr fs i in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Gep (r, base, idx));
+      (Ir.Reg r, Ir.F64)
+  | Member (a, _, _) ->
+      let base, _ = lower_expr fs a in
+      let r = fresh fs in
+      emit fs ~loc (Ir.Gep (r, base, Ir.ImmI 0));
+      (Ir.Reg r, Ir.F64)
+  | Unary (Deref, a) ->
+      let v, _ = lower_expr fs a in
+      (v, Ir.F64)
+  | _ ->
+      (* Spill a computed rvalue so it has an address. *)
+      let v, ty = lower_expr fs e in
+      let slot = fresh fs in
+      emit fs ~loc (Ir.Alloca (slot, ty));
+      emit fs ~loc (Ir.Store (ty, v, Ir.Reg slot));
+      (Ir.Reg slot, ty)
+
+(* --- lambda lifting & outlining -------------------------------------- *)
+
+and lower_body_into ms ~kind ~name ~params ~loc body =
+  let fs' =
+    {
+      ms;
+      reg = List.length params;
+      blocks = [];
+      cur_id = 0;
+      cur_instrs = [];
+      next_block = 1;
+      env = [];
+      loops = [];
+      terminated = false;
+    }
+  in
+  (* Bind parameters to alloca slots, -O0 style. *)
+  List.iteri
+    (fun i (p : param) ->
+      let slot = fresh fs' in
+      emit fs' ~loc (Ir.Alloca (slot, map_ty p.p_ty));
+      emit fs' ~loc (Ir.Store (map_ty p.p_ty, Ir.Reg i, Ir.Reg slot));
+      fs'.env <- (p.p_name, slot) :: fs'.env)
+    params;
+  List.iter (lower_stmt fs') body;
+  if not fs'.terminated then finish_block fs' (Ir.Ret None);
+  ms.funcs <-
+    {
+      Ir.fn_name = name;
+      fn_kind = kind;
+      fn_linkage = Ir.Internal;
+      fn_ret = Ir.Void;
+      fn_params = List.map (fun (p : param) -> map_ty p.p_ty) params;
+      fn_blocks = List.rev fs'.blocks;
+    }
+    :: ms.funcs
+
+and lift_lambda fs ~loc params body =
+  fs.ms.lifted <- fs.ms.lifted + 1;
+  let name = Printf.sprintf "lambda.%d" fs.ms.lifted in
+  lower_body_into fs.ms ~kind:Ir.Host ~name ~params ~loc body;
+  name
+
+and outline fs ~loc ~device body =
+  fs.ms.outlined <- fs.ms.outlined + 1;
+  let name =
+    if device then Printf.sprintf "__omp_offload.%d" fs.ms.outlined
+    else Printf.sprintf ".omp_outlined.%d" fs.ms.outlined
+  in
+  let kind = if device then Ir.Device else Ir.Host in
+  let ctx_param = { p_ty = TPtr TVoid; p_name = ".ctx"; p_loc = loc } in
+  lower_body_into fs.ms ~kind ~name ~params:[ ctx_param ] ~loc body;
+  if device then begin
+    fs.ms.has_device <- true;
+    fs.ms.globals <-
+      { Ir.g_name = Printf.sprintf ".offload_entry.%d" fs.ms.outlined;
+        g_ty = Ir.Ptr; g_const = true }
+      :: fs.ms.globals
+  end;
+  name
+
+(* --- statements ------------------------------------------------------ *)
+
+and lower_stmt fs (s : stmt) =
+  if fs.terminated then ()
+  else
+    let loc = s.sloc in
+    match s.s with
+    | Decl (ty, names) ->
+        List.iter
+          (fun (name, init) ->
+            let slot = fresh fs in
+            emit fs ~loc (Ir.Alloca (slot, map_ty ty));
+            fs.env <- (name, slot) :: fs.env;
+            match init with
+            | Some e ->
+                let v, vty = lower_expr fs e in
+                emit fs ~loc (Ir.Store (vty, v, Ir.Reg slot))
+            | None -> ())
+          names
+    | ExprS e -> ignore (lower_expr fs e)
+    | If (c, then_, else_) ->
+        let vc, _ = lower_expr fs c in
+        let bt = new_block_id fs and bf = new_block_id fs and bm = new_block_id fs in
+        finish_block fs (Ir.CondBr (vc, bt, bf));
+        start_block fs bt;
+        let saved = fs.env in
+        List.iter (lower_stmt fs) then_;
+        fs.env <- saved;
+        if not fs.terminated then finish_block fs (Ir.Br bm) else ();
+        start_block fs bf;
+        List.iter (lower_stmt fs) else_;
+        fs.env <- saved;
+        if not fs.terminated then finish_block fs (Ir.Br bm) else ();
+        start_block fs bm
+    | While (c, body) ->
+        let bc = new_block_id fs and bb = new_block_id fs and be = new_block_id fs in
+        finish_block fs (Ir.Br bc);
+        start_block fs bc;
+        let vc, _ = lower_expr fs c in
+        finish_block fs (Ir.CondBr (vc, bb, be));
+        start_block fs bb;
+        let saved_env = fs.env and saved_loops = fs.loops in
+        fs.loops <- (bc, be) :: fs.loops;
+        List.iter (lower_stmt fs) body;
+        fs.env <- saved_env;
+        fs.loops <- saved_loops;
+        if not fs.terminated then finish_block fs (Ir.Br bc);
+        start_block fs be
+    | DoWhile (body, c) ->
+        let bb = new_block_id fs and bc = new_block_id fs and be = new_block_id fs in
+        finish_block fs (Ir.Br bb);
+        start_block fs bb;
+        let saved_env = fs.env and saved_loops = fs.loops in
+        fs.loops <- (bc, be) :: fs.loops;
+        List.iter (lower_stmt fs) body;
+        fs.env <- saved_env;
+        fs.loops <- saved_loops;
+        if not fs.terminated then finish_block fs (Ir.Br bc);
+        start_block fs bc;
+        let vc, _ = lower_expr fs c in
+        finish_block fs (Ir.CondBr (vc, bb, be));
+        start_block fs be
+    | For (init, cond, step, body) ->
+        let saved_env = fs.env in
+        (match init with Some i -> lower_stmt fs i | None -> ());
+        let bc = new_block_id fs and bb = new_block_id fs in
+        let bs = new_block_id fs and be = new_block_id fs in
+        finish_block fs (Ir.Br bc);
+        start_block fs bc;
+        (match cond with
+        | Some c ->
+            let vc, _ = lower_expr fs c in
+            finish_block fs (Ir.CondBr (vc, bb, be))
+        | None -> finish_block fs (Ir.Br bb));
+        start_block fs bb;
+        let saved_loops = fs.loops in
+        fs.loops <- (bs, be) :: fs.loops;
+        List.iter (lower_stmt fs) body;
+        fs.loops <- saved_loops;
+        if not fs.terminated then finish_block fs (Ir.Br bs);
+        start_block fs bs;
+        (match step with Some e -> ignore (lower_expr fs e) | None -> ());
+        finish_block fs (Ir.Br bc);
+        start_block fs be;
+        fs.env <- saved_env
+    | Return e ->
+        let v = Option.map (lower_expr fs) e in
+        finish_block fs (Ir.Ret (Option.map (fun (v, ty) -> (ty, v)) v));
+        fs.terminated <- true;
+        (* Open an unreachable continuation block for any trailing code. *)
+        let b = new_block_id fs in
+        start_block fs b
+    | Break -> (
+        match fs.loops with
+        | (_, be) :: _ ->
+            finish_block fs (Ir.Br be);
+            let b = new_block_id fs in
+            start_block fs b
+        | [] -> ())
+    | Continue -> (
+        match fs.loops with
+        | (bc, _) :: _ ->
+            finish_block fs (Ir.Br bc);
+            let b = new_block_id fs in
+            start_block fs b
+        | [] -> ())
+    | Block body ->
+        let saved = fs.env in
+        List.iter (lower_stmt fs) body;
+        fs.env <- saved
+    | DeleteS (e, _) ->
+        let v, _ = lower_expr fs e in
+        emit fs ~loc (Ir.CallI (None, Ir.Void, Ir.Glob "free", [ v ]))
+    | Directive (d, body) -> lower_directive fs ~loc d body
+
+and lower_directive fs ~loc d body =
+  let words = List.map fst d.d_clauses in
+  let has w = List.mem w words in
+  let body_stmts = match body with Some b -> [ b ] | None -> [] in
+  match d.d_origin with
+  | `Omp when has "enter" || has "exit" ->
+      emit fs ~loc
+        (Ir.CallI
+           ( None, Ir.Void,
+             Ir.Glob (if has "enter" then "__tgt_target_data_begin" else "__tgt_target_data_end"),
+             [ Ir.ImmI (-1) ] ))
+  | `Omp when has "target" ->
+      let name = outline fs ~loc ~device:true body_stmts in
+      emit fs ~loc
+        (Ir.CallI
+           (None, Ir.I32, Ir.Glob "__tgt_target_kernel", [ Ir.Glob name; Ir.ImmI (-1) ]))
+  | `Omp when has "parallel" || has "task" || has "taskloop" || has "sections" ->
+      let name = outline fs ~loc ~device:false body_stmts in
+      fs.ms.has_fork <- true;
+      emit fs ~loc
+        (Ir.CallI (None, Ir.Void, Ir.Glob "__kmpc_fork_call", [ Ir.Glob name; Ir.Undef ]))
+  | `Omp when has "barrier" ->
+      emit fs ~loc (Ir.CallI (None, Ir.Void, Ir.Glob "__kmpc_barrier", []))
+  | `Omp when has "simd" || has "critical" || has "atomic" || has "master" || has "single"
+    ->
+      List.iter (lower_stmt fs) body_stmts
+  | `Omp -> List.iter (lower_stmt fs) body_stmts
+  | `Acc when has "parallel" || has "kernels" || has "loop" ->
+      let name = outline fs ~loc ~device:true body_stmts in
+      emit fs ~loc
+        (Ir.CallI (None, Ir.I32, Ir.Glob "__tgt_target_kernel", [ Ir.Glob name; Ir.ImmI (-1) ]))
+  | `Acc -> List.iter (lower_stmt fs) body_stmts
+
+(* --- functions and module ------------------------------------------- *)
+
+let lower_func ms (f : func) =
+  match f.f_body with
+  | None ->
+      ms.funcs <-
+        {
+          Ir.fn_name = f.f_name;
+          fn_kind = Ir.Host;
+          fn_linkage = Ir.External;
+          fn_ret = map_ty f.f_ret;
+          fn_params = List.map (fun p -> map_ty p.p_ty) f.f_params;
+          fn_blocks = [];
+        }
+        :: ms.funcs
+  | Some body ->
+      let device = List.mem AGlobal f.f_attrs || List.mem ADevice f.f_attrs in
+      if device then ms.has_device <- true;
+      let kind = if device then Ir.Device else Ir.Host in
+      let fs =
+        {
+          ms;
+          reg = List.length f.f_params;
+          blocks = [];
+          cur_id = 0;
+          cur_instrs = [];
+          next_block = 1;
+          env = [];
+          loops = [];
+          terminated = false;
+        }
+      in
+      List.iteri
+        (fun i (p : param) ->
+          let slot = fresh fs in
+          emit fs ~loc:p.p_loc (Ir.Alloca (slot, map_ty p.p_ty));
+          emit fs ~loc:p.p_loc (Ir.Store (map_ty p.p_ty, Ir.Reg i, Ir.Reg slot));
+          fs.env <- (p.p_name, slot) :: fs.env)
+        f.f_params;
+      List.iter (lower_stmt fs) body;
+      if not fs.terminated then
+        finish_block fs
+          (if map_ty f.f_ret = Ir.Void then Ir.Ret None
+           else Ir.Ret (Some (map_ty f.f_ret, Ir.Undef)));
+      ms.funcs <-
+        {
+          Ir.fn_name = f.f_name;
+          fn_kind = kind;
+          fn_linkage = Ir.Internal;
+          fn_ret = map_ty f.f_ret;
+          fn_params = List.map (fun p -> map_ty p.p_ty) f.f_params;
+          fn_blocks = List.rev fs.blocks;
+        }
+        :: ms.funcs
+
+(* The registration boilerplate a module with device code receives —
+   fatbin wrapper global plus ctor/dtor stubs (§V-C's driver code). *)
+let device_boilerplate ms ~file =
+  let mk_stub name calls =
+    let instrs =
+      List.map
+        (fun callee ->
+          {
+            Ir.i = Ir.CallI (None, Ir.Void, Ir.Glob callee, [ Ir.Glob "__fatbin_wrapper" ]);
+            iloc = Loc.make ~file ~line:1 ~col:0;
+          })
+        calls
+    in
+    {
+      Ir.fn_name = name;
+      fn_kind = Ir.RuntimeStub;
+      fn_linkage = Ir.Internal;
+      fn_ret = Ir.Void;
+      fn_params = [];
+      fn_blocks = [ { Ir.b_id = 0; b_instrs = instrs; b_term = Ir.Ret None } ];
+    }
+  in
+  ms.globals <-
+    { Ir.g_name = "__fatbin_wrapper"; g_ty = Ir.Ptr; g_const = true } :: ms.globals;
+  ms.funcs <-
+    mk_stub "__module_dtor" [ "__unregister_fatbinary" ]
+    :: mk_stub "__module_ctor" [ "__register_fatbinary"; "__register_globals"; "__register_ctor" ]
+    :: mk_stub "__register_globals" [ "__register_function"; "__register_var" ]
+    :: ms.funcs
+
+let lower ~file units =
+  let ms =
+    { funcs = []; globals = []; lifted = 0; outlined = 0; has_device = false; has_fork = false }
+  in
+  List.iter
+    (fun (u : tunit) ->
+      List.iter
+        (fun top ->
+          match top with
+          | Func f -> lower_func ms f
+          | GlobalVar (_, ty, name, _, _) ->
+              ms.globals <- { Ir.g_name = name; g_ty = map_ty ty; g_const = false } :: ms.globals
+          | Record _ | Using _ | TopDirective _ -> ())
+        u.t_tops)
+    units;
+  if ms.has_device then device_boilerplate ms ~file;
+  { Ir.m_file = file; m_globals = List.rev ms.globals; m_funcs = List.rev ms.funcs }

@@ -1,0 +1,26 @@
+(** Lowering MiniC to the SilverVale IR (the [T_ir] backend path).
+
+    Mirrors an unoptimised compiler backend (§IV-A): every local lives in
+    an [alloca] slot, control structures become basic blocks, lambdas are
+    lifted to module-level functions, and the dialect constructs lower to
+    their runtime shapes:
+
+    - OpenMP [parallel]/[task]/[taskloop] regions are outlined into
+      host functions invoked through a fork-call runtime stub;
+    - OpenMP [target] (and OpenACC compute) regions are outlined into
+      {e device} functions invoked through an offload runtime call, with a
+      per-region offload-entry global;
+    - CUDA/HIP [__global__] kernels become device functions; each launch
+      lowers to a push-configuration + launch-kernel call pair; a module
+      with any device code also receives the registration boilerplate
+      (fatbin global, module ctor/dtor stubs) — the driver code §V-C finds
+      inflating [T_ir] for offload models.
+
+    Only structural fidelity is needed for the metric, so no layout or
+    dataflow facts are computed: member accesses use index 0, captures are
+    not materialised. *)
+
+val lower : file:string -> Ast.tunit list -> Sv_ir.Ir.modul
+(** [lower ~file units] lowers a unit (main file plus headers, in include
+    order) into one IR module. The result passes {!Ir.validate} — the test
+    suite checks this for the whole corpus. *)

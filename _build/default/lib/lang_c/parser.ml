@@ -1,0 +1,853 @@
+module Loc = Sv_util.Loc
+open Ast
+
+exception Parse_error of string * Loc.t
+
+type state = { toks : Token.t array; mutable pos : int; file : string }
+
+let eof_loc st =
+  if Array.length st.toks = 0 then Loc.make ~file:st.file ~line:1 ~col:0
+  else st.toks.(Array.length st.toks - 1).loc
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+let peek_at st k =
+  if st.pos + k < Array.length st.toks then Some st.toks.(st.pos + k) else None
+
+let loc_here st = match peek st with Some t -> t.loc | None -> eof_loc st
+
+let fail st msg = raise (Parse_error (msg, loc_here st))
+
+let next st =
+  match peek st with
+  | Some t ->
+      st.pos <- st.pos + 1;
+      t
+  | None -> fail st "unexpected end of input"
+
+let is_text st text =
+  match peek st with Some t -> t.text = text | None -> false
+
+let eat st text =
+  match peek st with
+  | Some t when t.text = text -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %S" text)
+
+let accept st text =
+  if is_text st text then begin
+    st.pos <- st.pos + 1;
+    true
+  end
+  else false
+
+(* Backtracking: run [f]; on Parse_error restore position and return
+   None. *)
+let try_parse st f =
+  let save = st.pos in
+  try Some (f st)
+  with Parse_error _ ->
+    st.pos <- save;
+    None
+
+(* --- directives ----------------------------------------------------- *)
+
+let parse_directive (tok : Token.t) =
+  match Cst.directive_label tok with
+  | None -> None
+  | Some lbl ->
+      let origin = if lbl.Sv_tree.Label.kind = "omp-directive" then `Omp else `Acc in
+      let clauses = Cst.split_directive lbl.Sv_tree.Label.text in
+      Some { d_origin = origin; d_clauses = clauses; d_loc = tok.loc }
+
+let standalone_clauses =
+  [ "barrier"; "taskwait"; "taskyield"; "flush"; "wait"; "update"; "init" ]
+
+let directive_is_standalone d =
+  let words = List.map fst d.d_clauses in
+  (* [target enter data] / [target exit data] and OpenACC data movement
+     directives govern no statement *)
+  List.exists (fun w -> List.mem w [ "enter"; "exit" ]) words
+  || (match words with
+     | w :: _ -> List.mem w standalone_clauses
+     | [] -> true)
+
+(* --- types ---------------------------------------------------------- *)
+
+let type_keywords =
+  [ "void"; "bool"; "char"; "int"; "long"; "float"; "double"; "auto"; "size_t"; "unsigned" ]
+
+let is_type_start st =
+  match peek st with
+  | Some { kind = Token.Keyword; text; _ } ->
+      List.mem text type_keywords || text = "const" || text = "struct"
+  | Some { kind = Token.Ident; _ } -> true
+  | _ -> false
+
+(* Parse a qualified name: Ident (:: Ident)*. *)
+let parse_qname st =
+  let t = next st in
+  if t.kind <> Token.Ident then fail st "expected identifier";
+  let buf = Buffer.create 16 in
+  Buffer.add_string buf t.text;
+  let loc = ref t.loc in
+  while is_text st "::" do
+    eat st "::";
+    let t2 = next st in
+    if t2.kind <> Token.Ident && t2.kind <> Token.Keyword then
+      fail st "expected identifier after ::";
+    Buffer.add_string buf "::";
+    Buffer.add_string buf t2.text;
+    loc := Loc.span !loc t2.loc
+  done;
+  (Buffer.contents buf, !loc)
+
+let rec parse_type st =
+  let const_prefix = accept st "const" in
+  let _ = accept st "struct" in
+  let base =
+    match peek st with
+    | Some { kind = Token.Keyword; text; _ } when List.mem text type_keywords ->
+        let _ = next st in
+        (match text with
+        | "void" -> TVoid
+        | "bool" -> TBool
+        | "char" -> TChar
+        | "int" -> TInt
+        | "long" ->
+            let _ = accept st "long" in
+            let _ = accept st "int" in
+            TLong
+        | "float" -> TFloat
+        | "double" -> TDouble
+        | "auto" -> TAuto
+        | "size_t" -> TSizeT
+        | "unsigned" ->
+            let _ = accept st "int" in
+            let _ = accept st "long" in
+            TInt
+        | _ -> fail st "unreachable type keyword")
+    | Some { kind = Token.Ident; _ } ->
+        let name, _ = parse_qname st in
+        let targs = if is_text st "<" then parse_targs st else [] in
+        TNamed (name, targs)
+    | _ -> fail st "expected a type"
+  in
+  let base = if const_prefix then TConst base else base in
+  parse_type_suffix st base
+
+and parse_type_suffix st base =
+  if accept st "*" then begin
+    let _ = accept st "const" in
+    let _ = accept st "__restrict__" in
+    let _ = accept st "restrict" in
+    parse_type_suffix st (TPtr base)
+  end
+  else if accept st "&" then parse_type_suffix st (TRef base)
+  else base
+
+and parse_targs st =
+  eat st "<";
+  let args = ref [] in
+  if not (is_text st ">") then begin
+    let rec loop () =
+      let arg =
+        match peek st with
+        | Some { kind = Token.IntLit; text; _ } ->
+            let _ = next st in
+            IntArg (int_of_string text)
+        | Some { kind = Token.Keyword; text = "class"; _ } ->
+            (* kernel-name tag: [parallel_for<class k>] *)
+            let _ = next st in
+            let t = next st in
+            if t.kind <> Token.Ident then fail st "expected kernel name after class";
+            TyArg (TNamed ("class " ^ t.text, []))
+        | _ -> TyArg (parse_type st)
+      in
+      args := arg :: !args;
+      if accept st "," then loop ()
+    in
+    loop ()
+  end;
+  eat st ">";
+  List.rev !args
+
+(* --- expressions ----------------------------------------------------- *)
+
+let binop_of_text = function
+  | "+" -> Some Add | "-" -> Some Sub | "*" -> Some Mul | "/" -> Some Div
+  | "%" -> Some Mod | "==" -> Some Eq | "!=" -> Some Ne | "<" -> Some Lt
+  | ">" -> Some Gt | "<=" -> Some Le | ">=" -> Some Ge | "&&" -> Some LAnd
+  | "||" -> Some LOr | "&" -> Some BitAnd | "|" -> Some BitOr
+  | "^" -> Some BitXor | "<<" -> Some Shl | ">>" -> Some Shr
+  | _ -> None
+
+(* Precedence levels, loosest first. *)
+let binop_levels =
+  [
+    [ LOr ];
+    [ LAnd ];
+    [ BitOr ];
+    [ BitXor ];
+    [ BitAnd ];
+    [ Eq; Ne ];
+    [ Lt; Gt; Le; Ge ];
+    [ Shl; Shr ];
+    [ Add; Sub ];
+    [ Mul; Div; Mod ];
+  ]
+
+let compound_ops =
+  [ ("+=", Add); ("-=", Sub); ("*=", Mul); ("/=", Div); ("%=", Mod);
+    ("&=", BitAnd); ("|=", BitOr); ("^=", BitXor); ("<<=", Shl); (">>=", Shr) ]
+
+let mk loc e = { e; eloc = loc }
+
+let rec parse_expr st = parse_assign st
+
+and parse_assign st =
+  let lhs = parse_ternary st in
+  match peek st with
+  | Some { text = "="; kind = Token.Op; _ } ->
+      let t = next st in
+      let rhs = parse_assign st in
+      mk (Loc.span t.loc rhs.eloc) (Assign (None, lhs, rhs))
+  | Some { text; kind = Token.Op; _ } when List.mem_assoc text compound_ops ->
+      let t = next st in
+      let rhs = parse_assign st in
+      mk (Loc.span t.loc rhs.eloc) (Assign (Some (List.assoc text compound_ops), lhs, rhs))
+  | _ -> lhs
+
+and parse_ternary st =
+  let cond = parse_binary st 0 in
+  if is_text st "?" then begin
+    eat st "?";
+    let a = parse_assign st in
+    eat st ":";
+    let b = parse_assign st in
+    mk (Loc.span cond.eloc b.eloc) (Ternary (cond, a, b))
+  end
+  else cond
+
+and parse_binary st level =
+  if level >= List.length binop_levels then parse_unary st
+  else begin
+    let ops = List.nth binop_levels level in
+    let lhs = ref (parse_binary st (level + 1)) in
+    let continue = ref true in
+    while !continue do
+      match peek st with
+      | Some { kind = Token.Op; text; _ } -> (
+          match binop_of_text text with
+          | Some op when List.mem op ops ->
+              let _ = next st in
+              let rhs = parse_binary st (level + 1) in
+              lhs := mk (Loc.span !lhs.eloc rhs.eloc) (Binary (op, !lhs, rhs))
+          | _ -> continue := false)
+      | _ -> continue := false
+    done;
+    !lhs
+  end
+
+and parse_unary st =
+  match peek st with
+  | Some ({ kind = Token.Op; text; _ } as t) -> (
+      match text with
+      | "-" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (Neg, e))
+      | "!" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (Not, e))
+      | "~" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (BitNot, e))
+      | "++" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (PreInc, e))
+      | "--" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (PreDec, e))
+      | "*" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (Deref, e))
+      | "&" -> let _ = next st in let e = parse_unary st in mk (Loc.span t.loc e.eloc) (Unary (AddrOf, e))
+      | "+" -> let _ = next st in parse_unary st
+      | _ -> parse_postfix st)
+  | Some { kind = Token.Keyword; text = "sizeof"; _ } ->
+      let t = next st in
+      eat st "(";
+      let ty = parse_type st in
+      eat st ")";
+      mk t.loc (SizeofT ty)
+  | Some { kind = Token.Keyword; text = "new"; _ } ->
+      let t = next st in
+      let ty = parse_type st in
+      if accept st "[" then begin
+        let n = parse_expr st in
+        eat st "]";
+        mk (Loc.span t.loc n.eloc) (New (ty, Some n))
+      end
+      else begin
+        (* allow [new T(args)] with args ignored as constructor call *)
+        if is_text st "(" then begin
+          eat st "(";
+          let rec skip d = if d = 0 then () else
+            match (next st).text with
+            | "(" -> skip (d + 1)
+            | ")" -> skip (d - 1)
+            | _ -> skip d
+          in
+          skip 1
+        end;
+        mk t.loc (New (ty, None))
+      end
+  | _ -> parse_postfix st
+
+and parse_args st =
+  eat st "(";
+  let args = ref [] in
+  if not (is_text st ")") then begin
+    let rec loop () =
+      args := parse_expr st :: !args;
+      if accept st "," then loop ()
+    in
+    loop ()
+  end;
+  eat st ")";
+  List.rev !args
+
+and parse_postfix st =
+  let e = ref (parse_primary st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some { text = "("; _ } ->
+        let args = parse_args st in
+        e := mk !e.eloc (Call (!e, [], args))
+    | Some { text = "<<<"; kind = Token.Op; _ } ->
+        eat st "<<<";
+        let cfg = ref [ parse_expr st ] in
+        while accept st "," do
+          cfg := parse_expr st :: !cfg
+        done;
+        eat st ">>>";
+        let args = parse_args st in
+        e := mk !e.eloc (KernelLaunch (!e, List.rev !cfg, args))
+    | Some { text = "["; _ } ->
+        eat st "[";
+        let i = parse_expr st in
+        eat st "]";
+        e := mk (Loc.span !e.eloc i.eloc) (Index (!e, i))
+    | Some { text = "."; kind = Token.Op; _ } ->
+        eat st ".";
+        let t = next st in
+        if t.kind <> Token.Ident then fail st "expected member name";
+        e := mk (Loc.span !e.eloc t.loc) (Member (!e, t.text, `Dot))
+    | Some { text = "->"; kind = Token.Op; _ } ->
+        eat st "->";
+        let t = next st in
+        if t.kind <> Token.Ident then fail st "expected member name";
+        e := mk (Loc.span !e.eloc t.loc) (Member (!e, t.text, `Arrow))
+    | Some { text = "++"; kind = Token.Op; _ } ->
+        let t = next st in
+        e := mk (Loc.span !e.eloc t.loc) (Unary (PostInc, !e))
+    | Some { text = "--"; kind = Token.Op; _ } ->
+        let t = next st in
+        e := mk (Loc.span !e.eloc t.loc) (Unary (PostDec, !e))
+    | Some { text = "<"; kind = Token.Op; _ } -> (
+        (* Possible explicit template arguments on a call:
+           [f<double>(x)]. Backtrack unless it parses as <targs> '('. *)
+        match
+          try_parse st (fun st ->
+              let targs = parse_targs st in
+              if not (is_text st "(") then fail st "not a template call";
+              let args = parse_args st in
+              (targs, args))
+        with
+        | Some (targs, args) -> e := mk !e.eloc (Call (!e, targs, args))
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  !e
+
+and parse_lambda st (intro : Token.t) =
+  let capture = if String.length intro.text > 1 && intro.text.[1] = '&' then ByRef else ByValue in
+  let params =
+    if is_text st "(" then parse_params st else []
+  in
+  eat st "{";
+  let body = parse_stmts_until st "}" in
+  eat st "}";
+  mk intro.loc (Lambda (capture, params, body))
+
+and parse_params st =
+  eat st "(";
+  let params = ref [] in
+  if not (is_text st ")") then begin
+    let rec loop () =
+      let ty = parse_type st in
+      let t = next st in
+      if t.kind <> Token.Ident then fail st "expected parameter name";
+      params := { p_ty = ty; p_name = t.text; p_loc = t.loc } :: !params;
+      if accept st "," then loop ()
+    in
+    loop ()
+  end;
+  eat st ")";
+  List.rev !params
+
+and parse_primary st =
+  match peek st with
+  | None -> fail st "unexpected end of expression"
+  | Some t -> (
+      match t.kind with
+      | Token.IntLit ->
+          let _ = next st in
+          let text =
+            String.concat ""
+              (List.filter_map
+                 (fun c ->
+                   match c with
+                   | 'u' | 'U' | 'l' | 'L' -> None
+                   | c -> Some (String.make 1 c))
+                 (List.init (String.length t.text) (String.get t.text)))
+          in
+          mk t.loc (IntE (int_of_string text))
+      | Token.FloatLit ->
+          let _ = next st in
+          let text =
+            if String.length t.text > 0
+               && (t.text.[String.length t.text - 1] = 'f'
+                  || t.text.[String.length t.text - 1] = 'F')
+            then String.sub t.text 0 (String.length t.text - 1)
+            else t.text
+          in
+          mk t.loc (FloatE (float_of_string text))
+      | Token.StringLit ->
+          let _ = next st in
+          mk t.loc (StrE (Scanf.unescaped (String.sub t.text 1 (String.length t.text - 2))))
+      | Token.CharLit ->
+          let _ = next st in
+          let inner = String.sub t.text 1 (String.length t.text - 2) in
+          let c = if inner = "\\n" then '\n' else if inner = "\\t" then '\t' else inner.[0] in
+          mk t.loc (CharE c)
+      | Token.Keyword when t.text = "true" ->
+          let _ = next st in
+          mk t.loc (BoolE true)
+      | Token.Keyword when t.text = "false" ->
+          let _ = next st in
+          mk t.loc (BoolE false)
+      | Token.Keyword when t.text = "nullptr" ->
+          let _ = next st in
+          mk t.loc NullE
+      | Token.Punct when t.text = "(" -> (
+          (* Either a cast or a parenthesised expression. Only treat as a
+             cast when the inside parses as a type AND looks like one
+             (starts with a type keyword / const, or has pointer/ref
+             suffixes). *)
+          let cast =
+            try_parse st (fun st ->
+                eat st "(";
+                let looks_typey =
+                  match peek st with
+                  | Some { kind = Token.Keyword; text; _ } ->
+                      List.mem text type_keywords || text = "const" || text = "struct"
+                  | _ -> false
+                in
+                let ty = parse_type st in
+                let has_ptr = match ty with TPtr _ | TRef _ -> true | _ -> false in
+                if not (looks_typey || has_ptr) then fail st "not a cast";
+                eat st ")";
+                let e = parse_unary st in
+                mk t.loc (Cast (ty, e)))
+          in
+          match cast with
+          | Some e -> e
+          | None ->
+              eat st "(";
+              let e = parse_expr st in
+              eat st ")";
+              e)
+      | Token.Punct when t.text = "{" ->
+          eat st "{";
+          let elems = ref [] in
+          if not (is_text st "}") then begin
+            let rec loop () =
+              elems := parse_expr st :: !elems;
+              if accept st "," then loop ()
+            in
+            loop ()
+          end;
+          eat st "}";
+          mk t.loc (InitList (List.rev !elems))
+      | Token.Punct when t.text = "[" -> (
+          (* Lambda introducer: "[=]", "[&]" or "[]". *)
+          match (peek_at st 1, peek_at st 2) with
+          | Some { text = "="; _ }, Some { text = "]"; _ } ->
+              let _ = next st and _ = next st and _ = next st in
+              parse_lambda st { t with text = "[=" }
+          | Some { text = "&"; _ }, Some { text = "]"; _ } ->
+              let _ = next st and _ = next st and _ = next st in
+              parse_lambda st { t with text = "[&" }
+          | Some { text = "]"; _ }, _ ->
+              let _ = next st and _ = next st in
+              parse_lambda st { t with text = "[=" }
+          | _ -> fail st "unexpected '['")
+      | Token.Ident ->
+          let name, loc = parse_qname st in
+          mk loc (Var name)
+      | _ -> fail st (Printf.sprintf "unexpected token %S" t.text))
+
+(* --- statements ------------------------------------------------------ *)
+
+and parse_stmts_until st closer =
+  let stmts = ref [] in
+  while not (is_text st closer) do
+    if peek st = None then fail st (Printf.sprintf "missing %S" closer);
+    stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_block_or_stmt st =
+  if is_text st "{" then begin
+    eat st "{";
+    let body = parse_stmts_until st "}" in
+    eat st "}";
+    body
+  end
+  else [ parse_stmt st ]
+
+and parse_decl_names st ty =
+  (* declarator list: name ([size])? (= init)? (, ...)* ; extra '*'
+     prefixes on later declarators are accepted and folded into the shared
+     type (a simplification documented in the interface). *)
+  let names = ref [] in
+  let arr_ty = ref ty in
+  let rec one () =
+    let rec stars () = if accept st "*" then stars () in
+    stars ();
+    let t = next st in
+    if t.kind <> Token.Ident then fail st "expected declarator name";
+    if accept st "[" then begin
+      (match peek st with
+      | Some { kind = Token.IntLit; text; _ } ->
+          let _ = next st in
+          arr_ty := TArr (ty, Some (int_of_string text))
+      | _ -> arr_ty := TArr (ty, None));
+      eat st "]"
+    end;
+    let init =
+      if accept st "=" then Some (parse_expr st)
+      else if is_text st "(" then
+        (* constructor-style initialiser: [Kokkos::View<double*> a("a", n)] *)
+        Some { e = InitList (parse_args st); eloc = t.loc }
+      else None
+    in
+    names := (t.text, init) :: !names;
+    if accept st "," then one ()
+  in
+  one ();
+  (!arr_ty, List.rev !names)
+
+and parse_decl_stmt st =
+  let start = loc_here st in
+  let _shared = accept st "__shared__" in
+  let _static = accept st "static" in
+  if not (is_type_start st) then fail st "not a declaration";
+  let ty = parse_type st in
+  (* Must be followed by a declarator name; otherwise not a decl. *)
+  (match peek st with
+  | Some { kind = Token.Ident; _ } -> ()
+  | Some { kind = Token.Op; text = "*"; _ } -> ()
+  | _ -> fail st "not a declaration");
+  (* [x * y;] would misparse as decl only if x names a type; MiniC corpus
+     types are distinguishable so the backtrack covers it. *)
+  let ty, names = parse_decl_names st ty in
+  (match peek st with
+  | Some { text = ";"; _ } -> ()
+  | _ -> fail st "expected ; after declaration");
+  eat st ";";
+  { s = Decl (ty, names); sloc = start }
+
+and parse_stmt st =
+  match peek st with
+  | None -> fail st "expected a statement"
+  | Some t -> (
+      match (t.kind, t.text) with
+      | Token.Pragma, _ -> (
+          let _ = next st in
+          match parse_directive t with
+          | None ->
+              (* Unknown pragma: keep as an empty directive-free block so
+                 the statement count is unaffected. *)
+              { s = Block []; sloc = t.loc }
+          | Some d ->
+              if directive_is_standalone d then { s = Directive (d, None); sloc = t.loc }
+              else
+                let body = parse_stmt st in
+                { s = Directive (d, Some body); sloc = Loc.span t.loc body.sloc })
+      | Token.PpDirective, _ ->
+          (* A stray preprocessor line inside a body (post-preprocessor
+             streams have none). Skip it. *)
+          let _ = next st in
+          { s = Block []; sloc = t.loc }
+      | Token.Punct, "{" ->
+          eat st "{";
+          let body = parse_stmts_until st "}" in
+          eat st "}";
+          { s = Block body; sloc = t.loc }
+      | Token.Punct, ";" ->
+          eat st ";";
+          { s = Block []; sloc = t.loc }
+      | Token.Keyword, "if" ->
+          eat st "if";
+          eat st "(";
+          let cond = parse_expr st in
+          eat st ")";
+          let then_ = parse_block_or_stmt st in
+          let else_ =
+            if accept st "else" then parse_block_or_stmt st else []
+          in
+          { s = If (cond, then_, else_); sloc = t.loc }
+      | Token.Keyword, "for" ->
+          eat st "for";
+          eat st "(";
+          let init =
+            if is_text st ";" then begin
+              eat st ";";
+              None
+            end
+            else
+              match try_parse st parse_decl_stmt with
+              | Some d -> Some d
+              | None ->
+                  let e = parse_expr st in
+                  eat st ";";
+                  Some { s = ExprS e; sloc = e.eloc }
+          in
+          let cond = if is_text st ";" then None else Some (parse_expr st) in
+          eat st ";";
+          let step = if is_text st ")" then None else Some (parse_expr st) in
+          eat st ")";
+          let body = parse_block_or_stmt st in
+          { s = For (init, cond, step, body); sloc = t.loc }
+      | Token.Keyword, "while" ->
+          eat st "while";
+          eat st "(";
+          let cond = parse_expr st in
+          eat st ")";
+          let body = parse_block_or_stmt st in
+          { s = While (cond, body); sloc = t.loc }
+      | Token.Keyword, "do" ->
+          eat st "do";
+          let body = parse_block_or_stmt st in
+          eat st "while";
+          eat st "(";
+          let cond = parse_expr st in
+          eat st ")";
+          eat st ";";
+          { s = DoWhile (body, cond); sloc = t.loc }
+      | Token.Keyword, "return" ->
+          eat st "return";
+          let e = if is_text st ";" then None else Some (parse_expr st) in
+          eat st ";";
+          { s = Return e; sloc = t.loc }
+      | Token.Keyword, "break" ->
+          eat st "break";
+          eat st ";";
+          { s = Break; sloc = t.loc }
+      | Token.Keyword, "continue" ->
+          eat st "continue";
+          eat st ";";
+          { s = Continue; sloc = t.loc }
+      | Token.Keyword, "delete" ->
+          eat st "delete";
+          let arr =
+            if accept st "[" then begin
+              eat st "]";
+              true
+            end
+            else false
+          in
+          let e = parse_expr st in
+          eat st ";";
+          { s = DeleteS (e, arr); sloc = t.loc }
+      | _ -> (
+          match try_parse st parse_decl_stmt with
+          | Some d -> d
+          | None ->
+              let e = parse_expr st in
+              eat st ";";
+              { s = ExprS e; sloc = e.eloc }))
+
+(* --- top level ------------------------------------------------------- *)
+
+let attr_of_text = function
+  | "__global__" -> Some AGlobal
+  | "__device__" -> Some ADevice
+  | "__host__" -> Some AHost
+  | "__shared__" -> Some AShared
+  | "__constant__" -> Some AConstant
+  | "static" -> Some AStatic
+  | "inline" | "__forceinline__" -> Some AInline
+  | "extern" -> Some AExtern
+  | _ -> None
+
+let parse_attrs st =
+  let attrs = ref [] in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some { kind = Token.Keyword; text; _ } -> (
+        match attr_of_text text with
+        | Some a ->
+            let _ = next st in
+            attrs := a :: !attrs
+        | None -> continue := false)
+    | _ -> continue := false
+  done;
+  List.rev !attrs
+
+let parse_tparams st =
+  (* template < typename T , typename U > *)
+  eat st "template";
+  eat st "<";
+  let names = ref [] in
+  let rec loop () =
+    (if accept st "typename" then ()
+     else if accept st "class" then ()
+     else fail st "expected typename");
+    let t = next st in
+    if t.kind <> Token.Ident then fail st "expected template parameter name";
+    names := t.text :: !names;
+    if accept st "," then loop ()
+  in
+  loop ();
+  eat st ">";
+  List.rev !names
+
+let parse_record st =
+  let t0 = loc_here st in
+  eat st "struct";
+  let name = next st in
+  if name.kind <> Token.Ident then fail st "expected struct name";
+  if accept st ";" then { r_name = name.text; r_fields = []; r_loc = t0 }
+  else begin
+    eat st "{";
+    let fields = ref [] in
+    while not (is_text st "}") do
+      let ty = parse_type st in
+      let rec names () =
+        let t = next st in
+        if t.kind <> Token.Ident then fail st "expected field name";
+        fields := (ty, t.text) :: !fields;
+        if accept st "," then names ()
+      in
+      names ();
+      eat st ";"
+    done;
+    eat st "}";
+    eat st ";";
+    { r_name = name.text; r_fields = List.rev !fields; r_loc = t0 }
+  end
+
+let parse_top st : top =
+  match peek st with
+  | None -> fail st "expected a top-level declaration"
+  | Some t -> (
+      match (t.kind, t.text) with
+      | Token.Pragma, _ -> (
+          let _ = next st in
+          match parse_directive t with
+          | Some d -> TopDirective d
+          | None ->
+              TopDirective { d_origin = `Omp; d_clauses = []; d_loc = t.loc })
+      | Token.Keyword, "using" ->
+          eat st "using";
+          let _ = accept st "namespace" in
+          let name, loc = parse_qname st in
+          eat st ";";
+          Using (name, loc)
+      | Token.Keyword, "struct"
+        when (match peek_at st 2 with
+             | Some { text = "{"; _ } | Some { text = ";"; _ } -> true
+             | _ -> false) ->
+          Record (parse_record st)
+      | Token.Keyword, "template" ->
+          let tparams = parse_tparams st in
+          let attrs = parse_attrs st in
+          let ret = parse_type st in
+          let name = next st in
+          if name.kind <> Token.Ident then fail st "expected function name";
+          let params = parse_params st in
+          let body =
+            if accept st ";" then None
+            else begin
+              eat st "{";
+              let b = parse_stmts_until st "}" in
+              eat st "}";
+              Some b
+            end
+          in
+          Func
+            {
+              f_attrs = attrs;
+              f_tparams = tparams;
+              f_ret = ret;
+              f_name = name.text;
+              f_params = params;
+              f_body = body;
+              f_loc = t.loc;
+            }
+      | _ ->
+          let attrs = parse_attrs st in
+          let ty = parse_type st in
+          let name = next st in
+          if name.kind <> Token.Ident then fail st "expected a name";
+          if is_text st "(" then begin
+            let params = parse_params st in
+            let body =
+              if accept st ";" then None
+              else begin
+                eat st "{";
+                let b = parse_stmts_until st "}" in
+                eat st "}";
+                Some b
+              end
+            in
+            Func
+              {
+                f_attrs = attrs;
+                f_tparams = [];
+                f_ret = ty;
+                f_name = name.text;
+                f_params = params;
+                f_body = body;
+                f_loc = t.loc;
+              }
+          end
+          else begin
+            let ty =
+              if accept st "[" then begin
+                match peek st with
+                | Some { kind = Token.IntLit; text; _ } ->
+                    let _ = next st in
+                    eat st "]";
+                    TArr (ty, Some (int_of_string text))
+                | _ ->
+                    eat st "]";
+                    TArr (ty, None)
+              end
+              else ty
+            in
+            let init = if accept st "=" then Some (parse_expr st) else None in
+            eat st ";";
+            GlobalVar (attrs, ty, name.text, init, t.loc)
+          end)
+
+let parse_tokens ~file toks =
+  let toks =
+    Array.of_list
+      (List.filter
+         (fun (t : Token.t) ->
+           match t.kind with
+           | Token.Whitespace | Token.LineComment | Token.BlockComment -> false
+           | Token.PpDirective -> false
+           | _ -> true)
+         toks)
+  in
+  let st = { toks; pos = 0; file } in
+  let tops = ref [] in
+  while peek st <> None do
+    tops := parse_top st :: !tops
+  done;
+  { t_file = file; t_tops = List.rev !tops }
+
+let parse ~file src = parse_tokens ~file (Token.lex ~file src)

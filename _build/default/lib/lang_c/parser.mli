@@ -1,0 +1,34 @@
+(** Recursive-descent parser for MiniC.
+
+    Consumes the significant token stream (pragmas included) and produces
+    the {!Ast.tunit} that [T_sem] is derived from. The grammar covers the
+    constructs the paper's mini-apps exercise: functions (with CUDA/HIP
+    attributes and simple [template<typename T>] headers), structs, global
+    variables, the full statement/expression language including lambdas,
+    triple-chevron kernel launches, template-argument calls
+    ([parallel_for<class k>(...)]) and OpenMP/OpenACC directives attached
+    to the statements they govern.
+
+    Design notes:
+    - Declaration vs. expression statements are disambiguated by
+      backtracking, as are template argument lists vs. less-than.
+    - Nested template arguments requiring the C++ [>>] split are {e not}
+      supported; write a space ([> >]).
+    - Directives in the standalone set ([barrier], [taskwait], ...) attach
+      to no statement; all others govern the following statement. *)
+
+exception Parse_error of string * Sv_util.Loc.t
+(** Raised with a message and the location of the offending token. *)
+
+val parse : file:string -> string -> Ast.tunit
+(** [parse ~file src] lexes and parses one translation unit. Raises
+    {!Parse_error} or [Token.Lex_error]. *)
+
+val parse_tokens : file:string -> Token.t list -> Ast.tunit
+(** [parse_tokens ~file toks] parses an already-lexed stream (whitespace
+    and comments are filtered internally) — the post-preprocessor entry
+    point. *)
+
+val parse_directive : Token.t -> Ast.directive option
+(** [parse_directive tok] interprets a [Pragma] token as an OpenMP or
+    OpenACC directive ([None] for other pragmas). *)

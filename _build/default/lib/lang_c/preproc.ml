@@ -1,0 +1,113 @@
+module Xstring = Sv_util.Xstring
+
+type result = { tokens : Token.t list; deps : string list; missing : string list }
+
+let directive_word line =
+  let line = String.trim line in
+  (* after '#', possibly with spaces: "#  include" *)
+  let rest = String.sub line 1 (String.length line - 1) |> String.trim in
+  match String.index_opt rest ' ' with
+  | Some i -> (String.sub rest 0 i, String.trim (String.sub rest i (String.length rest - i)))
+  | None -> (rest, "")
+
+let parse_define line =
+  let word, rest = directive_word line in
+  if word <> "define" then None
+  else
+    match String.index_opt rest ' ' with
+    | None -> if rest = "" then None else Some (rest, "")
+    | Some i ->
+        let name = String.sub rest 0 i in
+        (* Function-like macros (name immediately followed by '(') are not
+           supported; [NAME (x)] with a space is object-like. *)
+        if String.contains name '(' then None
+        else Some (name, String.trim (String.sub rest i (String.length rest - i)))
+
+let include_target rest =
+  let rest = String.trim rest in
+  let n = String.length rest in
+  if n >= 2 && ((rest.[0] = '"' && rest.[n - 1] = '"') || (rest.[0] = '<' && rest.[n - 1] = '>'))
+  then Some (String.sub rest 1 (n - 2))
+  else None
+
+let run ~resolve ~defines ~file src =
+  let macros : (string, string) Hashtbl.t = Hashtbl.create 16 in
+  List.iter (fun (k, v) -> Hashtbl.replace macros k v) defines;
+  let included : (string, unit) Hashtbl.t = Hashtbl.create 16 in
+  let deps = ref [] and missing = ref [] in
+  let out = ref [] in
+  (* Conditional-inclusion stack; every frame is [true] when the current
+     branch is active. *)
+  let conds = ref [] in
+  let active () = List.for_all Fun.id !conds in
+  let rec process_file fname source =
+    let tokens = Token.significant (Token.lex ~file:fname source) in
+    List.iter process_token tokens
+  and process_token (t : Token.t) =
+    match t.kind with
+    | Token.PpDirective -> (
+        let word, rest = directive_word t.text in
+        match word with
+        | "include" when active () -> (
+            match include_target rest with
+            | None -> ()
+            | Some target ->
+                if not (Hashtbl.mem included target) then begin
+                  Hashtbl.replace included target ();
+                  match resolve target with
+                  | Some content ->
+                      deps := target :: !deps;
+                      process_file target content
+                  | None -> missing := target :: !missing
+                end)
+        | "define" when active () -> (
+            match parse_define t.text with
+            | Some (name, body) -> Hashtbl.replace macros name body
+            | None -> ())
+        | "undef" when active () -> Hashtbl.remove macros (String.trim rest)
+        | "ifdef" -> conds := Hashtbl.mem macros (String.trim rest) :: !conds
+        | "ifndef" -> conds := (not (Hashtbl.mem macros (String.trim rest))) :: !conds
+        | "if" ->
+            (* Only the simple forms "#if defined(X)" and "#if 0/1". *)
+            let rest = String.trim rest in
+            let v =
+              if rest = "0" then false
+              else if rest = "1" then true
+              else if Xstring.starts_with ~prefix:"defined(" rest then
+                let name = String.sub rest 8 (String.length rest - 9) in
+                Hashtbl.mem macros (String.trim name)
+              else true
+            in
+            conds := v :: !conds
+        | "else" -> (
+            match !conds with
+            | top :: rest -> conds := (not top) :: rest
+            | [] -> ())
+        | "endif" -> (
+            match !conds with _ :: rest -> conds := rest | [] -> ())
+        | _ -> ())
+    | Token.Pragma ->
+        if active () then
+          if String.trim t.text = "#pragma once" then ()
+          else out := t :: !out
+    | Token.Ident when active () && Hashtbl.mem macros t.text ->
+        (* Expand iteratively to a fixed depth; replacement tokens take
+           the use-site location. *)
+        let rec expand depth (tok : Token.t) =
+          if depth = 0 then out := tok :: !out
+          else
+            match
+              if tok.kind = Token.Ident then Hashtbl.find_opt macros tok.text else None
+            with
+            | Some body ->
+                let body_toks = Token.significant (Token.lex ~file:t.loc.file body) in
+                List.iter
+                  (fun (bt : Token.t) -> expand (depth - 1) { bt with loc = t.loc })
+                  body_toks
+            | None -> out := tok :: !out
+        in
+        expand 8 t
+    | _ -> if active () then out := t :: !out
+  in
+  process_file file src;
+  { tokens = List.rev !out; deps = List.rev !deps; missing = List.rev !missing }

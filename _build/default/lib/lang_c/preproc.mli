@@ -1,0 +1,44 @@
+(** MiniC preprocessor.
+
+    Runs between the lexer and the parser, like cpp: handles
+    [#include "..."] splicing, object-like [#define] macros, conditional
+    sections ([#ifdef]/[#ifndef]/[#else]/[#endif]) driven by the
+    compile-command [-D] flags, and [#pragma once].
+
+    Pragmas other than [once] (OpenMP, OpenACC) pass through untouched —
+    the "special provision" of §III-C that keeps directive semantics
+    visible after preprocessing.
+
+    Tokens spliced from an included file keep that file's locations, which
+    is what lets the unit construction of Eq. (1) attribute tree nodes to
+    headers; tokens produced by macro expansion take the location of the
+    use site, as compilers report. *)
+
+type result = {
+  tokens : Token.t list;
+      (** the expanded significant stream (whitespace/comments dropped),
+          pragmas included *)
+  deps : string list;
+      (** include files actually spliced, in first-inclusion order,
+          excluding the root file *)
+  missing : string list;
+      (** include names the resolver could not provide (system headers);
+          recorded, not fatal — mirroring how SilverVale masks system
+          headers out *)
+}
+
+val run :
+  resolve:(string -> string option) ->
+  defines:(string * string) list ->
+  file:string ->
+  string ->
+  result
+(** [run ~resolve ~defines ~file src] preprocesses [src]. [resolve]
+    maps an include spelling (the text between quotes or angle brackets)
+    to file contents. Each file is spliced at most once (implicit include
+    guard). Macro expansion is iterated to a small fixed depth so
+    self-referential macros terminate. *)
+
+val parse_define : string -> (string * string) option
+(** [parse_define line] splits a raw ["#define NAME BODY"] line into
+    [(NAME, BODY)]; [None] when the line is not an object-like define. *)

@@ -1,0 +1,256 @@
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+open Ast
+
+let l ?text ?loc kind = Label.v ?text ?loc kind
+
+let rec of_ty ty : Label.tree =
+  match ty with
+  | TVoid | TBool | TChar | TInt | TLong | TSizeT | TFloat | TDouble | TAuto ->
+      Tree.leaf (l (ty_kind ty))
+  | TPtr t -> Tree.node (l "ptr") [ of_ty t ]
+  | TRef t -> Tree.node (l "ref") [ of_ty t ]
+  | TConst t -> Tree.node (l "const") [ of_ty t ]
+  | TNamed (_, targs) -> Tree.node (l "named-type") (List.map of_targ targs)
+  | TArr (t, n) ->
+      let size =
+        match n with
+        | Some n -> [ Tree.leaf (l ~text:(string_of_int n) "int-lit") ]
+        | None -> []
+      in
+      Tree.node (l "array") (of_ty t :: size)
+
+and of_targ = function
+  | TyArg t -> of_ty t
+  | IntArg n -> Tree.leaf (l ~text:(string_of_int n) "int-lit")
+
+let of_directive d : Label.tree =
+  let prefix = match d.d_origin with `Omp -> "omp" | `Acc -> "acc" in
+  let clause (word, args) =
+    let kids =
+      match args with
+      | None -> []
+      | Some a ->
+          [ Tree.leaf (l ~text:(Sv_util.Xstring.collapse_spaces a) ~loc:d.d_loc (prefix ^ "-clause-args")) ]
+    in
+    (* Clang gives every OpenMP construct dedicated AST machinery —
+       captured statements, implicit data-sharing attributes, captured
+       declarations — semantics "ascribed in a way that is opaque in the
+       source" (§V-C). Those implicit nodes are what makes T_sem diverge
+       more than T_src for directive models. *)
+    let implicit =
+      match d.d_origin with
+      | `Omp -> [ Tree.leaf (l ~loc:d.d_loc "omp-implicit-dsa") ]
+      | `Acc -> []
+    in
+    Tree.node (l ~loc:d.d_loc (prefix ^ ":" ^ word)) (kids @ implicit)
+  in
+  let captured =
+    match d.d_origin with
+    | `Omp ->
+        [ Tree.node
+            (l ~loc:d.d_loc "omp-captured-stmt")
+            [ Tree.leaf (l ~loc:d.d_loc "omp-captured-decl") ] ]
+    | `Acc -> []
+  in
+  Tree.node (l ~loc:d.d_loc (prefix ^ "-directive")) (List.map clause d.d_clauses @ captured)
+
+let rec of_expr (e : expr) : Label.tree =
+  let loc = e.eloc in
+  match e.e with
+  | IntE n -> Tree.leaf (l ~text:(string_of_int n) ~loc "int-lit")
+  | FloatE f -> Tree.leaf (l ~text:(Printf.sprintf "%.17g" f) ~loc "float-lit")
+  | BoolE b -> Tree.leaf (l ~text:(string_of_bool b) ~loc "bool-lit")
+  | StrE s -> Tree.leaf (l ~text:s ~loc "string-lit")
+  | CharE c -> Tree.leaf (l ~text:(String.make 1 c) ~loc "char-lit")
+  | NullE -> Tree.leaf (l ~loc "nullptr")
+  | Var _ -> Tree.leaf (l ~loc "name-ref")
+  | Unary (op, a) -> Tree.node (l ~text:(unop_name op) ~loc "unary") [ of_expr a ]
+  | Binary (op, a, b) ->
+      Tree.node (l ~text:(binop_name op) ~loc "binary") [ of_expr a; of_expr b ]
+  | Assign (None, a, b) -> Tree.node (l ~loc "assign") [ of_expr a; of_expr b ]
+  | Assign (Some op, a, b) ->
+      Tree.node (l ~text:(binop_name op) ~loc "compound-assign") [ of_expr a; of_expr b ]
+  | Ternary (c, a, b) -> Tree.node (l ~loc "ternary") [ of_expr c; of_expr a; of_expr b ]
+  | Call (callee, targs, args) ->
+      Tree.node (l ~loc "call")
+        ((of_expr callee :: List.map of_targ targs) @ List.map of_expr args)
+  | KernelLaunch (callee, cfg, args) ->
+      Tree.node (l ~loc "kernel-launch")
+        (of_expr callee
+        :: Tree.node (l ~loc "launch-config") (List.map of_expr cfg)
+        :: List.map of_expr args)
+  | Index (a, i) -> Tree.node (l ~loc "index") [ of_expr a; of_expr i ]
+  | Member (a, _, _) -> Tree.node (l ~loc "member") [ of_expr a ]
+  | Lambda (cap, params, body) ->
+      let cap_text = match cap with ByValue -> "[=]" | ByRef -> "[&]" in
+      Tree.node
+        (l ~text:cap_text ~loc "lambda")
+        (List.map of_param params @ [ Tree.node (l ~loc "body") (List.map of_stmt body) ])
+  | Cast (ty, a) -> Tree.node (l ~loc "cast") [ of_ty ty; of_expr a ]
+  | New (ty, n) ->
+      Tree.node (l ~loc "new") (of_ty ty :: (match n with Some n -> [ of_expr n ] | None -> []))
+  | InitList es -> Tree.node (l ~loc "init-list") (List.map of_expr es)
+  | SizeofT ty -> Tree.node (l ~loc "sizeof") [ of_ty ty ]
+
+and of_param (p : param) : Label.tree =
+  Tree.node (l ~loc:p.p_loc "param") [ of_ty p.p_ty ]
+
+and of_stmt (s : stmt) : Label.tree =
+  let loc = s.sloc in
+  match s.s with
+  | Decl (ty, names) ->
+      let declarator (_, init) =
+        Tree.node (l ~loc "declarator")
+          (match init with Some e -> [ of_expr e ] | None -> [])
+      in
+      Tree.node (l ~loc "decl") (of_ty ty :: List.map declarator names)
+  | ExprS e -> of_expr e
+  | If (c, t, f) ->
+      let kids =
+        [ of_expr c; Tree.node (l ~loc "then") (List.map of_stmt t) ]
+        @ (if f = [] then [] else [ Tree.node (l ~loc "else") (List.map of_stmt f) ])
+      in
+      Tree.node (l ~loc "if") kids
+  | For (init, cond, step, body) ->
+      let opt_s = function Some s -> [ of_stmt s ] | None -> [] in
+      let opt_e = function Some e -> [ of_expr e ] | None -> [] in
+      Tree.node (l ~loc "for")
+        (opt_s init @ opt_e cond @ opt_e step
+        @ [ Tree.node (l ~loc "body") (List.map of_stmt body) ])
+  | While (c, body) ->
+      Tree.node (l ~loc "while")
+        [ of_expr c; Tree.node (l ~loc "body") (List.map of_stmt body) ]
+  | DoWhile (body, c) ->
+      Tree.node (l ~loc "do-while")
+        [ Tree.node (l ~loc "body") (List.map of_stmt body); of_expr c ]
+  | Return e ->
+      Tree.node (l ~loc "return") (match e with Some e -> [ of_expr e ] | None -> [])
+  | Break -> Tree.leaf (l ~loc "break")
+  | Continue -> Tree.leaf (l ~loc "continue")
+  | Block body -> Tree.node (l ~loc "block") (List.map of_stmt body)
+  | Directive (d, body) ->
+      let dt = of_directive d in
+      (match body with
+      | None -> dt
+      | Some b -> Tree.node (Tree.label dt) (Tree.children dt @ [ of_stmt b ]))
+  | DeleteS (e, _) -> Tree.node (l ~loc "delete") [ of_expr e ]
+
+let of_attr a =
+  let name =
+    match a with
+    | AGlobal -> "__global__"
+    | ADevice -> "__device__"
+    | AHost -> "__host__"
+    | AShared -> "__shared__"
+    | AConstant -> "__constant__"
+    | AStatic -> "static"
+    | AInline -> "inline"
+    | AExtern -> "extern"
+  in
+  Tree.leaf (l ~text:name "attr")
+
+let of_func (f : func) : Label.tree =
+  let tmpl =
+    if f.f_tparams = [] then []
+    else
+      [ Tree.node (l ~loc:f.f_loc "template")
+          (List.map (fun _ -> Tree.leaf (l "type-param")) f.f_tparams) ]
+  in
+  let body =
+    match f.f_body with
+    | None -> []
+    | Some b -> [ Tree.node (l ~loc:f.f_loc "body") (List.map of_stmt b) ]
+  in
+  Tree.node
+    (l ~loc:f.f_loc "function")
+    (List.map of_attr f.f_attrs @ tmpl @ [ of_ty f.f_ret ]
+    @ List.map of_param f.f_params @ body)
+
+let of_top = function
+  | Func f -> of_func f
+  | Record r ->
+      Tree.node
+        (l ~loc:r.r_loc "record")
+        (List.map (fun (ty, _) -> Tree.node (l "field") [ of_ty ty ]) r.r_fields)
+  | GlobalVar (attrs, ty, _, init, loc) ->
+      Tree.node (l ~loc "global-var")
+        (List.map of_attr attrs @ [ of_ty ty ]
+        @ (match init with Some e -> [ of_expr e ] | None -> []))
+  | Using (_, loc) -> Tree.leaf (l ~loc "using")
+  | TopDirective d -> of_directive d
+
+let of_tunit (u : tunit) : Label.tree =
+  Tree.node
+    (l ~loc:(Sv_util.Loc.make ~file:u.t_file ~line:1 ~col:0) "tunit")
+    (List.map of_top u.t_tops)
+
+(* --- inlining (T_sem+i) -------------------------------------------- *)
+
+let inline_calls ~env ~depth u =
+  let rec expr_map visited d (e : expr) : expr =
+    let re = expr_map visited d in
+    let node =
+      match e.e with
+      | Call ({ e = Var name; _ }, targs, args) as orig -> (
+          match (if d > 0 && not (List.mem name visited) then env name else None) with
+          | Some ({ f_body = Some body; _ } : func) ->
+              let body' =
+                List.map (stmt_map (name :: visited) (d - 1)) body
+              in
+              (* The inlined call keeps the argument expressions, followed
+                 by the callee body wrapped in a block — mirroring how
+                 Clang's tree-level inlining grafts the callee under the
+                 call site. *)
+              Call
+                ( { e = Lambda (ByValue, [], body'); eloc = e.eloc },
+                  targs,
+                  List.map re args )
+          | _ -> (
+              match orig with
+              | Call (c, targs, args) -> Call (re c, targs, List.map re args)
+              | _ -> assert false))
+      | Call (c, targs, args) -> Call (re c, targs, List.map re args)
+      | IntE _ | FloatE _ | BoolE _ | StrE _ | CharE _ | NullE | Var _ -> e.e
+      | Unary (op, a) -> Unary (op, re a)
+      | Binary (op, a, b) -> Binary (op, re a, re b)
+      | Assign (op, a, b) -> Assign (op, re a, re b)
+      | Ternary (c, a, b) -> Ternary (re c, re a, re b)
+      | KernelLaunch (c, cfg, args) -> KernelLaunch (re c, List.map re cfg, List.map re args)
+      | Index (a, i) -> Index (re a, re i)
+      | Member (a, n, k) -> Member (re a, n, k)
+      | Lambda (cap, ps, body) -> Lambda (cap, ps, List.map (stmt_map visited d) body)
+      | Cast (ty, a) -> Cast (ty, re a)
+      | New (ty, n) -> New (ty, Option.map re n)
+      | InitList es -> InitList (List.map re es)
+      | SizeofT ty -> SizeofT ty
+    in
+    { e with e = node }
+  and stmt_map visited d (s : stmt) : stmt =
+    let rs = stmt_map visited d and re = expr_map visited d in
+    let node =
+      match s.s with
+      | Decl (ty, names) -> Decl (ty, List.map (fun (n, i) -> (n, Option.map re i)) names)
+      | ExprS e -> ExprS (re e)
+      | If (c, t, f) -> If (re c, List.map rs t, List.map rs f)
+      | For (i, c, st, b) ->
+          For (Option.map rs i, Option.map re c, Option.map re st, List.map rs b)
+      | While (c, b) -> While (re c, List.map rs b)
+      | DoWhile (b, c) -> DoWhile (List.map rs b, re c)
+      | Return e -> Return (Option.map re e)
+      | Break -> Break
+      | Continue -> Continue
+      | Block b -> Block (List.map rs b)
+      | Directive (dv, b) -> Directive (dv, Option.map rs b)
+      | DeleteS (e, arr) -> DeleteS (re e, arr)
+    in
+    { s with s = node }
+  in
+  let top_map = function
+    | Func f ->
+        Func { f with f_body = Option.map (List.map (stmt_map [ f.f_name ] depth)) f.f_body }
+    | GlobalVar (a, ty, n, init, loc) ->
+        GlobalVar (a, ty, n, Option.map (expr_map [] depth) init, loc)
+    | (Record _ | Using _ | TopDirective _) as t -> t
+  in
+  { u with t_tops = List.map top_map u.t_tops }

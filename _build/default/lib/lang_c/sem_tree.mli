@@ -1,0 +1,30 @@
+(** [T_sem] construction for MiniC.
+
+    Maps the AST to the frontend semantic-bearing tree of §IV-A: only
+    semantic nodes survive, node labels retain "the node type, literal,
+    and operator names", and all programmer-introduced names (variables,
+    functions, classes) are anonymised per the normalisation rule of
+    §III-B. Directive nodes keep their clause structure — the
+    OpenMP-specific AST tokens whose hidden semantics the paper measures.
+
+    Every node keeps its source back reference, so coverage masks apply
+    directly. *)
+
+val of_tunit : Ast.tunit -> Sv_tree.Label.tree
+(** [of_tunit u] is the [T_sem] of one translation unit; root kind
+    ["tunit"]. *)
+
+val of_expr : Ast.expr -> Sv_tree.Label.tree
+(** Tree of a single expression (exposed for tests). *)
+
+val of_stmt : Ast.stmt -> Sv_tree.Label.tree
+(** Tree of a single statement (exposed for tests). *)
+
+val inline_calls :
+  env:(string -> Ast.func option) -> depth:int -> Ast.tunit -> Ast.tunit
+(** [inline_calls ~env ~depth u] rewrites the unit for the [T_sem+i]
+    variant: every call whose callee name [env] resolves to a function
+    {e definition} is replaced by a block containing the callee's body
+    (recursively, to [depth] levels; recursion through the same name is
+    cut). Parameters are not substituted — the variant measures the
+    semantic mass a library model drags in, not dataflow. *)

@@ -1,0 +1,242 @@
+module Loc = Sv_util.Loc
+
+type kind =
+  | Ident
+  | Keyword
+  | IntLit
+  | FloatLit
+  | StringLit
+  | CharLit
+  | Punct
+  | Op
+  | PpDirective
+  | Pragma
+  | LineComment
+  | BlockComment
+  | Whitespace
+
+type t = { kind : kind; text : string; loc : Loc.t }
+
+let keywords =
+  [
+    (* control *)
+    "if"; "else"; "for"; "while"; "do"; "return"; "break"; "continue";
+    "switch"; "case"; "default";
+    (* types and declarators *)
+    "void"; "int"; "long"; "float"; "double"; "bool"; "char"; "auto";
+    "size_t"; "const"; "static"; "inline"; "extern"; "struct"; "class";
+    "template"; "typename"; "using"; "namespace"; "new"; "delete";
+    "true"; "false"; "nullptr"; "sizeof"; "restrict"; "unsigned";
+    (* CUDA / HIP dialect attributes *)
+    "__global__"; "__device__"; "__host__"; "__shared__"; "__restrict__";
+    "__forceinline__"; "__constant__";
+  ]
+
+let keyword_set = Hashtbl.create 64
+let () = List.iter (fun k -> Hashtbl.replace keyword_set k ()) keywords
+let is_keyword s = Hashtbl.mem keyword_set s
+
+exception Lex_error of string * Loc.t
+
+let kind_name = function
+  | Ident -> "ident"
+  | Keyword -> "keyword"
+  | IntLit -> "int-lit"
+  | FloatLit -> "float-lit"
+  | StringLit -> "string-lit"
+  | CharLit -> "char-lit"
+  | Punct -> "punct"
+  | Op -> "op"
+  | PpDirective -> "pp-directive"
+  | Pragma -> "pragma"
+  | LineComment -> "line-comment"
+  | BlockComment -> "block-comment"
+  | Whitespace -> "whitespace"
+
+(* Longest-first list of multi-character operators. [<<<] and [>>>] are the
+   CUDA/HIP launch chevrons. *)
+let operators =
+  [
+    "<<<"; ">>>"; "<<="; ">>="; "->"; "++"; "--"; "+="; "-="; "*="; "/=";
+    "%="; "=="; "!="; "<="; ">="; "&&"; "||"; "<<"; ">>"; "&="; "|="; "^=";
+    "::"; "+"; "-"; "*"; "/"; "%"; "="; "<"; ">"; "!"; "&"; "|"; "^"; "~";
+    "?"; ":"; ".";
+  ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int; file : string }
+
+let peek cur k = if cur.pos + k < String.length cur.src then Some cur.src.[cur.pos + k] else None
+
+let here cur = { Loc.line = cur.line; col = cur.col }
+
+let advance cur =
+  (match peek cur 0 with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 0
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let take_while cur p =
+  let start = cur.pos in
+  while (match peek cur 0 with Some c -> p c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+(* A token's span runs from the recorded start to the position just before
+   the cursor. *)
+let finish cur kind start_pos start =
+  let text = String.sub cur.src start_pos (cur.pos - start_pos) in
+  let stop =
+    if cur.col > 0 then { Loc.line = cur.line; col = cur.col - 1 }
+    else { Loc.line = cur.line - 1; col = 0 }
+  in
+  { kind; text; loc = { Loc.file = cur.file; start; stop } }
+
+let lex_line_rest cur =
+  (* Consume to (not including) the end of line, honouring backslash
+     continuations as preprocessor lines do. *)
+  let continue = ref true in
+  while !continue do
+    match peek cur 0 with
+    | None -> continue := false
+    | Some '\n' ->
+        if cur.pos > 0 && cur.src.[cur.pos - 1] = '\\' then advance cur
+        else continue := false
+    | Some _ -> advance cur
+  done
+
+let lex ~file src =
+  let cur = { src; pos = 0; line = 1; col = 0; file } in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let n = String.length src in
+  while cur.pos < n do
+    let start = here cur and start_pos = cur.pos in
+    match peek cur 0 with
+    | None -> ()
+    | Some c when c = ' ' || c = '\t' || c = '\n' || c = '\r' ->
+        let _ = take_while cur (fun c -> c = ' ' || c = '\t' || c = '\n' || c = '\r') in
+        emit (finish cur Whitespace start_pos start)
+    | Some '/' when peek cur 1 = Some '/' ->
+        lex_line_rest cur;
+        emit (finish cur LineComment start_pos start)
+    | Some '/' when peek cur 1 = Some '*' ->
+        advance cur;
+        advance cur;
+        let closed = ref false in
+        while not !closed && cur.pos < n do
+          if peek cur 0 = Some '*' && peek cur 1 = Some '/' then begin
+            advance cur;
+            advance cur;
+            closed := true
+          end
+          else advance cur
+        done;
+        if not !closed then
+          raise (Lex_error ("unterminated block comment", { Loc.file; start; stop = start }));
+        emit (finish cur BlockComment start_pos start)
+    | Some '#' ->
+        lex_line_rest cur;
+        let text = String.sub src start_pos (cur.pos - start_pos) in
+        let kind =
+          if Sv_util.Xstring.starts_with ~prefix:"#pragma" (String.trim text) then Pragma
+          else PpDirective
+        in
+        emit (finish cur kind start_pos start)
+    | Some '"' ->
+        advance cur;
+        let closed = ref false in
+        while not !closed && cur.pos < n do
+          match peek cur 0 with
+          | Some '\\' ->
+              advance cur;
+              advance cur
+          | Some '"' ->
+              advance cur;
+              closed := true
+          | Some _ -> advance cur
+          | None -> ()
+        done;
+        if not !closed then
+          raise (Lex_error ("unterminated string", { Loc.file; start; stop = start }));
+        emit (finish cur StringLit start_pos start)
+    | Some '\'' ->
+        advance cur;
+        (match peek cur 0 with
+        | Some '\\' ->
+            advance cur;
+            advance cur
+        | Some _ -> advance cur
+        | None -> ());
+        if peek cur 0 <> Some '\'' then
+          raise (Lex_error ("unterminated char literal", { Loc.file; start; stop = start }));
+        advance cur;
+        emit (finish cur CharLit start_pos start)
+    | Some c when is_digit c ->
+        let _ = take_while cur is_digit in
+        let is_float = ref false in
+        if peek cur 0 = Some '.' && (match peek cur 1 with Some d -> is_digit d | None -> false)
+        then begin
+          is_float := true;
+          advance cur;
+          let _ = take_while cur is_digit in
+          ()
+        end;
+        (match peek cur 0 with
+        | Some ('e' | 'E') ->
+            is_float := true;
+            advance cur;
+            (match peek cur 0 with Some ('+' | '-') -> advance cur | _ -> ());
+            let _ = take_while cur is_digit in
+            ()
+        | _ -> ());
+        (* numeric suffixes: f, u, l, ul, size-ish *)
+        (match peek cur 0 with
+        | Some ('f' | 'F') ->
+            is_float := true;
+            advance cur
+        | Some ('u' | 'U' | 'l' | 'L') ->
+            let _ = take_while cur (fun c -> c = 'u' || c = 'U' || c = 'l' || c = 'L') in
+            ()
+        | _ -> ());
+        emit (finish cur (if !is_float then FloatLit else IntLit) start_pos start)
+    | Some c when is_ident_start c ->
+        let text = take_while cur is_ident_char in
+        emit (finish cur (if is_keyword text then Keyword else Ident) start_pos start)
+    | Some ('(' | ')' | '{' | '}' | '[' | ']' | ';' | ',') ->
+        advance cur;
+        emit (finish cur Punct start_pos start)
+    | Some _ ->
+        let matched =
+          List.find_opt
+            (fun op ->
+              let l = String.length op in
+              cur.pos + l <= n && String.sub src cur.pos l = op)
+            operators
+        in
+        (match matched with
+        | Some op ->
+            for _ = 1 to String.length op do
+              advance cur
+            done;
+            emit (finish cur Op start_pos start)
+        | None ->
+            raise
+              (Lex_error
+                 ( Printf.sprintf "unexpected character %C" src.[cur.pos],
+                   { Loc.file; start; stop = start } )))
+  done;
+  List.rev !tokens
+
+let significant ts =
+  List.filter
+    (fun t ->
+      match t.kind with Whitespace | LineComment | BlockComment -> false | _ -> true)
+    ts

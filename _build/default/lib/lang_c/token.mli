@@ -1,0 +1,53 @@
+(** MiniC tokens and lexer.
+
+    MiniC is the C++-like mini-language SilverVale-ML analyses in place of
+    real C/C++ (see DESIGN.md). Its lexer keeps {e every} lexeme —
+    comments, preprocessor lines, pragmas — with full source spans, so the
+    concrete syntax tree can reconstruct the source exactly; this is the
+    property the paper obtains from tree-sitter (§IV-C).
+
+    Dialect-specific lexemes are first-class: OpenMP/OpenACC [#pragma]
+    lines, CUDA/HIP triple-chevron launches ([<<<] / [>>>]) and attribute
+    keywords ([__global__] etc.), and lambda introducers. *)
+
+type kind =
+  | Ident          (** identifier, possibly [::]-qualified by the parser *)
+  | Keyword        (** language keyword or attribute, e.g. [for], [__global__] *)
+  | IntLit
+  | FloatLit
+  | StringLit
+  | CharLit
+  | Punct          (** delimiters and separators: [(){}\[\];,] *)
+  | Op             (** operators, including [<<<] and [>>>] *)
+  | PpDirective    (** a whole preprocessor line except pragmas, e.g. [#include <x>] *)
+  | Pragma         (** a whole [#pragma ...] line, kept verbatim *)
+  | LineComment
+  | BlockComment
+  | Whitespace     (** spaces, tabs and newlines, kept for reconstruction *)
+
+type t = {
+  kind : kind;
+  text : string;            (** exact source substring *)
+  loc : Sv_util.Loc.t;      (** span of [text] in the source file *)
+}
+
+val keywords : string list
+(** All MiniC keywords, including type keywords and dialect attributes. *)
+
+val is_keyword : string -> bool
+(** [is_keyword s] tests membership in {!keywords}. *)
+
+exception Lex_error of string * Sv_util.Loc.t
+(** Raised on characters no rule accepts. *)
+
+val lex : file:string -> string -> t list
+(** [lex ~file src] tokenises [src]. Concatenating the [text] of the
+    result reproduces [src] exactly (the round-trip property tested in
+    the suite). Raises {!Lex_error} on unexpected input. *)
+
+val significant : t list -> t list
+(** [significant ts] drops whitespace and comments — the stream the parser
+    and the normalised CST consume. *)
+
+val kind_name : kind -> string
+(** Stable lowercase name of a token kind, used as tree-label kind. *)

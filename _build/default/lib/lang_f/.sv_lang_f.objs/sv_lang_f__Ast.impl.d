@@ -1,0 +1,1 @@
+lib/lang_f/ast.ml: List String Sv_util

@@ -1,0 +1,1 @@
+lib/lang_f/ast.mli: Sv_util

@@ -1,0 +1,1 @@
+lib/lang_f/cst.mli: Sv_tree Token

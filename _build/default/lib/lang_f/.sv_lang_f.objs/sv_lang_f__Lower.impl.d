@@ -1,0 +1,1 @@
+lib/lang_f/lower.ml: Ast Hashtbl List Printf Sv_ir Sv_util

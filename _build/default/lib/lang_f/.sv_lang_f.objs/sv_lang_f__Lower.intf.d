@@ -1,0 +1,1 @@
+lib/lang_f/lower.mli: Ast Sv_ir

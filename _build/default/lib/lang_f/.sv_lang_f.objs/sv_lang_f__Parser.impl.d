@@ -1,0 +1,1 @@
+lib/lang_f/parser.ml: Array Ast List Printf String Sv_util Token

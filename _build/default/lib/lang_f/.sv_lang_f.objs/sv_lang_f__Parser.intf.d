@@ -1,0 +1,1 @@
+lib/lang_f/parser.mli: Ast Sv_util

@@ -1,0 +1,1 @@
+lib/lang_f/sem_tree.ml: Ast List Option Printf Sv_tree Sv_util

@@ -1,0 +1,1 @@
+lib/lang_f/token.ml: Hashtbl List Printf String Sv_util

@@ -1,0 +1,1 @@
+lib/lang_f/token.mli: Sv_util

@@ -1,0 +1,82 @@
+module Loc = Sv_util.Loc
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let reconstruct tokens = String.concat "" (List.map (fun (t : Token.t) -> t.text) tokens)
+
+let directive_tree (t : Token.t) =
+  match Sv_util.Directive_syntax.strip_sentinel t.text with
+  | None -> Tree.leaf (Label.v ~loc:t.loc "directive")
+  | Some (origin, body) ->
+      let prefix = match origin with `Omp -> "omp" | `Acc -> "acc" in
+      let clause (word, args) =
+        let kids =
+          match args with
+          | None -> []
+          | Some a ->
+              [ Tree.leaf
+                  (Label.v ~text:(Sv_util.Xstring.collapse_spaces a) ~loc:t.loc
+                     (prefix ^ "-clause-args")) ]
+        in
+        Tree.node (Label.v ~loc:t.loc (prefix ^ ":" ^ word)) kids
+      in
+      Tree.node
+        (Label.v ~loc:t.loc (prefix ^ "-directive"))
+        (List.map clause (Sv_util.Directive_syntax.split body))
+
+let token_tree (t : Token.t) : Label.tree option =
+  match t.kind with
+  | Token.Whitespace | Token.Comment | Token.Newline -> None
+  | Token.Punct -> None
+  | Token.Ident -> Some (Tree.leaf (Label.v ~loc:t.loc "ident"))
+  | Token.Keyword ->
+      Some (Tree.leaf (Label.v ~text:(String.lowercase_ascii t.text) ~loc:t.loc "kw"))
+  | Token.Op -> Some (Tree.leaf (Label.v ~text:t.text ~loc:t.loc "op"))
+  | Token.IntLit | Token.FloatLit | Token.StringLit ->
+      Some (Tree.leaf (Label.v ~text:t.text ~loc:t.loc (Token.kind_name t.kind)))
+  | Token.Directive -> Some (directive_tree t)
+
+(* Nest one line's tokens by parentheses. *)
+let rec nest_line (toks : Token.t list) : Label.tree list =
+  match toks with
+  | [] -> []
+  | ({ kind = Token.Punct; text = "("; loc; _ } : Token.t) :: rest ->
+      let inner, rest = take_group 1 [] rest in
+      Tree.node (Label.v ~loc "parens") (nest_line inner) :: nest_line rest
+  | t :: rest -> (
+      match token_tree t with
+      | Some n -> n :: nest_line rest
+      | None -> nest_line rest)
+
+and take_group depth acc = function
+  | [] -> (List.rev acc, [])
+  | ({ kind = Token.Punct; text = "("; _ } as t : Token.t) :: rest ->
+      take_group (depth + 1) (t :: acc) rest
+  | ({ kind = Token.Punct; text = ")"; _ } as t) :: rest ->
+      if depth = 1 then (List.rev acc, rest) else take_group (depth - 1) (t :: acc) rest
+  | t :: rest -> take_group depth (t :: acc) rest
+
+let t_src ~file src =
+  let tokens = Token.significant (Token.lex ~file src) in
+  (* split on newlines *)
+  let lines = ref [] and cur = ref [] in
+  List.iter
+    (fun (t : Token.t) ->
+      if t.kind = Token.Newline then begin
+        if !cur <> [] then lines := List.rev !cur :: !lines;
+        cur := []
+      end
+      else cur := t :: !cur)
+    tokens;
+  if !cur <> [] then lines := List.rev !cur :: !lines;
+  let line_node toks =
+    match toks with
+    | [] -> None
+    | (first : Token.t) :: _ -> (
+        match nest_line toks with
+        | [] -> None
+        | kids -> Some (Tree.node (Label.v ~loc:first.loc "line") kids))
+  in
+  Tree.node
+    (Label.v ~loc:(Loc.make ~file ~line:1 ~col:0) "src-file")
+    (List.filter_map line_node (List.rev !lines))

@@ -1,0 +1,15 @@
+(** Concrete syntax trees ([T_src]) for MiniF.
+
+    Fortran is line-structured, so the normalised perceived tree groups
+    tokens per statement line (the shape a tree-sitter Fortran grammar
+    yields), with parenthesised regions nested inside. Normalisation
+    matches the MiniC side: comments and separators vanish, identifiers
+    are anonymised, keywords/operators/literals keep their spelling, and
+    [!$omp] / [!$acc] sentinel lines become structured directive nodes. *)
+
+val t_src : file:string -> string -> Sv_tree.Label.tree
+(** [t_src ~file src] is the normalised perceived tree; root kind
+    ["src-file"], one ["line"] node per non-empty source line. *)
+
+val reconstruct : Token.t list -> string
+(** Concatenated raw token texts; identity on the full lexed stream. *)

@@ -1,0 +1,500 @@
+module Loc = Sv_util.Loc
+module Ir = Sv_ir.Ir
+open Ast
+
+type mstate = {
+  mutable funcs : Ir.func list;
+  mutable globals : Ir.global list;
+  mutable outlined : int;
+  mutable has_device : bool;
+}
+
+type fstate = {
+  ms : mstate;
+  mutable reg : int;
+  mutable blocks : Ir.block list;
+  mutable cur_id : int;
+  mutable cur_instrs : Ir.instr list;
+  mutable next_block : int;
+  mutable env : (string * int) list;  (* name -> alloca slot *)
+  arrays : (string, unit) Hashtbl.t;  (* names declared with rank > 0 *)
+  mutable loops : (int * int) list;   (* (cycle target, exit target) *)
+}
+
+let fresh fs =
+  let r = fs.reg in
+  fs.reg <- r + 1;
+  r
+
+let emit fs ~loc node = fs.cur_instrs <- { Ir.i = node; iloc = loc } :: fs.cur_instrs
+
+let new_block_id fs =
+  let id = fs.next_block in
+  fs.next_block <- id + 1;
+  id
+
+let finish_block fs term =
+  fs.blocks <-
+    { Ir.b_id = fs.cur_id; b_instrs = List.rev fs.cur_instrs; b_term = term } :: fs.blocks;
+  fs.cur_instrs <- []
+
+let start_block fs id =
+  fs.cur_id <- id;
+  fs.cur_instrs <- []
+
+let fty k = if k >= 8 then Ir.F64 else Ir.F32
+
+let slot fs name =
+  match List.assoc_opt name fs.env with
+  | Some s -> Some s
+  | None -> None
+
+let is_array fs name = Hashtbl.mem fs.arrays name
+
+let binop_ir = function
+  | "+" -> `Bin "add" | "-" -> `Bin "sub" | "*" -> `Bin "mul" | "/" -> `Bin "div"
+  | "**" -> `Call "pow"
+  | ".and." -> `Bin "and" | ".or." -> `Bin "or"
+  | "==" -> `Cmp "eq" | "/=" -> `Cmp "ne" | "<" -> `Cmp "lt" | ">" -> `Cmp "gt"
+  | "<=" -> `Cmp "le" | ">=" -> `Cmp "ge"
+  | _ -> `Bin "add"
+
+(* An expression contains a whole-array reference (slice or bare array
+   name) when it needs elementwise loop expansion. *)
+let rec has_array_value fs (e : expr) =
+  match e.e with
+  | FVar name -> is_array fs name
+  | FRef (_, args) ->
+      List.exists (function ARange _ -> true | AExpr a -> has_array_value fs a) args
+  | FBin (_, a, b) -> has_array_value fs a || has_array_value fs b
+  | FUn (_, a) -> has_array_value fs a
+  | _ -> false
+
+let rec lower_expr fs (e : expr) : Ir.value =
+  let loc = e.eloc in
+  match e.e with
+  | FInt n -> Ir.ImmI n
+  | FRealLit f -> Ir.ImmF f
+  | FStr _ -> Ir.Glob ".str"
+  | FBool b -> Ir.ImmI (if b then 1 else 0)
+  | FVar name -> (
+      match slot fs name with
+      | Some s ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.Load (r, Ir.F64, Ir.Reg s));
+          Ir.Reg r
+      | None -> Ir.Glob name)
+  | FBin (op, a, b) -> (
+      let va = lower_expr fs a in
+      let vb = lower_expr fs b in
+      match binop_ir op with
+      | `Bin name ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.Bin (r, name, Ir.F64, va, vb));
+          Ir.Reg r
+      | `Cmp pred ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.Cmp (r, pred, Ir.F64, va, vb));
+          Ir.Reg r
+      | `Call callee ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.CallI (Some r, Ir.F64, Ir.Glob callee, [ va; vb ]));
+          Ir.Reg r)
+  | FUn (op, a) ->
+      let va = lower_expr fs a in
+      let r = fresh fs in
+      (match op with
+      | "-" -> emit fs ~loc (Ir.Bin (r, "sub", Ir.F64, Ir.ImmF 0.0, va))
+      | ".not." -> emit fs ~loc (Ir.Cmp (r, "eq", Ir.I1, va, Ir.ImmI 0))
+      | _ -> emit fs ~loc (Ir.Bin (r, "add", Ir.F64, Ir.ImmF 0.0, va)));
+      Ir.Reg r
+  | FRef (name, args) ->
+      if is_array fs name then begin
+        (* indexed element read: a(i) with plain expressions *)
+        let base =
+          match slot fs name with Some s -> Ir.Reg s | None -> Ir.Glob name
+        in
+        let idx =
+          match args with
+          | [ AExpr i ] -> lower_expr fs i
+          | _ -> Ir.ImmI 0
+        in
+        let g = fresh fs in
+        emit fs ~loc (Ir.Gep (g, base, idx));
+        let r = fresh fs in
+        emit fs ~loc (Ir.Load (r, Ir.F64, Ir.Reg g));
+        Ir.Reg r
+      end
+      else begin
+        let vargs =
+          List.map
+            (function AExpr a -> lower_expr fs a | ARange _ -> Ir.Undef)
+            args
+        in
+        let r = fresh fs in
+        emit fs ~loc (Ir.CallI (Some r, Ir.F64, Ir.Glob name, vargs));
+        Ir.Reg r
+      end
+
+(* Address of an lvalue element, with the loop index [idx] substituted for
+   open ranges / bare array names during array-expression expansion. *)
+let lower_elem_addr fs ~loc ~idx (e : expr) : Ir.value =
+  match e.e with
+  | FVar name | FRef (name, _) ->
+      let base = match slot fs name with Some s -> Ir.Reg s | None -> Ir.Glob name in
+      let g = fresh fs in
+      emit fs ~loc (Ir.Gep (g, base, idx));
+      Ir.Reg g
+  | _ ->
+      let r = fresh fs in
+      emit fs ~loc (Ir.Alloca (r, Ir.F64));
+      Ir.Reg r
+
+(* Rewrite an array-valued expression into its element at [idx]. *)
+let rec lower_elem fs ~loc ~idx (e : expr) : Ir.value =
+  match e.e with
+  | FVar name when is_array fs name ->
+      let base = match slot fs name with Some s -> Ir.Reg s | None -> Ir.Glob name in
+      let g = fresh fs in
+      emit fs ~loc (Ir.Gep (g, base, idx));
+      let r = fresh fs in
+      emit fs ~loc (Ir.Load (r, Ir.F64, Ir.Reg g));
+      Ir.Reg r
+  | FRef (name, _) when is_array fs name ->
+      let base = match slot fs name with Some s -> Ir.Reg s | None -> Ir.Glob name in
+      let g = fresh fs in
+      emit fs ~loc (Ir.Gep (g, base, idx));
+      let r = fresh fs in
+      emit fs ~loc (Ir.Load (r, Ir.F64, Ir.Reg g));
+      Ir.Reg r
+  | FBin (op, a, b) -> (
+      let va = lower_elem fs ~loc ~idx a in
+      let vb = lower_elem fs ~loc ~idx b in
+      match binop_ir op with
+      | `Bin name ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.Bin (r, name, Ir.F64, va, vb));
+          Ir.Reg r
+      | `Cmp pred ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.Cmp (r, pred, Ir.F64, va, vb));
+          Ir.Reg r
+      | `Call callee ->
+          let r = fresh fs in
+          emit fs ~loc (Ir.CallI (Some r, Ir.F64, Ir.Glob callee, [ va; vb ]));
+          Ir.Reg r)
+  | FUn (_, a) -> lower_elem fs ~loc ~idx a
+  | _ -> lower_expr fs e
+
+(* Synthesised element loop for a whole-array assignment: GFortran expands
+   [c(:) = a + s*b] into a counted loop at the GIMPLE level. *)
+let lower_array_assign fs ~loc lhs rhs =
+  let idx_slot = fresh fs in
+  emit fs ~loc (Ir.Alloca (idx_slot, Ir.I64));
+  let r = fresh fs in
+  emit fs ~loc (Ir.CallI (Some r, Ir.I64, Ir.Glob "__array_extent", []));
+  emit fs ~loc (Ir.Store (Ir.I64, Ir.ImmI 0, Ir.Reg idx_slot));
+  let bc = new_block_id fs and bb = new_block_id fs and be = new_block_id fs in
+  finish_block fs (Ir.Br bc);
+  start_block fs bc;
+  let iv = fresh fs in
+  emit fs ~loc (Ir.Load (iv, Ir.I64, Ir.Reg idx_slot));
+  let c = fresh fs in
+  emit fs ~loc (Ir.Cmp (c, "lt", Ir.I64, Ir.Reg iv, Ir.Reg r));
+  finish_block fs (Ir.CondBr (Ir.Reg c, bb, be));
+  start_block fs bb;
+  let iv2 = fresh fs in
+  emit fs ~loc (Ir.Load (iv2, Ir.I64, Ir.Reg idx_slot));
+  let v = lower_elem fs ~loc ~idx:(Ir.Reg iv2) rhs in
+  let addr = lower_elem_addr fs ~loc ~idx:(Ir.Reg iv2) lhs in
+  emit fs ~loc (Ir.Store (Ir.F64, v, addr));
+  let iv3 = fresh fs in
+  emit fs ~loc (Ir.Load (iv3, Ir.I64, Ir.Reg idx_slot));
+  let inc = fresh fs in
+  emit fs ~loc (Ir.Bin (inc, "add", Ir.I64, Ir.Reg iv3, Ir.ImmI 1));
+  emit fs ~loc (Ir.Store (Ir.I64, Ir.Reg inc, Ir.Reg idx_slot));
+  finish_block fs (Ir.Br bc);
+  start_block fs be
+
+let rec lower_stmt fs (s : stmt) =
+  let loc = s.sloc in
+  match s.s with
+  | FAssign (lhs, rhs) ->
+      let lhs_is_array =
+        match lhs.e with
+        | FVar name -> is_array fs name
+        | FRef (name, args) ->
+            is_array fs name
+            && List.exists (function ARange _ -> true | AExpr _ -> false) args
+        | _ -> false
+      in
+      if lhs_is_array || has_array_value fs rhs then lower_array_assign fs ~loc lhs rhs
+      else begin
+        let v = lower_expr fs rhs in
+        let addr =
+          match lhs.e with
+          | FVar name -> (
+              match slot fs name with Some s -> Ir.Reg s | None -> Ir.Glob name)
+          | FRef (name, [ AExpr i ]) when is_array fs name ->
+              let base =
+                match slot fs name with Some s -> Ir.Reg s | None -> Ir.Glob name
+              in
+              let idx = lower_expr fs i in
+              let g = fresh fs in
+              emit fs ~loc (Ir.Gep (g, base, idx));
+              Ir.Reg g
+          | _ ->
+              let r = fresh fs in
+              emit fs ~loc (Ir.Alloca (r, Ir.F64));
+              Ir.Reg r
+        in
+        emit fs ~loc (Ir.Store (Ir.F64, v, addr))
+      end
+  | FCallS (name, args) ->
+      let vargs = List.map (lower_expr fs) args in
+      emit fs ~loc (Ir.CallI (None, Ir.Void, Ir.Glob name, vargs))
+  | FIf (c, t, f) ->
+      let vc = lower_expr fs c in
+      let bt = new_block_id fs and bf = new_block_id fs and bm = new_block_id fs in
+      finish_block fs (Ir.CondBr (vc, bt, bf));
+      start_block fs bt;
+      List.iter (lower_stmt fs) t;
+      finish_block fs (Ir.Br bm);
+      start_block fs bf;
+      List.iter (lower_stmt fs) f;
+      finish_block fs (Ir.Br bm);
+      start_block fs bm
+  | FDo (v, lo, hi, step, body) -> lower_do fs ~loc v lo hi step body
+  | FDoConcurrent (v, lo, hi, body) ->
+      (* GFortran executes do-concurrent serially: plain counted loop. *)
+      lower_do fs ~loc v lo hi None body
+  | FDoWhile (c, body) ->
+      let bc = new_block_id fs and bb = new_block_id fs and be = new_block_id fs in
+      finish_block fs (Ir.Br bc);
+      start_block fs bc;
+      let vc = lower_expr fs c in
+      finish_block fs (Ir.CondBr (vc, bb, be));
+      start_block fs bb;
+      let saved = fs.loops in
+      fs.loops <- (bc, be) :: fs.loops;
+      List.iter (lower_stmt fs) body;
+      fs.loops <- saved;
+      finish_block fs (Ir.Br bc);
+      start_block fs be
+  | FAllocate allocs ->
+      List.iter
+        (fun (name, dims) ->
+          let vdims = List.map (lower_expr fs) dims in
+          let r = fresh fs in
+          emit fs ~loc (Ir.CallI (Some r, Ir.Ptr, Ir.Glob "malloc", vdims));
+          match slot fs name with
+          | Some s -> emit fs ~loc (Ir.Store (Ir.Ptr, Ir.Reg r, Ir.Reg s))
+          | None -> emit fs ~loc (Ir.Store (Ir.Ptr, Ir.Reg r, Ir.Glob name)))
+        allocs
+  | FDeallocate names ->
+      List.iter
+        (fun name ->
+          let v =
+            match slot fs name with
+            | Some s ->
+                let r = fresh fs in
+                emit fs ~loc (Ir.Load (r, Ir.Ptr, Ir.Reg s));
+                Ir.Reg r
+            | None -> Ir.Glob name
+          in
+          emit fs ~loc (Ir.CallI (None, Ir.Void, Ir.Glob "free", [ v ])))
+        names
+  | FDirective (d, body) -> lower_directive fs ~loc d body
+  | FPrint args ->
+      let vargs = List.map (lower_expr fs) args in
+      emit fs ~loc (Ir.CallI (None, Ir.Void, Ir.Glob "_gfortran_st_write", vargs))
+  | FReturn ->
+      finish_block fs (Ir.Ret None);
+      start_block fs (new_block_id fs)
+  | FExit -> (
+      match fs.loops with
+      | (_, be) :: _ ->
+          finish_block fs (Ir.Br be);
+          start_block fs (new_block_id fs)
+      | [] -> ())
+  | FCycle -> (
+      match fs.loops with
+      | (bc, _) :: _ ->
+          finish_block fs (Ir.Br bc);
+          start_block fs (new_block_id fs)
+      | [] -> ())
+  | FStop _ -> emit fs ~loc (Ir.CallI (None, Ir.Void, Ir.Glob "exit", [ Ir.ImmI 0 ]))
+
+and lower_do fs ~loc v lo hi step body =
+  let vslot =
+    match slot fs v with
+    | Some s -> s
+    | None ->
+        let s = fresh fs in
+        emit fs ~loc (Ir.Alloca (s, Ir.I64));
+        fs.env <- (v, s) :: fs.env;
+        s
+  in
+  let vlo = lower_expr fs lo in
+  emit fs ~loc (Ir.Store (Ir.I64, vlo, Ir.Reg vslot));
+  let vhi = lower_expr fs hi in
+  let bc = new_block_id fs and bb = new_block_id fs in
+  let bs = new_block_id fs and be = new_block_id fs in
+  finish_block fs (Ir.Br bc);
+  start_block fs bc;
+  let iv = fresh fs in
+  emit fs ~loc (Ir.Load (iv, Ir.I64, Ir.Reg vslot));
+  let c = fresh fs in
+  emit fs ~loc (Ir.Cmp (c, "le", Ir.I64, Ir.Reg iv, vhi));
+  finish_block fs (Ir.CondBr (Ir.Reg c, bb, be));
+  start_block fs bb;
+  let saved = fs.loops in
+  fs.loops <- (bs, be) :: fs.loops;
+  List.iter (lower_stmt fs) body;
+  fs.loops <- saved;
+  finish_block fs (Ir.Br bs);
+  start_block fs bs;
+  let iv2 = fresh fs in
+  emit fs ~loc (Ir.Load (iv2, Ir.I64, Ir.Reg vslot));
+  let vstep = match step with Some e -> lower_expr fs e | None -> Ir.ImmI 1 in
+  let inc = fresh fs in
+  emit fs ~loc (Ir.Bin (inc, "add", Ir.I64, Ir.Reg iv2, vstep));
+  emit fs ~loc (Ir.Store (Ir.I64, Ir.Reg inc, Ir.Reg vslot));
+  finish_block fs (Ir.Br bc);
+  start_block fs be
+
+and lower_directive fs ~loc d body =
+  let words = List.map fst d.fd_clauses in
+  let has w = List.mem w words in
+  match d.fd_origin with
+  | `Omp when has "target" ->
+      let name = outline fs ~loc ~device:true body in
+      emit fs ~loc
+        (Ir.CallI (None, Ir.I32, Ir.Glob "__tgt_target_kernel", [ Ir.Glob name; Ir.ImmI (-1) ]))
+  | `Omp when has "parallel" || has "taskloop" || has "task" || has "workshare" ->
+      let name = outline fs ~loc ~device:false body in
+      emit fs ~loc
+        (Ir.CallI (None, Ir.Void, Ir.Glob "__kmpc_fork_call", [ Ir.Glob name; Ir.Undef ]))
+  | `Omp -> List.iter (lower_stmt fs) body
+  | `Acc ->
+      (* GCC OpenACC quality-of-implementation issue (§V-B): no parallel
+         structure is introduced; the region lowers as plain serial
+         code. *)
+      List.iter (lower_stmt fs) body
+
+and outline fs ~loc ~device body =
+  fs.ms.outlined <- fs.ms.outlined + 1;
+  let name =
+    if device then Printf.sprintf "__omp_offload_f.%d" fs.ms.outlined
+    else Printf.sprintf ".omp_fn.%d" fs.ms.outlined
+  in
+  let fs' =
+    {
+      ms = fs.ms;
+      reg = 1;
+      blocks = [];
+      cur_id = 0;
+      cur_instrs = [];
+      next_block = 1;
+      env = [];
+      arrays = fs.arrays;
+      loops = [];
+    }
+  in
+  emit fs' ~loc (Ir.Alloca (0, Ir.Ptr));
+  List.iter (lower_stmt fs') body;
+  finish_block fs' (Ir.Ret None);
+  fs.ms.funcs <-
+    {
+      Ir.fn_name = name;
+      fn_kind = (if device then Ir.Device else Ir.Host);
+      fn_linkage = Ir.Internal;
+      fn_ret = Ir.Void;
+      fn_params = [];
+      fn_blocks = List.rev fs'.blocks;
+    }
+    :: fs.ms.funcs;
+  if device then begin
+    fs.ms.has_device <- true;
+    fs.ms.globals <-
+      { Ir.g_name = Printf.sprintf ".offload_entry_f.%d" fs.ms.outlined;
+        g_ty = Ir.Ptr; g_const = true }
+      :: fs.ms.globals
+  end;
+  name
+
+let unit_arrays (u : prog_unit) =
+  let tbl = Hashtbl.create 16 in
+  List.iter
+    (fun d ->
+      let attr_rank =
+        List.fold_left
+          (fun acc a ->
+            match a with Dimension r -> max acc r | Allocatable -> max acc 1 | _ -> acc)
+          0 d.d_attrs
+      in
+      List.iter
+        (fun (name, rank, _) -> if max rank attr_rank > 0 then Hashtbl.replace tbl name ())
+        d.d_names)
+    u.u_decls;
+  tbl
+
+let lower_unit ms (u : prog_unit) =
+  let arrays = unit_arrays u in
+  let params = match u.u_kind with Subroutine args -> args | Program -> [] in
+  let fs =
+    {
+      ms;
+      reg = List.length params;
+      blocks = [];
+      cur_id = 0;
+      cur_instrs = [];
+      next_block = 1;
+      env = [];
+      arrays;
+      loops = [];
+    }
+  in
+  List.iteri
+    (fun i name ->
+      let s = fresh fs in
+      emit fs ~loc:u.u_loc (Ir.Alloca (s, Ir.Ptr));
+      emit fs ~loc:u.u_loc (Ir.Store (Ir.Ptr, Ir.Reg i, Ir.Reg s));
+      fs.env <- (name, s) :: fs.env)
+    params;
+  (* declarations lower to allocas *)
+  List.iter
+    (fun d ->
+      List.iter
+        (fun (name, _, init) ->
+          let s = fresh fs in
+          let ty = match d.d_ty with FReal k -> fty k | FInteger -> Ir.I64 | _ -> Ir.I1 in
+          emit fs ~loc:d.d_loc (Ir.Alloca (s, ty));
+          fs.env <- (name, s) :: fs.env;
+          match init with
+          | Some e ->
+              let v = lower_expr fs e in
+              emit fs ~loc:d.d_loc (Ir.Store (ty, v, Ir.Reg s))
+          | None -> ())
+        d.d_names)
+    u.u_decls;
+  List.iter (lower_stmt fs) u.u_body;
+  finish_block fs (Ir.Ret None);
+  let name = match u.u_kind with Program -> "main" | Subroutine _ -> u.u_name in
+  ms.funcs <-
+    {
+      Ir.fn_name = name;
+      fn_kind = Ir.Host;
+      fn_linkage = Ir.Internal;
+      fn_ret = Ir.Void;
+      fn_params = List.map (fun _ -> Ir.Ptr) params;
+      fn_blocks = List.rev fs.blocks;
+    }
+    :: ms.funcs
+
+let lower ~file (f : file) =
+  let ms = { funcs = []; globals = []; outlined = 0; has_device = false } in
+  List.iter (lower_unit ms) f.f_units;
+  if ms.has_device then
+    ms.globals <- { Ir.g_name = "__offload_image_f"; g_ty = Ir.Ptr; g_const = true } :: ms.globals;
+  { Ir.m_file = file; m_globals = List.rev ms.globals; m_funcs = List.rev ms.funcs }

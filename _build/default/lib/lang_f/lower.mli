@@ -1,0 +1,17 @@
+(** Lowering MiniF to the SilverVale IR (GFortran's GENERIC → Low GIMPLE
+    path of §IV-B).
+
+    Program units become functions ([program] becomes [main]); whole-array
+    assignments synthesise element loops; [do concurrent] lowers to a
+    plain loop (GFortran executes it serially); OpenMP regions are
+    outlined and invoked through fork/offload runtime calls exactly like
+    the MiniC side.
+
+    OpenACC lowers {e inline, without any parallel runtime structure} —
+    deliberately modelling the GCC quality-of-implementation issue the
+    paper observes (§V-B: the OpenACC BabelStream "did not introduce extra
+    tokens related to parallelism", consistent with its single-threaded
+    performance). *)
+
+val lower : file:string -> Ast.file -> Sv_ir.Ir.modul
+(** [lower ~file f] produces one validated IR module per source file. *)

@@ -1,0 +1,654 @@
+module Loc = Sv_util.Loc
+open Ast
+
+exception Parse_error of string * Loc.t
+
+type state = { toks : Token.t array; mutable pos : int; file : string }
+
+let peek st = if st.pos < Array.length st.toks then Some st.toks.(st.pos) else None
+
+let loc_here st =
+  match peek st with
+  | Some t -> t.loc
+  | None -> Loc.make ~file:st.file ~line:1 ~col:0
+
+let fail st msg = raise (Parse_error (msg, loc_here st))
+
+let next st =
+  match peek st with
+  | Some t ->
+      st.pos <- st.pos + 1;
+      t
+  | None -> fail st "unexpected end of input"
+
+let lower (t : Token.t) = String.lowercase_ascii t.text
+
+let is_text st text =
+  match peek st with Some t -> lower t = text | None -> false
+
+let eat st text =
+  match peek st with
+  | Some t when lower t = text -> st.pos <- st.pos + 1
+  | _ -> fail st (Printf.sprintf "expected %S" text)
+
+let accept st text =
+  if is_text st text then begin
+    st.pos <- st.pos + 1;
+    true
+  end
+  else false
+
+let skip_newlines st =
+  while (match peek st with Some { kind = Token.Newline; _ } -> true | _ -> false) do
+    st.pos <- st.pos + 1
+  done
+
+let eat_eol st =
+  match peek st with
+  | Some { kind = Token.Newline; _ } | None -> skip_newlines st
+  | Some t -> raise (Parse_error ("expected end of line", t.loc))
+
+let at_eol st =
+  match peek st with Some { kind = Token.Newline; _ } | None -> true | _ -> false
+
+(* --- directives ------------------------------------------------------ *)
+
+let parse_directive_line text loc =
+  match Sv_util.Directive_syntax.strip_sentinel text with
+  | Some (origin, body) ->
+      Some { fd_origin = origin; fd_clauses = Sv_util.Directive_syntax.split body; fd_loc = loc }
+  | None -> None
+
+let directive_words d = List.map fst d.fd_clauses
+
+let is_end_directive d =
+  match directive_words d with "end" :: _ -> true | _ -> false
+
+let is_loop_directive d =
+  let ws = directive_words d in
+  List.exists (fun w -> w = "do" || w = "loop" || w = "taskloop") ws
+
+let is_standalone_directive d =
+  let ws = directive_words d in
+  List.exists (fun w -> List.mem w [ "enter"; "exit"; "update"; "barrier"; "taskwait" ]) ws
+
+(* --- expressions ------------------------------------------------------ *)
+
+let mk loc e = { e; eloc = loc }
+
+let float_of_fortran text =
+  (* 1.0d0 / 2.5e-3 / 4.0_8: normalise d->e, strip kind suffix. *)
+  let text =
+    match String.index_opt text '_' with
+    | Some i -> String.sub text 0 i
+    | None -> text
+  in
+  let text = String.map (fun c -> if c = 'd' || c = 'D' then 'e' else c) text in
+  float_of_string text
+
+let rec parse_expr st = parse_or st
+
+and parse_or st =
+  let lhs = ref (parse_and st) in
+  while is_text st ".or." do
+    let t = next st in
+    let rhs = parse_and st in
+    lhs := mk (Loc.span t.loc rhs.eloc) (FBin (".or.", !lhs, rhs))
+  done;
+  !lhs
+
+and parse_and st =
+  let lhs = ref (parse_not st) in
+  while is_text st ".and." do
+    let t = next st in
+    let rhs = parse_not st in
+    lhs := mk (Loc.span t.loc rhs.eloc) (FBin (".and.", !lhs, rhs))
+  done;
+  !lhs
+
+and parse_not st =
+  if is_text st ".not." then begin
+    let t = next st in
+    let e = parse_not st in
+    mk (Loc.span t.loc e.eloc) (FUn (".not.", e))
+  end
+  else parse_rel st
+
+and parse_rel st =
+  let lhs = parse_add st in
+  match peek st with
+  | Some { kind = Token.Op; text; _ }
+    when List.mem text [ "=="; "/="; "<"; ">"; "<="; ">=" ] ->
+      let t = next st in
+      let rhs = parse_add st in
+      mk (Loc.span t.loc rhs.eloc) (FBin (t.text, lhs, rhs))
+  | _ -> lhs
+
+and parse_add st =
+  let lhs = ref (parse_mul st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some { kind = Token.Op; text = ("+" | "-") as op; _ } ->
+        let _ = next st in
+        let rhs = parse_mul st in
+        lhs := mk (Loc.span !lhs.eloc rhs.eloc) (FBin (op, !lhs, rhs))
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_mul st =
+  let lhs = ref (parse_pow st) in
+  let continue = ref true in
+  while !continue do
+    match peek st with
+    | Some { kind = Token.Op; text = ("*" | "/") as op; _ } ->
+        let _ = next st in
+        let rhs = parse_pow st in
+        lhs := mk (Loc.span !lhs.eloc rhs.eloc) (FBin (op, !lhs, rhs))
+    | _ -> continue := false
+  done;
+  !lhs
+
+and parse_pow st =
+  let base = parse_unary st in
+  if is_text st "**" then begin
+    let t = next st in
+    let e = parse_pow st in
+    mk (Loc.span t.loc e.eloc) (FBin ("**", base, e))
+  end
+  else base
+
+and parse_unary st =
+  match peek st with
+  | Some { kind = Token.Op; text = "-"; _ } ->
+      let t = next st in
+      let e = parse_unary st in
+      mk (Loc.span t.loc e.eloc) (FUn ("-", e))
+  | Some { kind = Token.Op; text = "+"; _ } ->
+      let _ = next st in
+      parse_unary st
+  | _ -> parse_primary st
+
+and parse_arg st =
+  (* ':' alone, 'lo:hi', ':hi', 'lo:' or a plain expression. *)
+  if is_text st ":" then begin
+    let _ = next st in
+    if at_eol st || is_text st ")" || is_text st "," then ARange (None, None)
+    else ARange (None, Some (parse_expr st))
+  end
+  else
+    let e = parse_expr st in
+    if is_text st ":" then begin
+      let _ = next st in
+      if is_text st ")" || is_text st "," then ARange (Some e, None)
+      else ARange (Some e, Some (parse_expr st))
+    end
+    else AExpr e
+
+and parse_ref_args st =
+  eat st "(";
+  let args = ref [] in
+  if not (is_text st ")") then begin
+    let rec loop () =
+      args := parse_arg st :: !args;
+      if accept st "," then loop ()
+    in
+    loop ()
+  end;
+  eat st ")";
+  List.rev !args
+
+and parse_primary st =
+  match peek st with
+  | None -> fail st "unexpected end of expression"
+  | Some t -> (
+      match t.kind with
+      | Token.IntLit ->
+          let _ = next st in
+          (* A kind suffix like 8_8 makes it a plain int. *)
+          let text =
+            match String.index_opt t.text '_' with
+            | Some i -> String.sub t.text 0 i
+            | None -> t.text
+          in
+          mk t.loc (FInt (int_of_string text))
+      | Token.FloatLit ->
+          let _ = next st in
+          mk t.loc (FRealLit (float_of_fortran t.text))
+      | Token.StringLit ->
+          let _ = next st in
+          mk t.loc (FStr (String.sub t.text 1 (String.length t.text - 2)))
+      | Token.Op when t.text = ".true." ->
+          let _ = next st in
+          mk t.loc (FBool true)
+      | Token.Op when t.text = ".false." ->
+          let _ = next st in
+          mk t.loc (FBool false)
+      | Token.Punct when t.text = "(" ->
+          let _ = next st in
+          let e = parse_expr st in
+          eat st ")";
+          e
+      | Token.Ident | Token.Keyword ->
+          let _ = next st in
+          let name = String.lowercase_ascii t.text in
+          if is_text st "(" then mk t.loc (FRef (name, parse_ref_args st))
+          else mk t.loc (FVar name)
+      | _ -> fail st (Printf.sprintf "unexpected token %S" t.text))
+
+(* --- declarations ----------------------------------------------------- *)
+
+let is_decl_start st =
+  match peek st with
+  | Some { kind = Token.Keyword; text; _ } ->
+      List.mem (String.lowercase_ascii text)
+        [ "integer"; "real"; "logical"; "character"; "double" ]
+  | _ -> false
+
+let parse_base_ty st =
+  match lower (next st) with
+  | "integer" -> FInteger
+  | "logical" -> FLogical
+  | "character" -> FCharacter
+  | "double" ->
+      eat st "precision";
+      FReal 8
+  | "real" ->
+      if accept st "(" then begin
+        let kind =
+          if accept st "kind" then begin
+            eat st "=";
+            match peek st with
+            | Some { kind = Token.IntLit; text; _ } ->
+                let _ = next st in
+                int_of_string text
+            | _ -> fail st "expected kind value"
+          end
+          else
+            match peek st with
+            | Some { kind = Token.IntLit; text; _ } ->
+                let _ = next st in
+                int_of_string text
+            | _ -> fail st "expected kind value"
+        in
+        eat st ")";
+        FReal kind
+      end
+      else FReal 4
+  | other -> fail st (Printf.sprintf "unexpected type %S" other)
+
+let parse_attr st =
+  match lower (next st) with
+  | "allocatable" -> Allocatable
+  | "parameter" -> Parameter
+  | "dimension" ->
+      eat st "(";
+      let rank = ref 1 in
+      let rec loop () =
+        (if is_text st ":" then ignore (next st)
+         else ignore (parse_expr st));
+        if accept st "," then begin
+          incr rank;
+          loop ()
+        end
+      in
+      loop ();
+      eat st ")";
+      Dimension !rank
+  | "intent" ->
+      eat st "(";
+      let dir = lower (next st) in
+      (* "in out" spelled as two tokens is also accepted *)
+      let dir = if dir = "in" && accept st "out" then "inout" else dir in
+      eat st ")";
+      Intent dir
+  | other -> fail st (Printf.sprintf "unknown attribute %S" other)
+
+let parse_decl st =
+  let loc = loc_here st in
+  let ty = parse_base_ty st in
+  let attrs = ref [] in
+  while is_text st "," do
+    eat st ",";
+    attrs := parse_attr st :: !attrs
+  done;
+  eat st "::";
+  let names = ref [] in
+  let rec loop () =
+    let t = next st in
+    if t.kind <> Token.Ident then fail st "expected declared name";
+    let rank =
+      if is_text st "(" then begin
+        let args = parse_ref_args st in
+        List.length args
+      end
+      else 0
+    in
+    let init = if accept st "=" then Some (parse_expr st) else None in
+    names := (String.lowercase_ascii t.text, rank, init) :: !names;
+    if accept st "," then loop ()
+  in
+  loop ();
+  eat_eol st;
+  { d_ty = ty; d_attrs = List.rev !attrs; d_names = List.rev !names; d_loc = loc }
+
+(* --- statements ------------------------------------------------------- *)
+
+let rec parse_stmt st : stmt =
+  match peek st with
+  | None -> fail st "expected a statement"
+  | Some t -> (
+      match t.kind with
+      | Token.Directive -> parse_directive_stmt st
+      | Token.Keyword -> (
+          match lower t with
+          | "do" -> parse_do st
+          | "if" -> parse_if st
+          | "call" ->
+              let _ = next st in
+              let name = next st in
+              if name.kind <> Token.Ident then fail st "expected subroutine name";
+              let args =
+                if is_text st "(" then
+                  List.map
+                    (function
+                      | AExpr e -> e
+                      | ARange _ -> fail st "range in call arguments")
+                    (parse_ref_args st)
+                else []
+              in
+              eat_eol st;
+              { s = FCallS (String.lowercase_ascii name.text, args); sloc = t.loc }
+          | "allocate" ->
+              let _ = next st in
+              eat st "(";
+              let allocs = ref [] in
+              let rec loop () =
+                let name = next st in
+                if name.kind <> Token.Ident then fail st "expected array name";
+                let dims =
+                  if is_text st "(" then
+                    List.map
+                      (function
+                        | AExpr e -> e
+                        | ARange (_, Some e) -> e
+                        | ARange _ -> fail st "open range in allocate")
+                      (parse_ref_args st)
+                  else []
+                in
+                allocs := (String.lowercase_ascii name.text, dims) :: !allocs;
+                if accept st "," then loop ()
+              in
+              loop ();
+              eat st ")";
+              eat_eol st;
+              { s = FAllocate (List.rev !allocs); sloc = t.loc }
+          | "deallocate" ->
+              let _ = next st in
+              eat st "(";
+              let names = ref [] in
+              let rec loop () =
+                let name = next st in
+                names := String.lowercase_ascii name.text :: !names;
+                if accept st "," then loop ()
+              in
+              loop ();
+              eat st ")";
+              eat_eol st;
+              { s = FDeallocate (List.rev !names); sloc = t.loc }
+          | "print" ->
+              let _ = next st in
+              (* print *, e1, e2 ... *)
+              (match peek st with
+              | Some { text = "*"; _ } -> ignore (next st)
+              | _ -> ());
+              let args = ref [] in
+              while accept st "," do
+                args := parse_expr st :: !args
+              done;
+              eat_eol st;
+              { s = FPrint (List.rev !args); sloc = t.loc }
+          | "return" ->
+              let _ = next st in
+              eat_eol st;
+              { s = FReturn; sloc = t.loc }
+          | "exit" ->
+              let _ = next st in
+              eat_eol st;
+              { s = FExit; sloc = t.loc }
+          | "cycle" ->
+              let _ = next st in
+              eat_eol st;
+              { s = FCycle; sloc = t.loc }
+          | "stop" ->
+              let _ = next st in
+              let e = if at_eol st then None else Some (parse_expr st) in
+              eat_eol st;
+              { s = FStop e; sloc = t.loc }
+          | _ -> parse_assignment st)
+      | _ -> parse_assignment st)
+
+and parse_assignment st =
+  let loc = loc_here st in
+  let lhs = parse_primary st in
+  eat st "=";
+  let rhs = parse_expr st in
+  eat_eol st;
+  { s = FAssign (lhs, rhs); sloc = loc }
+
+and parse_do st =
+  let t = next st in
+  (* do / do while / do concurrent *)
+  if is_text st "while" then begin
+    eat st "while";
+    eat st "(";
+    let cond = parse_expr st in
+    eat st ")";
+    eat_eol st;
+    let body = parse_stmts_until_end st in
+    parse_end_of st "do";
+    { s = FDoWhile (cond, body); sloc = t.loc }
+  end
+  else if is_text st "concurrent" then begin
+    eat st "concurrent";
+    eat st "(";
+    let v = next st in
+    eat st "=";
+    let lo = parse_expr st in
+    eat st ":";
+    let hi = parse_expr st in
+    eat st ")";
+    eat_eol st;
+    let body = parse_stmts_until_end st in
+    parse_end_of st "do";
+    { s = FDoConcurrent (String.lowercase_ascii v.text, lo, hi, body); sloc = t.loc }
+  end
+  else begin
+    let v = next st in
+    if v.kind <> Token.Ident then fail st "expected loop variable";
+    eat st "=";
+    let lo = parse_expr st in
+    eat st ",";
+    let hi = parse_expr st in
+    let step = if accept st "," then Some (parse_expr st) else None in
+    eat_eol st;
+    let body = parse_stmts_until_end st in
+    parse_end_of st "do";
+    { s = FDo (String.lowercase_ascii v.text, lo, hi, step, body); sloc = t.loc }
+  end
+
+and parse_if st =
+  let t = next st in
+  eat st "(";
+  let cond = parse_expr st in
+  eat st ")";
+  if accept st "then" then begin
+    eat_eol st;
+    let then_ = parse_stmts_until_end st in
+    let else_ =
+      if is_text st "else" then begin
+        eat st "else";
+        eat_eol st;
+        let b = parse_stmts_until_end st in
+        b
+      end
+      else []
+    in
+    parse_end_of st "if";
+    { s = FIf (cond, then_, else_); sloc = t.loc }
+  end
+  else begin
+    (* one-line if *)
+    let body = parse_stmt st in
+    { s = FIf (cond, [ body ], []); sloc = t.loc }
+  end
+
+and parse_directive_stmt st =
+  let t = next st in
+  match parse_directive_line t.text t.loc with
+  | None ->
+      eat_eol st;
+      { s = FDirective ({ fd_origin = `Omp; fd_clauses = []; fd_loc = t.loc }, []); sloc = t.loc }
+  | Some d ->
+      eat_eol st;
+      if is_end_directive d || is_standalone_directive d then
+        (* end or standalone (data-movement/synchronisation) directive *)
+        { s = FDirective (d, []); sloc = t.loc }
+      else if is_loop_directive d then begin
+        let body = [ parse_stmt st ] in
+        (* optional matching end line *)
+        (match peek st with
+        | Some ({ kind = Token.Directive; _ } as e) -> (
+            match parse_directive_line e.text e.loc with
+            | Some d' when is_end_directive d' ->
+                let _ = next st in
+                eat_eol st
+            | _ -> ())
+        | _ -> ());
+        { s = FDirective (d, body); sloc = t.loc }
+      end
+      else begin
+        (* block region until matching end directive *)
+        let body = ref [] in
+        let fin = ref false in
+        while not !fin do
+          match peek st with
+          | None -> fail st "unterminated directive region"
+          | Some ({ kind = Token.Directive; _ } as e) -> (
+              match parse_directive_line e.text e.loc with
+              | Some d' when is_end_directive d' ->
+                  let _ = next st in
+                  eat_eol st;
+                  fin := true
+              | _ -> body := parse_stmt st :: !body)
+          | Some _ -> body := parse_stmt st :: !body
+        done;
+        { s = FDirective (d, List.rev !body); sloc = t.loc }
+      end
+
+(* Statements until an "end", "else" or "elseif" keyword at line start. *)
+and parse_stmts_until_end st =
+  let stmts = ref [] in
+  let fin = ref false in
+  while not !fin do
+    skip_newlines st;
+    match peek st with
+    | None -> fail st "missing end"
+    | Some t when t.kind = Token.Keyword && (lower t = "end" || lower t = "else") ->
+        fin := true
+    | Some t when t.kind = Token.Keyword && (lower t = "enddo" || lower t = "endif") ->
+        fin := true
+    | Some _ -> stmts := parse_stmt st :: !stmts
+  done;
+  List.rev !stmts
+
+and parse_end_of st what =
+  (* Accept "end", "end do", "enddo", "end if", "endif". *)
+  match peek st with
+  | Some t when t.kind = Token.Keyword && lower t = "end" ^ what ->
+      let _ = next st in
+      eat_eol st
+  | Some t when t.kind = Token.Keyword && lower t = "end" ->
+      let _ = next st in
+      let _ = accept st what in
+      eat_eol st
+  | _ -> fail st (Printf.sprintf "expected end %s" what)
+
+(* --- program units ---------------------------------------------------- *)
+
+let parse_unit st =
+  skip_newlines st;
+  let t = next st in
+  let kind_word = lower t in
+  let kind, name =
+    match kind_word with
+    | "program" ->
+        let n = next st in
+        (Program, String.lowercase_ascii n.text)
+    | "subroutine" ->
+        let n = next st in
+        let args =
+          if is_text st "(" then begin
+            eat st "(";
+            let args = ref [] in
+            if not (is_text st ")") then begin
+              let rec loop () =
+                let a = next st in
+                args := String.lowercase_ascii a.text :: !args;
+                if accept st "," then loop ()
+              in
+              loop ()
+            end;
+            eat st ")";
+            List.rev !args
+          end
+          else []
+        in
+        (Subroutine args, String.lowercase_ascii n.text)
+    | other -> fail st (Printf.sprintf "expected program unit, got %S" other)
+  in
+  eat_eol st;
+  (* "implicit none" and "use" lines *)
+  let rec skip_headers () =
+    skip_newlines st;
+    if is_text st "implicit" then begin
+      eat st "implicit";
+      eat st "none";
+      eat_eol st;
+      skip_headers ()
+    end
+    else if is_text st "use" then begin
+      eat st "use";
+      let _ = next st in
+      eat_eol st;
+      skip_headers ()
+    end
+  in
+  skip_headers ();
+  let decls = ref [] in
+  skip_newlines st;
+  while is_decl_start st do
+    decls := parse_decl st :: !decls;
+    skip_newlines st
+  done;
+  let body = parse_stmts_until_end st in
+  (* end [program|subroutine] [name] *)
+  eat st "end";
+  let _ = accept st kind_word in
+  (match peek st with
+  | Some { kind = Token.Ident; _ } -> ignore (next st)
+  | _ -> ());
+  eat_eol st;
+  { u_kind = kind; u_name = name; u_decls = List.rev !decls; u_body = body; u_loc = t.loc }
+
+let parse ~file src =
+  let toks = Array.of_list (Token.significant (Token.lex ~file src)) in
+  let st = { toks; pos = 0; file } in
+  let units = ref [] in
+  skip_newlines st;
+  while peek st <> None do
+    units := parse_unit st :: !units;
+    skip_newlines st
+  done;
+  { f_file = file; f_units = List.rev !units }

@@ -1,0 +1,23 @@
+(** Line-oriented recursive-descent parser for MiniF.
+
+    Covers the grammar the Fortran BabelStream family needs: [program] and
+    [subroutine] units, typed declarations with [allocatable] /
+    [dimension] / [parameter] / [intent] attributes, classic and
+    [concurrent] and [while] [do] loops, whole-array assignments and
+    slices, [allocate]/[deallocate], block and one-line [if], [call],
+    [print], and [!$omp] / [!$acc] directives.
+
+    Directive regions follow Fortran structure: a loop directive
+    ([parallel do], [taskloop], [target teams ... do], [acc parallel
+    loop]) governs the next statement and silently consumes a matching
+    [!$... end ...] line; block directives ([workshare], [kernels],
+    [data]) govern everything up to their mandatory end line. *)
+
+exception Parse_error of string * Sv_util.Loc.t
+
+val parse : file:string -> string -> Ast.file
+(** [parse ~file src] lexes and parses a MiniF source file. *)
+
+val parse_directive_line : string -> Sv_util.Loc.t -> Ast.directive option
+(** [parse_directive_line text loc] interprets one sentinel line
+    ([!$omp ...] / [!$acc ...]). *)

@@ -1,0 +1,133 @@
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+open Ast
+
+let l ?text ?loc kind = Label.v ?text ?loc kind
+
+let rec of_expr (e : expr) : Label.tree =
+  let loc = e.eloc in
+  match e.e with
+  | FInt n -> Tree.leaf (l ~text:(string_of_int n) ~loc "f:int-lit")
+  | FRealLit f -> Tree.leaf (l ~text:(Printf.sprintf "%.17g" f) ~loc "f:real-lit")
+  | FStr s -> Tree.leaf (l ~text:s ~loc "f:string-lit")
+  | FBool b -> Tree.leaf (l ~text:(string_of_bool b) ~loc "f:logical-lit")
+  | FVar _ -> Tree.leaf (l ~loc "f:name-ref")
+  | FBin (op, a, b) -> Tree.node (l ~text:op ~loc "f:binary") [ of_expr a; of_expr b ]
+  | FUn (op, a) -> Tree.node (l ~text:op ~loc "f:unary") [ of_expr a ]
+  | FRef (_, args) -> Tree.node (l ~loc "f:ref") (List.map (of_arg ~loc) args)
+
+and of_arg ~loc = function
+  | AExpr e -> of_expr e
+  | ARange (lo, hi) ->
+      Tree.node (l ~loc "f:range")
+        (List.filter_map (Option.map of_expr) [ lo; hi ])
+
+let of_directive d =
+  let prefix = match d.fd_origin with `Omp -> "omp" | `Acc -> "acc" in
+  let clause (word, args) =
+    let kids =
+      match args with
+      | None -> []
+      | Some a ->
+          [ Tree.leaf
+              (l ~text:(Sv_util.Xstring.collapse_spaces a) ~loc:d.fd_loc
+                 (prefix ^ "-clause-args")) ]
+    in
+    (* GCC "also [has] OpenMP tokens in the AST" (§V-C): GENERIC carries
+       implicit data-sharing nodes for OpenMP constructs. OpenACC under
+       GCC introduces no parallel machinery (§V-B). *)
+    let implicit =
+      match d.fd_origin with
+      | `Omp -> [ Tree.leaf (l ~loc:d.fd_loc "omp-implicit-dsa") ]
+      | `Acc -> []
+    in
+    Tree.node (l ~loc:d.fd_loc (prefix ^ ":" ^ word)) (kids @ implicit)
+  in
+  (prefix ^ "-directive", List.map clause d.fd_clauses)
+
+let rec of_stmt (s : stmt) : Label.tree =
+  let loc = s.sloc in
+  match s.s with
+  | FAssign (lhs, rhs) -> Tree.node (l ~loc "f:assign") [ of_expr lhs; of_expr rhs ]
+  | FCallS (_, args) -> Tree.node (l ~loc "f:call") (List.map of_expr args)
+  | FIf (c, t, f) ->
+      Tree.node (l ~loc "f:if")
+        ([ of_expr c; Tree.node (l ~loc "f:then") (List.map of_stmt t) ]
+        @ if f = [] then [] else [ Tree.node (l ~loc "f:else") (List.map of_stmt f) ])
+  | FDo (_, lo, hi, step, body) ->
+      Tree.node (l ~loc "f:do")
+        ([ of_expr lo; of_expr hi ]
+        @ (match step with Some e -> [ of_expr e ] | None -> [])
+        @ [ Tree.node (l ~loc "f:body") (List.map of_stmt body) ])
+  | FDoConcurrent (_, lo, hi, body) ->
+      Tree.node (l ~loc "f:do-concurrent")
+        [ of_expr lo; of_expr hi; Tree.node (l ~loc "f:body") (List.map of_stmt body) ]
+  | FDoWhile (c, body) ->
+      Tree.node (l ~loc "f:do-while")
+        [ of_expr c; Tree.node (l ~loc "f:body") (List.map of_stmt body) ]
+  | FAllocate allocs ->
+      Tree.node (l ~loc "f:allocate")
+        (List.map
+           (fun (_, dims) -> Tree.node (l ~loc "f:alloc-spec") (List.map of_expr dims))
+           allocs)
+  | FDeallocate names ->
+      Tree.node (l ~loc "f:deallocate")
+        (List.map (fun _ -> Tree.leaf (l ~loc "f:name-ref")) names)
+  | FDirective (d, body) ->
+      let kind, clauses = of_directive d in
+      Tree.node (l ~loc kind) (clauses @ List.map of_stmt body)
+  | FPrint args -> Tree.node (l ~loc "f:print") (List.map of_expr args)
+  | FReturn -> Tree.leaf (l ~loc "f:return")
+  | FExit -> Tree.leaf (l ~loc "f:exit")
+  | FCycle -> Tree.leaf (l ~loc "f:cycle")
+  | FStop e ->
+      Tree.node (l ~loc "f:stop") (match e with Some e -> [ of_expr e ] | None -> [])
+
+let ty_kind = function
+  | FReal k -> Printf.sprintf "f:real%d" k
+  | FInteger -> "f:integer"
+  | FLogical -> "f:logical"
+  | FCharacter -> "f:character"
+
+let attr_kind = function
+  | Allocatable -> ("f:allocatable", "")
+  | Dimension r -> ("f:dimension", string_of_int r)
+  | Parameter -> ("f:parameter", "")
+  | Intent dir -> ("f:intent", dir)
+
+let of_decl (d : decl) : Label.tree =
+  let loc = d.d_loc in
+  let attrs =
+    List.map
+      (fun a ->
+        let kind, text = attr_kind a in
+        Tree.leaf (l ~text ~loc kind))
+      d.d_attrs
+  in
+  let names =
+    List.map
+      (fun (_, rank, init) ->
+        Tree.node
+          (l ~text:(if rank > 0 then string_of_int rank else "") ~loc "f:declarator")
+          (match init with Some e -> [ of_expr e ] | None -> []))
+      d.d_names
+  in
+  Tree.node (l ~loc "f:decl") ((Tree.leaf (l ~loc (ty_kind d.d_ty)) :: attrs) @ names)
+
+let of_unit (u : prog_unit) : Label.tree =
+  let kind =
+    match u.u_kind with Program -> "f:program" | Subroutine _ -> "f:subroutine"
+  in
+  let args =
+    match u.u_kind with
+    | Subroutine args -> List.map (fun _ -> Tree.leaf (l ~loc:u.u_loc "f:dummy-arg")) args
+    | Program -> []
+  in
+  Tree.node (l ~loc:u.u_loc kind)
+    (args @ List.map of_decl u.u_decls
+    @ [ Tree.node (l ~loc:u.u_loc "f:body") (List.map of_stmt u.u_body) ])
+
+let of_file (f : file) : Label.tree =
+  Tree.node
+    (l ~loc:(Sv_util.Loc.make ~file:f.f_file ~line:1 ~col:0) "f:file")
+    (List.map of_unit f.f_units)

@@ -1,0 +1,18 @@
+(** [T_sem] construction for MiniF.
+
+    The GENERIC/High-GIMPLE analogue of §IV-B: statements and expressions
+    become semantic nodes, names are anonymised, literals and operator
+    spellings are kept, directives keep clause structure. The label
+    vocabulary is distinct from MiniC's (prefix ["f:"]) because the paper
+    notes GIMPLE and ClangAST trees are not comparable across compilers;
+    the metric layer only ever compares MiniF against MiniF. *)
+
+val of_file : Ast.file -> Sv_tree.Label.tree
+(** [of_file f] is the semantic tree of a whole source file; root
+    ["f:file"], one child per program unit. *)
+
+val of_stmt : Ast.stmt -> Sv_tree.Label.tree
+(** Exposed for tests. *)
+
+val of_expr : Ast.expr -> Sv_tree.Label.tree
+(** Exposed for tests. *)

@@ -1,0 +1,189 @@
+module Loc = Sv_util.Loc
+
+type kind =
+  | Ident
+  | Keyword
+  | IntLit
+  | FloatLit
+  | StringLit
+  | Punct
+  | Op
+  | Directive
+  | Comment
+  | Newline
+  | Whitespace
+
+type t = { kind : kind; text : string; loc : Loc.t }
+
+let keywords =
+  [
+    "program"; "subroutine"; "function"; "module"; "use"; "contains";
+    "implicit"; "none"; "end"; "integer"; "real"; "logical"; "character";
+    "double"; "precision"; "parameter"; "allocatable"; "dimension";
+    "intent"; "in"; "out"; "inout"; "allocate"; "deallocate"; "do";
+    "concurrent"; "while"; "if"; "then"; "else"; "elseif"; "endif";
+    "enddo"; "call"; "return"; "exit"; "cycle"; "print"; "stop"; "kind";
+    "result";
+  ]
+
+let keyword_set = Hashtbl.create 64
+let () = List.iter (fun k -> Hashtbl.replace keyword_set k ()) keywords
+let is_keyword s = Hashtbl.mem keyword_set (String.lowercase_ascii s)
+
+exception Lex_error of string * Loc.t
+
+let kind_name = function
+  | Ident -> "ident"
+  | Keyword -> "keyword"
+  | IntLit -> "int-lit"
+  | FloatLit -> "float-lit"
+  | StringLit -> "string-lit"
+  | Punct -> "punct"
+  | Op -> "op"
+  | Directive -> "directive"
+  | Comment -> "comment"
+  | Newline -> "newline"
+  | Whitespace -> "whitespace"
+
+let operators =
+  [ "**"; "=="; "/="; "<="; ">="; "::"; "=>"; "+"; "-"; "*"; "/"; "="; "<"; ">"; "%" ]
+
+let dotted_ops = [ ".and."; ".or."; ".not."; ".true."; ".false."; ".eqv."; ".neqv." ]
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+let is_ident_char c = is_ident_start c || (c >= '0' && c <= '9')
+let is_digit c = c >= '0' && c <= '9'
+
+type cursor = { src : string; mutable pos : int; mutable line : int; mutable col : int; file : string }
+
+let peek cur k = if cur.pos + k < String.length cur.src then Some cur.src.[cur.pos + k] else None
+let here cur = { Loc.line = cur.line; col = cur.col }
+
+let advance cur =
+  (match peek cur 0 with
+  | Some '\n' ->
+      cur.line <- cur.line + 1;
+      cur.col <- 0
+  | Some _ -> cur.col <- cur.col + 1
+  | None -> ());
+  cur.pos <- cur.pos + 1
+
+let take_while cur p =
+  let start = cur.pos in
+  while (match peek cur 0 with Some c -> p c | None -> false) do
+    advance cur
+  done;
+  String.sub cur.src start (cur.pos - start)
+
+let finish cur kind start_pos start =
+  let text = String.sub cur.src start_pos (cur.pos - start_pos) in
+  let stop =
+    if cur.col > 0 then { Loc.line = cur.line; col = cur.col - 1 }
+    else { Loc.line = max 1 (cur.line - 1); col = 0 }
+  in
+  { kind; text; loc = { Loc.file = cur.file; start; stop } }
+
+let starts_with_at src pos prefix =
+  let l = String.length prefix in
+  pos + l <= String.length src
+  && String.lowercase_ascii (String.sub src pos l) = prefix
+
+let lex ~file src =
+  let cur = { src; pos = 0; line = 1; col = 0; file } in
+  let tokens = ref [] in
+  let emit t = tokens := t :: !tokens in
+  let n = String.length src in
+  while cur.pos < n do
+    let start = here cur and start_pos = cur.pos in
+    match peek cur 0 with
+    | None -> ()
+    | Some '\n' ->
+        advance cur;
+        emit (finish cur Newline start_pos start)
+    | Some (' ' | '\t' | '\r') ->
+        let _ = take_while cur (fun c -> c = ' ' || c = '\t' || c = '\r') in
+        emit (finish cur Whitespace start_pos start)
+    | Some '!' ->
+        let is_directive =
+          starts_with_at src cur.pos "!$omp" || starts_with_at src cur.pos "!$acc"
+        in
+        let _ = take_while cur (fun c -> c <> '\n') in
+        emit (finish cur (if is_directive then Directive else Comment) start_pos start)
+    | Some ('\'' | '"') ->
+        let quote = src.[cur.pos] in
+        advance cur;
+        let _ = take_while cur (fun c -> c <> quote && c <> '\n') in
+        if peek cur 0 <> Some quote then
+          raise (Lex_error ("unterminated string", { Loc.file; start; stop = start }));
+        advance cur;
+        emit (finish cur StringLit start_pos start)
+    | Some c when is_digit c ->
+        let _ = take_while cur is_digit in
+        let is_float = ref false in
+        (if peek cur 0 = Some '.'
+            && (match peek cur 1 with Some d -> is_digit d | _ -> false)
+         then begin
+           is_float := true;
+           advance cur;
+           ignore (take_while cur is_digit)
+         end);
+        (match peek cur 0 with
+        | Some ('e' | 'E' | 'd' | 'D') when
+            (match peek cur 1 with
+             | Some c -> is_digit c || c = '+' || c = '-'
+             | None -> false) ->
+            is_float := true;
+            advance cur;
+            (match peek cur 0 with Some ('+' | '-') -> advance cur | _ -> ());
+            ignore (take_while cur is_digit)
+        | _ -> ());
+        (* kind suffix: 1.0_8 *)
+        if peek cur 0 = Some '_' then begin
+          advance cur;
+          ignore (take_while cur is_digit)
+        end;
+        emit (finish cur (if !is_float then FloatLit else IntLit) start_pos start)
+    | Some '.' when List.exists (fun op -> starts_with_at src cur.pos op) dotted_ops ->
+        let op = List.find (fun op -> starts_with_at src cur.pos op) dotted_ops in
+        for _ = 1 to String.length op do
+          advance cur
+        done;
+        emit (finish cur Op start_pos start)
+    | Some c when is_ident_start c ->
+        let text = take_while cur is_ident_char in
+        emit (finish cur (if is_keyword text then Keyword else Ident) start_pos start)
+    | Some ('(' | ')' | ',' | ':' | ';' | '&') -> (
+        match peek cur 0 with
+        | Some ':' when peek cur 1 = Some ':' ->
+            advance cur;
+            advance cur;
+            emit (finish cur Punct start_pos start)
+        | _ ->
+            advance cur;
+            emit (finish cur Punct start_pos start))
+    | Some _ -> (
+        let matched =
+          List.find_opt
+            (fun op ->
+              let l = String.length op in
+              cur.pos + l <= n && String.sub src cur.pos l = op)
+            operators
+        in
+        match matched with
+        | Some op ->
+            for _ = 1 to String.length op do
+              advance cur
+            done;
+            emit (finish cur Op start_pos start)
+        | None ->
+            raise
+              (Lex_error
+                 ( Printf.sprintf "unexpected character %C" src.[cur.pos],
+                   { Loc.file; start; stop = start } )))
+  done;
+  List.rev !tokens
+
+let significant ts =
+  List.filter
+    (fun t -> match t.kind with Whitespace | Comment -> false | _ -> true)
+    ts

@@ -1,0 +1,40 @@
+(** MiniF tokens and lexer.
+
+    MiniF is the Fortran-like mini-language standing in for the GFortran
+    side of the paper (§IV-B): free-form, line-oriented, lowercase
+    keywords. Like the MiniC lexer, every lexeme is kept with its span so
+    the source reconstructs exactly, and the directive sentinels the paper
+    singles out — [!$omp] and [!$acc] comment lines — are first-class
+    {!kind.Directive} tokens rather than comments (§III-C's "languages
+    that use special comment tokens for directives are also handled"). *)
+
+type kind =
+  | Ident
+  | Keyword
+  | IntLit
+  | FloatLit
+  | StringLit
+  | Punct        (** [( ) , ::  :] *)
+  | Op           (** arithmetic/relational/logical including [**], [.and.] *)
+  | Directive    (** a whole [!$omp ...] or [!$acc ...] line *)
+  | Comment      (** a plain [! ...] line remainder *)
+  | Newline      (** statement separator; significant in Fortran *)
+  | Whitespace
+
+type t = { kind : kind; text : string; loc : Sv_util.Loc.t }
+
+val keywords : string list
+(** MiniF keywords ([program], [do], [concurrent], [allocatable], ...). *)
+
+exception Lex_error of string * Sv_util.Loc.t
+
+val lex : file:string -> string -> t list
+(** [lex ~file src] tokenises; concatenating token texts reproduces
+    [src]. *)
+
+val significant : t list -> t list
+(** Drops whitespace and comments but {e keeps} newlines (statement
+    structure) and directives. *)
+
+val kind_name : kind -> string
+(** Stable lowercase name for tree labels. *)

@@ -1,0 +1,1 @@
+lib/metrics/counts.ml: List Sv_lang_c Sv_lang_f

@@ -1,0 +1,1 @@
+lib/metrics/counts.mli: Sv_lang_c Sv_lang_f

@@ -1,0 +1,1 @@
+lib/metrics/divergence.ml: Array Float Hashtbl List String Sv_diff Sv_tree Sv_util

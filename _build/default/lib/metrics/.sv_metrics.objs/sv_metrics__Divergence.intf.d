@@ -1,0 +1,1 @@
+lib/metrics/divergence.mli: Sv_tree Sv_util

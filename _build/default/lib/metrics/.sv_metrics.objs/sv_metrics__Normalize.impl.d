@@ -1,0 +1,1 @@
+lib/metrics/normalize.ml: Buffer List String Sv_lang_c Sv_lang_f Sv_util

@@ -1,0 +1,1 @@
+lib/metrics/normalize.mli: Sv_lang_c

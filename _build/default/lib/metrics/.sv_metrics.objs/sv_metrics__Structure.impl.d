@@ -1,0 +1,1 @@
+lib/metrics/structure.ml: Float Format Hashtbl List Option Sv_tree

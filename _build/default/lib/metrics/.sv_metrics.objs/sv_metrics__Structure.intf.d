@@ -1,0 +1,1 @@
+lib/metrics/structure.mli: Format Sv_tree

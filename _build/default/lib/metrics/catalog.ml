@@ -1,0 +1,39 @@
+type measure = Absolute | Relative_edit | Relative_ted | Relative_phi
+type domain = Perceived | Semantic | Runtime
+
+type entry = {
+  name : string;
+  measure : measure;
+  domains : domain list;
+  language_agnostic : bool;
+  variants : string list;
+}
+
+let all =
+  [
+    { name = "SLOC"; measure = Absolute; domains = [ Perceived ];
+      language_agnostic = true; variants = [ "+preprocessor"; "+coverage" ] };
+    { name = "LLOC"; measure = Absolute; domains = [ Perceived ];
+      language_agnostic = true; variants = [ "+preprocessor"; "+coverage" ] };
+    { name = "Source"; measure = Relative_edit; domains = [ Perceived ];
+      language_agnostic = true; variants = [ "+preprocessor"; "+coverage" ] };
+    { name = "T_src"; measure = Relative_ted; domains = [ Perceived ];
+      language_agnostic = false; variants = [ "+preprocessor"; "+coverage" ] };
+    { name = "T_sem"; measure = Relative_ted; domains = [ Semantic ];
+      language_agnostic = false; variants = [ "+inlining"; "+coverage" ] };
+    { name = "T_ir"; measure = Relative_ted; domains = [ Semantic ];
+      language_agnostic = false; variants = [ "+coverage" ] };
+    { name = "Performance"; measure = Relative_phi; domains = [ Runtime ];
+      language_agnostic = true; variants = [] };
+  ]
+
+let measure_name = function
+  | Absolute -> "Absolute"
+  | Relative_edit -> "Relative (Edit distance)"
+  | Relative_ted -> "Relative (TED)"
+  | Relative_phi -> "Relative (Phi)"
+
+let domain_name = function
+  | Perceived -> "Perceived"
+  | Semantic -> "Semantic"
+  | Runtime -> "Runtime"

@@ -1,0 +1,27 @@
+(** The metric taxonomy of Table I.
+
+    A machine-readable catalogue of every codebase-summarisation metric
+    the framework implements, with its measure kind, domain and available
+    variants — used by the bench harness to regenerate Table I and by the
+    CLI's [--help] text. *)
+
+type measure = Absolute | Relative_edit | Relative_ted | Relative_phi
+
+type domain = Perceived | Semantic | Runtime
+
+type entry = {
+  name : string;          (** e.g. ["SLOC"], ["T_sem"] *)
+  measure : measure;
+  domains : domain list;
+  language_agnostic : bool;
+  variants : string list; (** e.g. ["+preprocessor"; "+coverage"] *)
+}
+
+val all : entry list
+(** The rows of Table I, in the paper's order. *)
+
+val measure_name : measure -> string
+(** Display string, e.g. ["Relative (TED)"]. *)
+
+val domain_name : domain -> string
+(** Display string. *)

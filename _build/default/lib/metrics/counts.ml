@@ -1,0 +1,43 @@
+let sloc_of_lines = List.length
+
+let lloc_c tokens =
+  let module T = Sv_lang_c.Token in
+  let count = ref 0 in
+  let for_discount = ref 0 in
+  List.iter
+    (fun (t : T.t) ->
+      match t.kind with
+      | T.Punct when t.text = ";" ->
+          if !for_discount > 0 then decr for_discount else incr count
+      | T.Keyword -> (
+          match t.text with
+          | "for" ->
+              (* the two header semicolons belong to one logical line *)
+              for_discount := !for_discount + 2;
+              incr count
+          | "if" | "while" | "do" | "else" | "switch" -> incr count
+          | "struct" | "template" -> incr count
+          | _ -> ())
+      | T.Pragma -> incr count
+      | _ -> ())
+    (T.significant tokens);
+  !count
+
+let lloc_f tokens =
+  let module T = Sv_lang_f.Token in
+  let count = ref 0 in
+  let line_has_content = ref false in
+  List.iter
+    (fun (t : T.t) ->
+      match t.kind with
+      | T.Newline ->
+          if !line_has_content then incr count;
+          line_has_content := false
+      | T.Whitespace | T.Comment -> ()
+      | T.Directive ->
+          incr count;
+          line_has_content := false
+      | _ -> line_has_content := true)
+    tokens;
+  if !line_has_content then incr count;
+  !count

@@ -1,0 +1,22 @@
+(** SLOC and LLOC (§III-C, Eq. 2–3).
+
+    SLOC follows Nguyen et al.: the number of normalised non-blank,
+    non-comment lines. LLOC counts logical statements rather than physical
+    lines, so formatting cannot inflate it: for MiniC, a for-header counts
+    as one logical line no matter how many [;] it contains; for MiniF each
+    statement is logical by construction. *)
+
+val sloc_of_lines : string list -> int
+(** [sloc_of_lines ls] is just [List.length ls] — named for symmetry and
+    call-site clarity. *)
+
+val lloc_c : Sv_lang_c.Token.t list -> int
+(** [lloc_c tokens] counts MiniC logical lines over a significant token
+    stream: statement-terminating semicolons (a [for] header's two inner
+    semicolons are discounted), control-flow headers ([if]/[for]/[while]/
+    [do]/[else]), function and record definitions, and directives
+    (pragmas). *)
+
+val lloc_f : Sv_lang_f.Token.t list -> int
+(** [lloc_f tokens] counts MiniF logical lines: non-empty statement lines
+    plus directive lines. *)

@@ -1,0 +1,81 @@
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let source_distance a b =
+  Sv_diff.Diff.edit_distance ~eq:String.equal (Array.of_list a) (Array.of_list b)
+
+(* TED spends its time in label comparisons; intern (kind, text) pairs to
+   ints so the inner loop compares words. The interning table is local to
+   one comparison, which keeps the function reentrant. *)
+let tree_distance t1 t2 =
+  let table : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
+  let intern (l : Label.t) =
+    let key = (l.Label.kind, l.Label.text) in
+    match Hashtbl.find_opt table key with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length table in
+        Hashtbl.add table key i;
+        i
+  in
+  Sv_tree.Ted.distance_int (Tree.map intern t1) (Tree.map intern t2)
+
+let tree_distance_matched t1 t2 =
+  let root_cost = if Label.equal (Tree.label t1) (Tree.label t2) then 0 else 1 in
+  (* Align the children sequences by an LCS over coarse fingerprints
+     (root kind + size bucket) so an inserted declaration — a CUDA kernel,
+     a shim function — is charged wholesale instead of shifting every
+     later pair. The alignment is order-preserving, hence still a valid
+     edit script and an upper bound of exact TED. *)
+  let alike a b =
+    let la : Label.t = Tree.label a and lb : Label.t = Tree.label b in
+    la.Label.kind = lb.Label.kind
+    && la.Label.text = lb.Label.text
+    &&
+    let sa = Tree.size a and sb = Tree.size b in
+    (* same shape class: sizes within 2x (tiny subtrees always match) *)
+    (sa < 16 && sb < 16) || (sa <= 2 * sb && sb <= 2 * sa)
+  in
+  let c1 = Array.of_list (Tree.children t1) in
+  let c2 = Array.of_list (Tree.children t2) in
+  let script = Sv_diff.Diff.script ~eq:alike c1 c2 in
+  (* Walk the script with explicit cursors so each Keep pairs the aligned
+     children; the paired exact TED then refines the coarse match. *)
+  let i = ref 0 and j = ref 0 and acc = ref root_cost in
+  List.iter
+    (fun op ->
+      match op with
+      | Sv_diff.Diff.Keep _ ->
+          acc := !acc + tree_distance c1.(!i) c2.(!j);
+          incr i;
+          incr j
+      | Sv_diff.Diff.Delete _ ->
+          acc := !acc + Tree.size c1.(!i);
+          incr i
+      | Sv_diff.Diff.Insert _ ->
+          acc := !acc + Tree.size c2.(!j);
+          incr j)
+    script;
+  !acc
+
+let dmax_tree t2 = Tree.size t2
+let dmax_source lines = List.length lines
+
+let normalised ~d ~dmax =
+  if dmax = 0 then if d = 0 then 0.0 else 1.0
+  else Float.min 1.0 (float_of_int d /. float_of_int dmax)
+
+(* A node survives when its own span executed OR any descendant did:
+   structural nodes (function headers, unit roots) live on lines the
+   profiler never marks, but they are on the path to executed code and
+   must stay, exactly as GCov keeps a function whose body ran. *)
+let mask_tree cov t =
+  let rec go (Tree.Node (l, cs)) =
+    let kept = List.filter_map go cs in
+    if kept <> [] || Sv_util.Coverage.keep_loc cov l.Label.loc then
+      Some (Tree.Node (l, kept))
+    else None
+  in
+  match go t with
+  | Some t' -> t'
+  | None -> Tree.leaf (Tree.label t)

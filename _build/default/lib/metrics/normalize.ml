@@ -1,0 +1,55 @@
+module Xstring = Sv_util.Xstring
+
+let postprocess raw =
+  raw
+  |> Xstring.lines
+  |> List.map (fun l -> Xstring.strip (Xstring.collapse_spaces l))
+  |> List.filter (fun l -> l <> "")
+
+(* Reassemble source text with comments dropped; whitespace tokens keep
+   their newlines so line identity survives. *)
+let c_strip_comments tokens =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (t : Sv_lang_c.Token.t) ->
+      match t.kind with
+      | Sv_lang_c.Token.LineComment -> ()
+      | Sv_lang_c.Token.BlockComment ->
+          (* keep embedded newlines so later lines stay aligned *)
+          String.iter (fun c -> if c = '\n' then Buffer.add_char b '\n') t.text
+      | _ -> Buffer.add_string b t.text)
+    tokens;
+  Buffer.contents b
+
+let c_lines ~file src = postprocess (c_strip_comments (Sv_lang_c.Token.lex ~file src))
+
+let c_lines_of_tokens tokens =
+  (* A preprocessed stream has no whitespace tokens: rebuild one statement
+     per token run, breaking lines on ; { } and pragmas. *)
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (t : Sv_lang_c.Token.t) ->
+      match t.kind with
+      | Sv_lang_c.Token.LineComment | Sv_lang_c.Token.BlockComment -> ()
+      | Sv_lang_c.Token.Pragma | Sv_lang_c.Token.PpDirective ->
+          Buffer.add_char b '\n';
+          Buffer.add_string b (String.trim t.text);
+          Buffer.add_char b '\n'
+      | _ ->
+          Buffer.add_string b t.text;
+          Buffer.add_char b ' ';
+          if t.text = ";" || t.text = "{" || t.text = "}" then Buffer.add_char b '\n')
+    tokens;
+  postprocess (Buffer.contents b)
+
+let f_strip_comments tokens =
+  let b = Buffer.create 1024 in
+  List.iter
+    (fun (t : Sv_lang_f.Token.t) ->
+      match t.kind with
+      | Sv_lang_f.Token.Comment -> ()
+      | _ -> Buffer.add_string b t.text)
+    tokens;
+  Buffer.contents b
+
+let f_lines ~file src = postprocess (f_strip_comments (Sv_lang_f.Token.lex ~file src))

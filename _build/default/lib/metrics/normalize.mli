@@ -1,0 +1,19 @@
+(** Source normalisation (§III-C).
+
+    Implements the Nguyen et al. SLOC-standard normalisation the paper
+    applies before every perceived metric: comments removed (using lexer
+    token ranges, the CST-marked ranges of the paper), runs of whitespace
+    collapsed, blank lines dropped. Directive lines — [#pragma omp]/[acc]
+    and [!$omp]/[!$acc] — are always retained ("special provisions for
+    languages that store semantic-bearing information in unusual
+    places"). *)
+
+val c_lines : file:string -> string -> string list
+(** [c_lines ~file src] is the normalised line list of a MiniC source. *)
+
+val f_lines : file:string -> string -> string list
+(** Normalised line list of a MiniF source. *)
+
+val c_lines_of_tokens : Sv_lang_c.Token.t list -> string list
+(** Normalised lines reconstructed from an (already preprocessed) MiniC
+    token stream — the [+pp] variant's input. *)

@@ -1,0 +1,66 @@
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+type coupling = {
+  files : int;
+  edges : int;
+  fan_out : (string * int) list;
+  coupling_ratio : float;
+}
+
+let coupling_of_deps ~root deps =
+  let nodes = Hashtbl.create 16 in
+  Hashtbl.replace nodes root ();
+  List.iter
+    (fun (f, targets) ->
+      Hashtbl.replace nodes f ();
+      List.iter (fun t -> Hashtbl.replace nodes t ()) targets)
+    deps;
+  let files = Hashtbl.length nodes in
+  let edges = List.fold_left (fun acc (_, ts) -> acc + List.length ts) 0 deps in
+  let fan_out = List.map (fun (f, ts) -> (f, List.length ts)) deps in
+  let possible = files * (files - 1) in
+  {
+    files;
+    edges;
+    fan_out;
+    coupling_ratio =
+      (if possible = 0 then 0.0 else float_of_int edges /. float_of_int possible);
+  }
+
+type complexity = {
+  size : int;
+  depth : int;
+  leaves : int;
+  mean_branching : float;
+  branching_entropy : float;
+}
+
+let complexity t =
+  let size = Tree.size t in
+  let depth = Tree.depth t in
+  let leaves = List.length (Tree.leaves t) in
+  let interior = size - leaves in
+  let mean_branching =
+    if interior = 0 then 0.0 else float_of_int (size - 1) /. float_of_int interior
+  in
+  (* node-kind distribution entropy *)
+  let counts = Hashtbl.create 64 in
+  List.iter
+    (fun (l : Label.t) ->
+      Hashtbl.replace counts l.Label.kind
+        (1 + Option.value ~default:0 (Hashtbl.find_opt counts l.Label.kind)))
+    (Tree.preorder t);
+  let n = float_of_int size in
+  let entropy =
+    Hashtbl.fold
+      (fun _ c acc ->
+        let p = float_of_int c /. n in
+        acc -. (p *. (Float.log p /. Float.log 2.0)))
+      counts 0.0
+  in
+  { size; depth; leaves; mean_branching; branching_entropy = entropy }
+
+let pp_complexity fmt c =
+  Format.fprintf fmt "size=%d depth=%d leaves=%d branching=%.2f entropy=%.2f bits"
+    c.size c.depth c.leaves c.mean_branching c.branching_entropy

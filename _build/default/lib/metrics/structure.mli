@@ -1,0 +1,41 @@
+(** Secondary structural metrics (§III-A).
+
+    The back references from tree nodes to source locations let SilverVale
+    reconstruct the dependency tree between source units and compute
+    "secondary metrics such as module coupling and overall tree
+    complexity". This module provides both:
+
+    - {b module coupling} after Offutt, Harrold & Kolte: how strongly a
+      unit's files are interconnected, from the include graph;
+    - {b tree complexity}: size, depth, mean branching and a
+      branching-entropy summary of any semantic-bearing tree. *)
+
+type coupling = {
+  files : int;          (** nodes of the dependency graph *)
+  edges : int;          (** include edges *)
+  fan_out : (string * int) list;  (** per-file direct dependencies *)
+  coupling_ratio : float;
+      (** edges / (files·(files−1)) — 0 for isolated files, 1 for a
+          complete graph; the normalised coupling factor *)
+}
+
+val coupling_of_deps : root:string -> (string * string list) list -> coupling
+(** [coupling_of_deps ~root deps] builds coupling facts from an include
+    adjacency list ([(file, its includes)], the root first). Unknown
+    targets (system headers outside the list) still count as nodes. *)
+
+type complexity = {
+  size : int;
+  depth : int;
+  leaves : int;
+  mean_branching : float;   (** mean children per interior node *)
+  branching_entropy : float;
+      (** Shannon entropy (bits) of the node-kind distribution — flat,
+          repetitive trees score low; semantically rich ones high *)
+}
+
+val complexity : Sv_tree.Label.tree -> complexity
+(** [complexity t] summarises one tree. *)
+
+val pp_complexity : Format.formatter -> complexity -> unit
+(** One-line rendering used by the CLI's [inspect]. *)

@@ -1,0 +1,1 @@
+lib/msgpack/msgpack.mli: Format

@@ -1,0 +1,1 @@
+lib/perf/cascade.ml: List Option Phi Platform Pmodel

@@ -1,0 +1,1 @@
+lib/perf/cascade.mli: Platform Pmodel

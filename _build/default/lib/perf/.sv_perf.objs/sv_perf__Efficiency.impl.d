@@ -1,0 +1,1 @@
+lib/perf/efficiency.ml: Float Hashtbl Platform Pmodel Sv_util

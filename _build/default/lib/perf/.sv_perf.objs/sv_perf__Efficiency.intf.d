@@ -1,0 +1,1 @@
+lib/perf/efficiency.mli: Platform Pmodel

@@ -1,0 +1,1 @@
+lib/perf/phi.ml: Efficiency Float List Platform Pmodel

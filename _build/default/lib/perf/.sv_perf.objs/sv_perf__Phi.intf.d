@@ -1,0 +1,1 @@
+lib/perf/phi.mli: Platform Pmodel

@@ -1,0 +1,43 @@
+type series = {
+  model : Pmodel.t;
+  ordered : (string * float option) list;
+  phi_series : float list;
+  final_phi : float;
+}
+
+let cascade ~app ~models ~platforms =
+  List.map
+    (fun (m : Pmodel.t) ->
+      let effs =
+        List.map
+          (fun (p : Platform.t) ->
+            (p.Platform.abbr, Phi.app_efficiency ~app ~models m p))
+          platforms
+      in
+      (* supported first, by descending efficiency; unsupported last,
+         alphabetical for determinism *)
+      let supported, unsupported =
+        List.partition (fun (_, e) -> e <> None) effs
+      in
+      let supported =
+        List.sort
+          (fun (_, a) (_, b) ->
+            compare (Option.value ~default:0.0 b) (Option.value ~default:0.0 a))
+          supported
+      in
+      let unsupported = List.sort (fun (a, _) (b, _) -> compare a b) unsupported in
+      let ordered = supported @ unsupported in
+      let phi_series =
+        List.mapi
+          (fun k _ ->
+            let prefix = List.filteri (fun i _ -> i <= k) ordered in
+            Phi.phi (List.map snd prefix))
+          ordered
+      in
+      {
+        model = m;
+        ordered;
+        phi_series;
+        final_phi = Phi.phi (List.map snd effs);
+      })
+    models

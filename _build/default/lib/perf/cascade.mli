@@ -1,0 +1,26 @@
+(** Cascade plots (Sewall et al., "Interpreting and visualizing
+    performance portability metrics").
+
+    A cascade orders each model's platforms from most to least efficient
+    and tracks Φ as platforms accumulate: the curve starts at the model's
+    best efficiency and decays; it crashes to 0 at the first unsupported
+    platform. Figs. 11–12 of the paper are cascades over the six Table III
+    platforms. *)
+
+type series = {
+  model : Pmodel.t;
+  ordered : (string * float option) list;
+      (** platform abbreviations with app efficiency, in this model's
+          cascade order (supported platforms by descending efficiency,
+          then unsupported ones) *)
+  phi_series : float list;
+      (** Φ after adding the k-th platform, k = 1..N *)
+  final_phi : float;  (** Φ over the full platform set *)
+}
+
+val cascade :
+  app:Pmodel.app ->
+  models:Pmodel.t list ->
+  platforms:Platform.t list ->
+  series list
+(** One series per model, in [models] order. *)

@@ -1,0 +1,78 @@
+module P = Platform
+module M = Pmodel
+
+(* Raw efficiency of a model's best toolchain on a platform, [None] when
+   the model cannot target it at all. *)
+let base (m : M.t) (p : P.t) =
+  let cpu = p.P.kind = P.CPU in
+  match (m.M.id, p.P.abbr) with
+  (* host-only models *)
+  | "serial", _ -> if cpu then Some 0.07 else None
+  | "omp", _ -> if cpu then Some 0.95 else None
+  | "tbb", _ -> if cpu then Some 0.90 else None
+  | "stdpar", "H100" -> Some 0.86 (* nvhpc *)
+  | "stdpar", "MI250X" -> Some 0.55 (* roc-stdpar, early *)
+  | "stdpar", _ -> if cpu then Some 0.80 (* TBB backend *) else None
+  (* first-party GPU models *)
+  | "cuda", "H100" -> Some 1.00
+  | "cuda", _ -> None
+  | "hip", "MI250X" -> Some 1.00
+  | "hip", "H100" -> Some 0.90
+  | "hip", _ -> None
+  (* portable offload models *)
+  | "omp-target", abbr -> (
+      match abbr with
+      | "H100" -> Some 0.82
+      | "MI250X" -> Some 0.76
+      | "PVC" -> Some 0.80
+      | _ -> Some 0.55 (* host fallback of the target region *))
+  | "sycl-usm", abbr -> (
+      match abbr with
+      | "H100" -> Some 0.84
+      | "MI250X" -> Some 0.78
+      | "PVC" -> Some 0.95
+      | _ -> Some 0.65 (* oneAPI CPU device *))
+  | "sycl-acc", abbr -> (
+      match abbr with
+      | "H100" -> Some 0.86
+      | "MI250X" -> Some 0.80
+      | "PVC" -> Some 1.00
+      | _ -> Some 0.60)
+  | "kokkos", abbr -> (
+      match abbr with
+      | "H100" -> Some 0.92
+      | "MI250X" -> Some 0.90
+      | "PVC" -> Some 0.84 (* SYCL backend *)
+      | _ -> Some 0.88)
+  | _ -> None
+
+let jitter ~app (m : M.t) (p : P.t) =
+  let seed = Hashtbl.hash (app, m.M.id, p.P.abbr) land 0xFFFF in
+  let prng = Sv_util.Prng.create seed in
+  1.0 +. ((Sv_util.Prng.float prng 1.0 -. 0.5) *. 0.04)
+
+let efficiency ~app (m : M.t) (p : P.t) =
+  match base m p with
+  | None -> None
+  | Some e ->
+      (* Compute-bound workloads are less sensitive to runtime data-motion
+         quality, so portable models close some of the gap; memory-bound
+         ones amplify first-party advantages slightly. *)
+      let shaped =
+        match app.M.bound with
+        | M.Compute ->
+            if e >= 0.99 then e else Float.min 0.98 (e +. ((1.0 -. e) *. 0.2))
+        | M.MemoryBW -> e
+      in
+      let v = shaped *. jitter ~app:app.M.app_id m p in
+      Some (Float.max 0.01 (Float.min 1.0 v))
+
+let runtime_s ~app m p =
+  match efficiency ~app m p with
+  | None -> None
+  | Some e ->
+      let volume_bytes = app.M.bytes_per_cell *. app.M.cells *. float_of_int app.M.iterations in
+      let volume_flops = app.M.flops_per_cell *. app.M.cells *. float_of_int app.M.iterations in
+      let t_bw = volume_bytes /. (e *. p.P.peak_bw_gbs *. 1e9) in
+      let t_fl = volume_flops /. (e *. p.P.peak_gflops *. 1e9) in
+      Some (Float.max t_bw t_fl)

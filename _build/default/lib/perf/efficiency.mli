@@ -1,0 +1,31 @@
+(** The architectural-efficiency model behind the simulated benchmarks.
+
+    Each (model, platform) pair gets an efficiency factor in (0, 1] — the
+    fraction of the platform's roofline the model's best compiler attains
+    — or no entry at all when the model cannot target the platform. The
+    factors encode well-documented qualitative facts (first-party models
+    peak on their own hardware; OpenMP leads on CPUs; SYCL leads on PVC;
+    TBB/host-OpenMP cannot offload; CUDA cannot leave NVIDIA; StdPar needs
+    nvhpc/TBB backends), modulated per application boundedness and a small
+    deterministic jitter standing in for run-to-run variation.
+
+    "Where more than one compiler exists for each model, we compile with
+    each and only use the best performing result" (§VI) — the factor is
+    that best-compiler result. *)
+
+val base : Pmodel.t -> Platform.t -> float option
+(** [base model platform] is the raw efficiency factor before app
+    modulation; [None] when unsupported. *)
+
+val efficiency : app:Pmodel.app -> Pmodel.t -> Platform.t -> float option
+(** [efficiency ~app model platform] is the architectural efficiency for
+    the given workload: the base factor, shifted by the app's bound
+    (compute-bound workloads flatter first-party models slightly less on
+    bandwidth-starved parts), plus a ±2% jitter seeded from the triple so
+    repeated calls agree. *)
+
+val runtime_s : app:Pmodel.app -> Pmodel.t -> Platform.t -> float option
+(** [runtime_s ~app model platform] is the simulated wall time of the
+    paper's deck (§VI) under the roofline: data-movement (or flop) volume
+    divided by attained bandwidth (or throughput). [None] when
+    unsupported. *)

@@ -1,0 +1,43 @@
+let phi effs =
+  if effs = [] then 0.0
+  else if List.exists (function None -> true | Some e -> e <= 0.0) effs then 0.0
+  else
+    let n = float_of_int (List.length effs) in
+    let inv_sum =
+      List.fold_left
+        (fun acc e -> match e with Some e -> acc +. (1.0 /. e) | None -> acc)
+        0.0 effs
+    in
+    n /. inv_sum
+
+let perf ~app m p =
+  match Efficiency.runtime_s ~app m p with
+  | None -> None
+  | Some t -> Some (1.0 /. t)
+
+let best_perf ~app ~models p =
+  List.fold_left
+    (fun acc m ->
+      match perf ~app m p with
+      | Some v -> Float.max acc v
+      | None -> acc)
+    0.0 models
+
+let app_efficiency ~app ~models m p =
+  match perf ~app m p with
+  | None -> None
+  | Some v ->
+      let best = best_perf ~app ~models p in
+      if best <= 0.0 then None else Some (v /. best)
+
+let table ~app ~models ~platforms =
+  List.map
+    (fun (m : Pmodel.t) ->
+      ( m.Pmodel.id,
+        List.map
+          (fun (p : Platform.t) -> (p.Platform.abbr, app_efficiency ~app ~models m p))
+          platforms ))
+    models
+
+let phi_of_model ~app ~models ~platforms m =
+  phi (List.map (fun p -> app_efficiency ~app ~models m p) platforms)

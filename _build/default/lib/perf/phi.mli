@@ -1,0 +1,39 @@
+(** The performance-portability metric Φ (Pennycook, Sewall & Lee).
+
+    Φ(a, p, H) is the harmonic mean of an application's efficiency on
+    every platform in H, and 0 if any platform is unsupported. The paper
+    pairs Φ with TBMD in its navigation charts (§VI). Efficiency here is
+    {e application efficiency}: performance relative to the best observed
+    performance by any model on that platform. *)
+
+val phi : float option list -> float
+(** [phi effs] — harmonic mean over the set; [0.0] if the list is empty,
+    contains [None], or contains a non-positive efficiency. *)
+
+val app_efficiency :
+  app:Pmodel.app ->
+  models:Pmodel.t list ->
+  Pmodel.t ->
+  Platform.t ->
+  float option
+(** [app_efficiency ~app ~models m p] is model [m]'s performance on [p]
+    divided by the best performance any model in [models] achieves on
+    [p] (1.0 for the per-platform winner). [None] when [m] does not run
+    there. *)
+
+val table :
+  app:Pmodel.app ->
+  models:Pmodel.t list ->
+  platforms:Platform.t list ->
+  (string * (string * float option) list) list
+(** [table ~app ~models ~platforms] tabulates {!app_efficiency} — rows are
+    model ids, columns platform abbreviations. *)
+
+val phi_of_model :
+  app:Pmodel.app ->
+  models:Pmodel.t list ->
+  platforms:Platform.t list ->
+  Pmodel.t ->
+  float
+(** Φ of one model over the full platform set (0 when any platform is
+    unsupported — the bar chart value of Figs. 11–12). *)

@@ -1,0 +1,43 @@
+type kind = CPU | GPU
+
+type t = {
+  abbr : string;
+  name : string;
+  vendor : string;
+  kind : kind;
+  topology : string;
+  peak_bw_gbs : float;
+  peak_gflops : float;
+}
+
+(* Peak numbers are first-order public figures for each part (per socket /
+   per GPU): STREAM-class attainable bandwidth and FP64 vector peak. *)
+let spr =
+  { abbr = "SPR"; name = "Xeon Platinum 8468"; vendor = "Intel"; kind = CPU;
+    topology = "8 nodes (32C*2)"; peak_bw_gbs = 280.0; peak_gflops = 2600.0 }
+
+let milan =
+  { abbr = "Milan"; name = "EPYC 7713"; vendor = "AMD"; kind = CPU;
+    topology = "8 nodes (64C*2)"; peak_bw_gbs = 190.0; peak_gflops = 2000.0 }
+
+let g3e =
+  { abbr = "G3e"; name = "Graviton 3e"; vendor = "AWS"; kind = CPU;
+    topology = "8 nodes (64C*1)"; peak_bw_gbs = 300.0; peak_gflops = 1800.0 }
+
+let h100 =
+  { abbr = "H100"; name = "Tesla H100 (SXM 80GB)"; vendor = "NVIDIA"; kind = GPU;
+    topology = "2 nodes (4 GPUs)"; peak_bw_gbs = 3350.0; peak_gflops = 34000.0 }
+
+let mi250x =
+  { abbr = "MI250X"; name = "Instinct MI250X"; vendor = "AMD"; kind = GPU;
+    topology = "2 nodes (4 GPUs)"; peak_bw_gbs = 3200.0; peak_gflops = 24000.0 }
+
+let pvc =
+  { abbr = "PVC"; name = "Data Center GPU Max 1550"; vendor = "Intel"; kind = GPU;
+    topology = "1 node (4 GPUs*)"; peak_bw_gbs = 2800.0; peak_gflops = 22000.0 }
+
+let all = [ spr; milan; g3e; h100; mi250x; pvc ]
+
+let find abbr =
+  let a = String.lowercase_ascii abbr in
+  List.find_opt (fun p -> String.lowercase_ascii p.abbr = a) all

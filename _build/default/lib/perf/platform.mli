@@ -1,0 +1,34 @@
+(** The benchmark platforms of Table III.
+
+    The paper measured Φ on six systems (three CPUs, three GPUs). The
+    container has none of them, so this module models each platform's
+    first-order performance envelope — peak memory bandwidth and peak
+    FP64 throughput per unit — which, combined with the per-model
+    efficiency model in {!Efficiency}, reproduces the *shape* of the
+    paper's cascade plots (who runs where, roughly how well), not its
+    absolute numbers. *)
+
+type kind = CPU | GPU
+
+type t = {
+  abbr : string;        (** short label used in plots, e.g. ["SPR"] *)
+  name : string;        (** marketing name, e.g. ["Xeon Platinum 8468"] *)
+  vendor : string;
+  kind : kind;
+  topology : string;    (** Table III's topology column *)
+  peak_bw_gbs : float;  (** attainable memory bandwidth, GB/s per unit *)
+  peak_gflops : float;  (** FP64 peak, GFLOP/s per unit *)
+}
+
+val spr : t
+val milan : t
+val g3e : t
+val h100 : t
+val mi250x : t
+val pvc : t
+
+val all : t list
+(** Table III order: SPR, Milan, G3e, H100, MI250X, PVC. *)
+
+val find : string -> t option
+(** Lookup by abbreviation (case-insensitive). *)

@@ -1,0 +1,46 @@
+type t = { id : string; name : string }
+
+let serial = { id = "serial"; name = "Serial" }
+let omp = { id = "omp"; name = "OpenMP" }
+let omp_target = { id = "omp-target"; name = "OpenMP target" }
+let cuda = { id = "cuda"; name = "CUDA" }
+let hip = { id = "hip"; name = "HIP" }
+let sycl_usm = { id = "sycl-usm"; name = "SYCL (USM)" }
+let sycl_acc = { id = "sycl-acc"; name = "SYCL (Accessors)" }
+let kokkos = { id = "kokkos"; name = "Kokkos" }
+let tbb = { id = "tbb"; name = "TBB" }
+let stdpar = { id = "stdpar"; name = "StdPar" }
+
+let all_parallel =
+  [ omp; omp_target; cuda; hip; sycl_usm; sycl_acc; kokkos; tbb; stdpar ]
+
+let find id =
+  List.find_opt (fun m -> m.id = id) (serial :: all_parallel)
+
+type bound = MemoryBW | Compute
+
+type app = {
+  app_id : string;
+  app_name : string;
+  bound : bound;
+  bytes_per_cell : float;
+  flops_per_cell : float;
+  cells : float;
+  iterations : int;
+}
+
+let tealeaf =
+  { app_id = "tealeaf"; app_name = "TeaLeaf"; bound = MemoryBW;
+    bytes_per_cell = 120.0; flops_per_cell = 14.0; cells = 16.0e6; iterations = 4 }
+
+let cloverleaf =
+  { app_id = "cloverleaf"; app_name = "CloverLeaf"; bound = MemoryBW;
+    bytes_per_cell = 440.0; flops_per_cell = 60.0; cells = 36.0e6; iterations = 300 }
+
+let minibude =
+  { app_id = "minibude"; app_name = "miniBUDE"; bound = Compute;
+    bytes_per_cell = 4.0; flops_per_cell = 460.0; cells = 65536.0 *. 938.0; iterations = 8 }
+
+let babelstream =
+  { app_id = "babelstream"; app_name = "BabelStream"; bound = MemoryBW;
+    bytes_per_cell = 24.0; flops_per_cell = 2.0; cells = 2.0 ** 25.0; iterations = 100 }

@@ -1,0 +1,52 @@
+(** Programming models and benchmarked applications.
+
+    Names the models the evaluation covers (Table II) and the runtime
+    characteristics of the mini-apps (memory-bandwidth-bound vs
+    compute-bound), which the efficiency model uses. *)
+
+type t = {
+  id : string;    (** stable key, e.g. ["sycl-usm"] *)
+  name : string;  (** display name, e.g. ["SYCL (USM)"] *)
+}
+
+val serial : t
+val omp : t
+val omp_target : t
+val cuda : t
+val hip : t
+val sycl_usm : t
+val sycl_acc : t
+val kokkos : t
+val tbb : t
+val stdpar : t
+
+val all_parallel : t list
+(** The nine parallel C++ models, in the evaluation's display order
+    (serial is the divergence baseline, not a Φ subject). *)
+
+val find : string -> t option
+(** Lookup by [id]. *)
+
+type bound = MemoryBW | Compute
+
+type app = {
+  app_id : string;
+  app_name : string;
+  bound : bound;
+  bytes_per_cell : float;  (** data movement per grid cell per iteration *)
+  flops_per_cell : float;
+  cells : float;           (** problem size (BM deck scale) *)
+  iterations : int;
+}
+
+val tealeaf : app
+(** TeaLeaf BM5-like deck: 4 CG steps over 4 MPI ranks (§VI). *)
+
+val cloverleaf : app
+(** CloverLeaf BM64-like deck: 300 iterations over 4 MPI ranks (§VI). *)
+
+val minibude : app
+(** miniBUDE: compute-bound docking workload. *)
+
+val babelstream : app
+(** BabelStream: pure streaming kernels. *)

@@ -1,0 +1,1 @@
+lib/report/report.ml: Array Buffer Float List Option Printf String Sv_cluster Sv_perf Sv_util

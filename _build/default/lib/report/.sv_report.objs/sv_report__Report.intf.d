@@ -1,0 +1,1 @@
+lib/report/report.mli: Sv_cluster Sv_perf

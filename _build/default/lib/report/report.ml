@@ -1,0 +1,169 @@
+module Xstring = Sv_util.Xstring
+module Cluster = Sv_cluster.Cluster
+
+let table ~headers ~rows =
+  let all = headers :: rows in
+  let ncols = List.fold_left (fun acc r -> max acc (List.length r)) 0 all in
+  let width c =
+    List.fold_left
+      (fun acc row ->
+        match List.nth_opt row c with
+        | Some cell -> max acc (Xstring.display_width cell)
+        | None -> acc)
+      0 all
+  in
+  let widths = List.init ncols width in
+  let b = Buffer.create 1024 in
+  let hline l m r =
+    Buffer.add_string b l;
+    List.iteri
+      (fun i w ->
+        if i > 0 then Buffer.add_string b m;
+        Buffer.add_string b (Xstring.repeat "─" (w + 2)))
+      widths;
+    Buffer.add_string b r;
+    Buffer.add_char b '\n'
+  in
+  let row cells =
+    Buffer.add_string b "│";
+    List.iteri
+      (fun i w ->
+        let cell = Option.value ~default:"" (List.nth_opt cells i) in
+        Buffer.add_char b ' ';
+        Buffer.add_string b (Xstring.pad w cell);
+        Buffer.add_string b " │")
+      widths;
+    Buffer.add_char b '\n'
+  in
+  hline "┌" "┬" "┐";
+  row headers;
+  hline "├" "┼" "┤";
+  List.iter row rows;
+  hline "└" "┴" "┘";
+  Buffer.contents b
+
+let shades = [| " "; "░"; "▒"; "▓"; "█" |]
+
+let heatmap ?(lo = 0.0) ?(hi = 1.0) ~row_labels ~col_labels data =
+  let cell v =
+    if Float.is_nan v then "  --  "
+    else begin
+      let t = (v -. lo) /. (hi -. lo) in
+      let t = Float.max 0.0 (Float.min 1.0 t) in
+      let idx = min 4 (int_of_float (t *. 5.0)) in
+      Printf.sprintf "%s%4.2f%s" shades.(idx) v shades.(idx)
+    end
+  in
+  let rows =
+    List.mapi
+      (fun i label -> label :: List.mapi (fun j _ -> cell data.(i).(j)) col_labels)
+      row_labels
+  in
+  table ~headers:("" :: col_labels) ~rows
+
+let dendrogram ~labels d =
+  (* Each subtree renders as lines whose anchor line begins with '─'. *)
+  let rec go node =
+    match node with
+    | Cluster.Leaf i -> ([ "─ " ^ labels.(i) ], 0)
+    | Cluster.Merge (a, b, h) ->
+        let la, aa = go a and lb, ab = go b in
+        let top =
+          List.mapi
+            (fun i l ->
+              if i < aa then "  " ^ l
+              else if i = aa then "┌" ^ l
+              else "│ " ^ l)
+            la
+        in
+        let junction = Printf.sprintf "┤ (%.3f)" h in
+        let bottom =
+          List.mapi
+            (fun i l ->
+              if i < ab then "│ " ^ l
+              else if i = ab then "└" ^ l
+              else "  " ^ l)
+            lb
+        in
+        (top @ (junction :: bottom), List.length top)
+  in
+  let lines, _ = go d in
+  String.concat "\n" lines ^ "\n"
+
+let bars ?(width = 40) items =
+  let vmax = List.fold_left (fun acc (_, v) -> Float.max acc v) 1e-12 items in
+  let lw = List.fold_left (fun acc (l, _) -> max acc (Xstring.display_width l)) 0 items in
+  let line (label, v) =
+    let cells = int_of_float (Float.max 0.0 v /. vmax *. float_of_int width) in
+    Printf.sprintf "%s │%s%s %.3f" (Xstring.pad lw label) (Xstring.repeat "█" cells)
+      (Xstring.repeat "·" (width - cells))
+      v
+  in
+  String.concat "\n" (List.map line items) ^ "\n"
+
+let spark_chars = [| "▁"; "▂"; "▃"; "▄"; "▅"; "▆"; "▇"; "█" |]
+
+let sparkline vs =
+  String.concat ""
+    (List.map
+       (fun v ->
+         let t = Float.max 0.0 (Float.min 1.0 v) in
+         spark_chars.(min 7 (int_of_float (t *. 8.0))))
+       vs)
+
+let cascade series =
+  let b = Buffer.create 1024 in
+  let rows =
+    List.map
+      (fun (s : Sv_perf.Cascade.series) ->
+        let order =
+          String.concat " "
+            (List.map
+               (fun (abbr, e) ->
+                 match e with
+                 | Some e -> Printf.sprintf "%s:%.2f" abbr e
+                 | None -> Printf.sprintf "%s:--" abbr)
+               s.Sv_perf.Cascade.ordered)
+        in
+        [
+          s.Sv_perf.Cascade.model.Sv_perf.Pmodel.name;
+          sparkline s.Sv_perf.Cascade.phi_series;
+          Printf.sprintf "%.3f" s.Sv_perf.Cascade.final_phi;
+          order;
+        ])
+      series
+  in
+  Buffer.add_string b
+    (table ~headers:[ "model"; "cascade"; "Phi"; "platform order (app efficiency)" ] ~rows);
+  Buffer.add_string b "final Phi over all platforms:\n";
+  Buffer.add_string b
+    (bars
+       (List.map
+          (fun (s : Sv_perf.Cascade.series) ->
+            (s.Sv_perf.Cascade.model.Sv_perf.Pmodel.name, s.Sv_perf.Cascade.final_phi))
+          series));
+  Buffer.contents b
+
+let scatter ?(width = 64) ?(height = 20) ~xlabel ~ylabel points =
+  let grid = Array.make_matrix height width ' ' in
+  List.iter
+    (fun (x, y, c) ->
+      let xi = int_of_float (Float.max 0.0 (Float.min 1.0 x) *. float_of_int (width - 1)) in
+      let yi = int_of_float (Float.max 0.0 (Float.min 1.0 y) *. float_of_int (height - 1)) in
+      let row = height - 1 - yi in
+      if grid.(row).(xi) = ' ' then grid.(row).(xi) <- c)
+    points;
+  let b = Buffer.create 2048 in
+  Buffer.add_string b (Printf.sprintf "%s ↑\n" ylabel);
+  Array.iteri
+    (fun i row ->
+      let ytick =
+        if i = 0 then "1.0" else if i = height - 1 then "0.0" else "   "
+      in
+      Buffer.add_string b (Printf.sprintf "%s │%s│\n" ytick (String.init width (Array.get row))))
+    grid;
+  Buffer.add_string b
+    (Printf.sprintf "    └%s┘\n     0.0%s1.0 → %s\n" (Xstring.repeat "─" width)
+       (Xstring.repeat " " (width - 6))
+       xlabel);
+  Buffer.contents b

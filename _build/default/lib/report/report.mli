@@ -1,0 +1,44 @@
+(** Terminal rendering for every figure and table the harness regenerates.
+
+    The paper presents heatmaps (Figs. 4, 7, 8), clustered dendrograms
+    (Figs. 4–6), bar/divergence charts (Figs. 9, 10), cascade plots
+    (Figs. 11, 12) and navigation charts (Figs. 13–15). These renderers
+    produce their textual equivalents — deterministic, diffable output for
+    the bench harness and EXPERIMENTS.md. *)
+
+val table : headers:string list -> rows:string list list -> string
+(** Box-drawn table; columns autosize to the widest cell (Unicode-aware). *)
+
+val heatmap :
+  ?lo:float ->
+  ?hi:float ->
+  row_labels:string list ->
+  col_labels:string list ->
+  float array array ->
+  string
+(** Shade-block heatmap of values in [lo, hi] (default [0, 1]); each cell
+    also prints its value to two decimals. NaN renders as [--]. *)
+
+val dendrogram : labels:string array -> Sv_cluster.Cluster.dendro -> string
+(** Left-growing text dendrogram with merge heights annotated. *)
+
+val bars : ?width:int -> (string * float) list -> string
+(** Horizontal bar chart scaled to the maximum value (default width 40
+    cells). *)
+
+val sparkline : float list -> string
+(** One-character-per-value block sparkline of values in [0, 1]. *)
+
+val cascade : Sv_perf.Cascade.series list -> string
+(** Cascade plot rendering: per model, the platform order, the Φ series
+    as a sparkline plus values, and the final Φ bar chart. *)
+
+val scatter :
+  ?width:int ->
+  ?height:int ->
+  xlabel:string ->
+  ylabel:string ->
+  (float * float * char) list ->
+  string
+(** Character-grid scatter plot of points in [0,1]×[0,1]; the [char] is
+    the marker drawn. Collisions keep the earliest point. *)

@@ -1,0 +1,1 @@
+lib/svz/svz.ml: Array Buffer Char String

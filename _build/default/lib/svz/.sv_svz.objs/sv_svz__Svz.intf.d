@@ -1,0 +1,1 @@
+lib/svz/svz.mli:

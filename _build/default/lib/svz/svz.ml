@@ -1,0 +1,134 @@
+exception Corrupt of string
+
+let magic = "SVZ1"
+let min_match = 4
+let max_match = 0x7F + min_match
+let max_dist = 0xFFFF
+
+let add_varint b n =
+  let n = ref n in
+  let continue = ref true in
+  while !continue do
+    let byte = !n land 0x7F in
+    n := !n lsr 7;
+    if !n = 0 then begin
+      Buffer.add_char b (Char.chr byte);
+      continue := false
+    end
+    else Buffer.add_char b (Char.chr (byte lor 0x80))
+  done
+
+let read_varint s pos =
+  let v = ref 0 and shift = ref 0 and pos = ref pos and fin = ref false in
+  while not !fin do
+    if !pos >= String.length s then raise (Corrupt "truncated varint");
+    let byte = Char.code s.[!pos] in
+    incr pos;
+    v := !v lor ((byte land 0x7F) lsl !shift);
+    shift := !shift + 7;
+    if byte land 0x80 = 0 then fin := true
+  done;
+  (!v, !pos)
+
+let hash4 s i =
+  let b k = Char.code s.[i + k] in
+  (b 0 lor (b 1 lsl 8) lor (b 2 lsl 16) lor (b 3 lsl 24)) * 2654435761
+  land 0xFFFFF
+
+let compress s =
+  let n = String.length s in
+  let out = Buffer.create (n / 2 + 16) in
+  Buffer.add_string out magic;
+  add_varint out n;
+  let table = Array.make 0x100000 (-1) in
+  let lit_start = ref 0 in
+  let flush_literals upto =
+    (* Emit pending literals in runs of at most 128. *)
+    let i = ref !lit_start in
+    while !i < upto do
+      let len = min 128 (upto - !i) in
+      Buffer.add_char out (Char.chr (len - 1));
+      Buffer.add_substring out s !i len;
+      i := !i + len
+    done;
+    lit_start := upto
+  in
+  let i = ref 0 in
+  while !i < n do
+    if !i + min_match <= n then begin
+      let h = hash4 s !i in
+      let cand = table.(h) in
+      table.(h) <- !i;
+      let ok =
+        cand >= 0
+        && !i - cand <= max_dist
+        && String.sub s cand min_match = String.sub s !i min_match
+      in
+      if ok then begin
+        (* Extend the match as far as allowed. *)
+        let len = ref min_match in
+        while
+          !len < max_match && !i + !len < n && s.[cand + !len] = s.[!i + !len]
+        do
+          incr len
+        done;
+        flush_literals !i;
+        let dist = !i - cand in
+        Buffer.add_char out (Char.chr (0x80 lor (!len - min_match)));
+        Buffer.add_char out (Char.chr (dist lsr 8));
+        Buffer.add_char out (Char.chr (dist land 0xFF));
+        (* Index the skipped positions sparsely (every other byte) to keep
+           compression fast on long repeats. *)
+        let stop = min (!i + !len) (n - min_match) in
+        let j = ref (!i + 1) in
+        while !j < stop do
+          table.(hash4 s !j) <- !j;
+          j := !j + 2
+        done;
+        i := !i + !len;
+        lit_start := !i
+      end
+      else incr i
+    end
+    else incr i
+  done;
+  flush_literals n;
+  Buffer.contents out
+
+let decompress s =
+  let len_magic = String.length magic in
+  if String.length s < len_magic || String.sub s 0 len_magic <> magic then
+    raise (Corrupt "bad magic");
+  let orig_len, pos = read_varint s len_magic in
+  let out = Buffer.create orig_len in
+  let pos = ref pos in
+  let n = String.length s in
+  while !pos < n do
+    let tag = Char.code s.[!pos] in
+    incr pos;
+    if tag land 0x80 = 0 then begin
+      let len = tag + 1 in
+      if !pos + len > n then raise (Corrupt "truncated literal run");
+      Buffer.add_substring out s !pos len;
+      pos := !pos + len
+    end
+    else begin
+      if !pos + 2 > n then raise (Corrupt "truncated match");
+      let len = (tag land 0x7F) + min_match in
+      let dist = (Char.code s.[!pos] lsl 8) lor Char.code s.[!pos + 1] in
+      pos := !pos + 2;
+      let here = Buffer.length out in
+      if dist = 0 || dist > here then raise (Corrupt "invalid distance");
+      (* Overlapping copies are valid (RLE-style), so copy byte by byte. *)
+      for k = 0 to len - 1 do
+        Buffer.add_char out (Buffer.nth out (here - dist + k))
+      done
+    end
+  done;
+  let result = Buffer.contents out in
+  if String.length result <> orig_len then raise (Corrupt "length mismatch");
+  result
+
+let ratio s =
+  if String.length s = 0 then 1.0
+  else float_of_int (String.length (compress s)) /. float_of_int (String.length s)

@@ -1,0 +1,1 @@
+lib/tree/label.ml: Format Hashtbl List String Sv_util Tree

@@ -1,0 +1,1 @@
+lib/tree/label.mli: Format Sv_util Tree

@@ -1,0 +1,1 @@
+lib/tree/ted.ml: Array Hashtbl List Obj Tree

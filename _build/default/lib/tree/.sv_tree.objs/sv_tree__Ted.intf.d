@@ -1,0 +1,1 @@
+lib/tree/ted.mli: Tree

@@ -1,0 +1,14 @@
+type t = { kind : string; text : string; loc : Sv_util.Loc.t }
+
+let v ?(text = "") ?(loc = Sv_util.Loc.none) kind = { kind; text; loc }
+let equal a b = String.equal a.kind b.kind && String.equal a.text b.text
+let hash a = Hashtbl.hash (a.kind, a.text)
+
+let pp fmt l =
+  if l.text = "" then Format.pp_print_string fmt l.kind
+  else Format.fprintf fmt "%s(%s)" l.kind l.text
+
+type tree = t Tree.t
+
+let strip_locs t = Tree.map (fun l -> { l with loc = Sv_util.Loc.none }) t
+let spine t = List.map (fun l -> l.kind) (Tree.preorder t)

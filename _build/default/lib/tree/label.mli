@@ -1,0 +1,39 @@
+(** Labels for semantic-bearing tree nodes.
+
+    Every tree the pipeline produces — [T_src], [T_sem], [T_ir] — carries
+    this label: a node [kind] (the only part TED compares by default, per
+    the paper's name-normalisation rule of §III-B), an optional [text]
+    payload (operator spelling, literal value, directive clause — the
+    things §IV-A says are retained), and a source back-reference. *)
+
+type t = {
+  kind : string;  (** node category, e.g. ["for"], ["call"], ["omp:parallel"] *)
+  text : string;  (** retained payload; [""] for anonymised names *)
+  loc : Sv_util.Loc.t;  (** source back-reference; [Loc.none] if synthesised *)
+}
+
+val v : ?text:string -> ?loc:Sv_util.Loc.t -> string -> t
+(** [v kind] builds a label; [text] defaults to [""], [loc] to
+    [Loc.none]. *)
+
+val equal : t -> t -> bool
+(** TED label equality: kind and text must match; the location is ignored
+    (two ports never share positions, and the paper compares structure,
+    not placement). *)
+
+val hash : t -> int
+(** Hash consistent with {!equal}. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders ["kind"] or ["kind(text)"]. *)
+
+type tree = t Tree.t
+(** The concrete tree type used across the pipeline. *)
+
+val strip_locs : tree -> tree
+(** [strip_locs t] zeroes all locations — used to compare trees for
+    structural identity in tests. *)
+
+val spine : tree -> string list
+(** [spine t] is the preorder list of kinds; a cheap fingerprint for
+    tests and debugging. *)

@@ -1,0 +1,1 @@
+lib/util/coverage.ml: Hashtbl List Loc Option String

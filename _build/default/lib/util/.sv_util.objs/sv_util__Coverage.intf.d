@@ -1,0 +1,1 @@
+lib/util/coverage.mli: Loc

@@ -1,0 +1,1 @@
+lib/util/directive_syntax.mli:

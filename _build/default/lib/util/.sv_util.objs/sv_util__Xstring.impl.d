@@ -1,0 +1,1 @@
+lib/util/xstring.ml: Buffer Char String

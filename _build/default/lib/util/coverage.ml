@@ -1,0 +1,50 @@
+type t = (string, (int, int) Hashtbl.t) Hashtbl.t
+
+let create () : t = Hashtbl.create 16
+
+let file_table t file =
+  match Hashtbl.find_opt t file with
+  | Some tbl -> tbl
+  | None ->
+      let tbl = Hashtbl.create 64 in
+      Hashtbl.replace t file tbl;
+      tbl
+
+let hit t ~file ~line =
+  let tbl = file_table t file in
+  Hashtbl.replace tbl line (1 + Option.value ~default:0 (Hashtbl.find_opt tbl line))
+
+let merge a b =
+  let out = create () in
+  let add src =
+    Hashtbl.iter
+      (fun file tbl ->
+        let dst = file_table out file in
+        Hashtbl.iter
+          (fun line n ->
+            Hashtbl.replace dst line (n + Option.value ~default:0 (Hashtbl.find_opt dst line)))
+          tbl)
+      src
+  in
+  add a;
+  add b;
+  out
+
+let count t ~file ~line =
+  match Hashtbl.find_opt t file with
+  | None -> 0
+  | Some tbl -> Option.value ~default:0 (Hashtbl.find_opt tbl line)
+
+let covered t ~file ~line = count t ~file ~line > 0
+
+let files t =
+  Hashtbl.fold (fun f _ acc -> f :: acc) t [] |> List.sort String.compare
+
+let lines_hit t ~file =
+  match Hashtbl.find_opt t file with
+  | None -> []
+  | Some tbl -> Hashtbl.fold (fun l _ acc -> l :: acc) tbl [] |> List.sort compare
+
+let keep_loc t loc =
+  if Loc.is_none loc then true
+  else List.exists (fun line -> covered t ~file:loc.Loc.file ~line) (Loc.lines_covered loc)

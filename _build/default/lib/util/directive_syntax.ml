@@ -1,0 +1,64 @@
+let split body =
+  let n = String.length body in
+  let words = ref [] and i = ref 0 in
+  let push word args =
+    match (word, args, !words) with
+    | "", Some a, (prev, None) :: rest ->
+        (* a paren group separated from its clause word by whitespace,
+           e.g. "reduction (+: sum)": attach it to the previous word *)
+        words := (prev, Some a) :: rest
+    | "", None, _ -> ()
+    | "", Some a, [] -> words := (a, None) :: !words
+    | "", Some a, (prev, Some _) :: _ ->
+        ignore prev;
+        words := (a, None) :: !words
+    | w, a, _ -> words := (w, a) :: !words
+  in
+  while !i < n do
+    if body.[!i] = ' ' || body.[!i] = '\t' then incr i
+    else begin
+      let start = !i in
+      while !i < n && body.[!i] <> ' ' && body.[!i] <> '\t' && body.[!i] <> '(' do
+        incr i
+      done;
+      let word = String.sub body start (!i - start) in
+      if !i < n && body.[!i] = '(' then begin
+        let depth = ref 0 and pstart = !i in
+        let continue = ref true in
+        while !continue && !i < n do
+          (if body.[!i] = '(' then incr depth
+           else if body.[!i] = ')' then decr depth);
+          incr i;
+          if !depth = 0 then continue := false
+        done;
+        let args = String.sub body pstart (!i - pstart) in
+        push word (Some args)
+      end
+      else push word None
+    end
+  done;
+  List.rev !words
+
+let strip_sentinel line =
+  let line = Xstring.collapse_spaces (String.trim line) in
+  let try_prefix prefix origin =
+    if Xstring.starts_with ~prefix line then
+      let body =
+        if String.length line > String.length prefix then
+          String.trim
+            (String.sub line (String.length prefix)
+               (String.length line - String.length prefix))
+        else ""
+      in
+      Some (origin, body)
+    else None
+  in
+  match try_prefix "#pragma omp" `Omp with
+  | Some r -> Some r
+  | None -> (
+      match try_prefix "#pragma acc" `Acc with
+      | Some r -> Some r
+      | None -> (
+          match try_prefix "!$omp" `Omp with
+          | Some r -> Some r
+          | None -> try_prefix "!$acc" `Acc))

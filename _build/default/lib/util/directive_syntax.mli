@@ -1,0 +1,17 @@
+(** Shared clause-splitting for OpenMP/OpenACC directive lines.
+
+    Both frontends (MiniC pragmas, MiniF sentinel comments) carry
+    directive bodies like ["target teams map(tofrom: a) reduction(+:sum)"];
+    this module turns them into clause words paired with their
+    parenthesised argument text. *)
+
+val split : string -> (string * string option) list
+(** [split body] splits on whitespace; a word followed by a balanced
+    ["(...)"] — immediately or across whitespace, as in
+    ["reduction (+: sum)"] — absorbs it as its argument (parens
+    included). No returned word is ever empty. *)
+
+val strip_sentinel : string -> (([ `Omp | `Acc ] * string) option)
+(** [strip_sentinel line] recognises a directive line in any of the
+    spellings ["#pragma omp ..."], ["#pragma acc ..."], ["!$omp ..."],
+    ["!$acc ..."] and returns the origin plus the clause body. *)

@@ -1,0 +1,33 @@
+type pos = { line : int; col : int }
+type t = { file : string; start : pos; stop : pos }
+
+let none = { file = ""; start = { line = 0; col = 0 }; stop = { line = 0; col = 0 } }
+let is_none l = l.file = "" && l.start.line = 0
+let make ~file ~line ~col = { file; start = { line; col }; stop = { line; col } }
+
+let pos_min a b = if a.line < b.line || (a.line = b.line && a.col <= b.col) then a else b
+let pos_max a b = if a.line > b.line || (a.line = b.line && a.col >= b.col) then a else b
+
+let span a b =
+  if is_none a then b
+  else if is_none b then a
+  else { file = a.file; start = pos_min a.start b.start; stop = pos_max a.stop b.stop }
+
+let lines_covered l =
+  if is_none l then []
+  else List.init (l.stop.line - l.start.line + 1) (fun i -> l.start.line + i)
+
+let compare a b =
+  let c = String.compare a.file b.file in
+  if c <> 0 then c
+  else
+    let c = Stdlib.compare (a.start.line, a.start.col) (b.start.line, b.start.col) in
+    if c <> 0 then c else Stdlib.compare (a.stop.line, a.stop.col) (b.stop.line, b.stop.col)
+
+let pp fmt l =
+  if is_none l then Format.fprintf fmt "<none>"
+  else if l.start.line = l.stop.line then
+    Format.fprintf fmt "%s:%d:%d" l.file l.start.line l.start.col
+  else Format.fprintf fmt "%s:%d-%d" l.file l.start.line l.stop.line
+
+let to_string l = Format.asprintf "%a" pp l

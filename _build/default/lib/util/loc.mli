@@ -1,0 +1,41 @@
+(** Source locations.
+
+    Every node of every semantic-bearing tree keeps a back reference to the
+    source (§III-A of the paper): the file it came from and a line/column
+    span. Back references drive dependency reconstruction, coverage
+    masking and pruning. *)
+
+type pos = { line : int; col : int }
+(** A 1-based line and 0-based column within a file. *)
+
+type t = { file : string; start : pos; stop : pos }
+(** A contiguous span [start, stop] in [file]. [stop] is inclusive and
+    points at the last character of the span. *)
+
+val none : t
+(** A placeholder location for synthesised nodes (empty file name). The
+    coverage mask treats such nodes as always live. *)
+
+val is_none : t -> bool
+(** [is_none l] holds for {!none} and any other synthesised span. *)
+
+val make : file:string -> line:int -> col:int -> t
+(** [make ~file ~line ~col] is a single-character span. *)
+
+val span : t -> t -> t
+(** [span a b] is the smallest location covering both [a] and [b]. The file
+    is taken from [a] unless [a] is {!none}. *)
+
+val lines_covered : t -> int list
+(** [lines_covered l] enumerates the line numbers the span touches, in
+    increasing order; empty for {!none}. *)
+
+val compare : t -> t -> int
+(** Total order: by file, then start position, then stop position. *)
+
+val pp : Format.formatter -> t -> unit
+(** Renders as ["file:line:col"] or ["file:line-line"] for multi-line
+    spans. *)
+
+val to_string : t -> string
+(** [to_string l] is [Format.asprintf "%a" pp l]. *)

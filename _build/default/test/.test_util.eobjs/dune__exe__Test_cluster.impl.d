@@ -1,0 +1,1 @@
+test/test_cluster.ml: Alcotest Array Float Fun List QCheck QCheck_alcotest Sv_cluster

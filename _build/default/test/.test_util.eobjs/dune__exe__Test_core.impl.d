@@ -1,0 +1,1 @@
+test/test_core.ml: Alcotest Array Float Lazy List Printf Sv_cluster Sv_core Sv_corpus Sv_perf Sv_tree Sv_util

@@ -1,0 +1,1 @@
+test/test_corpus.ml: Alcotest List String Sv_corpus Sv_lang_c Sv_metrics

@@ -1,0 +1,1 @@
+test/test_db.ml: Alcotest List QCheck QCheck_alcotest Result String Sv_core Sv_corpus Sv_db Sv_tree Sv_util

@@ -1,0 +1,1 @@
+test/test_diff.ml: Alcotest Array Char List QCheck QCheck_alcotest String Sv_diff

@@ -1,0 +1,1 @@
+test/test_interp.ml: Alcotest Format List Printf Result String Sv_corpus Sv_interp Sv_lang_c Sv_lang_f Sv_util

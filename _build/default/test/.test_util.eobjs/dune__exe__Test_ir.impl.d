@@ -1,0 +1,1 @@
+test/test_ir.ml: Alcotest Format List Result String Sv_corpus Sv_ir Sv_lang_c Sv_lang_f Sv_tree Sv_util

@@ -1,0 +1,1 @@
+test/test_jsonx.ml: Alcotest List QCheck QCheck_alcotest String Sv_jsonx

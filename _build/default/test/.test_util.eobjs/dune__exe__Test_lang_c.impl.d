@@ -1,0 +1,1 @@
+test/test_lang_c.ml: Alcotest List Printf Sv_corpus Sv_lang_c Sv_tree Sv_util

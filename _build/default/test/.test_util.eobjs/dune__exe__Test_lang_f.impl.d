@@ -1,0 +1,1 @@
+test/test_lang_f.ml: Alcotest List Printf String Sv_corpus Sv_lang_f Sv_tree

@@ -1,0 +1,1 @@
+test/test_metrics.ml: Alcotest Float List QCheck QCheck_alcotest String Sv_lang_c Sv_lang_f Sv_metrics Sv_tree Sv_util

@@ -1,0 +1,1 @@
+test/test_perf.ml: Alcotest Float Gen List Option QCheck QCheck_alcotest Sv_perf

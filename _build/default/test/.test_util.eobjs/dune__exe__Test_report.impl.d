@@ -1,0 +1,1 @@
+test/test_report.ml: Alcotest Float List String Sv_cluster Sv_perf Sv_report Sv_util

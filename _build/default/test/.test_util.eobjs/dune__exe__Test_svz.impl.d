@@ -1,0 +1,1 @@
+test/test_svz.ml: Alcotest Bytes Char Gen List QCheck QCheck_alcotest String Sv_svz

@@ -1,0 +1,1 @@
+test/test_tree.ml: Alcotest Format Fun Int List QCheck QCheck_alcotest Sv_tree Sv_util

@@ -1,0 +1,1 @@
+test/test_util.ml: Alcotest Array Float Fun Gen List Option QCheck QCheck_alcotest String Sv_util

@@ -1,0 +1,363 @@
+(* Tests for Sv_core: pipeline invariants and — most importantly — the
+   paper's qualitative findings, which the reproduction must exhibit
+   (DESIGN.md lists them). BabelStream is used where possible (smallest
+   trees); TeaLeaf backs the migration findings. *)
+
+module Pipeline = Sv_core.Pipeline
+module Tbmd = Sv_core.Tbmd
+module Migration = Sv_core.Migration
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checkf = Alcotest.(check (float 1e-9))
+
+(* index lazily and once; the Tbmd cache makes repeat comparisons cheap *)
+let stream = lazy (List.map Pipeline.index (Sv_corpus.Babelstream.all ()))
+let tea = lazy (List.map Pipeline.index (Sv_corpus.Tealeaf.all ()))
+let stream_f = lazy (List.map Pipeline.index (Sv_corpus.Babelstream_f.all ()))
+
+let find ixs id = List.find (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model = id) (Lazy.force ixs)
+
+(* --- pipeline invariants --- *)
+
+let test_index_populates_everything () =
+  List.iter
+    (fun (ix : Pipeline.indexed) ->
+      checki (ix.ix_model ^ " one unit") 1 (List.length ix.ix_units);
+      let u = List.hd ix.ix_units in
+      checkb "t_src nonempty" true (Tree.size u.Pipeline.u_t_src > 50);
+      checkb "t_sem nonempty" true (Tree.size u.Pipeline.u_t_sem > 50);
+      checkb "t_ir nonempty" true (Tree.size u.Pipeline.u_t_ir > 50);
+      checkb "sloc positive" true (u.Pipeline.u_sloc > 0);
+      checkb "lloc positive" true (u.Pipeline.u_lloc > 0);
+      checkb "lloc below sloc+pragmas bound" true (u.Pipeline.u_lloc < 4 * u.Pipeline.u_sloc);
+      checkb "verification ran and passed" true
+        (match ix.ix_verification with Some v -> v.Pipeline.v_ok | None -> false);
+      checkb "coverage recorded" true (ix.ix_coverage <> None))
+    (Lazy.force stream)
+
+let test_system_headers_masked () =
+  List.iter
+    (fun (ix : Pipeline.indexed) ->
+      let u = List.hd ix.ix_units in
+      List.iter
+        (fun tree ->
+          checkb (ix.ix_model ^ " no system-header nodes") false
+            (Tree.exists
+               (fun (l : Label.t) ->
+                 List.mem l.Label.loc.Sv_util.Loc.file
+                   [ "stdio.h"; "stdlib.h"; "math.h" ])
+               tree))
+        [ u.Pipeline.u_t_src_pp; u.Pipeline.u_t_sem; u.Pipeline.u_t_ir ])
+    (Lazy.force stream)
+
+let test_deps_include_shims () =
+  let sycl = find stream "sycl-usm" in
+  let u = List.hd sycl.Pipeline.ix_units in
+  checkb "sycl.h a dep" true (List.mem "sycl.h" u.Pipeline.u_deps);
+  checkb "system headers are deps too" true (List.mem "stdio.h" u.Pipeline.u_deps)
+
+let test_coverage_masking_shrinks () =
+  (* shim helper functions never execute, so masked trees are smaller for
+     library models *)
+  let kokkos = find stream "kokkos" in
+  let u = List.hd kokkos.Pipeline.ix_units in
+  let base = Pipeline.unit_tree ~metric:`TSem ~coverage:false kokkos u in
+  let masked = Pipeline.unit_tree ~metric:`TSem ~coverage:true kokkos u in
+  checkb "masked smaller" true (Tree.size masked < Tree.size base)
+
+let test_index_without_run () =
+  let cb = List.nth (Sv_corpus.Babelstream.all ()) 0 in
+  let ix = Pipeline.index ~run:false cb in
+  checkb "no verification" true (ix.Pipeline.ix_verification = None);
+  checkb "no coverage" true (ix.Pipeline.ix_coverage = None)
+
+(* --- metric basics over indexed codebases --- *)
+
+let all_metric_variants =
+  [
+    (Tbmd.SLOC, Tbmd.Base); (Tbmd.SLOC, Tbmd.PP); (Tbmd.LLOC, Tbmd.Base);
+    (Tbmd.Source, Tbmd.Base); (Tbmd.Source, Tbmd.PP); (Tbmd.TSrc, Tbmd.Base);
+    (Tbmd.TSrc, Tbmd.PP); (Tbmd.TSrc, Tbmd.Cov); (Tbmd.TSem, Tbmd.Base);
+    (Tbmd.TSem, Tbmd.Cov); (Tbmd.TSemI, Tbmd.Base); (Tbmd.TIr, Tbmd.Base);
+  ]
+
+let test_self_divergence_zero () =
+  let serial = find stream "serial" in
+  List.iter
+    (fun (m, v) ->
+      checkf
+        (Tbmd.metric_label m ^ Tbmd.variant_label v ^ " self = 0")
+        0.0
+        (Tbmd.divergence ~variant:v m serial serial))
+    all_metric_variants
+
+let test_divergence_in_unit_interval () =
+  let serial = find stream "serial" in
+  List.iter
+    (fun (ix : Pipeline.indexed) ->
+      List.iter
+        (fun (m, v) ->
+          let d = Tbmd.divergence ~variant:v m serial ix in
+          checkb "in [0,1]" true (d >= 0.0 && d <= 1.0))
+        all_metric_variants)
+    (Lazy.force stream)
+
+let test_raw_distance_symmetric () =
+  let a = find stream "omp" and b = find stream "kokkos" in
+  List.iter
+    (fun m ->
+      let d1, _ = Tbmd.raw_divergence m a b in
+      let d2, _ = Tbmd.raw_divergence m b a in
+      checki (Tbmd.metric_label m ^ " symmetric raw") d1 d2)
+    [ Tbmd.SLOC; Tbmd.Source; Tbmd.TSem ]
+
+let test_cross_language_rejected () =
+  let c = find stream "serial" and f = find stream_f "sequential" in
+  checkb "raises" true
+    (match Tbmd.divergence Tbmd.TSem c f with
+    | exception Invalid_argument _ -> true
+    | _ -> false)
+
+let test_absolute_metrics () =
+  let serial = find stream "serial" in
+  (match Tbmd.absolute Tbmd.SLOC serial with
+  | Some v -> checkb "sloc total positive" true (v > 0)
+  | None -> Alcotest.fail "SLOC is absolute");
+  checkb "tree metric not absolute" true (Tbmd.absolute Tbmd.TSem serial = None)
+
+let test_metric_parsing () =
+  checkb "sloc" true (Tbmd.metric_of_string "SLOC" = Some Tbmd.SLOC);
+  checkb "t_sem+i" true (Tbmd.metric_of_string "t_sem+i" = Some Tbmd.TSemI);
+  checkb "unknown" true (Tbmd.metric_of_string "bogus" = None)
+
+let test_matrix_shape () =
+  let ixs = [ find stream "serial"; find stream "omp"; find stream "tbb" ] in
+  let m = Tbmd.matrix Tbmd.TSem ixs in
+  checki "3x3" 3 (Array.length m.Sv_cluster.Cluster.labels);
+  checkf "diagonal zero" 0.0 m.Sv_cluster.Cluster.data.(1).(1);
+  checkb "off-diagonal positive" true (m.Sv_cluster.Cluster.data.(0).(2) > 0.0)
+
+(* --- the paper's findings --- *)
+
+let d ?variant m a b = Tbmd.divergence ?variant m a b
+
+(* finding 2: OpenMP's semantic divergence exceeds its perceived one *)
+let test_finding_omp_hidden_semantics () =
+  let serial = find stream "serial" and omp = find stream "omp" in
+  let t_sem = d Tbmd.TSem serial omp and t_src = d Tbmd.TSrc serial omp in
+  checkb
+    (Printf.sprintf "T_sem (%.3f) > T_src (%.3f) for OpenMP" t_sem t_src)
+    true (t_sem > t_src)
+
+(* finding: CUDA and HIP are nearly identical at T_sem *)
+let test_finding_cuda_hip_twins () =
+  let cuda = find stream "cuda" and hip = find stream "hip" in
+  let between = d Tbmd.TSem cuda hip in
+  let to_serial = d Tbmd.TSem (find stream "serial") cuda in
+  checkb
+    (Printf.sprintf "d(cuda,hip)=%.3f well below d(serial,cuda)=%.3f" between to_serial)
+    true
+    (between < 0.25 *. to_serial)
+
+(* finding: the SYCL variants sit together *)
+let test_finding_sycl_variants_cluster () =
+  let usm = find stream "sycl-usm" and acc = find stream "sycl-acc" in
+  let between = d Tbmd.TSem usm acc in
+  let usm_to_serial = d Tbmd.TSem (find stream "serial") usm in
+  checkb "variants closer than serial" true (between < usm_to_serial)
+
+(* finding: serial sits near OpenMP (minimal-change design philosophy) *)
+let test_finding_serial_near_omp () =
+  let serial = find stream "serial" in
+  let d_omp = d Tbmd.TSem serial (find stream "omp") in
+  List.iter
+    (fun other ->
+      checkb
+        (Printf.sprintf "omp (%.3f) closer to serial than %s" d_omp other)
+        true
+        (d_omp < d Tbmd.TSem serial (find stream other)))
+    [ "cuda"; "hip"; "sycl-usm"; "sycl-acc"; "kokkos"; "tbb"; "stdpar" ]
+
+(* finding 3: T_sem+i jumps for library models, not for compiler models *)
+let test_finding_inlining_jump () =
+  let serial = find stream "serial" in
+  let jump id =
+    let ix = find stream id in
+    d Tbmd.TSemI serial ix -. d Tbmd.TSem serial ix
+  in
+  List.iter
+    (fun lib ->
+      checkb
+        (Printf.sprintf "%s inlining jump (%.3f) exceeds omp (%.3f)" lib (jump lib)
+           (jump "omp"))
+        true
+        (jump lib > jump "omp" +. 0.01))
+    [ "kokkos"; "stdpar" ];
+  checkb "cuda barely moves" true (Float.abs (jump "cuda") < 0.05);
+  checkb "omp barely moves" true (Float.abs (jump "omp") < 0.05)
+
+(* finding 4: offload models carry extra T_ir driver structure *)
+let test_finding_ir_driver_inflation () =
+  let serial = find stream "serial" in
+  let dir id = d Tbmd.TIr serial (find stream id) in
+  checkb "cuda T_ir above host omp" true (dir "cuda" > dir "omp");
+  checkb "omp-target T_ir above host omp" true (dir "omp-target" > dir "omp")
+
+(* finding 5: migration from CUDA costs more than from serial *)
+let test_finding_migration_asymmetry () =
+  let serial = find tea "serial" and cuda = find tea "cuda" in
+  let targets = [ "omp-target"; "sycl-usm"; "sycl-acc"; "kokkos" ] in
+  let worse =
+    List.filter
+      (fun id ->
+        let t = find tea id in
+        d Tbmd.TSem cuda t > d Tbmd.TSem serial t)
+      targets
+  in
+  checkb
+    (Printf.sprintf "CUDA-origin port costs more for %d/%d offload targets"
+       (List.length worse) (List.length targets))
+    true
+    (List.length worse >= 3)
+
+(* finding 5b: OpenMP target is the cheapest offload port from serial *)
+let test_finding_omp_target_cheapest () =
+  let serial = find tea "serial" in
+  let targets =
+    List.map (fun id -> find tea id)
+      [ "omp-target"; "cuda"; "hip"; "sycl-usm"; "sycl-acc"; "kokkos" ]
+  in
+  let rows =
+    Migration.divergence_from ~base:serial ~targets
+      ~metrics:[ (Tbmd.TSem, Tbmd.Base) ]
+  in
+  match Migration.cheapest ~metric:Tbmd.TSem rows with
+  | Some (name, _) -> Alcotest.(check string) "cheapest" "OpenMP target" name
+  | None -> Alcotest.fail "no cheapest target"
+
+(* finding 6: Fortran OpenACC introduces no parallel IR structure *)
+let test_finding_fortran_acc () =
+  let seq = find stream_f "sequential" in
+  let d_acc = d Tbmd.TIr seq (find stream_f "acc") in
+  let d_omp = d Tbmd.TIr seq (find stream_f "omp") in
+  checkb
+    (Printf.sprintf "acc T_ir (%.3f) below omp T_ir (%.3f)" d_acc d_omp)
+    true (d_acc < d_omp)
+
+let test_finding_fortran_array_similarity () =
+  (* whole-array and acc-array models pair up, like sequential and acc *)
+  let arr = find stream_f "array" and acc_arr = find stream_f "acc-array" in
+  let between = d Tbmd.TSem arr acc_arr in
+  let arr_to_omp = d Tbmd.TSem arr (find stream_f "omp") in
+  checkb "array forms cluster" true (between < arr_to_omp)
+
+(* stepping-stone conjecture of §V-D is measurable *)
+let test_stepping_stone_api () =
+  let serial = find tea "serial" in
+  let via = find tea "omp-target" and target = find tea "sycl-usm" in
+  let g = Migration.stepping_stone_gain ~base:serial ~via ~target ~metric:Tbmd.TSem in
+  checkb "finite gain value" true (Float.is_finite g)
+
+(* --- dendrogram integration --- *)
+
+let test_dendrogram_runs () =
+  let ixs = [ find stream "serial"; find stream "omp"; find stream "cuda"; find stream "hip" ] in
+  let m, dendro = Tbmd.dendrogram Tbmd.TSem ixs in
+  checki "labels" 4 (Array.length m.Sv_cluster.Cluster.labels);
+  (* CUDA and HIP must merge before either joins anything else *)
+  let rec find_pair = function
+    | Sv_cluster.Cluster.Leaf _ -> None
+    | Sv_cluster.Cluster.Merge (a, b, _) -> (
+        match
+          ( List.sort compare (Sv_cluster.Cluster.leaves a),
+            List.sort compare (Sv_cluster.Cluster.leaves b) )
+        with
+        | [ 2 ], [ 3 ] | [ 3 ], [ 2 ] -> Some true
+        | _ -> (
+            match find_pair a with Some r -> Some r | None -> find_pair b))
+  in
+  checkb "cuda+hip merge directly" true (find_pair dendro = Some true)
+
+let test_navigation_points () =
+  let serial = find stream "serial" in
+  let others =
+    List.filter (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model <> "serial")
+      (Lazy.force stream)
+  in
+  let pts =
+    Sv_core.Navigation.points ~app:Sv_perf.Pmodel.babelstream ~serial ~codebases:others
+      ~platforms:Sv_perf.Platform.all
+  in
+  checki "nine points" 9 (List.length pts);
+  List.iter
+    (fun (p : Sv_core.Navigation.point) ->
+      checkb "phi in range" true (p.Sv_core.Navigation.phi >= 0.0 && p.phi <= 1.0);
+      checkb "divergences in range" true
+        (p.div_t_sem >= 0.0 && p.div_t_sem <= 1.0 && p.div_t_src >= 0.0
+        && p.div_t_src <= 1.0))
+    pts;
+  let kokkos = List.find (fun (p : Sv_core.Navigation.point) -> p.model_id = "kokkos") pts in
+  checkb "kokkos is portable" true (kokkos.Sv_core.Navigation.phi > 0.5)
+
+let test_scenario_stages () =
+  let serial = find stream "serial" in
+  let others =
+    List.filter (fun (c : Pipeline.indexed) -> c.Pipeline.ix_model <> "serial")
+      (Lazy.force stream)
+  in
+  let stages =
+    Sv_core.Navigation.cuda_scenario ~app:Sv_perf.Pmodel.babelstream ~serial
+      ~codebases:others
+  in
+  checki "three stages" 3 (List.length stages);
+  let s1 = List.nth stages 0 and s2 = List.nth stages 1 in
+  checkb "stage 1: cuda portable" true (s1.Sv_core.Navigation.phi_cuda > 0.99);
+  checkb "stage 2: cuda collapses" true (s2.Sv_core.Navigation.phi_cuda = 0.0);
+  checkb "stage 3 nominates an alternative" true
+    ((List.nth stages 2).Sv_core.Navigation.best_alternative <> None)
+
+let () =
+  Alcotest.run "core"
+    [
+      ( "pipeline",
+        [
+          Alcotest.test_case "index populates" `Slow test_index_populates_everything;
+          Alcotest.test_case "system headers masked" `Quick test_system_headers_masked;
+          Alcotest.test_case "deps include shims" `Quick test_deps_include_shims;
+          Alcotest.test_case "coverage mask shrinks" `Quick test_coverage_masking_shrinks;
+          Alcotest.test_case "index without run" `Quick test_index_without_run;
+        ] );
+      ( "tbmd",
+        [
+          Alcotest.test_case "self divergence zero" `Quick test_self_divergence_zero;
+          Alcotest.test_case "unit interval" `Slow test_divergence_in_unit_interval;
+          Alcotest.test_case "raw symmetry" `Quick test_raw_distance_symmetric;
+          Alcotest.test_case "cross-language rejected" `Quick test_cross_language_rejected;
+          Alcotest.test_case "absolute metrics" `Quick test_absolute_metrics;
+          Alcotest.test_case "metric parsing" `Quick test_metric_parsing;
+          Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+        ] );
+      ( "paper-findings",
+        [
+          Alcotest.test_case "omp hidden semantics" `Quick test_finding_omp_hidden_semantics;
+          Alcotest.test_case "cuda/hip twins" `Quick test_finding_cuda_hip_twins;
+          Alcotest.test_case "sycl variants cluster" `Quick test_finding_sycl_variants_cluster;
+          Alcotest.test_case "serial near omp" `Slow test_finding_serial_near_omp;
+          Alcotest.test_case "inlining jump" `Quick test_finding_inlining_jump;
+          Alcotest.test_case "ir driver inflation" `Quick test_finding_ir_driver_inflation;
+          Alcotest.test_case "migration asymmetry" `Slow test_finding_migration_asymmetry;
+          Alcotest.test_case "omp-target cheapest" `Slow test_finding_omp_target_cheapest;
+          Alcotest.test_case "fortran acc" `Quick test_finding_fortran_acc;
+          Alcotest.test_case "fortran array forms" `Quick test_finding_fortran_array_similarity;
+          Alcotest.test_case "stepping stone api" `Slow test_stepping_stone_api;
+        ] );
+      ( "integration",
+        [
+          Alcotest.test_case "dendrogram" `Quick test_dendrogram_runs;
+          Alcotest.test_case "navigation points" `Slow test_navigation_points;
+          Alcotest.test_case "scenario stages" `Quick test_scenario_stages;
+        ] );
+    ]

@@ -1,0 +1,199 @@
+(* Tests for Sv_corpus: the emitted mini-app ports are complete, parse,
+   carry the idioms their models require, and differ from each other in
+   the expected directions. *)
+
+module Emit = Sv_corpus.Emit
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let source (cb : Emit.codebase) = List.assoc cb.Emit.main_file cb.Emit.files
+
+let apps =
+  [
+    ("babelstream", Sv_corpus.Babelstream.all ());
+    ("tealeaf", Sv_corpus.Tealeaf.all ());
+    ("cloverleaf", Sv_corpus.Cloverleaf.all ());
+    ("minibude", Sv_corpus.Minibude.all ());
+  ]
+
+let test_model_coverage () =
+  List.iter
+    (fun (name, cbs) ->
+      checki (name ^ " has 10 models") 10 (List.length cbs);
+      Alcotest.(check (list string))
+        (name ^ " model order") Emit.all_ids
+        (List.map (fun (cb : Emit.codebase) -> cb.Emit.model) cbs))
+    apps;
+  checki "fortran has 8 models" 8 (List.length (Sv_corpus.Babelstream_f.all ()))
+
+let test_every_port_parses () =
+  List.iter
+    (fun (_, cbs) ->
+      List.iter
+        (fun (cb : Emit.codebase) ->
+          let resolve n = List.assoc_opt n cb.Emit.files in
+          let pp =
+            Sv_lang_c.Preproc.run ~resolve ~defines:[] ~file:cb.Emit.main_file (source cb)
+          in
+          Alcotest.(check (list string))
+            (cb.Emit.app ^ "/" ^ cb.Emit.model ^ " resolves all includes")
+            [] pp.Sv_lang_c.Preproc.missing;
+          ignore
+            (Sv_lang_c.Parser.parse_tokens ~file:cb.Emit.main_file
+               pp.Sv_lang_c.Preproc.tokens))
+        cbs)
+    apps
+
+let find app model =
+  List.find (fun (cb : Emit.codebase) -> cb.Emit.model = model) (List.assoc app apps)
+
+let test_model_idioms () =
+  let has app model needle = contains (source (find app model)) needle in
+  checkb "serial has no pragmas" false (has "babelstream" "serial" "#pragma");
+  checkb "omp uses parallel for" true (has "tealeaf" "omp" "#pragma omp parallel for");
+  checkb "omp-target maps data" true
+    (has "tealeaf" "omp-target" "#pragma omp target enter data");
+  checkb "cuda launches kernels" true (has "tealeaf" "cuda" "<<<");
+  checkb "cuda kernels are __global__" true (has "tealeaf" "cuda" "__global__");
+  checkb "hip uses hip runtime" true (has "tealeaf" "hip" "hipMalloc");
+  checkb "hip does not use cuda runtime" false (has "tealeaf" "hip" "cudaMalloc");
+  checkb "sycl-usm uses malloc_shared" true (has "tealeaf" "sycl-usm" "sycl::malloc_shared");
+  checkb "sycl-acc uses buffers" true (has "tealeaf" "sycl-acc" "sycl::buffer");
+  checkb "sycl-acc uses accessors" true (has "tealeaf" "sycl-acc" "get_access");
+  checkb "kokkos uses views" true (has "tealeaf" "kokkos" "Kokkos::View");
+  checkb "kokkos lambda macro" true (has "tealeaf" "kokkos" "KOKKOS_LAMBDA");
+  checkb "tbb uses blocked_range" true (has "tealeaf" "tbb" "tbb::blocked_range");
+  checkb "stdpar uses execution policies" true
+    (has "tealeaf" "stdpar" "std::execution::par_unseq")
+
+let test_shims_attached () =
+  let deps model = List.map fst (find "babelstream" model).Emit.files in
+  checkb "sycl port ships sycl.h" true (List.mem "sycl.h" (deps "sycl-usm"));
+  checkb "kokkos port ships kokkos.h" true (List.mem "kokkos.h" (deps "kokkos"));
+  checkb "serial has only system headers" true
+    (List.sort compare (deps "serial")
+    = List.sort compare
+        ((find "babelstream" "serial").Emit.main_file :: Sv_corpus.Shim.system_names))
+
+let test_system_headers_everywhere () =
+  List.iter
+    (fun (_, cbs) ->
+      List.iter
+        (fun (cb : Emit.codebase) ->
+          List.iter
+            (fun h ->
+              checkb (cb.Emit.model ^ " ships " ^ h) true
+                (List.mem_assoc h cb.Emit.files))
+            cb.Emit.system_headers)
+        cbs)
+    apps
+
+let test_shared_algorithm_lines () =
+  (* ports share the algorithm: serial and omp differ only by scaffolding *)
+  let lines model =
+    Sv_metrics.Normalize.c_lines ~file:"t" (source (find "babelstream" model))
+  in
+  let serial = lines "serial" and omp = lines "omp" in
+  let shared = List.filter (fun l -> List.mem l omp) serial in
+  checkb "most serial lines survive in the omp port" true
+    (List.length shared * 10 > List.length serial * 8)
+
+let test_fortran_models () =
+  let src model =
+    let cb =
+      List.find
+        (fun (c : Emit.codebase) -> c.Emit.model = model)
+        (Sv_corpus.Babelstream_f.all ())
+    in
+    List.assoc cb.Emit.main_file cb.Emit.files
+  in
+  checkb "sequential uses do loops" true (contains (src "sequential") "do i = 1, n");
+  checkb "array uses slices" true (contains (src "array") "c(:) = a(:)");
+  checkb "array avoids do loops for kernels" false (contains (src "array") "do i = 1, n");
+  checkb "doconcurrent" true (contains (src "doconcurrent") "do concurrent (i = 1:n)");
+  checkb "omp sentinel" true (contains (src "omp") "!$omp parallel do");
+  checkb "taskloop nesting" true (contains (src "omp-taskloop") "!$omp taskloop");
+  checkb "target maps" true (contains (src "omp-target") "!$omp target enter data");
+  checkb "acc loop" true (contains (src "acc") "!$acc parallel loop");
+  checkb "acc-array kernels" true (contains (src "acc-array") "!$acc kernels")
+
+let test_raja_extension_ports () =
+  List.iter
+    (fun codebase_of ->
+      match codebase_of ~model:"raja" with
+      | None -> Alcotest.fail "raja port missing"
+      | Some (cb : Emit.codebase) ->
+          checkb (cb.Emit.app ^ "/raja uses forall") true
+            (contains (source cb) "RAJA::forall");
+          (* miniBUDE has no reductions; CloverLeaf's live in the summary unit *)
+          checkb (cb.Emit.app ^ "/raja uses reducers") true
+            (contains (source cb) "RAJA::ReduceSum"
+            || List.mem cb.Emit.app [ "cloverleaf"; "minibude" ]);
+          let resolve n = List.assoc_opt n cb.Emit.files in
+          let pp =
+            Sv_lang_c.Preproc.run ~resolve ~defines:[] ~file:cb.Emit.main_file (source cb)
+          in
+          ignore
+            (Sv_lang_c.Parser.parse_tokens ~file:cb.Emit.main_file
+               pp.Sv_lang_c.Preproc.tokens))
+    [
+      Sv_corpus.Babelstream.codebase;
+      Sv_corpus.Tealeaf.codebase;
+      Sv_corpus.Minibude.codebase;
+    ]
+
+let test_cloverleaf_multi_unit () =
+  List.iter
+    (fun (cb : Emit.codebase) ->
+      Alcotest.(check int) (cb.Emit.model ^ " has a summary unit") 1
+        (List.length cb.Emit.extra_units);
+      checkb "summary unit ships in files" true
+        (List.for_all (fun u -> List.mem_assoc u cb.Emit.files) cb.Emit.extra_units))
+    (Sv_corpus.Cloverleaf.all ())
+
+let test_minibude_is_compute_shaped () =
+  (* the docking kernel has a nested pair loop; BabelStream does not *)
+  checkb "nested loops in bude" true
+    (contains (source (find "minibude" "serial")) "for (int p = 0; p < natpro; p++)");
+  checkb "stream kernels are flat" false
+    (contains (source (find "babelstream" "serial")) "for (int p = 0")
+
+let test_gen_lookup () =
+  checkb "unknown model" true (Emit.gen_for "fortress" = None);
+  checkb "raja is an extension model" true
+    (List.mem "raja" Emit.extended_ids && not (List.mem "raja" Emit.all_ids));
+  checkb "raja generator resolves" true (Emit.gen_for "raja" <> None);
+  checkb "known model" true
+    (match Emit.gen_for "kokkos" with
+    | Some g -> Emit.model_name g = "Kokkos"
+    | None -> false);
+  checkb "babelstream unknown model" true
+    (Sv_corpus.Babelstream.codebase ~model:"fortress" = None)
+
+let () =
+  Alcotest.run "corpus"
+    [
+      ( "inventory",
+        [
+          Alcotest.test_case "model coverage" `Quick test_model_coverage;
+          Alcotest.test_case "gen lookup" `Quick test_gen_lookup;
+          Alcotest.test_case "shims attached" `Quick test_shims_attached;
+          Alcotest.test_case "system headers" `Quick test_system_headers_everywhere;
+        ] );
+      ( "content",
+        [
+          Alcotest.test_case "every port parses" `Quick test_every_port_parses;
+          Alcotest.test_case "model idioms" `Quick test_model_idioms;
+          Alcotest.test_case "shared algorithm" `Quick test_shared_algorithm_lines;
+          Alcotest.test_case "fortran models" `Quick test_fortran_models;
+          Alcotest.test_case "minibude compute shape" `Quick test_minibude_is_compute_shaped;
+          Alcotest.test_case "raja extension ports" `Quick test_raja_extension_ports;
+          Alcotest.test_case "cloverleaf multi-unit" `Quick test_cloverleaf_multi_unit;
+        ] );
+    ]

@@ -1,0 +1,164 @@
+(* Tests for Sv_db: compile_commands.json handling and the Codebase DB
+   round-trip (msgpack + compression). *)
+
+module Compdb = Sv_db.Compdb
+module Cdb = Sv_db.Codebase_db
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let sample_json =
+  {|[
+  {"directory": "/build", "file": "stream.cpp",
+   "arguments": ["clang++", "-O3", "-DUSE_GPU", "-DN=1024", "-Iinclude", "-I", "extra", "stream.cpp"]},
+  {"directory": "/build", "file": "kernels.f90",
+   "command": "gfortran -O2 kernels.f90"}
+]|}
+
+let test_compdb_parse () =
+  match Compdb.parse sample_json with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok [ a; b ] ->
+      checks "file" "stream.cpp" a.Compdb.file;
+      checks "dir" "/build" a.Compdb.directory;
+      checki "args" 8 (List.length a.Compdb.arguments);
+      checks "command split" "gfortran" (List.hd b.Compdb.arguments)
+  | Ok _ -> Alcotest.fail "expected two entries"
+
+let test_compdb_defines () =
+  match Compdb.parse sample_json with
+  | Ok (a :: _) ->
+      Alcotest.(check (list (pair string string)))
+        "defines" [ ("USE_GPU", "1"); ("N", "1024") ] (Compdb.defines a)
+  | _ -> Alcotest.fail "parse failed"
+
+let test_compdb_includes () =
+  match Compdb.parse sample_json with
+  | Ok (a :: _) ->
+      Alcotest.(check (list string)) "includes" [ "include"; "extra" ] (Compdb.include_dirs a)
+  | _ -> Alcotest.fail "parse failed"
+
+let test_compdb_language () =
+  match Compdb.parse sample_json with
+  | Ok [ a; b ] ->
+      checkb "cpp" true (Compdb.language a = `C);
+      checkb "fortran" true (Compdb.language b = `Fortran)
+  | _ -> Alcotest.fail "parse failed"
+
+let test_compdb_roundtrip () =
+  match Compdb.parse sample_json with
+  | Ok entries -> (
+      match Compdb.parse (Compdb.to_json_string entries) with
+      | Ok entries' -> checkb "round-trip" true (entries = entries')
+      | Error e -> Alcotest.failf "re-parse failed: %s" e)
+  | Error e -> Alcotest.failf "parse failed: %s" e
+
+let test_compdb_errors () =
+  checkb "not array" true (Result.is_error (Compdb.parse "{}"));
+  checkb "missing fields" true (Result.is_error (Compdb.parse {|[{"file": "x"}]|}));
+  checkb "bad json" true (Result.is_error (Compdb.parse "[{"))
+
+(* --- codebase db --- *)
+
+let gen_label =
+  QCheck.Gen.(
+    map2
+      (fun kind text -> Label.v ~text ("k" ^ string_of_int kind))
+      (int_bound 5) (string_size (int_bound 6)))
+
+let gen_tree =
+  QCheck.Gen.(
+    sized_size (int_bound 8) (fix (fun self n ->
+        if n = 0 then map Tree.leaf gen_label
+        else map2 Tree.node gen_label (list_size (int_bound 3) (self (n / 2))))))
+
+let arb_tree = QCheck.make gen_tree
+
+let prop_tree_codec_roundtrip =
+  QCheck.Test.make ~name:"tree msgpack codec round-trip" ~count:300 arb_tree (fun t ->
+      match Cdb.tree_of_msgpack (Cdb.tree_to_msgpack t) with
+      | Ok t' -> Tree.equal (fun a b -> a = b) t t'
+      | Error _ -> false)
+
+let sample_db () =
+  let tree =
+    Tree.node
+      (Label.v ~loc:(Sv_util.Loc.make ~file:"m.cpp" ~line:1 ~col:0) "tunit")
+      [ Tree.leaf (Label.v ~text:"+" "binary") ]
+  in
+  {
+    Cdb.db_app = "tealeaf";
+    db_model = "sycl-usm";
+    db_units =
+      [
+        {
+          Cdb.ur_file = "m.cpp";
+          ur_deps = [ "sycl.h" ];
+          ur_sloc = 120;
+          ur_lloc = 95;
+          ur_lines = [ "int main() {"; "}" ];
+          ur_trees = [ ("t_sem", tree); ("t_src", tree) ];
+        };
+      ];
+  }
+
+let test_db_roundtrip () =
+  let db = sample_db () in
+  match Cdb.load (Cdb.save db) with
+  | Ok db' -> checkb "identical" true (db = db')
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let test_db_corruption () =
+  let bytes = Cdb.save (sample_db ()) in
+  checkb "garbage rejected" true (Result.is_error (Cdb.load "not a database"));
+  checkb "truncation rejected" true
+    (Result.is_error (Cdb.load (String.sub bytes 0 (String.length bytes / 2))))
+
+let test_db_stats () =
+  let s = Cdb.stats (sample_db ()) in
+  checkb "mentions app/model" true
+    (Sv_util.Xstring.starts_with ~prefix:"tealeaf/sycl-usm" s)
+
+let test_db_pipeline_integration () =
+  (* a real indexed codebase survives the save/load cycle *)
+  let cb =
+    List.find
+      (fun (c : Sv_corpus.Emit.codebase) -> c.Sv_corpus.Emit.model = "omp")
+      (Sv_corpus.Babelstream.all ())
+  in
+  let ix = Sv_core.Pipeline.index cb in
+  let db = Sv_core.Pipeline.to_db ix in
+  match Cdb.load (Cdb.save db) with
+  | Ok db' ->
+      checkb "round-trips" true (db = db');
+      checkb "has coverage variants" true
+        (List.exists
+           (fun (u : Cdb.unit_record) -> List.mem_assoc "t_sem+cov" u.Cdb.ur_trees)
+           db'.Cdb.db_units)
+  | Error e -> Alcotest.failf "load failed: %s" e
+
+let () =
+  Alcotest.run "db"
+    [
+      ( "compdb",
+        [
+          Alcotest.test_case "parse" `Quick test_compdb_parse;
+          Alcotest.test_case "defines" `Quick test_compdb_defines;
+          Alcotest.test_case "includes" `Quick test_compdb_includes;
+          Alcotest.test_case "language" `Quick test_compdb_language;
+          Alcotest.test_case "round-trip" `Quick test_compdb_roundtrip;
+          Alcotest.test_case "errors" `Quick test_compdb_errors;
+        ] );
+      ( "codebase-db",
+        [
+          Alcotest.test_case "round-trip" `Quick test_db_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_db_corruption;
+          Alcotest.test_case "stats" `Quick test_db_stats;
+          Alcotest.test_case "pipeline integration" `Quick test_db_pipeline_integration;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_tree_codec_roundtrip ] );
+    ]

@@ -1,0 +1,132 @@
+(* Tests for Sv_diff: O(NP) edit distance vs the quadratic oracle, LCS,
+   Levenshtein, and edit scripts. *)
+
+module Diff = Sv_diff.Diff
+
+let eq = Char.equal
+let arr s = Array.init (String.length s) (String.get s)
+let ed a b = Diff.edit_distance ~eq (arr a) (arr b)
+let checki = Alcotest.(check int)
+
+let test_known_distances () =
+  checki "identical" 0 (ed "kitten" "kitten");
+  checki "empty vs s" 4 (ed "" "abcd");
+  checki "s vs empty" 4 (ed "abcd" "");
+  checki "single swap costs 2 (no substitution)" 2 (ed "abc" "axc");
+  checki "prefix insert" 1 (ed "bc" "abc");
+  checki "classic abcabba/cbabac" 5 (ed "abcabba" "cbabac")
+
+let test_lcs_known () =
+  checki "lcs identical" 3 (Diff.lcs_length ~eq (arr "abc") (arr "abc"));
+  checki "lcs disjoint" 0 (Diff.lcs_length ~eq (arr "abc") (arr "xyz"));
+  checki "lcs classic" 4 (Diff.lcs_length ~eq (arr "abcabba") (arr "cbabac"))
+
+let test_levenshtein_known () =
+  checki "kitten/sitting" 3 (Diff.levenshtein ~eq (arr "kitten") (arr "sitting"));
+  checki "identical" 0 (Diff.levenshtein ~eq (arr "ab") (arr "ab"));
+  checki "substitution is 1" 1 (Diff.levenshtein ~eq (arr "abc") (arr "axc"))
+
+let test_script_replays () =
+  let a = arr "abcabba" and b = arr "cbabac" in
+  let script = Diff.script ~eq a b in
+  let replayed =
+    List.filter_map
+      (function Diff.Keep c | Diff.Insert c -> Some c | Diff.Delete _ -> None)
+      script
+  in
+  Alcotest.(check (list char)) "replays to b" (Array.to_list b) replayed;
+  let cost =
+    List.length
+      (List.filter (function Diff.Keep _ -> false | _ -> true) script)
+  in
+  checki "script cost equals distance" (ed "abcabba" "cbabac") cost
+
+let arb_string = QCheck.string_of_size (QCheck.Gen.int_bound 40)
+
+let prop_np_vs_dp =
+  QCheck.Test.make ~name:"O(NP) distance equals quadratic DP" ~count:500
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) -> ed a b = Diff.edit_distance_dp ~eq (arr a) (arr b))
+
+let prop_symmetric =
+  QCheck.Test.make ~name:"insert+delete distance is symmetric" ~count:300
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) -> ed a b = ed b a)
+
+let prop_zero_iff_equal =
+  QCheck.Test.make ~name:"zero distance iff equal" ~count:300
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) -> ed a b = 0 = (a = b))
+
+let prop_bounds =
+  QCheck.Test.make ~name:"distance bounds" ~count:300
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) ->
+      let d = ed a b in
+      let la = String.length a and lb = String.length b in
+      d >= abs (la - lb) && d <= la + lb && (d - (la + lb)) mod 2 = 0)
+
+let prop_triangle =
+  QCheck.Test.make ~name:"triangle inequality" ~count:200
+    (QCheck.triple arb_string arb_string arb_string)
+    (fun (a, b, c) -> ed a c <= ed a b + ed b c)
+
+let prop_lev_le_ed =
+  QCheck.Test.make ~name:"levenshtein <= insert/delete distance" ~count:300
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) -> Diff.levenshtein ~eq (arr a) (arr b) <= ed a b)
+
+let prop_lcs_relation =
+  QCheck.Test.make ~name:"lcs = (|a|+|b|-d)/2 and bounded" ~count:300
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) ->
+      let l = Diff.lcs_length ~eq (arr a) (arr b) in
+      l >= 0
+      && l <= min (String.length a) (String.length b)
+      && (2 * l) + ed a b = String.length a + String.length b)
+
+let prop_script_cost =
+  QCheck.Test.make ~name:"edit script cost equals distance" ~count:200
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) ->
+      let script = Diff.script ~eq (arr a) (arr b) in
+      let cost =
+        List.length (List.filter (function Diff.Keep _ -> false | _ -> true) script)
+      in
+      cost = ed a b)
+
+let prop_script_replays_target =
+  QCheck.Test.make ~name:"edit script replays source and target" ~count:200
+    (QCheck.pair arb_string arb_string)
+    (fun (a, b) ->
+      let script = Diff.script ~eq (arr a) (arr b) in
+      let to_b =
+        List.filter_map
+          (function Diff.Keep c | Diff.Insert c -> Some c | Diff.Delete _ -> None)
+          script
+      in
+      let to_a =
+        List.filter_map
+          (function Diff.Keep c | Diff.Delete c -> Some c | Diff.Insert _ -> None)
+          script
+      in
+      to_b = Array.to_list (arr b) && to_a = Array.to_list (arr a))
+
+let () =
+  Alcotest.run "diff"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "known distances" `Quick test_known_distances;
+          Alcotest.test_case "lcs" `Quick test_lcs_known;
+          Alcotest.test_case "levenshtein" `Quick test_levenshtein_known;
+          Alcotest.test_case "script replays" `Quick test_script_replays;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_np_vs_dp; prop_symmetric; prop_zero_iff_equal; prop_bounds;
+            prop_triangle; prop_lev_le_ed; prop_lcs_relation; prop_script_cost;
+            prop_script_replays_target;
+          ] );
+    ]

@@ -1,0 +1,209 @@
+(* Tests for Sv_ir: well-formedness validation, tree projection, and the
+   lowering passes from both frontends (including the offload
+   boilerplate the paper's T_ir observations hinge on). *)
+
+module Ir = Sv_ir.Ir
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let noloc = Sv_util.Loc.none
+let ins i = { Ir.i; iloc = noloc }
+
+let fn ?(kind = Ir.Host) ?(params = []) name blocks =
+  { Ir.fn_name = name; fn_kind = kind; fn_linkage = Ir.Internal; fn_ret = Ir.Void;
+    fn_params = params; fn_blocks = blocks }
+
+let modul funcs = { Ir.m_file = "m"; m_globals = []; m_funcs = funcs }
+
+(* --- validation --- *)
+
+let test_validate_ok () =
+  let f =
+    fn "f" ~params:[ Ir.I32 ]
+      [
+        { Ir.b_id = 0;
+          b_instrs = [ ins (Ir.Bin (1, "add", Ir.I32, Ir.Reg 0, Ir.ImmI 1)) ];
+          b_term = Ir.Ret (Some (Ir.I32, Ir.Reg 1)) };
+      ]
+  in
+  checkb "valid" true (Result.is_ok (Ir.validate (modul [ f ])))
+
+let test_validate_missing_block () =
+  let f = fn "f" [ { Ir.b_id = 0; b_instrs = []; b_term = Ir.Br 7 } ] in
+  checkb "missing branch target" true (Result.is_error (Ir.validate (modul [ f ])))
+
+let test_validate_duplicate_block () =
+  let f =
+    fn "f"
+      [
+        { Ir.b_id = 0; b_instrs = []; b_term = Ir.Ret None };
+        { Ir.b_id = 0; b_instrs = []; b_term = Ir.Ret None };
+      ]
+  in
+  checkb "duplicate ids" true (Result.is_error (Ir.validate (modul [ f ])))
+
+let test_validate_undefined_register () =
+  let f =
+    fn "f"
+      [
+        { Ir.b_id = 0;
+          b_instrs = [ ins (Ir.Bin (1, "add", Ir.I32, Ir.Reg 9, Ir.ImmI 1)) ];
+          b_term = Ir.Ret None };
+      ]
+  in
+  checkb "undefined register" true (Result.is_error (Ir.validate (modul [ f ])))
+
+let test_validate_empty_internal () =
+  let f = fn "f" [] in
+  checkb "empty internal body" true (Result.is_error (Ir.validate (modul [ f ])));
+  let proto = { f with Ir.fn_linkage = Ir.External } in
+  checkb "external prototype fine" true (Result.is_ok (Ir.validate (modul [ proto ])))
+
+(* --- naming and trees --- *)
+
+let test_instr_kinds () =
+  checks "typed binop" "add.f64" (Ir.instr_kind (Ir.Bin (0, "add", Ir.F64, Ir.Undef, Ir.Undef)));
+  checks "typed cmp" "cmp-lt.i32" (Ir.instr_kind (Ir.Cmp (0, "lt", Ir.I32, Ir.Undef, Ir.Undef)));
+  checks "load" "load.f64" (Ir.instr_kind (Ir.Load (0, Ir.F64, Ir.Undef)));
+  checks "call" "call" (Ir.instr_kind (Ir.CallI (None, Ir.Void, Ir.Undef, [])))
+
+let test_tree_projection () =
+  let f =
+    fn "f" ~kind:Ir.Device
+      [
+        { Ir.b_id = 0;
+          b_instrs = [ ins (Ir.CallI (None, Ir.Void, Ir.Glob "g", [ Ir.ImmI 3 ])) ];
+          b_term = Ir.Ret None };
+      ]
+  in
+  let t = Ir.to_tree (modul [ f ]) in
+  checkb "device function label" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "ir-device-function") t);
+  checkb "immediate kept" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "imm-int" && l.Label.text = "3") t);
+  checkb "global ref anonymised" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "global-ref" && l.Label.text = "") t)
+
+(* --- lowering: whole corpus validates --- *)
+
+let lower_c (cb : Sv_corpus.Emit.codebase) =
+  let resolve name = List.assoc_opt name cb.Sv_corpus.Emit.files in
+  let src = List.assoc cb.Sv_corpus.Emit.main_file cb.Sv_corpus.Emit.files in
+  let pp =
+    Sv_lang_c.Preproc.run ~resolve ~defines:[] ~file:cb.Sv_corpus.Emit.main_file src
+  in
+  let u = Sv_lang_c.Parser.parse_tokens ~file:cb.Sv_corpus.Emit.main_file pp.Sv_lang_c.Preproc.tokens in
+  Sv_lang_c.Lower.lower ~file:cb.Sv_corpus.Emit.main_file [ u ]
+
+let test_corpus_c_validates () =
+  List.iter
+    (fun cb ->
+      match Ir.validate (lower_c cb) with
+      | Ok () -> ()
+      | Error e ->
+          Alcotest.failf "%s/%s: %s" cb.Sv_corpus.Emit.app cb.Sv_corpus.Emit.model e)
+    (Sv_corpus.Babelstream.all () @ Sv_corpus.Tealeaf.all ()
+    @ Sv_corpus.Cloverleaf.all () @ Sv_corpus.Minibude.all ())
+
+let test_corpus_f_validates () =
+  List.iter
+    (fun (cb : Sv_corpus.Emit.codebase) ->
+      let src = List.assoc cb.Sv_corpus.Emit.main_file cb.Sv_corpus.Emit.files in
+      let f = Sv_lang_f.Parser.parse ~file:cb.Sv_corpus.Emit.main_file src in
+      match Ir.validate (Sv_lang_f.Lower.lower ~file:cb.Sv_corpus.Emit.main_file f) with
+      | Ok () -> ()
+      | Error e -> Alcotest.failf "%s: %s" cb.Sv_corpus.Emit.model e)
+    (Sv_corpus.Babelstream_f.all ())
+
+let stub_count m =
+  List.length (List.filter (fun f -> f.Ir.fn_kind = Ir.RuntimeStub) m.Ir.m_funcs)
+
+let device_count m =
+  List.length (List.filter (fun f -> f.Ir.fn_kind = Ir.Device) m.Ir.m_funcs)
+
+let find_cb app model =
+  let all =
+    match app with
+    | "babelstream" -> Sv_corpus.Babelstream.all ()
+    | "tealeaf" -> Sv_corpus.Tealeaf.all ()
+    | _ -> invalid_arg "find_cb"
+  in
+  List.find (fun (cb : Sv_corpus.Emit.codebase) -> cb.Sv_corpus.Emit.model = model) all
+
+let test_offload_boilerplate () =
+  let cuda = lower_c (find_cb "babelstream" "cuda") in
+  checkb "cuda gets registration stubs" true (stub_count cuda >= 3);
+  checkb "cuda has device kernels" true (device_count cuda >= 5);
+  let serial = lower_c (find_cb "babelstream" "serial") in
+  checki "serial has no stubs" 0 (stub_count serial);
+  checki "serial has no device code" 0 (device_count serial);
+  let omp = lower_c (find_cb "babelstream" "omp") in
+  checki "host omp has no stubs" 0 (stub_count omp);
+  let target = lower_c (find_cb "babelstream" "omp-target") in
+  checkb "omp target outlines device regions" true (device_count target >= 5)
+
+let test_omp_outlining () =
+  let omp = lower_c (find_cb "babelstream" "omp") in
+  let outlined =
+    List.filter
+      (fun f ->
+        Sv_util.Xstring.starts_with ~prefix:".omp_outlined" f.Ir.fn_name)
+      omp.Ir.m_funcs
+  in
+  checkb "parallel regions outlined" true (List.length outlined >= 5)
+
+let test_fortran_acc_stays_serial () =
+  (* §V-B: GCC OpenACC introduces no parallel structure *)
+  let lower_f model =
+    let cb =
+      List.find
+        (fun (c : Sv_corpus.Emit.codebase) -> c.Sv_corpus.Emit.model = model)
+        (Sv_corpus.Babelstream_f.all ())
+    in
+    let src = List.assoc cb.Sv_corpus.Emit.main_file cb.Sv_corpus.Emit.files in
+    Sv_lang_f.Lower.lower ~file:"t"
+      (Sv_lang_f.Parser.parse ~file:cb.Sv_corpus.Emit.main_file src)
+  in
+  let acc = lower_f "acc" in
+  checki "acc: one host function, nothing outlined" 1 (List.length acc.Ir.m_funcs);
+  let omp = lower_f "omp" in
+  checkb "omp: fork-called outlined functions" true (List.length omp.Ir.m_funcs > 1)
+
+let test_pp_listing () =
+  let m = lower_c (find_cb "babelstream" "serial") in
+  let listing = Format.asprintf "%a" Ir.pp m in
+  checkb "listing mentions main" true
+    (List.exists
+       (fun l -> Sv_util.Xstring.starts_with ~prefix:"define" l && String.length l > 0)
+       (Sv_util.Xstring.lines listing))
+
+let () =
+  Alcotest.run "ir"
+    [
+      ( "validate",
+        [
+          Alcotest.test_case "well-formed module" `Quick test_validate_ok;
+          Alcotest.test_case "missing block" `Quick test_validate_missing_block;
+          Alcotest.test_case "duplicate block" `Quick test_validate_duplicate_block;
+          Alcotest.test_case "undefined register" `Quick test_validate_undefined_register;
+          Alcotest.test_case "empty internal function" `Quick test_validate_empty_internal;
+        ] );
+      ( "naming",
+        [
+          Alcotest.test_case "instruction kinds" `Quick test_instr_kinds;
+          Alcotest.test_case "tree projection" `Quick test_tree_projection;
+          Alcotest.test_case "listing" `Quick test_pp_listing;
+        ] );
+      ( "lowering",
+        [
+          Alcotest.test_case "C corpus validates" `Slow test_corpus_c_validates;
+          Alcotest.test_case "Fortran corpus validates" `Quick test_corpus_f_validates;
+          Alcotest.test_case "offload boilerplate" `Quick test_offload_boilerplate;
+          Alcotest.test_case "omp outlining" `Quick test_omp_outlining;
+          Alcotest.test_case "fortran acc stays serial" `Quick test_fortran_acc_stays_serial;
+        ] );
+    ]

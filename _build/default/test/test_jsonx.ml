@@ -1,0 +1,116 @@
+(* Tests for Sv_jsonx: parsing, printing, round-trips, error handling. *)
+
+module J = Sv_jsonx.Jsonx
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let test_parse_scalars () =
+  checkb "null" true (J.of_string "null" = J.Null);
+  checkb "true" true (J.of_string "true" = J.Bool true);
+  checkb "false" true (J.of_string "false" = J.Bool false);
+  checkb "int" true (J.of_string "42" = J.Int 42);
+  checkb "negative" true (J.of_string "-7" = J.Int (-7));
+  checkb "float" true (J.of_string "2.5" = J.Float 2.5);
+  checkb "exponent" true (J.of_string "1e3" = J.Float 1000.0);
+  checkb "string" true (J.of_string "\"hi\"" = J.String "hi")
+
+let test_parse_structures () =
+  checkb "empty list" true (J.of_string "[]" = J.List []);
+  checkb "empty obj" true (J.of_string "{}" = J.Obj []);
+  checkb "list" true (J.of_string "[1, 2]" = J.List [ J.Int 1; J.Int 2 ]);
+  checkb "nested" true
+    (J.of_string {|{"a": [1, {"b": null}]}|}
+    = J.Obj [ ("a", J.List [ J.Int 1; J.Obj [ ("b", J.Null) ] ]) ])
+
+let test_parse_escapes () =
+  checkb "newline" true (J.of_string {|"a\nb"|} = J.String "a\nb");
+  checkb "quote" true (J.of_string {|"a\"b"|} = J.String "a\"b");
+  checkb "backslash" true (J.of_string {|"a\\b"|} = J.String "a\\b");
+  checkb "unicode escape" true (J.of_string {|"\u0041"|} = J.String "A");
+  checkb "unicode two-byte" true (J.of_string {|"é"|} = J.String "\xc3\xa9")
+
+let test_parse_errors () =
+  let fails s =
+    match J.of_string s with
+    | exception J.Parse_error _ -> true
+    | _ -> false
+  in
+  checkb "trailing" true (fails "1 2");
+  checkb "unterminated string" true (fails "\"abc");
+  checkb "unterminated list" true (fails "[1, 2");
+  checkb "missing colon" true (fails "{\"a\" 1}");
+  checkb "bare word" true (fails "hello")
+
+let test_member_helpers () =
+  let v = J.of_string {|{"a": 1, "b": [2], "a": 3}|} in
+  checkb "last duplicate wins" true (J.member "a" v = Some (J.Int 3));
+  checkb "missing" true (J.member "z" v = None);
+  checkb "to_list" true (J.to_list (J.List [ J.Int 1 ]) = [ J.Int 1 ]);
+  checkb "to_list non-list" true (J.to_list J.Null = []);
+  checkb "string_value" true (J.string_value (J.String "x") = Some "x")
+
+let test_print_escapes () =
+  checks "escaped output" {|"a\nb\"c\\"|} (J.to_string (J.String "a\nb\"c\\"));
+  checks "control chars" {|"\u0001"|} (J.to_string (J.String "\x01"))
+
+let test_pretty_print () =
+  let v = J.Obj [ ("a", J.List [ J.Int 1; J.Int 2 ]) ] in
+  let printed = J.to_string ~indent:2 v in
+  checkb "has newlines" true (String.contains printed '\n');
+  checkb "reparses" true (J.equal v (J.of_string printed))
+
+(* random JSON generator (ASCII strings to keep escaping in scope) *)
+let gen_json =
+  QCheck.Gen.(
+    sized_size (int_bound 4) (fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return J.Null;
+              map (fun b -> J.Bool b) bool;
+              map (fun i -> J.Int i) (int_range (-1000000) 1000000);
+              map (fun s -> J.String s) (string_size ~gen:printable (int_bound 12));
+            ]
+        in
+        if n = 0 then scalar
+        else
+          oneof
+            [
+              scalar;
+              map (fun xs -> J.List xs) (list_size (int_bound 4) (self (n - 1)));
+              map
+                (fun kvs -> J.Obj kvs)
+                (list_size (int_bound 4)
+                   (pair (string_size ~gen:printable (int_bound 8)) (self (n - 1))));
+            ])))
+
+let arb_json = QCheck.make ~print:J.to_string gen_json
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"print/parse round-trip" ~count:500 arb_json (fun v ->
+      J.equal v (J.of_string (J.to_string v)))
+
+let prop_roundtrip_pretty =
+  QCheck.Test.make ~name:"pretty print/parse round-trip" ~count:300 arb_json (fun v ->
+      J.equal v (J.of_string (J.to_string ~indent:2 v)))
+
+let () =
+  Alcotest.run "jsonx"
+    [
+      ( "parse",
+        [
+          Alcotest.test_case "scalars" `Quick test_parse_scalars;
+          Alcotest.test_case "structures" `Quick test_parse_structures;
+          Alcotest.test_case "escapes" `Quick test_parse_escapes;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "member helpers" `Quick test_member_helpers;
+        ] );
+      ( "print",
+        [
+          Alcotest.test_case "escapes" `Quick test_print_escapes;
+          Alcotest.test_case "pretty" `Quick test_pretty_print;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest [ prop_roundtrip; prop_roundtrip_pretty ] );
+    ]

@@ -1,0 +1,523 @@
+(* Tests for Sv_lang_c: lexer round-trips, parser coverage of every
+   dialect construct, preprocessor behaviour, CST normalisation, T_sem
+   shapes and the inliner. *)
+
+module Token = Sv_lang_c.Token
+module Cst = Sv_lang_c.Cst
+module Parser = Sv_lang_c.Parser
+module Ast = Sv_lang_c.Ast
+module Preproc = Sv_lang_c.Preproc
+module Sem = Sv_lang_c.Sem_tree
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let parse src = Parser.parse ~file:"t.cpp" src
+let tops src = (parse src).Ast.t_tops
+
+(* --- lexer --- *)
+
+let test_lex_roundtrip () =
+  let src = "int main() { /* c */ return 0; } // done\n" in
+  checks "reconstruct" src (Cst.reconstruct (Token.lex ~file:"t" src))
+
+let test_lex_kinds () =
+  let kinds src =
+    List.map (fun (t : Token.t) -> t.kind) (Token.significant (Token.lex ~file:"t" src))
+  in
+  checkb "keyword" true (kinds "for" = [ Token.Keyword ]);
+  checkb "ident" true (kinds "foo" = [ Token.Ident ]);
+  checkb "int" true (kinds "42" = [ Token.IntLit ]);
+  checkb "float" true (kinds "4.25" = [ Token.FloatLit ]);
+  checkb "float suffix" true (kinds "1.0f" = [ Token.FloatLit ]);
+  checkb "exponent" true (kinds "1e-3" = [ Token.FloatLit ]);
+  checkb "string" true (kinds "\"hi\\n\"" = [ Token.StringLit ]);
+  checkb "char" true (kinds "'x'" = [ Token.CharLit ]);
+  checkb "pragma" true (kinds "#pragma omp parallel\n" = [ Token.Pragma ]);
+  checkb "pp" true (kinds "#include \"x.h\"\n" = [ Token.PpDirective ]);
+  checkb "cuda attr is keyword" true (kinds "__global__" = [ Token.Keyword ])
+
+let test_lex_chevrons () =
+  let texts src =
+    List.map (fun (t : Token.t) -> t.text) (Token.significant (Token.lex ~file:"t" src))
+  in
+  checkb "launch chevrons" true (texts "k<<<g, b>>>" = [ "k"; "<<<"; "g"; ","; "b"; ">>>" ]);
+  checkb "shift stays shift" true (texts "a << b" = [ "a"; "<<"; "b" ])
+
+let test_lex_errors () =
+  checkb "unterminated comment" true
+    (match Token.lex ~file:"t" "/* oops" with
+    | exception Token.Lex_error _ -> true
+    | _ -> false);
+  checkb "unterminated string" true
+    (match Token.lex ~file:"t" "\"oops" with
+    | exception Token.Lex_error _ -> true
+    | _ -> false)
+
+let test_lex_locations () =
+  let toks = Token.significant (Token.lex ~file:"t" "int x;\nint y;\n") in
+  let y_tok = List.nth toks 4 in
+  checki "line tracking" 2 y_tok.Token.loc.Sv_util.Loc.start.Sv_util.Loc.line
+
+(* --- parser --- *)
+
+let test_parse_function_shapes () =
+  match tops "double f(int a, double *b);\ndouble f(int a, double *b) { return 1.0; }" with
+  | [ Ast.Func proto; Ast.Func def ] ->
+      checkb "proto has no body" true (proto.Ast.f_body = None);
+      checkb "def has body" true (def.Ast.f_body <> None);
+      checki "params" 2 (List.length def.Ast.f_params)
+  | _ -> Alcotest.fail "expected two functions"
+
+let test_parse_attrs () =
+  match tops "__global__ void k(double *a) { a[0] = 1.0; }" with
+  | [ Ast.Func f ] -> checkb "global attr" true (List.mem Ast.AGlobal f.Ast.f_attrs)
+  | _ -> Alcotest.fail "expected kernel"
+
+let test_parse_template () =
+  match tops "template<typename T, typename U> T f(T x, U y) { return x; }" with
+  | [ Ast.Func f ] ->
+      Alcotest.(check (list string)) "tparams" [ "T"; "U" ] f.Ast.f_tparams
+  | _ -> Alcotest.fail "expected template function"
+
+let test_parse_struct () =
+  match tops "struct Atom { float x, y; int type; };" with
+  | [ Ast.Record r ] -> checki "fields" 3 (List.length r.Ast.r_fields)
+  | _ -> Alcotest.fail "expected record"
+
+let test_parse_launch () =
+  let stmt_of src =
+    match tops (Printf.sprintf "void f() { %s }" src) with
+    | [ Ast.Func { f_body = Some [ s ]; _ } ] -> s
+    | _ -> Alcotest.fail "expected one statement"
+  in
+  match (stmt_of "k<<<grid, block>>>(a, n);").Ast.s with
+  | Ast.ExprS { e = Ast.KernelLaunch (_, cfg, args); _ } ->
+      checki "config" 2 (List.length cfg);
+      checki "args" 2 (List.length args)
+  | _ -> Alcotest.fail "expected kernel launch"
+
+let test_parse_lambda () =
+  match tops "void f() { g([=](int i) { h(i); }); }" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.ExprS { e = Ast.Call (_, _, [ arg ]); _ }; _ } ]; _ } ]
+    -> (
+      match arg.Ast.e with
+      | Ast.Lambda (Ast.ByValue, [ p ], _) -> checks "param" "i" p.Ast.p_name
+      | _ -> Alcotest.fail "expected by-value lambda")
+  | _ -> Alcotest.fail "expected call with lambda"
+
+let test_parse_template_call () =
+  match tops "void f() { h.parallel_for<class k>(r, body); }" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.ExprS { e = Ast.Call (callee, targs, args); _ }; _ } ]; _ } ]
+    ->
+      checki "template args" 1 (List.length targs);
+      checki "args" 2 (List.length args);
+      (match callee.Ast.e with
+      | Ast.Member (_, "parallel_for", `Dot) -> ()
+      | _ -> Alcotest.fail "expected member callee")
+  | _ -> Alcotest.fail "expected template member call"
+
+let test_parse_less_than_not_template () =
+  match tops "void f() { if (a < b) { g(); } }" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.If (cond, _, _); _ } ]; _ } ] -> (
+      match cond.Ast.e with
+      | Ast.Binary (Ast.Lt, _, _) -> ()
+      | _ -> Alcotest.fail "expected comparison")
+  | _ -> Alcotest.fail "expected if"
+
+let test_parse_directive_attach () =
+  match tops "void f() {\n#pragma omp parallel for reduction(+ : s)\nfor (int i = 0; i < n; i++) { s += i; }\n}" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.Directive (d, Some body); _ } ]; _ } ] ->
+      checkb "origin" true (d.Ast.d_origin = `Omp);
+      checkb "has reduction clause" true
+        (List.exists (fun (w, _) -> w = "reduction") d.Ast.d_clauses);
+      checkb "governs the for" true
+        (match body.Ast.s with Ast.For _ -> true | _ -> false)
+  | _ -> Alcotest.fail "expected directive-with-statement"
+
+let test_parse_directive_standalone () =
+  match tops "void f() {\n#pragma omp target enter data map(alloc: a[0:n])\nint x = 0;\n}" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.Directive (_, None); _ }; { s = Ast.Decl _; _ } ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "enter-data should not absorb the declaration"
+
+let test_parse_decl_forms () =
+  let decl src =
+    match tops (Printf.sprintf "void f() { %s }" src) with
+    | [ Ast.Func { f_body = Some [ { s = Ast.Decl (ty, names); _ } ]; _ } ] -> (ty, names)
+    | _ -> Alcotest.fail "expected declaration"
+  in
+  let ty, names = decl "const double scalar = 0.4;" in
+  checkb "const double" true (ty = Ast.TConst Ast.TDouble);
+  checki "one declarator" 1 (List.length names);
+  let ty, _ = decl "double *a;" in
+  checkb "pointer" true (ty = Ast.TPtr Ast.TDouble);
+  let ty, _ = decl "__shared__ double tile[64];" in
+  checkb "fixed array" true (ty = Ast.TArr (Ast.TDouble, Some 64));
+  let _, names = decl "int i, j, k;" in
+  checki "multi declarator" 3 (List.length names);
+  let _, names = decl "Kokkos::View<double*> a(\"a\", n);" in
+  checkb "ctor initialiser" true
+    (match names with
+    | [ (_, Some { e = Ast.InitList [ _; _ ]; _ }) ] -> true
+    | _ -> false)
+
+let test_parse_expressions () =
+  let expr src =
+    match tops (Printf.sprintf "void f() { x = %s; }" src) with
+    | [ Ast.Func { f_body = Some [ { s = Ast.ExprS { e = Ast.Assign (None, _, rhs); _ }; _ } ]; _ } ]
+      -> rhs
+    | _ -> Alcotest.fail "expected assignment"
+  in
+  (match (expr "a + b * c").Ast.e with
+  | Ast.Binary (Ast.Add, _, { e = Ast.Binary (Ast.Mul, _, _); _ }) -> ()
+  | _ -> Alcotest.fail "precedence: * binds tighter");
+  (match (expr "a < b && c > d").Ast.e with
+  | Ast.Binary (Ast.LAnd, _, _) -> ()
+  | _ -> Alcotest.fail "&& loosest");
+  (match (expr "c ? a : b").Ast.e with
+  | Ast.Ternary _ -> ()
+  | _ -> Alcotest.fail "ternary");
+  (match (expr "(double)n").Ast.e with
+  | Ast.Cast (Ast.TDouble, _) -> ()
+  | _ -> Alcotest.fail "C cast");
+  (match (expr "(a + b)").Ast.e with
+  | Ast.Binary (Ast.Add, _, _) -> ()
+  | _ -> Alcotest.fail "parens are not casts");
+  (match (expr "sizeof(double)").Ast.e with
+  | Ast.SizeofT Ast.TDouble -> ()
+  | _ -> Alcotest.fail "sizeof");
+  (match (expr "new double[n]").Ast.e with
+  | Ast.New (Ast.TDouble, Some _) -> ()
+  | _ -> Alcotest.fail "array new");
+  match (expr "a->b.c").Ast.e with
+  | Ast.Member ({ e = Ast.Member (_, "b", `Arrow); _ }, "c", `Dot) -> ()
+  | _ -> Alcotest.fail "member chain"
+
+let test_parse_errors () =
+  let fails src = match parse src with exception Parser.Parse_error _ -> true | _ -> false in
+  checkb "missing semicolon" true (fails "void f() { int x }");
+  checkb "missing paren" true (fails "void f( { }");
+  checkb "stray token" true (fails "void f() { ] }")
+
+(* --- preprocessor --- *)
+
+let test_preproc_include () =
+  let files = [ ("a.h", "int a_decl();\n") ] in
+  let resolve name = List.assoc_opt name files in
+  let r = Preproc.run ~resolve ~defines:[] ~file:"m.cpp" "#include \"a.h\"\nint main() { return 0; }\n" in
+  Alcotest.(check (list string)) "deps" [ "a.h" ] r.Preproc.deps;
+  checkb "spliced decl" true
+    (List.exists (fun (t : Token.t) -> t.Token.text = "a_decl") r.Preproc.tokens);
+  checkb "include loc preserved" true
+    (List.exists
+       (fun (t : Token.t) -> t.Token.text = "a_decl" && t.Token.loc.Sv_util.Loc.file = "a.h")
+       r.Preproc.tokens)
+
+let test_preproc_include_once () =
+  let files = [ ("a.h", "int one;\n") ] in
+  let resolve name = List.assoc_opt name files in
+  let r =
+    Preproc.run ~resolve ~defines:[] ~file:"m.cpp"
+      "#include \"a.h\"\n#include \"a.h\"\nint main() { return one; }\n"
+  in
+  checki "spliced once" 1
+    (List.length (List.filter (fun (t : Token.t) -> t.Token.text = "one") r.Preproc.tokens) - 1)
+
+let test_preproc_missing () =
+  let r =
+    Preproc.run ~resolve:(fun _ -> None) ~defines:[] ~file:"m.cpp"
+      "#include <vector>\nint main() { return 0; }\n"
+  in
+  Alcotest.(check (list string)) "missing recorded" [ "vector" ] r.Preproc.missing
+
+let test_preproc_define () =
+  let r =
+    Preproc.run ~resolve:(fun _ -> None) ~defines:[] ~file:"m.cpp"
+      "#define N 1024\nint x = N;\n"
+  in
+  checkb "macro expanded" true
+    (List.exists (fun (t : Token.t) -> t.Token.text = "1024") r.Preproc.tokens);
+  checkb "name gone" true
+    (not (List.exists (fun (t : Token.t) -> t.Token.text = "N") r.Preproc.tokens))
+
+let test_preproc_define_multi_token () =
+  let r =
+    Preproc.run ~resolve:(fun _ -> None) ~defines:[] ~file:"m.cpp"
+      "#define KOKKOS_LAMBDA [=]\nauto f = KOKKOS_LAMBDA (int i) { g(i); };\n"
+  in
+  let texts = List.map (fun (t : Token.t) -> t.Token.text) r.Preproc.tokens in
+  checkb "expanded to lambda intro" true
+    (List.exists (fun t -> t = "[") texts && List.exists (fun t -> t = "=") texts)
+
+let test_preproc_conditionals () =
+  let run defines src = Preproc.run ~resolve:(fun _ -> None) ~defines ~file:"m.cpp" src in
+  let has r text =
+    List.exists (fun (t : Token.t) -> t.Token.text = text) r.Preproc.tokens
+  in
+  let src = "#ifdef USE_GPU\nint gpu;\n#else\nint cpu;\n#endif\n" in
+  let with_def = run [ ("USE_GPU", "1") ] src in
+  checkb "ifdef taken" true (has with_def "gpu");
+  checkb "else skipped" false (has with_def "cpu");
+  let without = run [] src in
+  checkb "ifdef skipped" false (has without "gpu");
+  checkb "else taken" true (has without "cpu");
+  let ifndef = run [] "#ifndef GUARD\nint body;\n#endif\n" in
+  checkb "ifndef taken" true (has ifndef "body")
+
+let test_preproc_pragma_survives () =
+  let r =
+    Preproc.run ~resolve:(fun _ -> None) ~defines:[] ~file:"m.cpp"
+      "#pragma omp parallel for\nfor (int i = 0; i < n; i++) { }\n"
+  in
+  checkb "pragma kept" true
+    (List.exists (fun (t : Token.t) -> t.Token.kind = Token.Pragma) r.Preproc.tokens)
+
+(* --- CST / T_src --- *)
+
+let test_tsrc_anonymises () =
+  let t = Cst.t_src ~file:"t" "int foo = bar + 42;" in
+  let labels = Tree.preorder t in
+  checkb "idents anonymised" true
+    (List.for_all
+       (fun (l : Label.t) -> l.Label.kind <> "ident" || l.Label.text = "")
+       labels);
+  checkb "literal kept" true
+    (List.exists (fun (l : Label.t) -> l.Label.text = "42") labels);
+  checkb "keyword kept" true
+    (List.exists (fun (l : Label.t) -> l.Label.kind = "kw" && l.Label.text = "int") labels)
+
+let test_tsrc_drops_comments () =
+  let a = Cst.t_src ~file:"t" "int x; // note\n/* block */ int y;" in
+  let b = Cst.t_src ~file:"t" "int x;\nint y;" in
+  checki "comment-insensitive" 0
+    (Sv_tree.Ted.distance ~eq:Label.equal a b)
+
+let test_tsrc_directive_structured () =
+  let t = Cst.t_src ~file:"t" "#pragma omp target teams map(to: a)\n" in
+  checkb "structured omp node" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp:target") t);
+  checkb "clause args kept" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp-clause-args") t)
+
+let test_cst_nesting () =
+  let t = Cst.t_src ~file:"t" "f(a[i], { 1 });" in
+  checkb "parens node" true (Tree.exists (fun (l : Label.t) -> l.Label.kind = "parens") t);
+  checkb "brackets node" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "brackets") t);
+  checkb "braces node" true (Tree.exists (fun (l : Label.t) -> l.Label.kind = "braces") t)
+
+(* --- T_sem --- *)
+
+let sem src = Sem.of_tunit (parse src)
+
+let test_tsem_name_anonymisation () =
+  let a = sem "void f(int alpha) { alpha = alpha + 1; }" in
+  let b = sem "void g(int omega) { omega = omega + 1; }" in
+  checki "alpha-equivalent trees are identical" 0
+    (Sv_tree.Ted.distance ~eq:Label.equal a b)
+
+let test_tsem_literals_matter () =
+  let a = sem "int x = 1;" and b = sem "int x = 2;" in
+  checkb "literal difference visible" true
+    (Sv_tree.Ted.distance ~eq:Label.equal a b > 0)
+
+let test_tsem_omp_implicit_nodes () =
+  let t = sem "void f() {\n#pragma omp parallel for\nfor (int i = 0; i < n; i++) { }\n}" in
+  checkb "captured stmt" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp-captured-stmt") t);
+  checkb "implicit dsa" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp-implicit-dsa") t)
+
+let test_tsem_kernel_launch_node () =
+  let t = sem "__global__ void k(int n) { }\nvoid f() { k<<<1, 2>>>(0); }" in
+  checkb "kernel-launch kind" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "kernel-launch") t);
+  checkb "launch config child" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "launch-config") t)
+
+(* --- inliner --- *)
+
+let test_inliner_grows_called () =
+  let src = "void helper(int x) { g(x); g(x); }\nvoid f() { helper(1); }" in
+  let u = parse src in
+  let env name = Ast.find_function u name in
+  let inlined = Sem.inline_calls ~env ~depth:3 u in
+  checkb "inlined tree is larger" true
+    (Tree.size (Sem.of_tunit inlined) > Tree.size (Sem.of_tunit u))
+
+let test_inliner_recursion_safe () =
+  let src = "void f(int x) { f(x); }" in
+  let u = parse src in
+  let env name = Ast.find_function u name in
+  let inlined = Sem.inline_calls ~env ~depth:5 u in
+  checkb "terminates and stays finite" true (Tree.size (Sem.of_tunit inlined) < 1000)
+
+let test_inliner_unknown_untouched () =
+  let src = "void f() { mystery(1); }" in
+  let u = parse src in
+  let env _ = None in
+  let inlined = Sem.inline_calls ~env ~depth:3 u in
+  checki "no change" 0
+    (Sv_tree.Ted.distance ~eq:Label.equal (Sem.of_tunit u) (Sem.of_tunit inlined))
+
+let test_parse_nested_include_chain () =
+  let files =
+    [ ("a.h", "#include \"b.h\"\nint from_a;\n");
+      ("b.h", "#include \"c.h\"\nint from_b;\n");
+      ("c.h", "int from_c;\n") ]
+  in
+  let resolve n = List.assoc_opt n files in
+  let r =
+    Preproc.run ~resolve ~defines:[] ~file:"m.cpp" "#include \"a.h\"\nint main() { return 0; }\n"
+  in
+  Alcotest.(check (list string)) "deps in first-inclusion order" [ "a.h"; "b.h"; "c.h" ]
+    r.Preproc.deps;
+  List.iter
+    (fun name ->
+      checkb name true
+        (List.exists (fun (t : Token.t) -> t.Token.text = name) r.Preproc.tokens))
+    [ "from_a"; "from_b"; "from_c" ]
+
+let test_preproc_undef () =
+  let r =
+    Preproc.run ~resolve:(fun _ -> None) ~defines:[]
+      ~file:"m.cpp" "#define N 1\nint a = N;\n#undef N\nint b = N;\n"
+  in
+  let texts = List.map (fun (t : Token.t) -> t.Token.text) r.Preproc.tokens in
+  checkb "first use expanded" true (List.mem "1" texts);
+  checkb "second use untouched" true (List.mem "N" texts)
+
+let test_parse_compound_ops () =
+  let rhs_op src =
+    match tops (Printf.sprintf "void f() { %s }" src) with
+    | [ Ast.Func { f_body = Some [ { s = Ast.ExprS { e = Ast.Assign (op, _, _); _ }; _ } ]; _ } ]
+      -> op
+    | _ -> Alcotest.fail "expected assignment"
+  in
+  checkb "+=" true (rhs_op "x += 1;" = Some Ast.Add);
+  checkb "-=" true (rhs_op "x -= 1;" = Some Ast.Sub);
+  checkb "*=" true (rhs_op "x *= 2;" = Some Ast.Mul);
+  checkb "/=" true (rhs_op "x /= 2;" = Some Ast.Div);
+  checkb "plain =" true (rhs_op "x = 2;" = None)
+
+let test_parse_do_while_and_nesting () =
+  match tops "void f() { do { g(); } while (x < 3); }" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.DoWhile ([ _ ], _); _ } ]; _ } ] -> ()
+  | _ -> Alcotest.fail "do-while"
+
+let test_parse_else_chain () =
+  match tops "void f() { if (a) { g(); } else if (b) { h(); } else { k(); } }" with
+  | [ Ast.Func { f_body = Some [ { s = Ast.If (_, _, [ { s = Ast.If (_, _, [ _ ]); _ } ]); _ } ]; _ } ]
+    -> ()
+  | _ -> Alcotest.fail "else-if chain nests"
+
+let test_parse_unary_forms () =
+  let expr src =
+    match tops (Printf.sprintf "void f() { x = %s; }" src) with
+    | [ Ast.Func { f_body = Some [ { s = Ast.ExprS { e = Ast.Assign (None, _, rhs); _ }; _ } ]; _ } ]
+      -> rhs
+    | _ -> Alcotest.fail "expected assignment"
+  in
+  (match (expr "!done").Ast.e with
+  | Ast.Unary (Ast.Not, _) -> ()
+  | _ -> Alcotest.fail "logical not");
+  (match (expr "-a * b").Ast.e with
+  | Ast.Binary (Ast.Mul, { e = Ast.Unary (Ast.Neg, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "unary minus binds before *");
+  (match (expr "*p + 1").Ast.e with
+  | Ast.Binary (Ast.Add, { e = Ast.Unary (Ast.Deref, _); _ }, _) -> ()
+  | _ -> Alcotest.fail "deref binds before +");
+  match (expr "i++").Ast.e with
+  | Ast.Unary (Ast.PostInc, _) -> ()
+  | _ -> Alcotest.fail "post increment"
+
+let test_tsem_stable_under_formatting () =
+  let a = sem "void f(int n) { for (int i = 0; i < n; i++) { g(i); } }" in
+  let b = sem "void f(int n)\n{\n  for (int i = 0;\n       i < n;\n       i++)\n  {\n    g(i);\n  }\n}" in
+  checki "formatting is invisible to T_sem" 0
+    (Sv_tree.Ted.distance ~eq:Label.equal (Label.strip_locs a) (Label.strip_locs b))
+
+(* --- corpus round-trip property --- *)
+
+let all_corpus_files =
+  List.concat_map
+    (fun (cb : Sv_corpus.Emit.codebase) -> cb.Sv_corpus.Emit.files)
+    (Sv_corpus.Babelstream.all () @ Sv_corpus.Tealeaf.all ())
+
+let test_corpus_lex_roundtrip () =
+  List.iter
+    (fun (name, content) ->
+      checks (Printf.sprintf "roundtrip %s" name) content
+        (Cst.reconstruct (Token.lex ~file:name content)))
+    all_corpus_files
+
+let () =
+  Alcotest.run "lang_c"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lex_roundtrip;
+          Alcotest.test_case "token kinds" `Quick test_lex_kinds;
+          Alcotest.test_case "chevrons" `Quick test_lex_chevrons;
+          Alcotest.test_case "errors" `Quick test_lex_errors;
+          Alcotest.test_case "locations" `Quick test_lex_locations;
+          Alcotest.test_case "corpus roundtrip" `Quick test_corpus_lex_roundtrip;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "functions" `Quick test_parse_function_shapes;
+          Alcotest.test_case "attributes" `Quick test_parse_attrs;
+          Alcotest.test_case "templates" `Quick test_parse_template;
+          Alcotest.test_case "structs" `Quick test_parse_struct;
+          Alcotest.test_case "kernel launch" `Quick test_parse_launch;
+          Alcotest.test_case "lambdas" `Quick test_parse_lambda;
+          Alcotest.test_case "template calls" `Quick test_parse_template_call;
+          Alcotest.test_case "less-than vs template" `Quick test_parse_less_than_not_template;
+          Alcotest.test_case "directive attach" `Quick test_parse_directive_attach;
+          Alcotest.test_case "standalone directive" `Quick test_parse_directive_standalone;
+          Alcotest.test_case "declarations" `Quick test_parse_decl_forms;
+          Alcotest.test_case "expressions" `Quick test_parse_expressions;
+          Alcotest.test_case "errors" `Quick test_parse_errors;
+          Alcotest.test_case "compound ops" `Quick test_parse_compound_ops;
+          Alcotest.test_case "do-while" `Quick test_parse_do_while_and_nesting;
+          Alcotest.test_case "else-if chain" `Quick test_parse_else_chain;
+          Alcotest.test_case "unary forms" `Quick test_parse_unary_forms;
+        ] );
+      ( "preproc",
+        [
+          Alcotest.test_case "include splice" `Quick test_preproc_include;
+          Alcotest.test_case "include once" `Quick test_preproc_include_once;
+          Alcotest.test_case "missing header" `Quick test_preproc_missing;
+          Alcotest.test_case "object macro" `Quick test_preproc_define;
+          Alcotest.test_case "multi-token macro" `Quick test_preproc_define_multi_token;
+          Alcotest.test_case "conditionals" `Quick test_preproc_conditionals;
+          Alcotest.test_case "pragma survives" `Quick test_preproc_pragma_survives;
+          Alcotest.test_case "nested include chain" `Quick test_parse_nested_include_chain;
+          Alcotest.test_case "undef" `Quick test_preproc_undef;
+        ] );
+      ( "t_src",
+        [
+          Alcotest.test_case "anonymisation" `Quick test_tsrc_anonymises;
+          Alcotest.test_case "comments removed" `Quick test_tsrc_drops_comments;
+          Alcotest.test_case "directives structured" `Quick test_tsrc_directive_structured;
+          Alcotest.test_case "bracket nesting" `Quick test_cst_nesting;
+        ] );
+      ( "t_sem",
+        [
+          Alcotest.test_case "alpha equivalence" `Quick test_tsem_name_anonymisation;
+          Alcotest.test_case "literals matter" `Quick test_tsem_literals_matter;
+          Alcotest.test_case "omp implicit nodes" `Quick test_tsem_omp_implicit_nodes;
+          Alcotest.test_case "kernel launch node" `Quick test_tsem_kernel_launch_node;
+          Alcotest.test_case "formatting invariance" `Quick test_tsem_stable_under_formatting;
+        ] );
+      ( "inliner",
+        [
+          Alcotest.test_case "grows on inline" `Quick test_inliner_grows_called;
+          Alcotest.test_case "recursion safe" `Quick test_inliner_recursion_safe;
+          Alcotest.test_case "unknown untouched" `Quick test_inliner_unknown_untouched;
+        ] );
+    ]

@@ -1,0 +1,219 @@
+(* Tests for Sv_lang_f: lexer, parser, CST and T_sem for the Fortran-like
+   mini-language. *)
+
+module Token = Sv_lang_f.Token
+module Parser = Sv_lang_f.Parser
+module Ast = Sv_lang_f.Ast
+module Cst = Sv_lang_f.Cst
+module Sem = Sv_lang_f.Sem_tree
+module Tree = Sv_tree.Tree
+module Label = Sv_tree.Label
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+let checks = Alcotest.(check string)
+
+let parse src = Parser.parse ~file:"t.f90" src
+
+let wrap body =
+  Printf.sprintf
+    "program t\n  implicit none\n  integer :: i\n  real(kind=8), allocatable, dimension(:) :: a, b\n%s\nend program t\n"
+    body
+
+let body_of src =
+  match (parse src).Ast.f_units with
+  | [ u ] -> u.Ast.u_body
+  | _ -> Alcotest.fail "expected one unit"
+
+(* --- lexer --- *)
+
+let test_lex_roundtrip () =
+  let src = "program t\n  ! comment\n  x = 1.0d0 ** 2\nend program t\n" in
+  checks "reconstruct" src (Cst.reconstruct (Token.lex ~file:"t" src))
+
+let test_lex_kinds () =
+  let kinds src =
+    List.filter_map
+      (fun (t : Token.t) ->
+        match t.Token.kind with Token.Newline -> None | k -> Some k)
+      (Token.significant (Token.lex ~file:"t" src))
+  in
+  checkb "keyword" true (kinds "do" = [ Token.Keyword ]);
+  checkb "float d-exponent" true (kinds "1.0d0" = [ Token.FloatLit ]);
+  checkb "float kind-suffix" true (kinds "4.0_8" = [ Token.FloatLit ]);
+  checkb "dotted op" true (kinds ".and." = [ Token.Op ]);
+  checkb "logical literal" true (kinds ".true." = [ Token.Op ]);
+  checkb "power op" true (kinds "**" = [ Token.Op ]);
+  checkb "not-equal" true (kinds "/=" = [ Token.Op ]);
+  checkb "directive" true (kinds "!$omp parallel do" = [ Token.Directive ]);
+  checkb "plain comment dropped" true (kinds "! note" = [])
+
+(* --- parser --- *)
+
+let test_parse_program_shape () =
+  let f = parse (wrap "  a = 1.0d0") in
+  match f.Ast.f_units with
+  | [ u ] ->
+      checkb "program kind" true (u.Ast.u_kind = Ast.Program);
+      checks "name" "t" u.Ast.u_name;
+      checki "decl groups" 2 (List.length u.Ast.u_decls)
+  | _ -> Alcotest.fail "expected one unit"
+
+let test_parse_subroutine () =
+  let src =
+    "subroutine scale(x, n)\n  integer, intent(in) :: n\n  real(kind=8), intent(inout), dimension(:) :: x\n  x = 2.0d0 * x\nend subroutine scale\n"
+  in
+  match (parse src).Ast.f_units with
+  | [ u ] -> (
+      match u.Ast.u_kind with
+      | Ast.Subroutine args -> Alcotest.(check (list string)) "args" [ "x"; "n" ] args
+      | _ -> Alcotest.fail "expected subroutine")
+  | _ -> Alcotest.fail "expected one unit"
+
+let test_parse_do_variants () =
+  (match body_of (wrap "  do i = 1, 10\n    a(i) = 0.0d0\n  end do") with
+  | [ { s = Ast.FDo ("i", _, _, None, [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "counted do");
+  (match body_of (wrap "  do i = 1, 10, 2\n    a(i) = 0.0d0\n  end do") with
+  | [ { s = Ast.FDo (_, _, _, Some _, _); _ } ] -> ()
+  | _ -> Alcotest.fail "strided do");
+  (match body_of (wrap "  do concurrent (i = 1:10)\n    a(i) = 0.0d0\n  end do") with
+  | [ { s = Ast.FDoConcurrent ("i", _, _, _); _ } ] -> ()
+  | _ -> Alcotest.fail "do concurrent");
+  match body_of (wrap "  do while (i < 10)\n    i = i + 1\n  end do") with
+  | [ { s = Ast.FDoWhile (_, _); _ } ] -> ()
+  | _ -> Alcotest.fail "do while"
+
+let test_parse_if_forms () =
+  (match body_of (wrap "  if (i > 0) then\n    a(i) = 1.0d0\n  else\n    a(i) = 2.0d0\n  end if") with
+  | [ { s = Ast.FIf (_, [ _ ], [ _ ]); _ } ] -> ()
+  | _ -> Alcotest.fail "block if");
+  match body_of (wrap "  if (i > 0) a(i) = 1.0d0") with
+  | [ { s = Ast.FIf (_, [ _ ], []); _ } ] -> ()
+  | _ -> Alcotest.fail "one-line if"
+
+let test_parse_array_forms () =
+  (match body_of (wrap "  a(:) = 0.1d0") with
+  | [ { s = Ast.FAssign ({ e = Ast.FRef ("a", [ Ast.ARange (None, None) ]); _ }, _); _ } ] -> ()
+  | _ -> Alcotest.fail "full slice");
+  (match body_of (wrap "  a(2:5) = b(2:5)") with
+  | [ { s = Ast.FAssign ({ e = Ast.FRef ("a", [ Ast.ARange (Some _, Some _) ]); _ }, _); _ } ]
+    -> ()
+  | _ -> Alcotest.fail "bounded slice");
+  match body_of (wrap "  a = b + 1.0d0") with
+  | [ { s = Ast.FAssign ({ e = Ast.FVar "a"; _ }, { e = Ast.FBin ("+", _, _); _ }); _ } ] -> ()
+  | _ -> Alcotest.fail "whole-array assign"
+
+let test_parse_alloc () =
+  (match body_of (wrap "  allocate(a(100), b(100))") with
+  | [ { s = Ast.FAllocate [ ("a", [ _ ]); ("b", [ _ ]) ]; _ } ] -> ()
+  | _ -> Alcotest.fail "allocate");
+  match body_of (wrap "  deallocate(a, b)") with
+  | [ { s = Ast.FDeallocate [ "a"; "b" ]; _ } ] -> ()
+  | _ -> Alcotest.fail "deallocate"
+
+let test_parse_loop_directive () =
+  match
+    body_of
+      (wrap "  !$omp parallel do\n  do i = 1, 10\n    a(i) = 0.0d0\n  end do\n  !$omp end parallel do")
+  with
+  | [ { s = Ast.FDirective (d, [ { s = Ast.FDo _; _ } ]); _ } ] ->
+      checkb "origin omp" true (d.Ast.fd_origin = `Omp)
+  | _ -> Alcotest.fail "loop directive should govern the do and eat its end line"
+
+let test_parse_region_directive () =
+  match
+    body_of (wrap "  !$acc kernels\n  a = 0.1d0\n  b = 0.2d0\n  !$acc end kernels")
+  with
+  | [ { s = Ast.FDirective (d, [ _; _ ]); _ } ] ->
+      checkb "origin acc" true (d.Ast.fd_origin = `Acc)
+  | _ -> Alcotest.fail "block directive should absorb region statements"
+
+let test_parse_nested_regions () =
+  match
+    body_of
+      (wrap
+         "  !$omp parallel\n  !$omp single\n  !$omp taskloop\n  do i = 1, 4\n    a(i) = 0.0d0\n  end do\n  !$omp end taskloop\n  !$omp end single\n  !$omp end parallel")
+  with
+  | [ { s = Ast.FDirective (_, [ { s = Ast.FDirective (_, [ { s = Ast.FDirective (_, [ _ ]); _ } ]); _ } ]); _ } ]
+    -> ()
+  | _ -> Alcotest.fail "parallel > single > taskloop nesting"
+
+let test_parse_standalone_directive () =
+  match body_of (wrap "  !$omp target enter data map(alloc: a)\n  a = 0.0d0") with
+  | [ { s = Ast.FDirective (_, []); _ }; { s = Ast.FAssign _; _ } ] -> ()
+  | _ -> Alcotest.fail "enter-data is standalone"
+
+let test_parse_error_cases () =
+  let fails src =
+    match parse src with exception Parser.Parse_error _ -> true | _ -> false
+  in
+  checkb "missing end" true (fails "program t\nx = 1\n");
+  checkb "bad do" true (fails "program t\ndo i = 1\nend do\nend program\n")
+
+(* --- trees --- *)
+
+let test_tsrc_lines () =
+  let t = Cst.t_src ~file:"t" "x = 1\ny = 2\n" in
+  checki "one node per line" 2 (List.length (Tree.children t))
+
+let test_tsem_shapes () =
+  let f = parse (wrap "  !$omp parallel do\n  do i = 1, 4\n    a(i) = b(i)\n  end do\n  !$omp end parallel do") in
+  let t = Sem.of_file f in
+  checkb "f: prefix" true
+    (List.for_all
+       (fun (l : Label.t) ->
+         String.length l.Label.kind >= 2
+         && (String.sub l.Label.kind 0 2 = "f:"
+            || String.sub l.Label.kind 0 2 = "om"
+            || String.sub l.Label.kind 0 2 = "ac"))
+       (Tree.preorder t));
+  checkb "directive node" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp-directive") t);
+  checkb "omp implicit dsa" true
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp-implicit-dsa") t)
+
+let test_tsem_acc_no_implicit () =
+  let f = parse (wrap "  !$acc kernels\n  a = 0.1d0\n  !$acc end kernels") in
+  let t = Sem.of_file f in
+  checkb "acc introduces no implicit nodes" false
+    (Tree.exists (fun (l : Label.t) -> l.Label.kind = "omp-implicit-dsa") t)
+
+let test_corpus_roundtrip () =
+  List.iter
+    (fun (cb : Sv_corpus.Emit.codebase) ->
+      let src = List.assoc cb.Sv_corpus.Emit.main_file cb.Sv_corpus.Emit.files in
+      checks cb.Sv_corpus.Emit.model src
+        (Cst.reconstruct (Token.lex ~file:"t" src)))
+    (Sv_corpus.Babelstream_f.all ())
+
+let () =
+  Alcotest.run "lang_f"
+    [
+      ( "lexer",
+        [
+          Alcotest.test_case "roundtrip" `Quick test_lex_roundtrip;
+          Alcotest.test_case "token kinds" `Quick test_lex_kinds;
+          Alcotest.test_case "corpus roundtrip" `Quick test_corpus_roundtrip;
+        ] );
+      ( "parser",
+        [
+          Alcotest.test_case "program shape" `Quick test_parse_program_shape;
+          Alcotest.test_case "subroutine" `Quick test_parse_subroutine;
+          Alcotest.test_case "do variants" `Quick test_parse_do_variants;
+          Alcotest.test_case "if forms" `Quick test_parse_if_forms;
+          Alcotest.test_case "array forms" `Quick test_parse_array_forms;
+          Alcotest.test_case "allocate/deallocate" `Quick test_parse_alloc;
+          Alcotest.test_case "loop directive" `Quick test_parse_loop_directive;
+          Alcotest.test_case "region directive" `Quick test_parse_region_directive;
+          Alcotest.test_case "nested regions" `Quick test_parse_nested_regions;
+          Alcotest.test_case "standalone directive" `Quick test_parse_standalone_directive;
+          Alcotest.test_case "errors" `Quick test_parse_error_cases;
+        ] );
+      ( "trees",
+        [
+          Alcotest.test_case "t_src lines" `Quick test_tsrc_lines;
+          Alcotest.test_case "t_sem shapes" `Quick test_tsem_shapes;
+          Alcotest.test_case "acc has no implicit nodes" `Quick test_tsem_acc_no_implicit;
+        ] );
+    ]

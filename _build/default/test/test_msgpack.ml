@@ -1,0 +1,141 @@
+(* Tests for Sv_msgpack: byte-exact encodings against the MessagePack
+   specification, decode errors, and round-trip properties. *)
+
+module M = Sv_msgpack.Msgpack
+
+let checkb = Alcotest.(check bool)
+let bytes_of l = String.init (List.length l) (fun i -> Char.chr (List.nth l i))
+let check_bytes name v expected =
+  Alcotest.(check string) name (bytes_of expected) (M.encode v)
+
+let test_spec_nil_bool () =
+  check_bytes "nil" M.Nil [ 0xC0 ];
+  check_bytes "false" (M.Bool false) [ 0xC2 ];
+  check_bytes "true" (M.Bool true) [ 0xC3 ]
+
+let test_spec_ints () =
+  check_bytes "positive fixint" (M.Int 7) [ 0x07 ];
+  check_bytes "max fixint" (M.Int 127) [ 0x7F ];
+  check_bytes "uint8" (M.Int 200) [ 0xCC; 200 ];
+  check_bytes "uint16" (M.Int 0x1234) [ 0xCD; 0x12; 0x34 ];
+  check_bytes "uint32" (M.Int 0x12345678) [ 0xCE; 0x12; 0x34; 0x56; 0x78 ];
+  check_bytes "negative fixint" (M.Int (-1)) [ 0xFF ];
+  check_bytes "negative fixint low" (M.Int (-32)) [ 0xE0 ];
+  check_bytes "int8" (M.Int (-100)) [ 0xD0; 0x9C ];
+  check_bytes "int16" (M.Int (-1000)) [ 0xD1; 0xFC; 0x18 ];
+  check_bytes "int32" (M.Int (-100000)) [ 0xD2; 0xFF; 0xFE; 0x79; 0x60 ]
+
+let test_spec_float () =
+  check_bytes "float64 1.0" (M.Float 1.0)
+    [ 0xCB; 0x3F; 0xF0; 0x00; 0x00; 0x00; 0x00; 0x00; 0x00 ]
+
+let test_spec_str () =
+  check_bytes "fixstr" (M.Str "abc") [ 0xA3; Char.code 'a'; Char.code 'b'; Char.code 'c' ];
+  let s40 = String.make 40 'x' in
+  checkb "str8 header" true
+    (String.length (M.encode (M.Str s40)) = 42
+    && (M.encode (M.Str s40)).[0] = '\xD9'
+    && Char.code (M.encode (M.Str s40)).[1] = 40)
+
+let test_spec_containers () =
+  check_bytes "fixarray" (M.Arr [ M.Int 1; M.Int 2 ]) [ 0x92; 0x01; 0x02 ];
+  check_bytes "fixmap" (M.Map [ (M.Str "a", M.Int 1) ])
+    [ 0x81; 0xA1; Char.code 'a'; 0x01 ];
+  check_bytes "bin8" (M.Bin "\x00\xff") [ 0xC4; 2; 0x00; 0xFF ]
+
+let test_decode_float32 () =
+  (* 1.5 as big-endian float32: 0x3FC00000 *)
+  let bytes = bytes_of [ 0xCA; 0x3F; 0xC0; 0x00; 0x00 ] in
+  checkb "float32 widens" true (M.decode bytes = M.Float 1.5)
+
+let test_decode_errors () =
+  let fails s =
+    match M.decode s with exception M.Decode_error _ -> true | _ -> false
+  in
+  checkb "empty" true (fails "");
+  checkb "truncated str" true (fails (bytes_of [ 0xA3; Char.code 'a' ]));
+  checkb "truncated u16" true (fails (bytes_of [ 0xCD; 0x01 ]));
+  checkb "trailing bytes" true (fails (bytes_of [ 0x01; 0x02 ]));
+  checkb "unsupported ext tag" true (fails (bytes_of [ 0xC7; 0x00; 0x00 ]))
+
+let test_decode_prefix () =
+  let buf = M.encode (M.Int 5) ^ M.encode (M.Str "x") in
+  let v1, p1 = M.decode_prefix buf 0 in
+  let v2, p2 = M.decode_prefix buf p1 in
+  checkb "first value" true (v1 = M.Int 5);
+  checkb "second value" true (v2 = M.Str "x");
+  checkb "consumed all" true (p2 = String.length buf)
+
+(* random message generator *)
+let gen_msg =
+  QCheck.Gen.(
+    sized_size (int_bound 4) (fix (fun self n ->
+        let scalar =
+          oneof
+            [
+              return M.Nil;
+              map (fun b -> M.Bool b) bool;
+              map (fun i -> M.Int i) (int_range (-1_000_000_000) 1_000_000_000);
+              map (fun f -> M.Float (Int64.float_of_bits (Int64.of_int f))) int;
+              map (fun s -> M.Str s) (string_size (int_bound 40));
+              map (fun s -> M.Bin s) (string_size (int_bound 40));
+            ]
+        in
+        if n = 0 then scalar
+        else
+          oneof
+            [
+              scalar;
+              map (fun xs -> M.Arr xs) (list_size (int_bound 5) (self (n - 1)));
+              map (fun kvs -> M.Map kvs)
+                (list_size (int_bound 4) (pair (self 0) (self (n - 1))));
+            ])))
+
+(* avoid NaN (NaN <> NaN breaks structural round-trip comparison) *)
+let no_nan v =
+  let rec go = function
+    | M.Float f -> not (Float.is_nan f)
+    | M.Arr xs -> List.for_all go xs
+    | M.Map kvs -> List.for_all (fun (k, v) -> go k && go v) kvs
+    | _ -> true
+  in
+  go v
+
+let arb_msg =
+  QCheck.make ~print:(fun v -> Format.asprintf "%a" M.pp v) gen_msg
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"encode/decode round-trip" ~count:1000 arb_msg (fun v ->
+      QCheck.assume (no_nan v);
+      M.equal v (M.decode (M.encode v)))
+
+let prop_int_roundtrip =
+  QCheck.Test.make ~name:"all int widths round-trip" ~count:1000
+    QCheck.(int_range min_int max_int)
+    (fun i -> M.decode (M.encode (M.Int i)) = M.Int i)
+
+let prop_encode_deterministic =
+  QCheck.Test.make ~name:"encoding is deterministic" ~count:300 arb_msg (fun v ->
+      M.encode v = M.encode v)
+
+let () =
+  Alcotest.run "msgpack"
+    [
+      ( "spec-bytes",
+        [
+          Alcotest.test_case "nil/bool" `Quick test_spec_nil_bool;
+          Alcotest.test_case "integers" `Quick test_spec_ints;
+          Alcotest.test_case "float64" `Quick test_spec_float;
+          Alcotest.test_case "strings" `Quick test_spec_str;
+          Alcotest.test_case "containers" `Quick test_spec_containers;
+          Alcotest.test_case "float32 decode" `Quick test_decode_float32;
+        ] );
+      ( "errors",
+        [
+          Alcotest.test_case "decode errors" `Quick test_decode_errors;
+          Alcotest.test_case "decode_prefix" `Quick test_decode_prefix;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_int_roundtrip; prop_encode_deterministic ] );
+    ]

@@ -1,0 +1,104 @@
+(* Tests for Sv_report: structural checks on the text renderers. *)
+
+module R = Sv_report.Report
+module C = Sv_cluster.Cluster
+module X = Sv_util.Xstring
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let contains hay needle =
+  let n = String.length needle and m = String.length hay in
+  let rec go i = i + n <= m && (String.sub hay i n = needle || go (i + 1)) in
+  go 0
+
+let test_table_alignment () =
+  let out =
+    R.table ~headers:[ "model"; "value" ]
+      ~rows:[ [ "serial"; "1" ]; [ "a-much-longer-name"; "23" ] ]
+  in
+  let widths = List.map X.display_width (X.lines out) in
+  checkb "all lines same width" true
+    (match widths with [] -> false | w :: rest -> List.for_all (( = ) w) rest);
+  checkb "contains cells" true (contains out "a-much-longer-name")
+
+let test_table_ragged_rows () =
+  let out = R.table ~headers:[ "a"; "b"; "c" ] ~rows:[ [ "x" ]; [ "1"; "2"; "3" ] ] in
+  checkb "short rows padded" true (contains out "x")
+
+let test_heatmap_values () =
+  let out =
+    R.heatmap ~row_labels:[ "r1" ] ~col_labels:[ "c1"; "c2" ] [| [| 0.0; 1.0 |] |]
+  in
+  checkb "low value" true (contains out "0.00");
+  checkb "high value" true (contains out "1.00");
+  checkb "high shade" true (contains out "█")
+
+let test_heatmap_nan () =
+  let out = R.heatmap ~row_labels:[ "r" ] ~col_labels:[ "c" ] [| [| Float.nan |] |] in
+  checkb "nan placeholder" true (contains out "--")
+
+let test_dendrogram_contains_labels () =
+  let d = C.Merge (C.Leaf 0, C.Merge (C.Leaf 1, C.Leaf 2, 0.5), 1.25) in
+  let out = R.dendrogram ~labels:[| "alpha"; "beta"; "gamma" |] d in
+  List.iter (fun l -> checkb l true (contains out l)) [ "alpha"; "beta"; "gamma" ];
+  checkb "heights shown" true (contains out "1.250");
+  checkb "junction glyph" true (contains out "┤")
+
+let test_bars () =
+  let out = R.bars [ ("full", 2.0); ("half", 1.0); ("zero", 0.0) ] in
+  checkb "labels present" true (contains out "half");
+  checkb "value shown" true (contains out "2.000");
+  let lines = X.lines out in
+  checki "three bars" 3 (List.length lines)
+
+let test_sparkline () =
+  let s = R.sparkline [ 0.0; 0.5; 1.0 ] in
+  checki "three glyphs" 3 (X.display_width s);
+  checkb "max block" true (contains s "█");
+  checkb "min block" true (contains s "▁")
+
+let test_scatter_bounds () =
+  let out =
+    R.scatter ~width:20 ~height:5 ~xlabel:"x" ~ylabel:"y"
+      [ (0.0, 0.0, 'A'); (1.0, 1.0, 'B'); (0.5, 0.5, 'C'); (2.0, -1.0, 'D') ]
+  in
+  List.iter (fun m -> checkb (String.make 1 m) true (contains out (String.make 1 m)))
+    [ 'A'; 'B'; 'C'; 'D' ];
+  checkb "axis labels" true (contains out "x" && contains out "y")
+
+let test_scatter_collision () =
+  let out =
+    R.scatter ~width:10 ~height:3 ~xlabel:"x" ~ylabel:"y"
+      [ (0.5, 0.5, 'F'); (0.5, 0.5, 'S') ]
+  in
+  checkb "first wins" true (contains out "F");
+  checkb "second dropped" false (contains out "S")
+
+let test_cascade_render () =
+  let series =
+    Sv_perf.Cascade.cascade ~app:Sv_perf.Pmodel.tealeaf
+      ~models:Sv_perf.Pmodel.all_parallel ~platforms:Sv_perf.Platform.all
+  in
+  let out = R.cascade series in
+  checkb "has header" true (contains out "Phi");
+  checkb "has model" true (contains out "Kokkos");
+  checkb "has platform order" true (contains out "H100")
+
+let () =
+  Alcotest.run "report"
+    [
+      ( "renderers",
+        [
+          Alcotest.test_case "table alignment" `Quick test_table_alignment;
+          Alcotest.test_case "table ragged rows" `Quick test_table_ragged_rows;
+          Alcotest.test_case "heatmap values" `Quick test_heatmap_values;
+          Alcotest.test_case "heatmap nan" `Quick test_heatmap_nan;
+          Alcotest.test_case "dendrogram" `Quick test_dendrogram_contains_labels;
+          Alcotest.test_case "bars" `Quick test_bars;
+          Alcotest.test_case "sparkline" `Quick test_sparkline;
+          Alcotest.test_case "scatter" `Quick test_scatter_bounds;
+          Alcotest.test_case "scatter collision" `Quick test_scatter_collision;
+          Alcotest.test_case "cascade" `Quick test_cascade_render;
+        ] );
+    ]

@@ -1,0 +1,84 @@
+(* Tests for Sv_svz: round-trips, compression effectiveness on repetitive
+   input, and corruption detection. *)
+
+module Svz = Sv_svz.Svz
+
+let checkb = Alcotest.(check bool)
+let checks = Alcotest.(check string)
+
+let test_empty () = checks "empty round-trip" "" (Svz.decompress (Svz.compress ""))
+
+let test_simple_roundtrip () =
+  let s = "the quick brown fox jumps over the lazy dog" in
+  checks "round-trip" s (Svz.decompress (Svz.compress s))
+
+let test_repetitive_compresses () =
+  let s = String.concat "" (List.init 200 (fun _ -> "load.f64 store.f64 gep ")) in
+  let c = Svz.compress s in
+  checkb "smaller than input" true (String.length c < String.length s / 4);
+  checks "still round-trips" s (Svz.decompress c)
+
+let test_overlapping_match () =
+  (* RLE-style overlapping back-reference: aaaa... *)
+  let s = String.make 500 'a' in
+  let c = Svz.compress s in
+  checkb "rle compresses" true (String.length c < 30);
+  checks "rle round-trips" s (Svz.decompress c)
+
+let test_binary_roundtrip () =
+  let s = String.init 256 Char.chr in
+  checks "all bytes" s (Svz.decompress (Svz.compress s))
+
+let test_corrupt_detection () =
+  let fails s =
+    match Svz.decompress s with exception Svz.Corrupt _ -> true | _ -> false
+  in
+  checkb "bad magic" true (fails "XXXX\x00");
+  checkb "empty input" true (fails "");
+  checkb "truncated" true
+    (let c = Svz.compress (String.make 100 'x') in
+     fails (String.sub c 0 (String.length c - 3)));
+  (* flip a length byte so the declared original length mismatches *)
+  let c = Bytes.of_string (Svz.compress "hello world hello world") in
+  Bytes.set c 4 '\x7F';
+  checkb "length mismatch" true (fails (Bytes.to_string c))
+
+let test_ratio () =
+  checkb "empty ratio is 1" true (Svz.ratio "" = 1.0);
+  checkb "repetitive ratio < 1" true (Svz.ratio (String.make 1000 'z') < 0.1)
+
+let arb_bytes = QCheck.string_of_size (QCheck.Gen.int_bound 2000)
+
+let prop_roundtrip =
+  QCheck.Test.make ~name:"compress/decompress identity" ~count:500 arb_bytes (fun s ->
+      Svz.decompress (Svz.compress s) = s)
+
+let prop_roundtrip_repetitive =
+  QCheck.Test.make ~name:"identity on repetitive inputs" ~count:200
+    QCheck.(pair (string_of_size (Gen.int_bound 30)) small_nat)
+    (fun (chunk, reps) ->
+      let s = String.concat "" (List.init (reps mod 50) (fun _ -> chunk)) in
+      Svz.decompress (Svz.compress s) = s)
+
+let prop_bounded_expansion =
+  QCheck.Test.make ~name:"worst-case expansion is bounded" ~count:300 arb_bytes (fun s ->
+      String.length (Svz.compress s)
+      <= String.length s + (String.length s / 64) + 32)
+
+let () =
+  Alcotest.run "svz"
+    [
+      ( "examples",
+        [
+          Alcotest.test_case "empty" `Quick test_empty;
+          Alcotest.test_case "simple" `Quick test_simple_roundtrip;
+          Alcotest.test_case "repetitive compresses" `Quick test_repetitive_compresses;
+          Alcotest.test_case "overlapping match" `Quick test_overlapping_match;
+          Alcotest.test_case "binary" `Quick test_binary_roundtrip;
+          Alcotest.test_case "corruption" `Quick test_corrupt_detection;
+          Alcotest.test_case "ratio" `Quick test_ratio;
+        ] );
+      ( "properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_roundtrip; prop_roundtrip_repetitive; prop_bounded_expansion ] );
+    ]

@@ -1,0 +1,227 @@
+(* Tests for Sv_tree: rose-tree operations, labels, and the TED
+   implementations (Zhang–Shasha vs brute-force oracle, metric
+   properties). *)
+
+module Tree = Sv_tree.Tree
+module Ted = Sv_tree.Ted
+module Label = Sv_tree.Label
+
+let leaf = Tree.leaf
+let node = Tree.node
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+(* a small deterministic example tree *)
+let t_example = node 1 [ node 2 [ leaf 4; leaf 5 ]; leaf 3 ]
+
+let test_size_depth () =
+  checki "size" 5 (Tree.size t_example);
+  checki "depth" 3 (Tree.depth t_example);
+  checki "leaf size" 1 (Tree.size (leaf 0));
+  checki "leaf depth" 1 (Tree.depth (leaf 0))
+
+let test_orders () =
+  Alcotest.(check (list int)) "preorder" [ 1; 2; 4; 5; 3 ] (Tree.preorder t_example);
+  Alcotest.(check (list int)) "postorder" [ 4; 5; 2; 3; 1 ] (Tree.postorder t_example);
+  Alcotest.(check (list int)) "leaves" [ 4; 5; 3 ] (Tree.leaves t_example)
+
+let test_map_fold () =
+  let doubled = Tree.map (fun x -> x * 2) t_example in
+  Alcotest.(check (list int)) "mapped" [ 2; 4; 8; 10; 6 ] (Tree.preorder doubled);
+  let sum = Tree.fold (fun x kids -> x + List.fold_left ( + ) 0 kids) t_example in
+  checki "fold sum" 15 sum
+
+let test_count_exists () =
+  checki "count evens" 2 (Tree.count (fun x -> x mod 2 = 0) t_example);
+  checkb "exists" true (Tree.exists (fun x -> x = 5) t_example);
+  checkb "not exists" false (Tree.exists (fun x -> x = 9) t_example)
+
+let test_filter_prune () =
+  (* dropping node 2 removes its whole subtree *)
+  match Tree.filter_prune (fun x -> x <> 2) t_example with
+  | Some t ->
+      Alcotest.(check (list int)) "subtree gone" [ 1; 3 ] (Tree.preorder t)
+  | None -> Alcotest.fail "root should survive"
+
+let test_filter_prune_root () =
+  checkb "root dropped" true (Tree.filter_prune (fun x -> x <> 1) t_example = None)
+
+let test_filter_splice () =
+  (* dropping node 2 splices 4 and 5 into the root *)
+  match Tree.filter_splice (fun x -> x <> 2) t_example with
+  | Some t -> Alcotest.(check (list int)) "spliced" [ 1; 4; 5; 3 ] (Tree.preorder t)
+  | None -> Alcotest.fail "root should survive"
+
+let test_equal_hash () =
+  let t2 = node 1 [ node 2 [ leaf 4; leaf 5 ]; leaf 3 ] in
+  checkb "equal" true (Tree.equal Int.equal t_example t2);
+  checki "hash equal" (Tree.hash Fun.id t_example) (Tree.hash Fun.id t2);
+  let t3 = node 1 [ leaf 3; node 2 [ leaf 4; leaf 5 ] ] in
+  checkb "order matters" false (Tree.equal Int.equal t_example t3)
+
+let test_flatten_forest () =
+  let f = Tree.flatten_forest 0 [ leaf 1; leaf 2 ] in
+  checki "forest size" 3 (Tree.size f)
+
+(* --- labels --- *)
+
+let test_label_equal_ignores_loc () =
+  let a = Label.v ~text:"x" ~loc:(Sv_util.Loc.make ~file:"f" ~line:1 ~col:0) "call" in
+  let b = Label.v ~text:"x" ~loc:(Sv_util.Loc.make ~file:"g" ~line:9 ~col:4) "call" in
+  checkb "loc ignored" true (Label.equal a b);
+  checki "hash agrees" (Label.hash a) (Label.hash b);
+  checkb "kind matters" false (Label.equal a (Label.v ~text:"x" "index"));
+  checkb "text matters" false (Label.equal a (Label.v ~text:"y" "call"))
+
+let test_label_spine () =
+  let t = node (Label.v "a") [ leaf (Label.v "b") ] in
+  Alcotest.(check (list string)) "spine" [ "a"; "b" ] (Label.spine t)
+
+(* --- TED --- *)
+
+let ted a b = Ted.distance ~eq:Int.equal a b
+
+let test_ted_identity () = checki "self distance" 0 (ted t_example t_example)
+
+let test_ted_leaf_relabel () = checki "relabel" 1 (ted (leaf 1) (leaf 2))
+
+let test_ted_insert_delete () =
+  checki "insert one" 1 (ted (leaf 1) (node 1 [ leaf 2 ]));
+  checki "delete one" 1 (ted (node 1 [ leaf 2 ]) (leaf 1))
+
+let test_ted_paper_figure () =
+  (* Fig. 1 of the paper: two small ASTs at distance five — one relabel
+     plus four inserted/deleted nodes. Modelled here with int labels. *)
+  let t1 = node 0 [ leaf 8; node 1 [ leaf 2; leaf 3 ]; leaf 4 ] in
+  let t2 = node 9 [ node 1 [ leaf 2; leaf 3; node 5 [ leaf 6 ] ]; leaf 4; leaf 7 ] in
+  checki "distance five" 5 (ted t1 t2)
+
+let test_ted_disjoint () =
+  (* no shared labels: cheapest edit is relabel-all plus size delta *)
+  let t1 = node 1 [ leaf 2 ] and t2 = node 3 [ leaf 4; leaf 5 ] in
+  checki "disjoint" 3 (ted t1 t2)
+
+(* random tree generator over a small label alphabet *)
+let gen_tree =
+  QCheck.Gen.(
+    sized_size (int_bound 12) (fix (fun self n ->
+        if n <= 0 then map Tree.leaf (int_bound 3)
+        else
+          map2 Tree.node (int_bound 3)
+            (list_size (int_bound 3) (self (n / 2))))))
+
+let arb_tree = QCheck.make ~print:(fun t ->
+    Format.asprintf "%a" (Tree.pp Format.pp_print_int) t)
+    gen_tree
+
+let prop_ted_vs_brute =
+  QCheck.Test.make ~name:"zhang-shasha agrees with brute force" ~count:200
+    (QCheck.pair arb_tree arb_tree)
+    (fun (a, b) -> ted a b = Ted.distance_brute ~eq:Int.equal a b)
+
+let prop_ted_int_agrees =
+  QCheck.Test.make ~name:"distance_int agrees with generic" ~count:200
+    (QCheck.pair arb_tree arb_tree)
+    (fun (a, b) -> Ted.distance_int a b = ted a b)
+
+let prop_ted_symmetric =
+  QCheck.Test.make ~name:"unit-cost TED is symmetric" ~count:200
+    (QCheck.pair arb_tree arb_tree)
+    (fun (a, b) -> ted a b = ted b a)
+
+let prop_ted_identity =
+  QCheck.Test.make ~name:"TED t t = 0" ~count:200 arb_tree (fun t -> ted t t = 0)
+
+let prop_ted_bounds =
+  QCheck.Test.make ~name:"TED bounded by sum of sizes" ~count:200
+    (QCheck.pair arb_tree arb_tree)
+    (fun (a, b) ->
+      let d = ted a b in
+      d >= 0
+      && d <= Tree.size a + Tree.size b
+      && d >= abs (Tree.size a - Tree.size b))
+
+let prop_ted_triangle =
+  QCheck.Test.make ~name:"TED triangle inequality" ~count:100
+    (QCheck.triple arb_tree arb_tree arb_tree)
+    (fun (a, b, c) -> ted a c <= ted a b + ted b c)
+
+let prop_ted_zero_iff_equal =
+  QCheck.Test.make ~name:"TED zero iff structurally equal" ~count:200
+    (QCheck.pair arb_tree arb_tree)
+    (fun (a, b) -> ted a b = 0 = Tree.equal Int.equal a b)
+
+let prop_prune_shrinks =
+  QCheck.Test.make ~name:"filter_prune never grows the tree" ~count:200 arb_tree
+    (fun t ->
+      match Tree.filter_prune (fun x -> x <> 1) t with
+      | None -> true
+      | Some t' -> Tree.size t' <= Tree.size t)
+
+let prop_splice_preserves_kept_labels =
+  QCheck.Test.make ~name:"filter_splice keeps exactly passing labels" ~count:200 arb_tree
+    (fun t ->
+      let keep x = x <> 2 in
+      match Tree.filter_splice keep t with
+      | None -> List.for_all (fun x -> not (keep x)) (Tree.preorder t)
+      | Some t' ->
+          List.sort compare (Tree.preorder t')
+          = List.sort compare (List.filter keep (Tree.preorder t)))
+
+let prop_size_is_preorder_length =
+  QCheck.Test.make ~name:"size equals preorder length" ~count:200 arb_tree (fun t ->
+      Tree.size t = List.length (Tree.preorder t))
+
+let prop_custom_costs_scale =
+  QCheck.Test.make ~name:"doubled costs double the distance" ~count:100
+    (QCheck.pair arb_tree arb_tree)
+    (fun (a, b) ->
+      let costs =
+        {
+          Ted.delete = (fun _ -> 2);
+          insert = (fun _ -> 2);
+          relabel = (fun x y -> if x = y then 0 else 2);
+        }
+      in
+      Ted.distance ~costs ~eq:Int.equal a b = 2 * ted a b)
+
+let () =
+  Alcotest.run "tree"
+    [
+      ( "tree-ops",
+        [
+          Alcotest.test_case "size/depth" `Quick test_size_depth;
+          Alcotest.test_case "traversal orders" `Quick test_orders;
+          Alcotest.test_case "map/fold" `Quick test_map_fold;
+          Alcotest.test_case "count/exists" `Quick test_count_exists;
+          Alcotest.test_case "filter_prune" `Quick test_filter_prune;
+          Alcotest.test_case "filter_prune root" `Quick test_filter_prune_root;
+          Alcotest.test_case "filter_splice" `Quick test_filter_splice;
+          Alcotest.test_case "equal/hash" `Quick test_equal_hash;
+          Alcotest.test_case "flatten_forest" `Quick test_flatten_forest;
+        ] );
+      ( "labels",
+        [
+          Alcotest.test_case "equality ignores loc" `Quick test_label_equal_ignores_loc;
+          Alcotest.test_case "spine" `Quick test_label_spine;
+        ] );
+      ( "ted-examples",
+        [
+          Alcotest.test_case "identity" `Quick test_ted_identity;
+          Alcotest.test_case "leaf relabel" `Quick test_ted_leaf_relabel;
+          Alcotest.test_case "insert/delete" `Quick test_ted_insert_delete;
+          Alcotest.test_case "paper figure 1" `Quick test_ted_paper_figure;
+          Alcotest.test_case "disjoint labels" `Quick test_ted_disjoint;
+        ] );
+      ( "ted-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [
+            prop_ted_vs_brute; prop_ted_int_agrees; prop_ted_symmetric;
+            prop_ted_identity; prop_ted_bounds; prop_ted_triangle;
+            prop_ted_zero_iff_equal; prop_custom_costs_scale;
+          ] );
+      ( "tree-properties",
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_prune_shrinks; prop_splice_preserves_kept_labels;
+            prop_size_is_preorder_length ] );
+    ]
