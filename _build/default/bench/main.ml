@@ -12,6 +12,7 @@ module Tbmd = Sv_core.Tbmd
 module Report = Sv_report.Report
 module Pmodel = Sv_perf.Pmodel
 module Platform = Sv_perf.Platform
+module Cluster = Sv_cluster.Cluster
 
 let section title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
@@ -333,6 +334,49 @@ let db () =
 (* kernel timings (bechamel)                                           *)
 (* ------------------------------------------------------------------ *)
 
+(* The engine tentpole: one full divergence matrix, timed serial, then
+   fanned over the worker pool, then against a cold and a warm
+   persistent TED cache — with a cross-check that every configuration
+   produces the identical matrix. *)
+let ted_engine () =
+  section "TED engine: serial vs parallel vs cached (BabelStream, T_sem)";
+  let ixs = Lazy.force babelstream in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let run ~jobs ~cache () =
+    (* each configuration must recompute from scratch (modulo the TED
+       cache under test), so the in-process memo is dropped every time *)
+    Tbmd.clear_memo ();
+    Tbmd.set_jobs jobs;
+    Tbmd.set_ted_cache cache;
+    Fun.protect
+      ~finally:(fun () ->
+        Tbmd.set_jobs 1;
+        Tbmd.set_ted_cache None)
+      (fun () -> Tbmd.matrix Tbmd.TSem ixs)
+  in
+  let serial_m, t_serial = wall (run ~jobs:1 ~cache:None) in
+  let jobs = Sv_sched.Sched.default_jobs () in
+  let par_m, t_par = wall (run ~jobs ~cache:None) in
+  let cache = Sv_db.Codebase_db.Ted_cache.create () in
+  let cold_m, t_cold = wall (run ~jobs:1 ~cache:(Some cache)) in
+  let warm_m, t_warm = wall (run ~jobs:1 ~cache:(Some cache)) in
+  let same (a : Cluster.matrix) (b : Cluster.matrix) = a.Cluster.data = b.Cluster.data in
+  Printf.printf "  %-24s %9.3fs\n" "serial (1 worker)" t_serial;
+  Printf.printf "  %-24s %9.3fs  (%d workers, %.2fx)\n" "parallel" t_par jobs
+    (t_serial /. Float.max 1e-9 t_par);
+  Printf.printf "  %-24s %9.3fs\n" "cold TED cache" t_cold;
+  Printf.printf "  %-24s %9.3fs  (%.2fx vs serial; %s)\n" "warm TED cache" t_warm
+    (t_serial /. Float.max 1e-9 t_warm)
+    (Sv_db.Codebase_db.Ted_cache.stats cache);
+  Printf.printf "  matrices identical across configurations: %s\n"
+    (if same serial_m par_m && same serial_m cold_m && same serial_m warm_m
+     then "OK"
+     else "MISMATCH")
+
 let kernels () =
   section "Kernel timings (Bechamel)";
   let open Bechamel in
@@ -373,7 +417,9 @@ let kernels () =
           | Some [ est ] -> Printf.printf "  %-36s %12.0f ns/run\n" name est
           | _ -> Printf.printf "  %-36s (no estimate)\n" name)
         results)
-    tests
+    tests;
+  (* wall-clock engine comparison rides along with the kernel timings *)
+  ted_engine ()
 
 (* ------------------------------------------------------------------ *)
 (* ablations (design choices called out in DESIGN.md / the paper)      *)
@@ -503,6 +549,7 @@ let experiments =
     ("ablation-match", ablation_match); ("ablation-weights", ablation_weights);
     ("ablation-linkage", ablation_linkage); ("structure", structure);
     ("extension-raja", extension_raja);
+    ("ted-engine", ted_engine);
     ("kernels", kernels);
   ]
 

@@ -77,6 +77,49 @@ let metric_arg =
   Arg.(value & opt string "t_sem" & info [ "metric"; "m" ] ~docv:"METRIC"
          ~doc:"Metric: sloc, lloc, source, t_src, t_sem, t_sem+i, t_ir.")
 
+let jobs_arg =
+  Arg.(value & opt int 1 & info [ "jobs"; "j" ] ~docv:"N"
+         ~doc:"Worker processes for pairwise divergence jobs (0 = one per \
+               core, 1 = serial in-process).")
+
+let ted_cache_arg =
+  Arg.(value & opt (some string) None & info [ "ted-cache" ] ~docv:"FILE"
+         ~doc:"Persistent TED memo cache file. Loaded before the run (a \
+               missing file is a cold start) and saved back after, so \
+               re-runs over unchanged units skip the tree-edit-distance \
+               DP entirely.")
+
+(* Configure the divergence engine around [f]: resolve the worker count,
+   load/install the persistent TED cache, and on the way out save the
+   cache and reset the engine so one subcommand cannot leak state into a
+   later library use of Tbmd. *)
+let with_engine ~jobs ~ted_cache f =
+  Tbmd.set_jobs (if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs);
+  (match ted_cache with
+  | Some path ->
+      Tbmd.set_ted_cache (Some (Sv_db.Codebase_db.Ted_cache.load_file path))
+  | None -> ());
+  let finish () =
+    (match (ted_cache, Tbmd.ted_cache ()) with
+    | Some path, Some c -> (
+        match Sv_db.Codebase_db.Ted_cache.save_file path c with
+        | () ->
+            Printf.printf "%s (saved to %s)\n"
+              (Sv_db.Codebase_db.Ted_cache.stats c) path
+        | exception Sys_error msg ->
+            Printf.eprintf "sv: warning: ted-cache not saved: %s\n" msg)
+    | _ -> ());
+    Tbmd.set_ted_cache None;
+    Tbmd.set_jobs 1
+  in
+  match f () with
+  | r ->
+      finish ();
+      r
+  | exception e ->
+      finish ();
+      raise e
+
 (* --- commands --- *)
 
 let models_cmd =
@@ -203,10 +246,11 @@ let inspect_cmd =
     Term.(ret (const run $ path))
 
 let compare_cmd =
-  let run app base target =
+  let run app base target jobs ted_cache =
     with_app app (fun cbs ->
         match (find_codebase ~app cbs base, find_codebase ~app cbs target) with
         | Some b, Some t ->
+            with_engine ~jobs ~ted_cache @@ fun () ->
             let bix = Pipeline.index b and tix = Pipeline.index t in
             let rows =
               List.map
@@ -232,14 +276,16 @@ let compare_cmd =
       ret
         (const run $ app_arg
         $ model_arg [ "base"; "b" ] "Base model id (the port's origin)."
-        $ model_arg [ "target"; "t" ] "Target model id."))
+        $ model_arg [ "target"; "t" ] "Target model id."
+        $ jobs_arg $ ted_cache_arg))
 
 let cluster_cmd =
-  let run app metric =
+  let run app metric jobs ted_cache =
     match Tbmd.metric_of_string metric with
     | None -> fail "unknown metric %S" metric
     | Some m ->
         with_app app (fun cbs ->
+            with_engine ~jobs ~ted_cache @@ fun () ->
             let ixs = List.map Pipeline.index cbs in
             let matrix, dendro = Tbmd.dendrogram m ixs in
             print_string
@@ -253,7 +299,7 @@ let cluster_cmd =
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Pairwise divergence matrix and dendrogram for every model of an app.")
-    Term.(ret (const run $ app_arg $ metric_arg))
+    Term.(ret (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg))
 
 let phi_cmd =
   let run app =

@@ -1,1 +1,1 @@
-lib/core/pipeline.ml: List Option Printf String Sv_corpus Sv_db Sv_interp Sv_ir Sv_lang_c Sv_lang_f Sv_metrics Sv_tree Sv_util
+lib/core/pipeline.ml: Hashtbl List Option Printf String Sv_corpus Sv_db Sv_interp Sv_ir Sv_lang_c Sv_lang_f Sv_metrics Sv_tree Sv_util

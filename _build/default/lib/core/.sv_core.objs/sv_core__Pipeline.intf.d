@@ -1,1 +1,1 @@
-lib/core/pipeline.mli: Sv_corpus Sv_db Sv_tree Sv_util
+lib/core/pipeline.mli: Hashtbl Sv_corpus Sv_db Sv_tree Sv_util

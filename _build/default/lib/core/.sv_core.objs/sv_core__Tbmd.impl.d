@@ -1,1 +1,1 @@
-lib/core/tbmd.ml: Array Hashtbl List Pipeline Printf String Sv_cluster Sv_metrics Sv_tree
+lib/core/tbmd.ml: Array Hashtbl List Pipeline Printf String Sv_cluster Sv_db Sv_metrics Sv_msgpack Sv_sched Sv_tree

@@ -1,1 +1,1 @@
-lib/core/tbmd.mli: Pipeline Sv_cluster
+lib/core/tbmd.mli: Pipeline Sv_cluster Sv_db

@@ -30,6 +30,7 @@ type indexed = {
   ix_units : unit_info list;
   ix_coverage : Coverage.t option;
   ix_verification : verification option;
+  ix_mask_memo : (string, Label.tree) Hashtbl.t;
 }
 
 (* Prune every node located in a system header (§III-C: "those can simply
@@ -230,7 +231,15 @@ let index ?(run = true) (cb : Emit.codebase) =
     ix_units = units;
     ix_coverage = coverage;
     ix_verification = verification;
+    ix_mask_memo = Hashtbl.create 32;
   }
+
+let metric_tag = function
+  | `TSrc -> "t_src"
+  | `TSrcPP -> "t_src_pp"
+  | `TSem -> "t_sem"
+  | `TSemI -> "t_sem_i"
+  | `TIr -> "t_ir"
 
 let unit_tree ~metric ~coverage ix u =
   let base =
@@ -244,7 +253,17 @@ let unit_tree ~metric ~coverage ix u =
   if not coverage then base
   else
     match ix.ix_coverage with
-    | Some cov -> Sv_metrics.Divergence.mask_tree cov base
+    | Some cov -> (
+        (* Every +cov comparison used to re-prune the tree per pair; the
+           mask depends only on (unit, metric), so memoise it on the
+           codebase. Unit files are unique within one codebase. *)
+        let key = u.u_file ^ "#" ^ metric_tag metric in
+        match Hashtbl.find_opt ix.ix_mask_memo key with
+        | Some t -> t
+        | None ->
+            let t = Sv_metrics.Divergence.mask_tree cov base in
+            Hashtbl.add ix.ix_mask_memo key t;
+            t)
     | None -> base
 
 let to_db ix =

@@ -48,6 +48,10 @@ type indexed = {
   ix_units : unit_info list;
   ix_coverage : Sv_util.Coverage.t option;
   ix_verification : verification option;
+  ix_mask_memo : (string, Sv_tree.Label.tree) Hashtbl.t;
+      (** per-codebase memo of coverage-masked trees, keyed by
+          ["<unit file>#<metric tag>"] — masking is pure in (unit,
+          metric), so it is computed once instead of once per pair *)
 }
 
 val index : ?run:bool -> Sv_corpus.Emit.codebase -> indexed

@@ -1,5 +1,8 @@
 module Tree = Sv_tree.Tree
 module Div = Sv_metrics.Divergence
+module Db = Sv_db.Codebase_db
+module M = Sv_msgpack.Msgpack
+module Sched = Sv_sched.Sched
 
 type metric = SLOC | LLOC | Source | TSrc | TSem | TSemI | TIr
 type variant = Base | PP | Cov
@@ -81,6 +84,7 @@ let absolute metric ix =
    both codebases, so re-indexing the same corpus hits while modified
    codebases with recycled ids miss. *)
 let cache : (string, int * int) Hashtbl.t = Hashtbl.create 512
+let clear_memo () = Hashtbl.reset cache
 
 let fingerprint c =
   List.fold_left
@@ -89,12 +93,39 @@ let fingerprint c =
     (Hashtbl.hash (c.ix_app, c.ix_model))
     c.ix_units
 
+let memo_key ~variant metric c1 c2 =
+  Printf.sprintf "%s|%s|%s/%s#%d|%s/%s#%d" (metric_label metric)
+    (variant_label variant) c1.ix_app c1.ix_model (fingerprint c1) c2.ix_app
+    c2.ix_model (fingerprint c2)
+
+(* --- engine configuration ------------------------------------------- *)
+
+(* [matrix] fans its pairwise jobs over this many forked workers; 1 (the
+   default) keeps everything in-process. *)
+let engine_jobs = ref 1
+let set_jobs j = engine_jobs := max 1 j
+let jobs () = !engine_jobs
+
+(* When set, every pairwise TED first consults the persistent
+   digest-keyed cache and records what it had to compute. *)
+let engine_cache : Db.Ted_cache.cache option ref = ref None
+let set_ted_cache c = engine_cache := c
+let ted_cache () = !engine_cache
+
+let ted_distance t1 t2 =
+  match !engine_cache with
+  | None -> Div.tree_distance t1 t2
+  | Some c -> (
+      let da = Db.Ted_cache.digest t1 and db = Db.Ted_cache.digest t2 in
+      match Db.Ted_cache.find c da db with
+      | Some d -> d
+      | None ->
+          let d = Div.tree_distance t1 t2 in
+          Db.Ted_cache.add c da db d;
+          d)
+
 let rec raw_divergence ?(variant = Base) metric c1 c2 =
-  let key =
-    Printf.sprintf "%s|%s|%s/%s#%d|%s/%s#%d" (metric_label metric)
-      (variant_label variant) c1.ix_app c1.ix_model (fingerprint c1) c2.ix_app
-      c2.ix_model (fingerprint c2)
-  in
+  let key = memo_key ~variant metric c1 c2 in
   match Hashtbl.find_opt cache key with
   | Some r -> r
   | None ->
@@ -129,7 +160,7 @@ and raw_divergence_uncached ?(variant = Base) metric c1 c2 =
           | Some u1, Some u2 ->
               let t1 = tree_of metric variant c1 u1 in
               let t2 = tree_of metric variant c2 u2 in
-              (d + Div.tree_distance t1 t2, dmax + Div.dmax_tree t2)
+              (d + ted_distance t1 t2, dmax + Div.dmax_tree t2)
           | Some u1, None -> (d + Tree.size (tree_of metric variant c1 u1), dmax)
           | None, Some u2 ->
               let n = Tree.size (tree_of metric variant c2 u2) in
@@ -153,6 +184,29 @@ let target_size ?(variant = Base) metric c =
         (fun acc u -> acc + Div.dmax_tree (tree_of metric variant c u))
         0 c.ix_units
 
+(* Pipe codec for one pairwise result: the raw (d, dmax) pair plus the
+   TED cache entries the worker had to compute, so warm-cache state built
+   in children flows back to the parent. *)
+let pair_result_to_msgpack (dij, dmaxij, adds) =
+  M.Arr
+    [
+      M.Int dij;
+      M.Int dmaxij;
+      M.Arr (List.map (fun (a, b, dd) -> M.Arr [ M.Bin a; M.Bin b; M.Int dd ]) adds);
+    ]
+
+let pair_result_of_msgpack = function
+  | M.Arr [ M.Int dij; M.Int dmaxij; M.Arr adds ] ->
+      let adds =
+        List.map
+          (function
+            | M.Arr [ M.Bin a; M.Bin b; M.Int dd ] -> (a, b, dd)
+            | _ -> failwith "Tbmd: malformed cache addition")
+          adds
+      in
+      (dij, dmaxij, adds)
+  | _ -> failwith "Tbmd: malformed pair result"
+
 let matrix ?(variant = Base) metric codebases =
   (* every raw distance (TED, O(NP), |ΔSLOC|) is symmetric; only dmax is
      directional, so each unordered pair is computed once *)
@@ -161,13 +215,57 @@ let matrix ?(variant = Base) metric codebases =
   let labels = Array.map (fun c -> c.ix_model_name) arr in
   let dmax = Array.map (fun c -> target_size ~variant metric c) arr in
   let d = Array.make_matrix n n 0 in
+  let pairs =
+    Array.init (n * (n - 1) / 2) (fun _ -> (0, 0))
+  in
+  let idx = ref 0 in
   for i = 0 to n - 1 do
     for j = i + 1 to n - 1 do
-      let dij, _ = raw_divergence ~variant metric arr.(i) arr.(j) in
-      d.(i).(j) <- dij;
-      d.(j).(i) <- dij
+      pairs.(!idx) <- (i, j);
+      incr idx
     done
   done;
+  let jobs = !engine_jobs in
+  if jobs <= 1 || Array.length pairs < 2 then
+    Array.iter
+      (fun (i, j) ->
+        let dij, _ = raw_divergence ~variant metric arr.(i) arr.(j) in
+        d.(i).(j) <- dij;
+        d.(j).(i) <- dij)
+      pairs
+  else begin
+    (* Entries journalled before the fan-out belong to the parent; drop
+       them from the journal (they are already in the table) so the first
+       task of each worker ships only what it computed itself. *)
+    (match !engine_cache with
+    | Some c -> ignore (Db.Ted_cache.drain_additions c)
+    | None -> ());
+    let f (i, j) =
+      let dij, dmaxij = raw_divergence ~variant metric arr.(i) arr.(j) in
+      let adds =
+        match !engine_cache with
+        | Some c -> Db.Ted_cache.drain_additions c
+        | None -> []
+      in
+      (dij, dmaxij, adds)
+    in
+    let results =
+      Sched.map ~jobs ~encode:pair_result_to_msgpack
+        ~decode:pair_result_of_msgpack ~f pairs
+    in
+    (* Reassembly in pair order keeps everything deterministic: the
+       matrix trivially, but also the memo and cache contents. *)
+    Array.iteri
+      (fun k (dij, dmaxij, adds) ->
+        let i, j = pairs.(k) in
+        d.(i).(j) <- dij;
+        d.(j).(i) <- dij;
+        Hashtbl.replace cache (memo_key ~variant metric arr.(i) arr.(j)) (dij, dmaxij);
+        match !engine_cache with
+        | Some c -> Db.Ted_cache.merge c adds
+        | None -> ())
+      results
+  end;
   Sv_cluster.Cluster.of_fn labels (fun i j ->
       if i = j then 0.0 else Div.normalised ~d:d.(i).(j) ~dmax:dmax.(j))
 

@@ -33,6 +33,33 @@ val variant_label : variant -> string
 val metric_of_string : string -> metric option
 (** Parse a CLI spelling (["sloc"], ["t_sem"], ["t_sem+i"], ...). *)
 
+(** {2 Engine configuration}
+
+    [matrix] computes each unordered codebase pair once. With
+    [set_jobs n], n ≥ 2, those pairwise jobs fan out over a forked
+    worker pool ({!Sv_sched.Sched}) with deterministic reassembly — the
+    matrix is identical to a serial run. With a persistent TED cache
+    installed ([set_ted_cache]), every pairwise tree comparison first
+    consults the digest-keyed table; entries computed inside workers are
+    shipped back and merged, so the parent's cache warms up even in
+    parallel runs. *)
+
+val set_jobs : int -> unit
+(** Worker processes used by {!matrix} (clamped to ≥ 1; default 1 =
+    serial, in-process). *)
+
+val jobs : unit -> int
+
+val set_ted_cache : Sv_db.Codebase_db.Ted_cache.cache option -> unit
+(** Install (or remove, with [None]) the persistent TED memo consulted
+    by every pairwise tree comparison. *)
+
+val ted_cache : unit -> Sv_db.Codebase_db.Ted_cache.cache option
+
+val clear_memo : unit -> unit
+(** Drop the in-process divergence memo — for benchmarks and tests that
+    must measure or observe cold recomputation. *)
+
 val absolute : metric -> Pipeline.indexed -> int option
 (** [absolute m ix] is the codebase-level value for absolute metrics
     (Eq. 2–3); [None] for relative metrics. *)

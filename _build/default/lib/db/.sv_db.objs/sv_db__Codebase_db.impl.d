@@ -1,1 +1,1 @@
-lib/db/codebase_db.ml: List Printf Result String Sv_msgpack Sv_svz Sv_tree Sv_util
+lib/db/codebase_db.ml: Digest Fun Hashtbl List Printf Result String Sv_msgpack Sv_svz Sv_tree Sv_util Sys

@@ -39,3 +39,56 @@ val tree_of_msgpack : Sv_msgpack.Msgpack.t -> (Sv_tree.Label.tree, string) Resul
 val stats : t -> string
 (** One-line summary: unit count, total tree nodes, compressed and
     uncompressed artifact sizes and ratio. *)
+
+(** Persistent memo table for pairwise TED results.
+
+    Keys are the two trees' structural digests (MD5 of the msgpack tree
+    encoding with locations stripped, matching {!Sv_tree.Label.equal}'s
+    blindness to locations), ordered so the symmetric distance is stored
+    once. The on-disk format is an SVZ-compressed msgpack map
+    [{schema; ted: \[\[digest₁; digest₂; d\]; ...\]}] with entries
+    sorted by key, so identical contents serialise to identical bytes. *)
+module Ted_cache : sig
+  type cache
+
+  val create : unit -> cache
+  (** Empty cache with zeroed hit/miss counters. *)
+
+  val digest : Sv_tree.Label.tree -> string
+  (** Structural digest of a tree (16 raw MD5 bytes). Location-blind:
+      trees equal under {!Sv_tree.Label.equal} share a digest. *)
+
+  val find : cache -> string -> string -> int option
+  (** [find c da db] looks up the distance for a digest pair, in either
+      order, bumping the hit/miss counters. *)
+
+  val add : cache -> string -> string -> int -> unit
+  (** Record a computed distance. New entries are also appended to the
+      additions journal (see {!drain_additions}). *)
+
+  val merge : cache -> (string * string * int) list -> unit
+  (** Fold entries from another process into the table {e without}
+      journalling them — how the parent absorbs worker additions. *)
+
+  val drain_additions : cache -> (string * string * int) list
+  (** Entries added since the last drain, oldest first, clearing the
+      journal — what a forked worker ships back with its results. *)
+
+  val size : cache -> int
+  val hits : cache -> int
+  val misses : cache -> int
+
+  val save : cache -> string
+  (** Compressed artifact bytes (deterministic for given contents). *)
+
+  val load : string -> (cache, string) Result.t
+  (** Decode an artifact produced by {!save}. *)
+
+  val save_file : string -> cache -> unit
+  val load_file : string -> cache
+  (** [load_file path] reads a cache file; a missing or corrupt file
+      yields an empty cache (a cold start, never an error). *)
+
+  val stats : cache -> string
+  (** One-line entry/hit/miss summary. *)
+end

@@ -7,7 +7,7 @@ let source_distance a b =
 (* TED spends its time in label comparisons; intern (kind, text) pairs to
    ints so the inner loop compares words. The interning table is local to
    one comparison, which keeps the function reentrant. *)
-let tree_distance t1 t2 =
+let interned t1 t2 =
   let table : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
   let intern (l : Label.t) =
     let key = (l.Label.kind, l.Label.text) in
@@ -18,7 +18,15 @@ let tree_distance t1 t2 =
         Hashtbl.add table key i;
         i
   in
-  Sv_tree.Ted.distance_int (Tree.map intern t1) (Tree.map intern t2)
+  (Tree.map intern t1, Tree.map intern t2)
+
+let tree_distance t1 t2 =
+  let i1, i2 = interned t1 t2 in
+  Sv_tree.Ted.distance_int i1 i2
+
+let tree_distance_bounded ~cutoff t1 t2 =
+  let i1, i2 = interned t1 t2 in
+  Sv_tree.Ted.distance_bounded_int ~cutoff i1 i2
 
 let tree_distance_matched t1 t2 =
   let root_cost = if Label.equal (Tree.label t1) (Tree.label t2) then 0 else 1 in

@@ -15,6 +15,14 @@ val tree_distance : Sv_tree.Label.tree -> Sv_tree.Label.tree -> int
 (** Unit-cost TED with the paper's label equality ({!Sv_tree.Label.equal}:
     kind and retained text; locations ignored). *)
 
+val tree_distance_bounded :
+  cutoff:int -> Sv_tree.Label.tree -> Sv_tree.Label.tree -> int option
+(** [tree_distance_bounded ~cutoff t1 t2] is [Some d] iff
+    [tree_distance t1 t2 = d <= cutoff]. Uses the histogram lower-bound
+    prefilter and in-DP early exit of {!Sv_tree.Ted.distance_bounded_int},
+    so rejections are far cheaper than a full TED — the clustering
+    fast path when only "within threshold?" matters. *)
+
 val tree_distance_matched : Sv_tree.Label.tree -> Sv_tree.Label.tree -> int
 (** [tree_distance_matched t1 t2] approximates {!tree_distance} by the
     paper's [match] acceleration (§III-C) pushed one level down: the

@@ -1,1 +1,1 @@
-lib/msgpack/msgpack.mli: Format
+lib/msgpack/msgpack.mli: Buffer Format

@@ -77,6 +77,8 @@ let rec encode_value b v =
           encode_value b v)
         kvs
 
+let encode_to b v = encode_value b v
+
 let encode v =
   let b = Buffer.create 256 in
   encode_value b v;

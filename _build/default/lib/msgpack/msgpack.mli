@@ -25,6 +25,11 @@ val encode : t -> string
 (** [encode v] is the canonical MessagePack byte serialisation of [v]:
     integers and length prefixes use the smallest representation. *)
 
+val encode_to : Buffer.t -> t -> unit
+(** [encode_to b v] appends the encoding of [v] to [b] — lets callers
+    frame several values into one buffer (the scheduler's pipe protocol,
+    the Codebase DB writer) without intermediate strings. *)
+
 val decode : string -> t
 (** [decode s] parses exactly one value occupying the whole string.
     Raises {!Decode_error} on malformed or trailing input. *)

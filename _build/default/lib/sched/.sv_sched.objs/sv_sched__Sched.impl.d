@@ -1,0 +1,1 @@
+lib/sched/sched.ml: Array Bytes Char Domain List Printexc Printf String Sv_msgpack Sys Unix

@@ -1,0 +1,216 @@
+module M = Sv_msgpack.Msgpack
+
+let default_jobs () =
+  match Sys.getenv_opt "SV_JOBS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some j when j >= 1 -> j
+      | _ -> Domain.recommended_domain_count ())
+  | None -> Domain.recommended_domain_count ()
+
+(* --- pipe framing --------------------------------------------------- *)
+
+(* Each frame is a 4-byte big-endian length followed by one msgpack
+   value. Writes under PIPE_BUF would be atomic anyway, but both ends
+   loop regardless so oversized results (a full divergence row) are
+   carried correctly. *)
+
+let rec write_all fd b off len =
+  if len > 0 then
+    let n = Unix.write fd b off len in
+    write_all fd b (off + n) (len - n)
+
+let write_frame fd payload =
+  let len = String.length payload in
+  let b = Bytes.create (4 + len) in
+  Bytes.set b 0 (Char.chr ((len lsr 24) land 0xFF));
+  Bytes.set b 1 (Char.chr ((len lsr 16) land 0xFF));
+  Bytes.set b 2 (Char.chr ((len lsr 8) land 0xFF));
+  Bytes.set b 3 (Char.chr (len land 0xFF));
+  Bytes.blit_string payload 0 b 4 len;
+  write_all fd b 0 (4 + len)
+
+let read_exact fd n =
+  let b = Bytes.create n in
+  let rec go off =
+    if off < n then begin
+      let k = Unix.read fd b off (n - off) in
+      if k = 0 then raise End_of_file;
+      go (off + k)
+    end
+  in
+  go 0;
+  b
+
+let read_frame fd =
+  let hdr = read_exact fd 4 in
+  let len =
+    (Char.code (Bytes.get hdr 0) lsl 24)
+    lor (Char.code (Bytes.get hdr 1) lsl 16)
+    lor (Char.code (Bytes.get hdr 2) lsl 8)
+    lor Char.code (Bytes.get hdr 3)
+  in
+  Bytes.unsafe_to_string (read_exact fd len)
+
+(* --- workers -------------------------------------------------------- *)
+
+type worker = {
+  pid : int;
+  job_w : Unix.file_descr;
+  res_r : Unix.file_descr;
+  mutable busy : bool;
+  mutable open_ : bool;  (** job_w still open (more tasks may be sent) *)
+}
+
+(* Child side: pull task indices until the job pipe closes, push framed
+   results. Exits with [Unix._exit] so the parent's buffered channels and
+   at_exit hooks (alcotest's reporter, bench writers) never run twice. *)
+let worker_loop ~encode ~f (tasks : _ array) job_r res_w =
+  (try
+     let rec loop () =
+       match read_frame job_r with
+       | exception End_of_file -> ()
+       | frame ->
+           let idx = match M.decode frame with M.Int i -> i | _ -> raise Exit in
+           let reply =
+             match encode (f tasks.(idx)) with
+             | payload -> M.Arr [ M.Int idx; M.Bool true; payload ]
+             | exception e ->
+                 M.Arr [ M.Int idx; M.Bool false; M.Str (Printexc.to_string e) ]
+           in
+           write_frame res_w (M.encode reply);
+           loop ()
+     in
+     loop ()
+   with _ -> ());
+  Unix._exit 0
+
+let close_quiet fd = try Unix.close fd with Unix.Unix_error _ -> ()
+
+let spawn ~encode ~f tasks jobs =
+  (* All pipes exist before the first fork, so every child can close the
+     descriptors belonging to its siblings; a stray inherited write end
+     would keep a result pipe from ever signalling EOF. Closes must be
+     tolerant: the parent already closed the child-side ends of earlier
+     workers, so a later child inherits some of these fds closed (no fd
+     is created between the pipes and the forks, so numbers never get
+     reused for something else). *)
+  let pipes = Array.init jobs (fun _ -> (Unix.pipe (), Unix.pipe ())) in
+  Array.mapi
+    (fun w ((job_r, job_w), (res_r, res_w)) ->
+      match Unix.fork () with
+      | 0 ->
+          Array.iteri
+            (fun w' ((jr, jw), (rr, rw)) ->
+              if w' <> w then begin
+                close_quiet jr;
+                close_quiet rw
+              end;
+              close_quiet jw;
+              close_quiet rr)
+            pipes;
+          worker_loop ~encode ~f tasks job_r res_w
+      | pid ->
+          Unix.close job_r;
+          Unix.close res_w;
+          { pid; job_w; res_r; busy = false; open_ = true })
+    pipes
+
+let close_jobs w =
+  if w.open_ then begin
+    w.open_ <- false;
+    try Unix.close w.job_w with Unix.Unix_error _ -> ()
+  end
+
+let reap workers =
+  Array.iter
+    (fun w ->
+      close_jobs w;
+      (try Unix.close w.res_r with Unix.Unix_error _ -> ());
+      try ignore (Unix.waitpid [] w.pid) with Unix.Unix_error _ -> ())
+    workers
+
+(* --- parent scheduler ----------------------------------------------- *)
+
+let map ?jobs ~encode ~decode ~f tasks =
+  let n = Array.length tasks in
+  let jobs =
+    match jobs with Some j -> max 1 j | None -> default_jobs ()
+  in
+  let jobs = min jobs n in
+  if jobs <= 1 then Array.map f tasks
+  else begin
+    let previous_sigpipe =
+      (* a worker that died mid-batch must surface as Failure, not kill
+         the parent on the next dispatch write *)
+      try Some (Sys.signal Sys.sigpipe Sys.Signal_ignore)
+      with Invalid_argument _ -> None
+    in
+    let restore_sigpipe () =
+      match previous_sigpipe with
+      | Some h -> Sys.set_signal Sys.sigpipe h
+      | None -> ()
+    in
+    let workers = spawn ~encode ~f tasks jobs in
+    let results = Array.make n None in
+    let next = ref 0 in
+    let error = ref None in
+    let fail msg = if !error = None then error := Some msg in
+    let dispatch w =
+      if !next < n && !error = None then begin
+        (match write_frame w.job_w (M.encode (M.Int !next)) with
+        | () -> ()
+        | exception Unix.Unix_error _ -> fail "sched: worker pipe closed");
+        incr next;
+        w.busy <- true
+      end
+      else begin
+        w.busy <- false;
+        close_jobs w
+      end
+    in
+    let finish () =
+      reap workers;
+      restore_sigpipe ()
+    in
+    (try
+       Array.iter dispatch workers;
+       let collect w =
+         (match M.decode (read_frame w.res_r) with
+         | M.Arr [ M.Int idx; M.Bool true; payload ] ->
+             results.(idx) <- Some (decode payload)
+         | M.Arr [ M.Int _; M.Bool false; M.Str msg ] ->
+             fail (Printf.sprintf "sched: worker task failed: %s" msg)
+         | _ -> fail "sched: malformed result frame"
+         | exception End_of_file -> fail "sched: worker died"
+         | exception M.Decode_error m ->
+             fail (Printf.sprintf "sched: undecodable result frame: %s" m));
+         dispatch w
+       in
+       while Array.exists (fun w -> w.busy) workers do
+         let fds =
+           Array.to_list workers
+           |> List.filter_map (fun w -> if w.busy then Some w.res_r else None)
+         in
+         let ready, _, _ = Unix.select fds [] [] (-1.0) in
+         List.iter
+           (fun fd ->
+             Array.iter (fun w -> if w.res_r == fd then collect w) workers)
+           ready
+       done
+     with e ->
+       finish ();
+       raise e);
+    finish ();
+    match !error with
+    | Some msg -> failwith msg
+    | None ->
+        Array.map
+          (function
+            | Some r -> r
+            | None -> failwith "sched: missing result (worker lost a task)")
+          results
+  end
+
+let map_list ?jobs ~encode ~decode ~f xs =
+  Array.to_list (map ?jobs ~encode ~decode ~f (Array.of_list xs))

@@ -1,0 +1,52 @@
+(** Multi-process work pool for CPU-bound batch jobs.
+
+    The TED engine's unit of work — one pairwise tree comparison — is
+    pure CPU with a small result, which makes a classic fork/pipe pool
+    the right shape under OCaml's runtime: workers are forked {e after}
+    the task array is built, so every child sees the inputs via
+    copy-on-write memory and only the (tiny) results travel back over a
+    pipe, framed as length-prefixed msgpack values.
+
+    Scheduling is dynamic self-balancing in the work-stealing spirit:
+    the parent hands each worker one task index at a time and refills
+    whichever worker finishes first, so a few expensive pairs cannot
+    stall the batch the way a static block split would. Results are
+    reassembled by task index, so the output order is deterministic and
+    byte-identical to a serial run regardless of worker timing. *)
+
+val default_jobs : unit -> int
+(** Worker count used when [?jobs] is omitted: the [SV_JOBS] environment
+    variable if set to a positive integer, otherwise the number of cores
+    the runtime recommends ([Domain.recommended_domain_count]). *)
+
+val map :
+  ?jobs:int ->
+  encode:('b -> Sv_msgpack.Msgpack.t) ->
+  decode:(Sv_msgpack.Msgpack.t -> 'b) ->
+  f:('a -> 'b) ->
+  'a array ->
+  'b array
+(** [map ~encode ~decode ~f tasks] is [Array.map f tasks] computed by a
+    pool of forked workers. [encode]/[decode] carry each result across
+    the worker→parent pipe; they must round-trip ([decode (encode b)]
+    observationally equal to [b]) for the parallel result to match the
+    serial one.
+
+    [jobs] (default {!default_jobs}) caps the pool; it is further capped
+    by the task count, and [jobs <= 1] (or fewer than two tasks) runs
+    serially in-process — no fork, identical semantics. If [f] raises in
+    a worker, the exception's description is shipped back and [map]
+    raises [Failure] in the parent after shutting the pool down.
+
+    [f] runs in forked children: mutations it makes to shared state are
+    invisible to the parent (ship state back through the result value),
+    and it must not rely on threads or open channels of the parent. *)
+
+val map_list :
+  ?jobs:int ->
+  encode:('b -> Sv_msgpack.Msgpack.t) ->
+  decode:(Sv_msgpack.Msgpack.t -> 'b) ->
+  f:('a -> 'b) ->
+  'a list ->
+  'b list
+(** List interface over {!map}, same ordering guarantee. *)

@@ -173,11 +173,28 @@ let distance_int (t1 : int Tree.t) (t2 : int Tree.t) =
   List.iter (fun i -> List.iter (fun j -> treedist i j) d2.keyroots) d1.keyroots;
   if n1 = 0 then n2 else if n2 = 0 then n1 else td.(n1).(n2)
 
+(* The DP is only correct for non-negative operations with free
+   relabelling of equal labels; a costs record violating that silently
+   yields nonsense (e.g. a nonzero self-distance), so it is rejected
+   loudly.  Labels are checked against themselves: [eq] is reflexive for
+   every cost model the metric layer builds, so this covers the
+   documented "0 on equal labels" precondition at O(n) closure calls. *)
+let validate_costs c t1 t2 =
+  let check l =
+    if c.delete l < 0 || c.insert l < 0 then
+      invalid_arg "Ted.distance: costs.delete/insert must be non-negative";
+    if c.relabel l l <> 0 then
+      invalid_arg "Ted.distance: costs.relabel must be 0 on equal labels"
+  in
+  List.iter check (Tree.preorder t1);
+  List.iter check (Tree.preorder t2)
+
 let distance ?costs ~eq t1 t2 =
   match costs with
   | None -> distance_unit ~eq t1 t2
   | Some _ ->
   let c = match costs with Some c -> c | None -> unit_costs eq in
+  validate_costs c t1 t2;
   let d1 = decompose t1 and d2 = decompose t2 in
   let n1 = Array.length d1.labels - 1 and n2 = Array.length d2.labels - 1 in
   let td = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
@@ -216,6 +233,191 @@ let distance ?costs ~eq t1 t2 =
   if n1 = 0 then n2
   else if n2 = 0 then n1
   else td.(n1).(n2)
+
+(* --- bounded variants ---------------------------------------------- *)
+
+exception Cutoff
+
+(* Lower bound from sizes and the label multiset: every mapped pair with
+   unequal labels and every unmapped node costs one edit; at most
+   Σ_l min(count₁ l, count₂ l) mapped pairs are free, and at most
+   min(n₁,n₂) pairs exist, so TED ≥ max(n₁,n₂) − Σ_l min(count₁, count₂).
+   O(n₁+n₂); lets the clustering layer skip the full DP when even the
+   bound exceeds its cutoff. *)
+let lower_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
+  let n1 = Tree.size t1 and n2 = Tree.size t2 in
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let rec fill (Tree.Node (x, cs)) =
+    (match Hashtbl.find_opt counts x with
+    | Some r -> incr r
+    | None -> Hashtbl.add counts x (ref 1));
+    List.iter fill cs
+  in
+  fill t1;
+  let common = ref 0 in
+  let rec drain (Tree.Node (x, cs)) =
+    (match Hashtbl.find_opt counts x with
+    | Some r when !r > 0 ->
+        decr r;
+        incr common
+    | _ -> ());
+    List.iter drain cs
+  in
+  drain t2;
+  max (abs (n1 - n2)) (max n1 n2 - !common)
+
+(* Early-abandon check shared by the bounded kernels.  Valid only for the
+   final keyroot pair (whole tree vs whole tree, li = lj = 1): there the
+   forest cells are genuine postorder-prefix distances, and restricting an
+   optimal edit mapping to the first [di] nodes of t1 shows the final
+   distance is at least [fd(di,dj)] for the column the mapping induces,
+   plus the size imbalance of the remaining suffixes.  If every column's
+   floor exceeds the cutoff the pair can never come in under it. *)
+let row_floor_exceeds row h ~rem1 ~cutoff =
+  let best = ref max_int in
+  for dj = 0 to h - 1 do
+    let floor = Array.unsafe_get row dj + abs (rem1 - (h - 1 - dj)) in
+    if floor < !best then best := floor
+  done;
+  !best > cutoff
+
+(* Generic-label unit-cost kernel with the early abandon; raises [Cutoff]
+   as soon as the running cost provably exceeds [cutoff]. *)
+let distance_unit_bounded ~eq ~cutoff t1 t2 =
+  let d1 = decompose t1 and d2 = decompose t2 in
+  let n1 = Array.length d1.labels - 1 and n2 = Array.length d2.labels - 1 in
+  if n1 = 0 || n2 = 0 then begin
+    let d = max n1 n2 in
+    if d > cutoff then raise Cutoff;
+    d
+  end
+  else begin
+    let td = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
+    let treedist i j =
+      let li = d1.lml.(i) and lj = d2.lml.(j) in
+      let w = i - li + 2 and h = j - lj + 2 in
+      let final = i = n1 && j = n2 in
+      let fd = Array.make_matrix w h 0 in
+      for di = 1 to w - 1 do
+        fd.(di).(0) <- di
+      done;
+      for dj = 1 to h - 1 do
+        fd.(0).(dj) <- dj
+      done;
+      for di = 1 to w - 1 do
+        let ni = li + di - 1 in
+        let row = fd.(di) and prev = fd.(di - 1) in
+        for dj = 1 to h - 1 do
+          let nj = lj + dj - 1 in
+          let del = prev.(dj) + 1 and ins = row.(dj - 1) + 1 in
+          if d1.lml.(ni) = li && d2.lml.(nj) = lj then begin
+            let rel =
+              prev.(dj - 1) + if eq d1.labels.(ni) d2.labels.(nj) then 0 else 1
+            in
+            let v = min del (min ins rel) in
+            row.(dj) <- v;
+            td.(ni).(nj) <- v
+          end
+          else
+            row.(dj) <-
+              min del
+                (min ins (fd.(d1.lml.(ni) - li).(d2.lml.(nj) - lj) + td.(ni).(nj)))
+        done;
+        if final && row_floor_exceeds row h ~rem1:(w - 1 - di) ~cutoff then
+          raise Cutoff
+      done
+    in
+    List.iter (fun i -> List.iter (fun j -> treedist i j) d2.keyroots) d1.keyroots;
+    td.(n1).(n2)
+  end
+
+(* Int-labelled bounded kernel: the shared-buffer fast path of
+   [distance_int] plus the same early abandon. *)
+let distance_int_bounded ~cutoff (t1 : int Tree.t) (t2 : int Tree.t) =
+  let d1 = decompose t1 and d2 = decompose t2 in
+  let n1 = Array.length d1.labels - 1 and n2 = Array.length d2.labels - 1 in
+  if n1 = 0 || n2 = 0 then begin
+    let d = max n1 n2 in
+    if d > cutoff then raise Cutoff;
+    d
+  end
+  else begin
+    let td = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
+    let l1 = d1.lml and l2 = d2.lml in
+    let lab1 = d1.labels and lab2 = d2.labels in
+    let fd = Array.make_matrix (n1 + 2) (n2 + 2) 0 in
+    let treedist i j =
+      let li = Array.unsafe_get l1 i and lj = Array.unsafe_get l2 j in
+      let w = i - li + 2 and h = j - lj + 2 in
+      let final = i = n1 && j = n2 in
+      let fd0 = Array.unsafe_get fd 0 in
+      for dj = 0 to h - 1 do
+        Array.unsafe_set fd0 dj dj
+      done;
+      for di = 1 to w - 1 do
+        let row = Array.unsafe_get fd di in
+        let prev = Array.unsafe_get fd (di - 1) in
+        Array.unsafe_set row 0 di;
+        let ni = li + di - 1 in
+        let lni = Array.unsafe_get l1 ni in
+        let labi : int = Array.unsafe_get lab1 ni in
+        let tdi = Array.unsafe_get td ni in
+        let whole_i = lni = li in
+        let sub_row = Array.unsafe_get fd (lni - li) in
+        for dj = 1 to h - 1 do
+          let nj = lj + dj - 1 in
+          let del = Array.unsafe_get prev dj + 1 in
+          let ins = Array.unsafe_get row (dj - 1) + 1 in
+          if whole_i && Array.unsafe_get l2 nj = lj then begin
+            let rel =
+              Array.unsafe_get prev (dj - 1)
+              + if labi = Array.unsafe_get lab2 nj then 0 else 1
+            in
+            let v = min del (min ins rel) in
+            Array.unsafe_set row dj v;
+            Array.unsafe_set tdi nj v
+          end
+          else
+            let sub =
+              Array.unsafe_get sub_row (Array.unsafe_get l2 nj - lj)
+              + Array.unsafe_get tdi nj
+            in
+            Array.unsafe_set row dj (min del (min ins sub))
+        done;
+        if final && row_floor_exceeds row h ~rem1:(w - 1 - di) ~cutoff then
+          raise Cutoff
+      done
+    in
+    List.iter (fun i -> List.iter (fun j -> treedist i j) d2.keyroots) d1.keyroots;
+    td.(n1).(n2)
+  end
+
+let distance_bounded ?costs ~eq ~cutoff t1 t2 =
+  if cutoff < 0 then None
+  else
+    match costs with
+    | Some c ->
+        (* custom operations break the unit-cost bounds, so no prefilter
+           and no in-DP abandon — compute, then threshold *)
+        let d = distance ~costs:c ~eq t1 t2 in
+        if d <= cutoff then Some d else None
+    | None -> (
+        let n1 = Tree.size t1 and n2 = Tree.size t2 in
+        if abs (n1 - n2) > cutoff then None
+        else if n1 + n2 <= cutoff then Some (distance_unit ~eq t1 t2)
+        else
+          match distance_unit_bounded ~eq ~cutoff t1 t2 with
+          | d -> if d <= cutoff then Some d else None
+          | exception Cutoff -> None)
+
+let distance_bounded_int ~cutoff t1 t2 =
+  if cutoff < 0 then None
+  else if lower_bound_int t1 t2 > cutoff then None
+  else if Tree.size t1 + Tree.size t2 <= cutoff then Some (distance_int t1 t2)
+  else
+    match distance_int_bounded ~cutoff t1 t2 with
+    | d -> if d <= cutoff then Some d else None
+    | exception Cutoff -> None
 
 (* Direct forest recursion with memoisation; the oracle assumes [eq]
    agrees with structural equality so memo keys (polymorphic hashing of

@@ -28,12 +28,43 @@ val unit_costs : ('a -> 'a -> bool) -> 'a costs
 val distance : ?costs:'a costs -> eq:('a -> 'a -> bool) -> 'a Tree.t -> 'a Tree.t -> int
 (** [distance ~eq t1 t2] is the Zhang–Shasha tree edit distance under
     [costs] (default [unit_costs eq]). Symmetric under unit costs, zero
-    iff the trees are equal, and bounded by [Tree.size t1 + Tree.size t2]. *)
+    iff the trees are equal, and bounded by [Tree.size t1 + Tree.size t2].
+
+    Raises [Invalid_argument] if a custom [costs] record violates its
+    contract on the labels actually present — a negative delete/insert
+    cost, or a nonzero [relabel] on equal labels. *)
 
 val distance_int : int Tree.t -> int Tree.t -> int
 (** [distance_int t1 t2] is {!distance} specialised to interned integer
     labels under unit costs — the fast path the metric layer uses (direct
     integer compares, one reused forest-distance buffer). *)
+
+val lower_bound_int : int Tree.t -> int Tree.t -> int
+(** [lower_bound_int t1 t2] is a cheap (O(n₁+n₂)) lower bound on the
+    unit-cost distance: the larger of [|size t1 − size t2|] and
+    [max n₁ n₂ − Σ_l min(count₁ l, count₂ l)] (every mapped pair with
+    unequal labels and every unmapped node costs at least one edit).
+    The bounded engine uses it to skip the full DP outright. *)
+
+val distance_bounded :
+  ?costs:'a costs ->
+  eq:('a -> 'a -> bool) ->
+  cutoff:int ->
+  'a Tree.t ->
+  'a Tree.t ->
+  int option
+(** [distance_bounded ~eq ~cutoff t1 t2] is [Some d] iff
+    [distance ~eq t1 t2 = d] and [d <= cutoff], and [None] otherwise.
+    Under unit costs the engine prefilters with the size-delta lower
+    bound and abandons the DP as soon as the running cost provably
+    exceeds [cutoff], so a [None] is usually much cheaper than a full
+    {!distance} call. With custom [costs] those bounds do not hold and
+    the full distance is computed, then thresholded. *)
+
+val distance_bounded_int : cutoff:int -> int Tree.t -> int Tree.t -> int option
+(** {!distance_bounded} specialised to interned integer labels under unit
+    costs, with the stronger {!lower_bound_int} histogram prefilter —
+    the clustering layer's fast path. *)
 
 val distance_brute : eq:('a -> 'a -> bool) -> 'a Tree.t -> 'a Tree.t -> int
 (** [distance_brute ~eq t1 t2] computes the same unit-cost distance with

@@ -1,1 +1,1 @@
-test/test_msgpack.ml: Alcotest Char Float Format Int64 List QCheck QCheck_alcotest String Sv_msgpack
+test/test_msgpack.ml: Alcotest Buffer Char Float Format Int64 List QCheck QCheck_alcotest String Sv_msgpack

@@ -1,0 +1,1 @@
+test/test_sched.ml: Alcotest Array Fun Lazy List Printf String Sv_cluster Sv_core Sv_corpus Sv_db Sv_msgpack Sv_sched

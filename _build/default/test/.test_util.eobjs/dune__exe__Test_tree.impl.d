@@ -1,1 +1,1 @@
-test/test_tree.ml: Alcotest Format Fun Int List QCheck QCheck_alcotest Sv_tree Sv_util
+test/test_tree.ml: Alcotest Format Fun Int List Printf QCheck QCheck_alcotest String Sv_tree Sv_util Sys

@@ -122,6 +122,58 @@ let test_db_stats () =
   checkb "mentions app/model" true
     (Sv_util.Xstring.starts_with ~prefix:"tealeaf/sycl-usm" s)
 
+(* --- TED cache --- *)
+
+module Tc = Cdb.Ted_cache
+
+let test_ted_cache_digest_loc_blind () =
+  let t ~file = Tree.leaf (Label.v ~text:"x" ~loc:(Sv_util.Loc.make ~file ~line:3 ~col:1) "call") in
+  checkb "digest ignores locations" true (Tc.digest (t ~file:"a.cpp") = Tc.digest (t ~file:"b.cpp"));
+  checkb "digest sees text" false
+    (Tc.digest (t ~file:"a.cpp") = Tc.digest (Tree.leaf (Label.v ~text:"y" "call")))
+
+let test_ted_cache_find_symmetric () =
+  let c = Tc.create () in
+  Tc.add c "aaaa" "bbbb" 7;
+  checkb "forward" true (Tc.find c "aaaa" "bbbb" = Some 7);
+  checkb "reversed" true (Tc.find c "bbbb" "aaaa" = Some 7);
+  checkb "absent" true (Tc.find c "aaaa" "cccc" = None);
+  checki "hits" 2 (Tc.hits c);
+  checki "misses" 1 (Tc.misses c);
+  Alcotest.(check (list (triple string string int)))
+    "journal drains once" [ ("aaaa", "bbbb", 7) ] (Tc.drain_additions c);
+  checkb "journal empty after drain" true (Tc.drain_additions c = [])
+
+let gen_cache_entries =
+  QCheck.Gen.(
+    list_size (int_bound 40)
+      (triple (string_size (return 16)) (string_size (return 16)) (int_bound 10_000)))
+
+let arb_cache_entries = QCheck.make gen_cache_entries
+
+let prop_ted_cache_roundtrip =
+  QCheck.Test.make ~name:"ted cache artifact round-trip" ~count:200 arb_cache_entries
+    (fun entries ->
+      let c = Tc.create () in
+      Tc.merge c entries;
+      match Tc.load (Tc.save c) with
+      | Error _ -> false
+      | Ok c' ->
+          Tc.size c' = Tc.size c
+          && List.for_all (fun (a, b, _) -> Tc.find c' a b = Tc.find c a b) entries
+          (* sorted serialisation: contents determine the bytes *)
+          && Tc.save c' = Tc.save c)
+
+let prop_ted_cache_truncation =
+  QCheck.Test.make ~name:"truncated cache artifact is rejected" ~count:200
+    QCheck.(pair arb_cache_entries (int_bound 100_000))
+    (fun (entries, cut_seed) ->
+      let c = Tc.create () in
+      Tc.merge c entries;
+      let art = Tc.save c in
+      let cut = cut_seed mod String.length art in
+      Result.is_error (Tc.load (String.sub art 0 cut)))
+
 let test_db_pipeline_integration () =
   (* a real indexed codebase survives the save/load cycle *)
   let cb =
@@ -159,6 +211,13 @@ let () =
           Alcotest.test_case "stats" `Quick test_db_stats;
           Alcotest.test_case "pipeline integration" `Quick test_db_pipeline_integration;
         ] );
+      ( "ted-cache",
+        [
+          Alcotest.test_case "digest is loc-blind" `Quick test_ted_cache_digest_loc_blind;
+          Alcotest.test_case "find is symmetric" `Quick test_ted_cache_find_symmetric;
+        ] );
       ( "properties",
-        List.map QCheck_alcotest.to_alcotest [ prop_tree_codec_roundtrip ] );
+        List.map QCheck_alcotest.to_alcotest
+          [ prop_tree_codec_roundtrip; prop_ted_cache_roundtrip;
+            prop_ted_cache_truncation ] );
     ]

@@ -118,6 +118,38 @@ let prop_encode_deterministic =
   QCheck.Test.make ~name:"encoding is deterministic" ~count:300 arb_msg (fun v ->
       M.encode v = M.encode v)
 
+(* msgpack is a prefix code: no strict prefix of a valid encoding is
+   itself decodable as a whole value *)
+let prop_prefix_truncation =
+  QCheck.Test.make ~name:"every strict prefix fails to decode" ~count:500
+    QCheck.(pair arb_msg (int_bound 100_000))
+    (fun (v, cut_seed) ->
+      QCheck.assume (no_nan v);
+      let e = M.encode v in
+      let cut = cut_seed mod String.length e in
+      match M.decode (String.sub e 0 cut) with
+      | exception M.Decode_error _ -> true
+      | _ -> false)
+
+(* the scheduler and the Codebase DB writer frame several values into one
+   buffer with encode_to; decode_prefix must stream them all back out *)
+let prop_encode_to_framing =
+  QCheck.Test.make ~name:"encode_to stream round-trips via decode_prefix" ~count:300
+    (QCheck.list_of_size (QCheck.Gen.int_bound 8) arb_msg)
+    (fun vs ->
+      QCheck.assume (List.for_all no_nan vs);
+      let b = Buffer.create 64 in
+      List.iter (M.encode_to b) vs;
+      let s = Buffer.contents b in
+      let rec read pos acc =
+        if pos = String.length s then List.rev acc
+        else
+          let v, pos' = M.decode_prefix s pos in
+          read pos' (v :: acc)
+      in
+      List.length vs = List.length (read 0 [])
+      && List.for_all2 M.equal vs (read 0 []))
+
 let () =
   Alcotest.run "msgpack"
     [
@@ -137,5 +169,6 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip; prop_int_roundtrip; prop_encode_deterministic ] );
+          [ prop_roundtrip; prop_int_roundtrip; prop_encode_deterministic;
+            prop_prefix_truncation; prop_encode_to_framing ] );
     ]

@@ -172,6 +172,125 @@ let prop_size_is_preorder_length =
   QCheck.Test.make ~name:"size equals preorder length" ~count:200 arb_tree (fun t ->
       Tree.size t = List.length (Tree.preorder t))
 
+(* --- costs-record validation --- *)
+
+let test_costs_validation () =
+  let bad_relabel =
+    {
+      Ted.delete = (fun _ -> 1);
+      insert = (fun _ -> 1);
+      relabel = (fun _ _ -> 1);
+    }
+  in
+  Alcotest.check_raises "nonzero relabel on equal labels"
+    (Invalid_argument "Ted.distance: costs.relabel must be 0 on equal labels")
+    (fun () ->
+      ignore (Ted.distance ~costs:bad_relabel ~eq:Int.equal t_example t_example));
+  let neg_delete =
+    {
+      Ted.delete = (fun _ -> -1);
+      insert = (fun _ -> 1);
+      relabel = (fun x y -> if x = y then 0 else 1);
+    }
+  in
+  Alcotest.check_raises "negative delete cost"
+    (Invalid_argument "Ted.distance: costs.delete/insert must be non-negative")
+    (fun () ->
+      ignore (Ted.distance ~costs:neg_delete ~eq:Int.equal t_example t_example))
+
+(* --- seeded oracle suite -------------------------------------------- *)
+
+(* A Prng-seeded generator independent of QCheck, so the default run
+   covers a guaranteed number of pairs (SV_PROP_ITERS, ≥ 500) and any
+   failure reports the exact pair. *)
+
+module Prng = Sv_util.Prng
+
+let prop_iters =
+  match Sys.getenv_opt "SV_PROP_ITERS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 500)
+  | None -> 500
+
+let rec gen_tree_sized rng n =
+  let label = Prng.int rng 4 in
+  if n <= 1 then Tree.leaf label
+  else begin
+    let kids = ref [] and remaining = ref (n - 1) in
+    while !remaining > 0 do
+      let take = 1 + Prng.int rng !remaining in
+      kids := gen_tree_sized rng take :: !kids;
+      remaining := !remaining - take
+    done;
+    Tree.node label (List.rev !kids)
+  end
+
+let show_tree t = Format.asprintf "%a" (Tree.pp Format.pp_print_int) t
+
+(* Every TED fact we promise, checked on one pair. [max_brute] bounds
+   when the exponential brute-force oracle is consulted. *)
+let check_pair ~max_brute i a b c =
+  let ctx fmt =
+    Printf.ksprintf
+      (fun msg ->
+        Alcotest.failf "pair %d (%s vs %s): %s" i (show_tree a) (show_tree b) msg)
+      fmt
+  in
+  let d = ted a b in
+  let sa = Tree.size a and sb = Tree.size b in
+  if sa + sb <= max_brute then begin
+    let oracle = Ted.distance_brute ~eq:Int.equal a b in
+    if d <> oracle then ctx "distance %d but brute-force oracle %d" d oracle
+  end;
+  if Ted.distance_int a b <> d then ctx "distance_int disagrees with distance";
+  if ted b a <> d then ctx "not symmetric: %d vs %d" d (ted b a);
+  if d = 0 && not (Tree.equal Int.equal a b) then ctx "zero distance on unequal trees";
+  if d <> 0 && Tree.equal Int.equal a b then ctx "nonzero distance %d on equal trees" d;
+  if d < abs (sa - sb) then ctx "below the size-delta lower bound";
+  if d > sa + sb then ctx "above the size-sum upper bound";
+  let lb = Ted.lower_bound_int a b in
+  if lb > d then ctx "histogram lower bound %d exceeds the distance %d" lb d;
+  List.iter
+    (fun cutoff ->
+      (match Ted.distance_bounded ~eq:Int.equal ~cutoff a b with
+      | Some bd ->
+          if bd <> d then ctx "distance_bounded (cutoff %d) = %d, want %d" cutoff bd d;
+          if d > cutoff then ctx "distance_bounded returned Some above cutoff %d" cutoff
+      | None ->
+          if d <= cutoff then
+            ctx "distance_bounded refused a pair within cutoff %d (d = %d)" cutoff d);
+      match Ted.distance_bounded_int ~cutoff a b with
+      | Some bd ->
+          if bd <> d || d > cutoff then
+            ctx "distance_bounded_int (cutoff %d) = %d, want %d" cutoff bd d
+      | None ->
+          if d <= cutoff then
+            ctx "distance_bounded_int refused a pair within cutoff %d (d = %d)" cutoff d)
+    [ d - 1; d; d + 3; 0; 64 ];
+  let dac = ted a c and dbc = ted b c in
+  if dac > d + dbc then
+    ctx "triangle inequality violated via %s: %d > %d + %d" (show_tree c) dac d dbc
+
+let run_oracle ~iters ~max_nodes ~max_brute () =
+  let rng = Prng.create 0x7ed0_5eed in
+  for i = 1 to iters do
+    let size () = 1 + Prng.int rng max_nodes in
+    let a = gen_tree_sized rng (size ()) in
+    let b = gen_tree_sized rng (size ()) in
+    let c = gen_tree_sized rng (size ()) in
+    check_pair ~max_brute i a b c
+  done
+
+let test_oracle_default () = run_oracle ~iters:(max 500 prop_iters) ~max_nodes:10 ~max_brute:18 ()
+
+(* Long mode: larger trees stress the keyroots decomposition and the
+   bounded kernels' early exit; the brute oracle only sees pairs it can
+   afford. Excluded from @quick via the `Slow speed level. *)
+let test_oracle_long () =
+  run_oracle ~iters:(max 500 prop_iters) ~max_nodes:26 ~max_brute:20 ()
+
 let prop_custom_costs_scale =
   QCheck.Test.make ~name:"doubled costs double the distance" ~count:100
     (QCheck.pair arb_tree arb_tree)
@@ -212,6 +331,12 @@ let () =
           Alcotest.test_case "insert/delete" `Quick test_ted_insert_delete;
           Alcotest.test_case "paper figure 1" `Quick test_ted_paper_figure;
           Alcotest.test_case "disjoint labels" `Quick test_ted_disjoint;
+          Alcotest.test_case "costs validation" `Quick test_costs_validation;
+        ] );
+      ( "ted-oracle",
+        [
+          Alcotest.test_case "seeded suite (>=500 pairs)" `Quick test_oracle_default;
+          Alcotest.test_case "long mode (bigger trees)" `Slow test_oracle_long;
         ] );
       ( "ted-properties",
         List.map QCheck_alcotest.to_alcotest

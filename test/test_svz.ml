@@ -60,6 +60,18 @@ let prop_roundtrip_repetitive =
       let s = String.concat "" (List.init (reps mod 50) (fun _ -> chunk)) in
       Svz.decompress (Svz.compress s) = s)
 
+(* the format declares its payload length up front, so no strict prefix
+   of an artifact can silently decompress — it must raise Corrupt *)
+let prop_truncation_corrupt =
+  QCheck.Test.make ~name:"every strict prefix raises Corrupt" ~count:300
+    QCheck.(pair arb_bytes (int_bound 100_000))
+    (fun (s, cut_seed) ->
+      let c = Svz.compress s in
+      let cut = cut_seed mod String.length c in
+      match Svz.decompress (String.sub c 0 cut) with
+      | exception Svz.Corrupt _ -> true
+      | _ -> false)
+
 let prop_bounded_expansion =
   QCheck.Test.make ~name:"worst-case expansion is bounded" ~count:300 arb_bytes (fun s ->
       String.length (Svz.compress s)
@@ -80,5 +92,6 @@ let () =
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
-          [ prop_roundtrip; prop_roundtrip_repetitive; prop_bounded_expansion ] );
+          [ prop_roundtrip; prop_roundtrip_repetitive; prop_truncation_corrupt;
+            prop_bounded_expansion ] );
     ]
