@@ -337,9 +337,22 @@ let db () =
 (* The engine tentpole: one full divergence matrix, timed serial, then
    fanned over the worker pool, then against a cold and a warm
    persistent TED cache — with a cross-check that every configuration
-   produces the identical matrix. *)
+   produces the identical matrix. Under SV_FAULT (or `sv --fault`) the
+   parallel run doubles as a chaos run: workers crash, hang and corrupt
+   frames at the injected rates, the pool recovers, and the
+   byte-identity check still must hold. *)
 let ted_engine () =
   section "TED engine: serial vs parallel vs cached (BabelStream, T_sem)";
+  let fault = Sv_sched.Sched.Fault.active () in
+  let render (m : Cluster.matrix) =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              String.concat " "
+                (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+            m.Cluster.data))
+  in
   let ixs = Lazy.force babelstream in
   let wall f =
     let t0 = Unix.gettimeofday () in
@@ -361,6 +374,7 @@ let ted_engine () =
   let serial_m, t_serial = wall (run ~jobs:1 ~cache:None) in
   let jobs = Sv_sched.Sched.default_jobs () in
   let par_m, t_par = wall (run ~jobs ~cache:None) in
+  let pool = Sv_sched.Sched.last_stats () in
   let cache = Sv_db.Codebase_db.Ted_cache.create () in
   let cold_m, t_cold = wall (run ~jobs:1 ~cache:(Some cache)) in
   let warm_m, t_warm = wall (run ~jobs:1 ~cache:(Some cache)) in
@@ -372,10 +386,16 @@ let ted_engine () =
   Printf.printf "  %-24s %9.3fs  (%.2fx vs serial; %s)\n" "warm TED cache" t_warm
     (t_serial /. Float.max 1e-9 t_warm)
     (Sv_db.Codebase_db.Ted_cache.stats cache);
+  if not (Sv_sched.Sched.Fault.is_none fault) then
+    Printf.printf "  fault injection %s: %s\n"
+      (Sv_sched.Sched.Fault.to_string fault)
+      (Sv_sched.Sched.stats_to_string pool);
   Printf.printf "  matrices identical across configurations: %s\n"
     (if same serial_m par_m && same serial_m cold_m && same serial_m warm_m
      then "OK"
-     else "MISMATCH")
+     else "MISMATCH");
+  Printf.printf "  parallel output byte-identical to serial: %s\n"
+    (if render serial_m = render par_m then "OK" else "MISMATCH")
 
 let kernels () =
   section "Kernel timings (Bechamel)";

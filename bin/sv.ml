@@ -89,36 +89,63 @@ let ted_cache_arg =
                re-runs over unchanged units skip the tree-edit-distance \
                DP entirely.")
 
+let fault_arg =
+  Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
+         ~doc:"Deterministic fault injection for the worker pool (manual \
+               chaos runs): comma-separated rates and a seed, e.g. \
+               crash:0.05,hang:0.02,garbage:0.03,trunc:0.02,seed:42. \
+               Workers then crash, hang or corrupt result frames at \
+               those rates; the pool recovers by respawn, bounded retry \
+               and in-process degradation, so the output is unchanged. \
+               Also settable via SV_FAULT; hangs are reclaimed after the \
+               per-task timeout (SV_TASK_TIMEOUT, default 20s).")
+
 (* Configure the divergence engine around [f]: resolve the worker count,
-   load/install the persistent TED cache, and on the way out save the
-   cache and reset the engine so one subcommand cannot leak state into a
-   later library use of Tbmd. *)
-let with_engine ~jobs ~ted_cache f =
-  Tbmd.set_jobs (if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs);
-  (match ted_cache with
-  | Some path ->
-      Tbmd.set_ted_cache (Some (Sv_db.Codebase_db.Ted_cache.load_file path))
-  | None -> ());
-  let finish () =
-    (match (ted_cache, Tbmd.ted_cache ()) with
-    | Some path, Some c -> (
-        match Sv_db.Codebase_db.Ted_cache.save_file path c with
-        | () ->
-            Printf.printf "%s (saved to %s)\n"
-              (Sv_db.Codebase_db.Ted_cache.stats c) path
-        | exception Sys_error msg ->
-            Printf.eprintf "sv: warning: ted-cache not saved: %s\n" msg)
-    | _ -> ());
-    Tbmd.set_ted_cache None;
-    Tbmd.set_jobs 1
-  in
-  match f () with
-  | r ->
-      finish ();
-      r
-  | exception e ->
-      finish ();
-      raise e
+   install the fault-injection spec, load/install the persistent TED
+   cache, and on the way out save the cache, report any recovery
+   activity and reset the engine so one subcommand cannot leak state
+   into a later library use of Tbmd. *)
+let with_engine ~jobs ~ted_cache ~fault f =
+  let module F = Sv_sched.Sched.Fault in
+  match
+    match fault with
+    | None -> Ok None
+    | Some s -> Result.map Option.some (F.parse s)
+  with
+  | Error e -> fail "--fault: %s" e
+  | Ok spec ->
+      (match spec with Some s -> F.set s | None -> ());
+      Tbmd.set_jobs (if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs);
+      (match ted_cache with
+      | Some path ->
+          Tbmd.set_ted_cache (Some (Sv_db.Codebase_db.Ted_cache.load_file path))
+      | None -> ());
+      let finish () =
+        (match (ted_cache, Tbmd.ted_cache ()) with
+        | Some path, Some c -> (
+            match Sv_db.Codebase_db.Ted_cache.save_file path c with
+            | () ->
+                Printf.printf "%s (saved to %s)\n"
+                  (Sv_db.Codebase_db.Ted_cache.stats c) path
+            | exception Sys_error msg ->
+                Printf.eprintf "sv: warning: ted-cache not saved: %s\n" msg)
+        | _ -> ());
+        (match spec with
+        | Some s when not (F.is_none s) ->
+            Printf.printf "fault injection %s: %s\n" (F.to_string s)
+              (Sv_sched.Sched.stats_to_string (Sv_sched.Sched.last_stats ()))
+        | _ -> ());
+        F.clear ();
+        Tbmd.set_ted_cache None;
+        Tbmd.set_jobs 1
+      in
+      (match f () with
+      | r ->
+          finish ();
+          r
+      | exception e ->
+          finish ();
+          raise e)
 
 (* --- commands --- *)
 
@@ -246,11 +273,11 @@ let inspect_cmd =
     Term.(ret (const run $ path))
 
 let compare_cmd =
-  let run app base target jobs ted_cache =
+  let run app base target jobs ted_cache fault =
     with_app app (fun cbs ->
         match (find_codebase ~app cbs base, find_codebase ~app cbs target) with
         | Some b, Some t ->
-            with_engine ~jobs ~ted_cache @@ fun () ->
+            with_engine ~jobs ~ted_cache ~fault @@ fun () ->
             let bix = Pipeline.index b and tix = Pipeline.index t in
             let rows =
               List.map
@@ -277,15 +304,15 @@ let compare_cmd =
         (const run $ app_arg
         $ model_arg [ "base"; "b" ] "Base model id (the port's origin)."
         $ model_arg [ "target"; "t" ] "Target model id."
-        $ jobs_arg $ ted_cache_arg))
+        $ jobs_arg $ ted_cache_arg $ fault_arg))
 
 let cluster_cmd =
-  let run app metric jobs ted_cache =
+  let run app metric jobs ted_cache fault =
     match Tbmd.metric_of_string metric with
     | None -> fail "unknown metric %S" metric
     | Some m ->
         with_app app (fun cbs ->
-            with_engine ~jobs ~ted_cache @@ fun () ->
+            with_engine ~jobs ~ted_cache ~fault @@ fun () ->
             let ixs = List.map Pipeline.index cbs in
             let matrix, dendro = Tbmd.dendrogram m ixs in
             print_string
@@ -299,7 +326,7 @@ let cluster_cmd =
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Pairwise divergence matrix and dendrogram for every model of an app.")
-    Term.(ret (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg))
+    Term.(ret (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg $ fault_arg))
 
 let phi_cmd =
   let run app =

@@ -199,11 +199,21 @@ module Ted_cache = struct
       c.additions <- (ka, kb, d) :: c.additions
     end
 
+  (* Entries arriving here have crossed a worker pipe that may have been
+     faulted mid-batch, and a degraded run can hand the same pair over
+     twice (once journalled by the parent's in-process retry, once in the
+     shipped additions). Accept only well-formed entries — raw 16-byte
+     MD5 digests and a non-negative distance — and never overwrite or
+     re-journal an existing key, so the persisted cache can hold a torn
+     or duplicated entry under no failure mode. *)
+  let valid_entry a b d = String.length a = 16 && String.length b = 16 && d >= 0
+
   let merge c entries =
     List.iter
       (fun (a, b, d) ->
-        let k = key a b in
-        if not (Hashtbl.mem c.tbl k) then Hashtbl.replace c.tbl k d)
+        if valid_entry a b d then
+          let k = key a b in
+          if not (Hashtbl.mem c.tbl k) then Hashtbl.replace c.tbl k d)
       entries
 
   let drain_additions c =

@@ -68,7 +68,12 @@ module Ted_cache : sig
 
   val merge : cache -> (string * string * int) list -> unit
   (** Fold entries from another process into the table {e without}
-      journalling them — how the parent absorbs worker additions. *)
+      journalling them — how the parent absorbs worker additions.
+      Defensive against faulted or degraded pool runs: entries that are
+      not (16-byte digest, 16-byte digest, non-negative distance) are
+      dropped, and an existing key is never overwritten, so merging the
+      same batch twice — or a batch recomputed in-process after worker
+      strikes — cannot tear or duplicate an entry. *)
 
   val drain_additions : cache -> (string * string * int) list
   (** Entries added since the last drain, oldest first, clearing the

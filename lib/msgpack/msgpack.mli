@@ -34,6 +34,12 @@ val decode : string -> t
 (** [decode s] parses exactly one value occupying the whole string.
     Raises {!Decode_error} on malformed or trailing input. *)
 
+val decode_result : string -> (t, string) result
+(** Exception-free {!decode} — frame validation for callers that must
+    treat malformed input as data, not control flow (the scheduler's
+    result pipes, where a corrupt frame from a faulted worker is a
+    strike to recover from, never an exception or a blocked read). *)
+
 val decode_prefix : string -> int -> t * int
 (** [decode_prefix s pos] parses one value starting at [pos], returning it
     together with the offset just past it — for streaming several values

@@ -1,0 +1,241 @@
+(* Chaos suite for the fault-tolerant pool (Sv_sched): every injected
+   failure class — crash, hang, garbage frame, torn frame — alone and
+   combined, driven by the deterministic Sv_sched.Sched.Fault layer.
+
+   Two oracles anchor every test. First, results: a faulted batch must
+   equal the serial run byte-for-byte, because recovery (respawn, retry,
+   in-process degradation) may never change an answer. Second, the fault
+   sequence itself: Fault.draw is a pure function of (seed, task,
+   attempt), so the pool's recovery counters are compared against an
+   exact replay computed without running anything.
+
+   This suite runs under `dune runtest` but is deliberately left out of
+   the `@quick` alias (hang injection waits out real timeouts).
+   SV_PROP_ITERS=<n> scales the batch to ~n/10 tasks. *)
+
+module Sched = Sv_sched.Sched
+module Fault = Sv_sched.Sched.Fault
+module M = Sv_msgpack.Msgpack
+module Pipeline = Sv_core.Pipeline
+module Tbmd = Sv_core.Tbmd
+module Cluster = Sv_cluster.Cluster
+module Ted_cache = Sv_db.Codebase_db.Ted_cache
+
+let checkb = Alcotest.(check bool)
+let checki = Alcotest.(check int)
+
+let chaos_tasks =
+  match Sys.getenv_opt "SV_PROP_ITERS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> max 32 (n / 10)
+      | _ -> 48)
+  | None -> 48
+
+let encode_int i = M.Int i
+let decode_int = function M.Int i -> i | _ -> failwith "expected Int"
+
+(* --- the fault spec itself --- *)
+
+let test_spec_parse_roundtrip () =
+  match Fault.parse "crash:0.05, hang:0.02,garbage:0.03,trunc:0.01,seed:42" with
+  | Error e -> Alcotest.failf "parse failed: %s" e
+  | Ok s ->
+      checkb "crash rate" true (s.Fault.crash = 0.05);
+      checkb "hang rate" true (s.Fault.hang = 0.02);
+      checkb "garbage rate" true (s.Fault.garbage = 0.03);
+      checkb "trunc rate" true (s.Fault.trunc = 0.01);
+      checki "seed" 42 s.Fault.seed;
+      (match Fault.parse (Fault.to_string s) with
+      | Ok s' -> checkb "to_string round-trips" true (s = s')
+      | Error e -> Alcotest.failf "round-trip parse failed: %s" e)
+
+let test_spec_parse_errors () =
+  let bad s = Result.is_error (Fault.parse s) in
+  checkb "unknown key" true (bad "explode:0.5");
+  checkb "rate above 1" true (bad "crash:1.5");
+  checkb "negative rate" true (bad "crash:-0.1");
+  checkb "rates sum above 1" true (bad "crash:0.6,hang:0.6");
+  checkb "missing colon" true (bad "crash");
+  checkb "bad seed" true (bad "seed:many");
+  checkb "empty spec is none" true (Fault.parse "" = Ok Fault.none)
+
+let test_draw_deterministic () =
+  let spec =
+    { Fault.crash = 0.2; hang = 0.2; garbage = 0.2; trunc = 0.2; seed = 7 }
+  in
+  let all_same = ref true in
+  let varies = ref false in
+  for t = 0 to 199 do
+    let a = Fault.draw spec ~task:t ~attempt:0 in
+    if a <> Fault.draw spec ~task:t ~attempt:0 then all_same := false;
+    if a <> Fault.draw spec ~task:t ~attempt:1 then varies := true
+  done;
+  checkb "same (task, attempt) always draws the same action" true !all_same;
+  checkb "attempts draw independently" true !varies;
+  checkb "none never injects" true
+    (Fault.draw Fault.none ~task:3 ~attempt:0 = Fault.Pass)
+
+(* --- the chaos matrix: pool recovery vs the serial oracle --- *)
+
+let policy =
+  { Sched.task_timeout = 0.6; max_retries = 2; backoff = 0.01; degrade = true }
+
+(* Replay the exact fault sequence the pool will see and derive the
+   counters it must report. *)
+let expected spec n =
+  let e = Sched.fresh_stats () in
+  for t = 0 to n - 1 do
+    let rec go attempt =
+      match Fault.draw spec ~task:t ~attempt with
+      | Fault.Pass -> ()
+      | a ->
+          (match a with
+          | Fault.Crash -> e.Sched.crashes <- e.Sched.crashes + 1
+          | Fault.Hang -> e.Sched.timeouts <- e.Sched.timeouts + 1
+          | Fault.Garbage | Fault.Trunc -> e.Sched.corrupt <- e.Sched.corrupt + 1
+          | Fault.Pass -> ());
+          e.Sched.respawns <- e.Sched.respawns + 1;
+          if attempt >= policy.Sched.max_retries then
+            e.Sched.degraded <- e.Sched.degraded + 1
+          else begin
+            e.Sched.retries <- e.Sched.retries + 1;
+            go (attempt + 1)
+          end
+    in
+    go 0
+  done;
+  e
+
+let run_chaos spec () =
+  let n = chaos_tasks in
+  let tasks = Array.init n Fun.id in
+  let f i = ((i * 37) mod 101) + (i * i) in
+  let serial = Array.map f tasks in
+  let stats = Sched.fresh_stats () in
+  Fault.set spec;
+  let out =
+    Fun.protect ~finally:Fault.clear (fun () ->
+        Sched.map ~jobs:4 ~policy ~stats ~encode:encode_int ~decode:decode_int
+          ~f tasks)
+  in
+  checkb "chaos result equals the serial oracle" true (out = serial);
+  let e = expected spec n in
+  checki "crash strikes" e.Sched.crashes stats.Sched.crashes;
+  checki "timeout strikes" e.Sched.timeouts stats.Sched.timeouts;
+  checki "corrupt strikes" e.Sched.corrupt stats.Sched.corrupt;
+  checki "retries" e.Sched.retries stats.Sched.retries;
+  checki "respawns (one per strike)" e.Sched.respawns stats.Sched.respawns;
+  checki "degraded tasks" e.Sched.degraded stats.Sched.degraded
+
+let crash_only = { Fault.none with Fault.crash = 0.3; seed = 11 }
+let hang_only = { Fault.none with Fault.hang = 0.1; seed = 7 }
+let garbage_only = { Fault.none with Fault.garbage = 0.3; seed = 23 }
+let trunc_only = { Fault.none with Fault.trunc = 0.3; seed = 31 }
+
+let combined =
+  { Fault.crash = 0.1; hang = 0.05; garbage = 0.1; trunc = 0.05; seed = 42 }
+
+(* --- the TED engine under injected faults --- *)
+
+(* A slice of the BabelStream corpus: four models give six pairwise
+   tasks, enough to exercise retry and degradation while staying fast.
+   Hangs are excluded here — they are covered by the pool-level matrix —
+   so the engine tests never sit out a multi-second TED timeout. *)
+let stream_slice =
+  lazy
+    (Sv_corpus.Babelstream.all ()
+    |> List.filter (fun (cb : Sv_corpus.Emit.codebase) ->
+           List.mem cb.Sv_corpus.Emit.model [ "serial"; "omp"; "kokkos"; "cuda" ])
+    |> List.map Pipeline.index)
+
+let engine_spec =
+  { Fault.crash = 0.2; hang = 0.0; garbage = 0.15; trunc = 0.1; seed = 97 }
+
+let matrix_with ~jobs ~cache ixs =
+  Tbmd.clear_memo ();
+  Tbmd.set_jobs jobs;
+  Tbmd.set_ted_cache cache;
+  Fun.protect
+    ~finally:(fun () ->
+      Tbmd.set_jobs 1;
+      Tbmd.set_ted_cache None)
+    (fun () -> Tbmd.matrix Tbmd.TSem ixs)
+
+let render (m : Cluster.matrix) =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            String.concat " "
+              (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+          m.Cluster.data))
+
+let test_faulted_matrix_identical () =
+  let ixs = Lazy.force stream_slice in
+  let serial = matrix_with ~jobs:1 ~cache:None ixs in
+  Fault.set engine_spec;
+  let faulted =
+    Fun.protect ~finally:Fault.clear (fun () ->
+        matrix_with ~jobs:3 ~cache:None ixs)
+  in
+  checkb "labels equal" true (serial.Cluster.labels = faulted.Cluster.labels);
+  checkb "float data identical" true (serial.Cluster.data = faulted.Cluster.data);
+  Alcotest.(check string) "rendered bytes identical" (render serial) (render faulted)
+
+(* A run that degrades mid-batch must leave the cache either absent or
+   valid for every key — never torn. The strongest form: the artifact a
+   faulted parallel run persists is byte-identical to a clean serial
+   run's, and truncating it anywhere still never yields a torn entry
+   (the PR 2 truncation fuzzer, pointed at a chaos-built artifact). *)
+let test_cache_under_faults () =
+  let ixs = Lazy.force stream_slice in
+  let clean = Ted_cache.create () in
+  let m_clean = matrix_with ~jobs:1 ~cache:(Some clean) ixs in
+  let faulted = Ted_cache.create () in
+  Fault.set { engine_spec with Fault.seed = 5 };
+  let m_faulted =
+    Fun.protect ~finally:Fault.clear (fun () ->
+        matrix_with ~jobs:3 ~cache:(Some faulted) ixs)
+  in
+  checkb "faulted cached matrix identical" true
+    (m_clean.Cluster.data = m_faulted.Cluster.data);
+  checki "same entry count as the clean run" (Ted_cache.size clean)
+    (Ted_cache.size faulted);
+  checkb "persisted artifact byte-identical to the clean run's" true
+    (Ted_cache.save clean = Ted_cache.save faulted);
+  let art = Ted_cache.save faulted in
+  let torn = ref 0 in
+  for k = 1 to 16 do
+    let cut = k * String.length art / 17 in
+    match Ted_cache.load (String.sub art 0 cut) with
+    | Error _ -> ()
+    | Ok _ -> incr torn
+  done;
+  checki "every truncation of the artifact is rejected" 0 !torn
+
+let () =
+  Alcotest.run "chaos"
+    [
+      ( "fault-spec",
+        [
+          Alcotest.test_case "parse round-trip" `Quick test_spec_parse_roundtrip;
+          Alcotest.test_case "parse errors" `Quick test_spec_parse_errors;
+          Alcotest.test_case "draw deterministic" `Quick test_draw_deterministic;
+        ] );
+      ( "pool-chaos",
+        [
+          Alcotest.test_case "crash storm" `Slow (run_chaos crash_only);
+          Alcotest.test_case "hang storm" `Slow (run_chaos hang_only);
+          Alcotest.test_case "garbage storm" `Slow (run_chaos garbage_only);
+          Alcotest.test_case "torn frames" `Slow (run_chaos trunc_only);
+          Alcotest.test_case "combined" `Slow (run_chaos combined);
+        ] );
+      ( "engine-chaos",
+        [
+          Alcotest.test_case "faulted matrix identical" `Slow
+            test_faulted_matrix_identical;
+          Alcotest.test_case "cache never torn under faults" `Slow
+            test_cache_under_faults;
+        ] );
+    ]

@@ -144,6 +144,21 @@ let test_ted_cache_find_symmetric () =
     "journal drains once" [ ("aaaa", "bbbb", 7) ] (Tc.drain_additions c);
   checkb "journal empty after drain" true (Tc.drain_additions c = [])
 
+let test_ted_cache_merge_defensive () =
+  let d16 c = String.make 16 c in
+  let c = Tc.create () in
+  Tc.merge c [ (d16 'a', d16 'b', 7) ];
+  checki "valid entry merged" 1 (Tc.size c);
+  (* duplicates, reversed order and conflicting re-sends (a degraded run
+     handing the same pair over twice) never tear or clobber the entry *)
+  Tc.merge c [ (d16 'a', d16 'b', 7); (d16 'b', d16 'a', 99) ];
+  checki "idempotent under re-merge" 1 (Tc.size c);
+  checkb "first value wins" true (Tc.find c (d16 'a') (d16 'b') = Some 7);
+  (* entries mangled by a faulted worker pipe are dropped, not stored torn *)
+  Tc.merge c [ ("short", d16 'c', 3); (d16 'c', d16 'd', -1); ("", "", 0) ];
+  checki "malformed entries dropped" 1 (Tc.size c);
+  checkb "merge never journals" true (Tc.drain_additions c = [])
+
 let gen_cache_entries =
   QCheck.Gen.(
     list_size (int_bound 40)
@@ -215,6 +230,7 @@ let () =
         [
           Alcotest.test_case "digest is loc-blind" `Quick test_ted_cache_digest_loc_blind;
           Alcotest.test_case "find is symmetric" `Quick test_ted_cache_find_symmetric;
+          Alcotest.test_case "merge is defensive" `Quick test_ted_cache_merge_defensive;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

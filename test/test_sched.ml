@@ -65,10 +65,60 @@ let test_worker_error_propagates () =
   match
     Sched.map ~jobs:2 ~encode:encode_int ~decode:decode_int ~f (Array.init 9 Fun.id)
   with
-  | _ -> Alcotest.fail "expected Failure from a raising worker task"
-  | exception Failure msg ->
+  | _ -> Alcotest.fail "expected Worker_failed from a raising worker task"
+  | exception Sched.Worker_failed { task; failure = Sched.Task_raised msg; _ } ->
+      checki "failure names the task index" 5 task;
       checkb "error message carries the worker failure" true
         (contains_sub ~needle:"boom on five" msg)
+  | exception e ->
+      Alcotest.failf "expected Task_raised, got %s" (Printexc.to_string e)
+
+(* A child killed by a signal (OOM-killer stand-in) must surface as a
+   typed error naming the task index — never a hang on a closed pipe.
+   Retries and degradation are disabled so the first strike is final. *)
+let test_signal_death_is_typed () =
+  let policy =
+    { (Sched.default_policy ()) with Sched.max_retries = 0; degrade = false }
+  in
+  let f i =
+    if i = 3 then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    i * 2
+  in
+  match
+    Sched.map ~jobs:2 ~policy ~encode:encode_int ~decode:decode_int ~f
+      (Array.init 8 Fun.id)
+  with
+  | _ -> Alcotest.fail "expected Worker_failed from a SIGKILLed worker"
+  | exception Sched.Worker_failed { task; attempts; failure = Sched.Crashed detail } ->
+      checki "failure names the task index" 3 task;
+      checki "one attempt was made" 1 attempts;
+      checkb "detail reports the signal" true (contains_sub ~needle:"signal" detail)
+  | exception e ->
+      Alcotest.failf "expected Crashed, got %s" (Printexc.to_string e)
+
+(* With degradation on (the default), even a task whose worker dies on
+   every attempt completes — in-process, with the serial answer — and the
+   counters record the recovery. *)
+let test_degraded_task_completes () =
+  let parent = Unix.getpid () in
+  let policy =
+    { (Sched.default_policy ()) with Sched.max_retries = 1; backoff = 0.005 }
+  in
+  let stats = Sched.fresh_stats () in
+  let f i =
+    (* only child processes crash; the parent's in-process retry succeeds *)
+    if i = 4 && Unix.getpid () <> parent then Unix.kill (Unix.getpid ()) Sys.sigkill;
+    (i * 3) + 1
+  in
+  let tasks = Array.init 10 Fun.id in
+  let out =
+    Sched.map ~jobs:3 ~policy ~stats ~encode:encode_int ~decode:decode_int ~f tasks
+  in
+  checkb "degraded batch equals serial" true (out = Array.map (fun i -> (i * 3) + 1) tasks);
+  checki "both worker attempts crashed" 2 stats.Sched.crashes;
+  checki "one retry was dispatched" 1 stats.Sched.retries;
+  checki "each strike respawned a worker" 2 stats.Sched.respawns;
+  checki "the task finished in-process" 1 stats.Sched.degraded
 
 let test_map_list () =
   let out =
@@ -160,6 +210,8 @@ let () =
           Alcotest.test_case "serial fallback" `Quick test_map_serial_fallback;
           Alcotest.test_case "empty input" `Quick test_map_empty;
           Alcotest.test_case "worker error propagates" `Quick test_worker_error_propagates;
+          Alcotest.test_case "signal death is typed" `Quick test_signal_death_is_typed;
+          Alcotest.test_case "degraded task completes" `Quick test_degraded_task_completes;
           Alcotest.test_case "map_list" `Quick test_map_list;
           Alcotest.test_case "default jobs" `Quick test_default_jobs_env;
         ] );
