@@ -18,14 +18,65 @@ let section title =
   Printf.printf "\n%s\n%s\n%s\n" (String.make 72 '=') title (String.make 72 '=')
 
 (* ------------------------------------------------------------------ *)
+(* machine-readable timings                                            *)
+(* ------------------------------------------------------------------ *)
+
+(* Experiments that measure something append an entry here; the run is
+   written as one JSON object on exit (SV_BENCH_JSON, default
+   BENCH_PR4.json), so the perf trajectory is tracked across PRs instead
+   of only printed to stdout. *)
+module J = Sv_jsonx.Jsonx
+
+let bench_records : (string * J.t) list ref = ref []
+let record name v = bench_records := (name, v) :: !bench_records
+
+let () =
+  at_exit (fun () ->
+      match List.rev !bench_records with
+      | [] -> ()
+      | entries -> (
+          let path =
+            Option.value ~default:"BENCH_PR4.json" (Sys.getenv_opt "SV_BENCH_JSON")
+          in
+          try
+            let oc = open_out path in
+            output_string oc (J.to_string ~indent:2 (J.Obj entries));
+            output_string oc "\n";
+            close_out oc;
+            Printf.eprintf "[bench] wrote %s\n%!" path
+          with Sys_error msg ->
+            Printf.eprintf "[bench] warning: %s not written: %s\n%!" path msg))
+
+(* ------------------------------------------------------------------ *)
 (* corpora, indexed once                                               *)
 (* ------------------------------------------------------------------ *)
 
+(* Corpus indexing goes through the engine: SV_INDEX_CACHE persists
+   indexing results across bench invocations, SV_JOBS fans cold misses
+   over the worker pool. Neither changes a byte of any experiment. *)
+let () =
+  match Sys.getenv_opt "SV_INDEX_CACHE" with
+  | None -> ()
+  | Some path ->
+      Sv_core.Index_engine.set_cache (Some (Sv_db.Index_cache.load_file path));
+      at_exit (fun () ->
+          match Sv_core.Index_engine.cache () with
+          | Some c ->
+              Sv_db.Index_cache.save_file path c;
+              Printf.eprintf "[bench] %s (saved to %s)\n%!"
+                (Sv_db.Index_cache.stats c) path
+          | None -> ())
+
 let index_all name cbs =
-  let t0 = Sys.time () in
-  let ixs = List.map Pipeline.index cbs in
+  let t0 = Unix.gettimeofday () in
+  let jobs =
+    match Sys.getenv_opt "SV_JOBS" with
+    | Some _ -> Sv_sched.Sched.default_jobs ()
+    | None -> 1
+  in
+  let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
   Printf.eprintf "[bench] indexed %s (%d models) in %.1fs\n%!" name (List.length ixs)
-    (Sys.time () -. t0);
+    (Unix.gettimeofday () -. t0);
   ixs
 
 let tealeaf = lazy (index_all "TeaLeaf" (Sv_corpus.Tealeaf.all ()))
@@ -390,12 +441,114 @@ let ted_engine () =
     Printf.printf "  fault injection %s: %s\n"
       (Sv_sched.Sched.Fault.to_string fault)
       (Sv_sched.Sched.stats_to_string pool);
+  let identical =
+    same serial_m par_m && same serial_m cold_m && same serial_m warm_m
+    && render serial_m = render par_m
+  in
   Printf.printf "  matrices identical across configurations: %s\n"
-    (if same serial_m par_m && same serial_m cold_m && same serial_m warm_m
-     then "OK"
-     else "MISMATCH");
-  Printf.printf "  parallel output byte-identical to serial: %s\n"
-    (if render serial_m = render par_m then "OK" else "MISMATCH")
+    (if identical then "OK" else "MISMATCH");
+  record "ted-engine"
+    (J.Obj
+       [
+         ("serial_s", J.Float t_serial);
+         ("parallel_s", J.Float t_par);
+         ("jobs", J.Int jobs);
+         ("cold_cache_s", J.Float t_cold);
+         ("warm_cache_s", J.Float t_warm);
+         ("warm_speedup_vs_serial", J.Float (t_serial /. Float.max 1e-9 t_warm));
+         ("identical", J.Bool identical);
+       ])
+
+(* The PR 4 tentpole: run the indexing front-end over a BabelStream
+   subset serially, through the worker pool, and against a cold and a
+   warm persistent index cache, asserting every configuration yields
+   byte-identical database artifacts. This is the @bench-smoke contract:
+   a mismatch exits nonzero. SV_PROP_ITERS scales the model count the
+   same way it scales the property suites. *)
+let index_engine () =
+  section "Index engine: serial vs parallel vs cached (BabelStream)";
+  let all = Sv_corpus.Babelstream.all () in
+  let prop_iters =
+    match Sys.getenv_opt "SV_PROP_ITERS" with
+    | Some s -> ( try int_of_string s with Failure _ -> 500)
+    | None -> 500
+  in
+  let n = max 2 (min (List.length all) (prop_iters / 100)) in
+  let cbs = List.filteri (fun i _ -> i < n) all in
+  let artifact_bytes ixs =
+    String.concat ""
+      (List.map (fun ix -> Sv_db.Codebase_db.save (Pipeline.to_db ix)) ixs)
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let run ~jobs ~cache () =
+    Sv_core.Index_engine.set_cache cache;
+    Fun.protect
+      ~finally:(fun () -> Sv_core.Index_engine.set_cache None)
+      (fun () -> Sv_core.Index_engine.index_many ~jobs cbs)
+  in
+  let serial_ixs, t_serial = wall (run ~jobs:1 ~cache:None) in
+  let jobs = max 2 (Sv_sched.Sched.default_jobs ()) in
+  let par_ixs, t_par = wall (run ~jobs ~cache:None) in
+  let pool = Sv_sched.Sched.last_stats () in
+  let cache = Sv_db.Index_cache.create () in
+  let cold_ixs, t_cold = wall (run ~jobs:1 ~cache:(Some cache)) in
+  let warm_ixs, t_warm = wall (run ~jobs:1 ~cache:(Some cache)) in
+  let sb = artifact_bytes serial_ixs in
+  let identical =
+    artifact_bytes par_ixs = sb
+    && artifact_bytes cold_ixs = sb
+    && artifact_bytes warm_ixs = sb
+  in
+  (* push the freshly indexed trees through the hash-consing layer (via a
+     small distance matrix) and report the structure-sharing rate *)
+  let (_ : Cluster.matrix) = Tbmd.matrix Tbmd.TSem serial_ixs in
+  let istats = Sv_metrics.Divergence.intern_stats () in
+  let warm_speedup = t_cold /. Float.max 1e-9 t_warm in
+  Printf.printf "  %-26s %9.3fs  (%d models)\n" "cold index, serial" t_serial n;
+  Printf.printf "  %-26s %9.3fs  (%d workers, %.2fx)\n" "cold index, parallel"
+    t_par jobs
+    (t_serial /. Float.max 1e-9 t_par);
+  Printf.printf "  %-26s %9.3fs\n" "cold index cache" t_cold;
+  Printf.printf "  %-26s %9.3fs  (%.2fx vs cold; %s)\n" "warm index cache"
+    t_warm warm_speedup
+    (Sv_db.Index_cache.stats cache);
+  Printf.printf "  pool: %s\n" (Sv_sched.Sched.stats_to_string pool);
+  let open Sv_tree.Hashcons in
+  let shared =
+    100.0 *. float_of_int istats.hits
+    /. Float.max 1.0 (float_of_int (istats.hits + istats.misses))
+  in
+  Printf.printf
+    "  intern table: %d distinct subtrees, %d labels, %d hits / %d misses \
+     (%.1f%% shared)\n"
+    istats.distinct istats.labels istats.hits istats.misses shared;
+  Printf.printf "  artifacts byte-identical across configurations: %s\n"
+    (if identical then "OK" else "MISMATCH");
+  record "index-engine"
+    (J.Obj
+       [
+         ("models", J.Int n);
+         ("cold_serial_s", J.Float t_serial);
+         ("cold_parallel_s", J.Float t_par);
+         ("jobs", J.Int jobs);
+         ("cold_cache_s", J.Float t_cold);
+         ("warm_cache_s", J.Float t_warm);
+         ("warm_speedup_vs_cold", J.Float warm_speedup);
+         ("index_cache_hits", J.Int (Sv_db.Index_cache.hits cache));
+         ("index_cache_misses", J.Int (Sv_db.Index_cache.misses cache));
+         ("intern_distinct", J.Int istats.distinct);
+         ("intern_hits", J.Int istats.hits);
+         ("intern_misses", J.Int istats.misses);
+         ("identical", J.Bool identical);
+       ]);
+  if not identical then begin
+    Printf.eprintf "[bench] index-engine: artifact mismatch\n%!";
+    exit 1
+  end
 
 let kernels () =
   section "Kernel timings (Bechamel)";
@@ -570,6 +723,7 @@ let experiments =
     ("ablation-linkage", ablation_linkage); ("structure", structure);
     ("extension-raja", extension_raja);
     ("ted-engine", ted_engine);
+    ("index-engine", index_engine);
     ("kernels", kernels);
   ]
 

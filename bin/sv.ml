@@ -89,6 +89,17 @@ let ted_cache_arg =
                re-runs over unchanged units skip the tree-edit-distance \
                DP entirely.")
 
+let index_cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "index-cache" ]
+           ~env:(Cmd.Env.info "SV_INDEX_CACHE") ~docv:"FILE"
+           ~doc:"Persistent index cache file. Loaded before the run (a \
+                 missing file is a cold start) and saved back after, so \
+                 re-runs over unchanged sources skip preprocessing, \
+                 parsing, lowering and interpretation entirely. Keyed on \
+                 source digest, defines, dialect and pipeline version — \
+                 any change is an automatic miss, never a stale result.")
+
 let fault_arg =
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
          ~doc:"Deterministic fault injection for the worker pool (manual \
@@ -100,12 +111,13 @@ let fault_arg =
                Also settable via SV_FAULT; hangs are reclaimed after the \
                per-task timeout (SV_TASK_TIMEOUT, default 20s).")
 
-(* Configure the divergence engine around [f]: resolve the worker count,
-   install the fault-injection spec, load/install the persistent TED
-   cache, and on the way out save the cache, report any recovery
-   activity and reset the engine so one subcommand cannot leak state
-   into a later library use of Tbmd. *)
-let with_engine ~jobs ~ted_cache ~fault f =
+(* Configure the engines around [f]: resolve the worker count, install
+   the fault-injection spec, load/install the persistent TED and index
+   caches, and on the way out save the caches, report any recovery
+   activity and reset both engines so one subcommand cannot leak state
+   into a later library use of Tbmd or Index_engine. [f] receives the
+   resolved worker count for the indexing fan-out. *)
+let with_engine ?index_cache ~jobs ~ted_cache ~fault f =
   let module F = Sv_sched.Sched.Fault in
   match
     match fault with
@@ -115,10 +127,15 @@ let with_engine ~jobs ~ted_cache ~fault f =
   | Error e -> fail "--fault: %s" e
   | Ok spec ->
       (match spec with Some s -> F.set s | None -> ());
-      Tbmd.set_jobs (if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs);
+      let jobs = if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs in
+      Tbmd.set_jobs jobs;
       (match ted_cache with
       | Some path ->
           Tbmd.set_ted_cache (Some (Sv_db.Codebase_db.Ted_cache.load_file path))
+      | None -> ());
+      (match index_cache with
+      | Some path ->
+          Sv_core.Index_engine.set_cache (Some (Sv_db.Index_cache.load_file path))
       | None -> ());
       let finish () =
         (match (ted_cache, Tbmd.ted_cache ()) with
@@ -130,16 +147,25 @@ let with_engine ~jobs ~ted_cache ~fault f =
             | exception Sys_error msg ->
                 Printf.eprintf "sv: warning: ted-cache not saved: %s\n" msg)
         | _ -> ());
+        (match (index_cache, Sv_core.Index_engine.cache ()) with
+        | Some path, Some c -> (
+            match Sv_db.Index_cache.save_file path c with
+            | () ->
+                Printf.printf "%s (saved to %s)\n" (Sv_db.Index_cache.stats c) path
+            | exception Sys_error msg ->
+                Printf.eprintf "sv: warning: index-cache not saved: %s\n" msg)
+        | _ -> ());
         (match spec with
         | Some s when not (F.is_none s) ->
             Printf.printf "fault injection %s: %s\n" (F.to_string s)
               (Sv_sched.Sched.stats_to_string (Sv_sched.Sched.last_stats ()))
         | _ -> ());
         F.clear ();
+        Sv_core.Index_engine.set_cache None;
         Tbmd.set_ted_cache None;
         Tbmd.set_jobs 1
       in
-      (match f () with
+      (match f jobs with
       | r ->
           finish ();
           r
@@ -217,12 +243,14 @@ let emit_cmd =
     Term.(ret (const run $ app_arg $ model_arg [ "model" ] "Model id." $ out))
 
 let index_cmd =
-  let run app model out =
+  let run app model out jobs index_cache =
     with_app app (fun cbs ->
         match find_codebase ~app cbs model with
         | None -> fail "app %s has no model %s" app model
         | Some cb ->
-            let ix = Pipeline.index cb in
+            with_engine ?index_cache ~jobs ~ted_cache:None ~fault:None
+            @@ fun jobs ->
+            let ix = Sv_core.Index_engine.index ~jobs cb in
             let db = Pipeline.to_db ix in
             let bytes = Sv_db.Codebase_db.save db in
             let oc = open_out_bin out in
@@ -244,7 +272,10 @@ let index_cmd =
   Cmd.v
     (Cmd.info "index"
        ~doc:"Index one port (preprocess, parse, lower, run) and save its Codebase DB.")
-    Term.(ret (const run $ app_arg $ model_arg [ "model" ] "Model id." $ out))
+    Term.(
+      ret
+        (const run $ app_arg $ model_arg [ "model" ] "Model id." $ out $ jobs_arg
+        $ index_cache_arg))
 
 let inspect_cmd =
   let run path =
@@ -273,12 +304,16 @@ let inspect_cmd =
     Term.(ret (const run $ path))
 
 let compare_cmd =
-  let run app base target jobs ted_cache fault =
+  let run app base target jobs ted_cache index_cache fault =
     with_app app (fun cbs ->
         match (find_codebase ~app cbs base, find_codebase ~app cbs target) with
         | Some b, Some t ->
-            with_engine ~jobs ~ted_cache ~fault @@ fun () ->
-            let bix = Pipeline.index b and tix = Pipeline.index t in
+            with_engine ?index_cache ~jobs ~ted_cache ~fault @@ fun jobs ->
+            let bix, tix =
+              match Sv_core.Index_engine.index_many ~jobs [ b; t ] with
+              | [ bix; tix ] -> (bix, tix)
+              | _ -> assert false
+            in
             let rows =
               List.map
                 (fun m ->
@@ -304,16 +339,16 @@ let compare_cmd =
         (const run $ app_arg
         $ model_arg [ "base"; "b" ] "Base model id (the port's origin)."
         $ model_arg [ "target"; "t" ] "Target model id."
-        $ jobs_arg $ ted_cache_arg $ fault_arg))
+        $ jobs_arg $ ted_cache_arg $ index_cache_arg $ fault_arg))
 
 let cluster_cmd =
-  let run app metric jobs ted_cache fault =
+  let run app metric jobs ted_cache index_cache fault =
     match Tbmd.metric_of_string metric with
     | None -> fail "unknown metric %S" metric
     | Some m ->
         with_app app (fun cbs ->
-            with_engine ~jobs ~ted_cache ~fault @@ fun () ->
-            let ixs = List.map Pipeline.index cbs in
+            with_engine ?index_cache ~jobs ~ted_cache ~fault @@ fun jobs ->
+            let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
             let matrix, dendro = Tbmd.dendrogram m ixs in
             print_string
               (Report.heatmap
@@ -326,7 +361,10 @@ let cluster_cmd =
   Cmd.v
     (Cmd.info "cluster"
        ~doc:"Pairwise divergence matrix and dendrogram for every model of an app.")
-    Term.(ret (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg $ fault_arg))
+    Term.(
+      ret
+        (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg
+        $ index_cache_arg $ fault_arg))
 
 let phi_cmd =
   let run app =
@@ -365,12 +403,12 @@ let chart_cmd =
     Term.(ret (const run $ app_arg))
 
 let verify_cmd =
-  let run app =
+  let run app jobs index_cache =
     with_app app (fun cbs ->
+        with_engine ?index_cache ~jobs ~ted_cache:None ~fault:None @@ fun jobs ->
         let all_ok = ref true in
         List.iter
-          (fun cb ->
-            let ix = Pipeline.index cb in
+          (fun (ix : Pipeline.indexed) ->
             let ok =
               match ix.Pipeline.ix_verification with
               | Some v -> v.Pipeline.v_ok
@@ -379,12 +417,12 @@ let verify_cmd =
             if not ok then all_ok := false;
             Printf.printf "  %-14s %s\n" ix.Pipeline.ix_model
               (if ok then "PASSED" else "FAILED"))
-          cbs;
+          (Sv_core.Index_engine.index_many ~jobs cbs);
         if !all_ok then `Ok () else fail "some ports failed verification")
   in
   Cmd.v
     (Cmd.info "verify" ~doc:"Run every port's built-in verification under the interpreter.")
-    Term.(ret (const run $ app_arg))
+    Term.(ret (const run $ app_arg $ jobs_arg $ index_cache_arg))
 
 let main_cmd =
   let doc = "SilverVale-ML: tree-based programming-model productivity analysis" in

@@ -1,8 +1,24 @@
 type matrix = { labels : string array; data : float array array }
 
-let of_fn labels f =
+let of_fn ?(symmetric = false) labels f =
   let n = Array.length labels in
-  { labels; data = Array.init n (fun i -> Array.init n (fun j -> f i j)) }
+  let data =
+    if not symmetric then Array.init n (fun i -> Array.init n (fun j -> f i j))
+    else begin
+      (* evaluate each unordered pair once and mirror — for expensive
+         symmetric divergences this halves the number of [f] calls *)
+      let data = Array.make_matrix n n 0.0 in
+      for i = 0 to n - 1 do
+        for j = i to n - 1 do
+          let d = f i j in
+          data.(i).(j) <- d;
+          data.(j).(i) <- d
+        done
+      done;
+      data
+    end
+  in
+  { labels; data }
 
 let row_euclidean m =
   let n = Array.length m.labels in
@@ -14,7 +30,17 @@ let row_euclidean m =
     done;
     sqrt !s
   in
-  { labels = m.labels; data = Array.init n (fun i -> Array.init n (fun j -> dist i j)) }
+  (* row distance is symmetric by construction and zero on the diagonal,
+     so only the strict upper triangle is ever computed *)
+  let data = Array.make_matrix n n 0.0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      let d = dist i j in
+      data.(i).(j) <- d;
+      data.(j).(i) <- d
+    done
+  done;
+  { labels = m.labels; data }
 
 type linkage = Single | Complete | Average
 

@@ -11,14 +11,20 @@ type matrix = {
   data : float array array;     (** square; [data.(i).(j)] ≥ 0 *)
 }
 
-val of_fn : string array -> (int -> int -> float) -> matrix
+val of_fn : ?symmetric:bool -> string array -> (int -> int -> float) -> matrix
 (** [of_fn labels f] tabulates [f] over the full cartesian product (the
-    matrix need not be symmetric — model divergence is directional). *)
+    matrix need not be symmetric — model divergence is directional).
+
+    With [~symmetric:true] the caller asserts [f i j = f j i]: each
+    unordered pair is evaluated once ([j >= i]) and mirrored, halving
+    the number of [f] calls while producing the identical matrix. *)
 
 val row_euclidean : matrix -> matrix
 (** [row_euclidean m] is the symmetric matrix of Euclidean distances
     between rows of [m] — the "Euclidean distance between points" step
-    that turns a divergence matrix into clustering input. *)
+    that turns a divergence matrix into clustering input. Only the strict
+    upper triangle is computed; the diagonal is exactly [0.] and the
+    lower triangle is mirrored. *)
 
 type linkage = Single | Complete | Average
 

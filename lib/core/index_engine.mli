@@ -1,0 +1,74 @@
+(** The indexing engine: parallel, cache-aware front-end driving
+    {!Pipeline.index}.
+
+    Three coordinated layers make re-indexing cheap while leaving the
+    answers untouched:
+
+    - {b Parallel front-end.} Misses are fanned over the {!Sv_sched}
+      fork/pipe pool — whole codebases in chunks when there are at least
+      as many misses as workers, per-unit jobs (stitched back through
+      {!Pipeline.index}'s [unit_indexer] hook) when codebases are scarce.
+      Results are reassembled in input order, so output is byte-identical
+      to the serial path; the pool's timeout/retry/degradation machinery
+      applies unchanged.
+    - {b Persistent cache.} When a {!Sv_db.Index_cache} is installed
+      ({!set_cache}; the CLI's [--index-cache] / [SV_INDEX_CACHE]),
+      every result is stored under {!codebase_key} and a warm run skips
+      preprocessing, parsing, lowering and interpretation wholesale.
+    - {b Hash-consed trees} live below, in {!Sv_tree.Hashcons} /
+      {!Sv_metrics.Divergence} — decoded or freshly built trees are
+      interned on first comparison, so the warm path feeds the same
+      fast-path-friendly structures to TED as the cold one. *)
+
+val set_cache : Sv_db.Index_cache.cache option -> unit
+(** Install (or clear) the process-wide index cache consulted by
+    {!index} / {!index_many}. *)
+
+val cache : unit -> Sv_db.Index_cache.cache option
+
+val codebase_key : run:bool -> Sv_corpus.Emit.codebase -> string
+(** The {!Sv_db.Index_cache.key} for one codebase: the source digest
+    spans identity metadata, the unit list, every file name and content,
+    the system-header mask and the [run] flag; defines and dialect are
+    separate key components. Any change to any of them is a miss. *)
+
+val index :
+  ?run:bool ->
+  ?jobs:int ->
+  ?chunk:int ->
+  Sv_corpus.Emit.codebase ->
+  Pipeline.indexed
+(** Cache-aware {!Pipeline.index} ([run] defaults to [true]). *)
+
+val index_many :
+  ?run:bool ->
+  ?jobs:int ->
+  ?chunk:int ->
+  Sv_corpus.Emit.codebase list ->
+  Pipeline.indexed list
+(** [index_many cbs] indexes a batch, in order. Cache hits are served
+    directly (an undecodable payload counts as a miss, never an error);
+    misses run serially when [jobs <= 1] (or there is only one), else in
+    the worker pool at whole-codebase grain (submission chunk
+    [?chunk], default [max 1 (misses / (2 * jobs))]) or unit grain when
+    misses are scarcer than workers. Every freshly computed result is
+    added to the installed cache. [jobs] defaults to
+    {!Sv_sched.Sched.default_jobs}. The result is byte-identical to
+    [List.map (Pipeline.index ~run) cbs] in all configurations. *)
+
+(** {2 Payload codecs}
+
+    Exposed for tests and the bench harness: the exact serialisation the
+    cache stores. *)
+
+val indexed_to_msgpack : Pipeline.indexed -> Sv_msgpack.Msgpack.t
+
+val indexed_of_msgpack :
+  Sv_msgpack.Msgpack.t -> (Pipeline.indexed, string) Result.t
+(** Inverse of {!indexed_to_msgpack} up to the per-process mask memo
+    (rebuilt empty) and coverage table layout (observationally equal). *)
+
+val unit_info_to_msgpack : Pipeline.unit_info -> Sv_msgpack.Msgpack.t
+
+val unit_info_of_msgpack :
+  Sv_msgpack.Msgpack.t -> (Pipeline.unit_info, string) Result.t

@@ -129,18 +129,42 @@ let index_c_unit (cb : Emit.codebase) file =
     },
     ast )
 
-let index_c (cb : Emit.codebase) ~run =
-  let unit_results =
-    List.map (index_c_unit cb) (cb.Emit.main_file :: cb.Emit.extra_units)
+let index_c_unit_info cb file = fst (index_c_unit cb file)
+
+(* Just the AST of one unit — preprocess + parse, no trees, no IR, no
+   counts. The parallel engine uses it to rerun the interpreter in the
+   parent over units whose [unit_info]s were computed in workers: ASTs
+   carry closures-free but deeply shared structure that is cheaper to
+   re-derive than to ship over a pipe. *)
+let c_unit_ast (cb : Emit.codebase) file =
+  let resolve name = List.assoc_opt name cb.Emit.files in
+  let src =
+    match List.assoc_opt file cb.Emit.files with
+    | Some s -> s
+    | None -> failwith (Printf.sprintf "unit %s not among the codebase files" file)
   in
-  let unit_infos = List.map fst unit_results in
-  let asts = List.map snd unit_results in
+  let pp = Sv_lang_c.Preproc.run ~resolve ~defines:cb.Emit.defines ~file src in
+  Sv_lang_c.Parser.parse_tokens ~file pp.Sv_lang_c.Preproc.tokens
+
+let index_c ?unit_indexer (cb : Emit.codebase) ~run =
+  let files = cb.Emit.main_file :: cb.Emit.extra_units in
+  let unit_infos, asts =
+    match unit_indexer with
+    | None ->
+        let unit_results = List.map (index_c_unit cb) files in
+        (List.map fst unit_results, lazy (List.map snd unit_results))
+    | Some indexer ->
+        (* unit_infos come from the hook (workers, a cache); the ASTs the
+           interpreter needs are re-derived lazily, so a no-run index
+           never parses in the parent at all *)
+        (indexer files, lazy (List.map (c_unit_ast cb) files))
+  in
   let coverage, verification =
     if not run then (None, None)
     else begin
       (* every translation unit links into one program; the interpreter
          sees them all and enters main *)
-      let o = Sv_interp.Interp_c.run asts in
+      let o = Sv_interp.Interp_c.run (Lazy.force asts) in
       let ok =
         match o.Sv_interp.Interp_c.result with
         | Ok (Sv_interp.Interp_c.VInt 0) -> true
@@ -219,9 +243,11 @@ let index_f (cb : Emit.codebase) ~run =
   in
   ([ unit_info ], coverage, verification)
 
-let index ?(run = true) (cb : Emit.codebase) =
+let index ?(run = true) ?unit_indexer (cb : Emit.codebase) =
   let units, coverage, verification =
-    match cb.Emit.lang with `C -> index_c cb ~run | `F -> index_f cb ~run
+    match cb.Emit.lang with
+    | `C -> index_c ?unit_indexer cb ~run
+    | `F -> index_f cb ~run
   in
   {
     ix_app = cb.Emit.app;

@@ -54,9 +54,31 @@ type indexed = {
           metric), so it is computed once instead of once per pair *)
 }
 
-val index : ?run:bool -> Sv_corpus.Emit.codebase -> indexed
+val index :
+  ?run:bool ->
+  ?unit_indexer:(string list -> unit_info list) ->
+  Sv_corpus.Emit.codebase ->
+  indexed
 (** [index cb] runs the pipeline; with [~run:true] (default) the
-    interpreter also executes the codebase for verification + coverage. *)
+    interpreter also executes the codebase for verification + coverage.
+
+    [?unit_indexer], given the unit file list (main first), supplies the
+    per-unit results instead of the serial {!index_c_unit_info} map — the
+    hook through which {!Index_engine} injects worker-computed units.
+    Only consulted for MiniC codebases; when the interpreter runs, the
+    unit ASTs are re-derived in-process (preprocess + parse only), which
+    yields the same program the serial path executes. The hook must
+    return exactly what [List.map (index_c_unit_info cb) files] would,
+    or the byte-identity guarantee is the caller's loss. *)
+
+val index_c_unit_info : Sv_corpus.Emit.codebase -> string -> unit_info
+(** One MiniC translation unit through every front-end stage — the
+    work item the parallel engine fans out. *)
+
+val c_unit_ast : Sv_corpus.Emit.codebase -> string -> Sv_lang_c.Ast.tunit
+(** Preprocess + parse only (no trees, IR or counts) — how the parent
+    cheaply reconstitutes the linked program for the interpreter when
+    units were indexed elsewhere. *)
 
 val to_db : indexed -> Sv_db.Codebase_db.t
 (** Convert to the portable Codebase DB artifact (trees + metadata,

@@ -4,29 +4,24 @@ module Label = Sv_tree.Label
 let source_distance a b =
   Sv_diff.Diff.edit_distance ~eq:String.equal (Array.of_list a) (Array.of_list b)
 
-(* TED spends its time in label comparisons; intern (kind, text) pairs to
-   ints so the inner loop compares words. The interning table is local to
-   one comparison, which keeps the function reentrant. *)
-let interned t1 t2 =
-  let table : (string * string, int) Hashtbl.t = Hashtbl.create 256 in
-  let intern (l : Label.t) =
-    let key = (l.Label.kind, l.Label.text) in
-    match Hashtbl.find_opt table key with
-    | Some i -> i
-    | None ->
-        let i = Hashtbl.length table in
-        Hashtbl.add table key i;
-        i
-  in
-  (Tree.map intern t1, Tree.map intern t2)
+(* TED spends its time in label comparisons; a process-global hash-consing
+   canonizer interns every distinct subtree once and hands the kernels
+   physically shared int-labelled views ([Label.equal] classes, so
+   locations never reach the DP). Equal trees — repeated matrix cells,
+   shared headers, identical ports — hit [Ted.distance_int]'s
+   pointer-compare fast path, and repeated operands skip re-interning of
+   everything already seen. Forked workers each inherit a private copy of
+   the table, so the pool stays deterministic. *)
+let canonizer : Label.t Sv_tree.Hashcons.canonizer =
+  Sv_tree.Hashcons.canonizer ~init:4096 ~hash:Label.hash ~equal:Label.equal ()
 
-let tree_distance t1 t2 =
-  let i1, i2 = interned t1 t2 in
-  Sv_tree.Ted.distance_int i1 i2
+let canon t = Sv_tree.Hashcons.canon canonizer t
+let intern_stats () = Sv_tree.Hashcons.canonizer_stats canonizer
+
+let tree_distance t1 t2 = Sv_tree.Ted.distance_int (canon t1) (canon t2)
 
 let tree_distance_bounded ~cutoff t1 t2 =
-  let i1, i2 = interned t1 t2 in
-  Sv_tree.Ted.distance_bounded_int ~cutoff i1 i2
+  Sv_tree.Ted.distance_bounded_int ~cutoff (canon t1) (canon t2)
 
 let tree_distance_matched t1 t2 =
   let root_cost = if Label.equal (Tree.label t1) (Tree.label t2) then 0 else 1 in

@@ -13,7 +13,9 @@ val source_distance : string list -> string list -> int
 
 val tree_distance : Sv_tree.Label.tree -> Sv_tree.Label.tree -> int
 (** Unit-cost TED with the paper's label equality ({!Sv_tree.Label.equal}:
-    kind and retained text; locations ignored). *)
+    kind and retained text; locations ignored). Operands are canonised
+    through a process-global {!Sv_tree.Hashcons} table, so equal trees
+    cost a pointer compare and repeated operands skip re-interning. *)
 
 val tree_distance_bounded :
   cutoff:int -> Sv_tree.Label.tree -> Sv_tree.Label.tree -> int option
@@ -47,3 +49,8 @@ val mask_tree :
   Sv_util.Coverage.t -> Sv_tree.Label.tree -> Sv_tree.Label.tree
 (** [mask_tree cov t] prunes subtrees whose source span never executed —
     the [+coverage] variant (§IV-D). The root always survives. *)
+
+val intern_stats : unit -> Sv_tree.Hashcons.stats
+(** Counters of the process-global intern table behind {!tree_distance}:
+    distinct subtrees/labels seen and intern hit/miss totals — the
+    structure-sharing rate the bench harness reports. *)

@@ -121,9 +121,18 @@ let distance_unit ~eq t1 t2 =
   List.iter (fun i -> List.iter (fun j -> treedist i j) d2.keyroots) d1.keyroots;
   if n1 = 0 then n2 else if n2 = 0 then n1 else td.(n1).(n2)
 
+(* Equal-subtree fast path: equal trees have distance 0, so skip the DP
+   entirely. Canonical trees from [Hashcons.canon] make this a pointer
+   compare; otherwise the structural walk bails on the first mismatch,
+   so the miss cost is one comparison per shared prefix node. *)
+let equal_int (t1 : int Tree.t) (t2 : int Tree.t) =
+  t1 == t2 || Tree.equal (fun (a : int) b -> a = b) t1 t2
+
 (* Int-labelled unit-cost kernel: direct integer compares and a single
    preallocated forest-distance buffer reused across keyroot pairs. *)
 let distance_int (t1 : int Tree.t) (t2 : int Tree.t) =
+  if equal_int t1 t2 then 0
+  else
   let d1 = decompose t1 and d2 = decompose t2 in
   let n1 = Array.length d1.labels - 1 and n2 = Array.length d2.labels - 1 in
   let td = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
@@ -412,6 +421,7 @@ let distance_bounded ?costs ~eq ~cutoff t1 t2 =
 
 let distance_bounded_int ~cutoff t1 t2 =
   if cutoff < 0 then None
+  else if equal_int t1 t2 then Some 0
   else if lower_bound_int t1 t2 > cutoff then None
   else if Tree.size t1 + Tree.size t2 <= cutoff then Some (distance_int t1 t2)
   else

@@ -37,7 +37,10 @@ val distance : ?costs:'a costs -> eq:('a -> 'a -> bool) -> 'a Tree.t -> 'a Tree.
 val distance_int : int Tree.t -> int Tree.t -> int
 (** [distance_int t1 t2] is {!distance} specialised to interned integer
     labels under unit costs — the fast path the metric layer uses (direct
-    integer compares, one reused forest-distance buffer). *)
+    integer compares, one reused forest-distance buffer). Equal trees
+    short-circuit to 0 before the DP: physically equal in O(1) — the case
+    {!Hashcons.canon} arranges — structurally equal after a walk that
+    bails on the first mismatch. *)
 
 val lower_bound_int : int Tree.t -> int Tree.t -> int
 (** [lower_bound_int t1 t2] is a cheap (O(n₁+n₂)) lower bound on the
@@ -64,7 +67,8 @@ val distance_bounded :
 val distance_bounded_int : cutoff:int -> int Tree.t -> int Tree.t -> int option
 (** {!distance_bounded} specialised to interned integer labels under unit
     costs, with the stronger {!lower_bound_int} histogram prefilter —
-    the clustering layer's fast path. *)
+    the clustering layer's fast path. Shares {!distance_int}'s
+    equal-subtree short-circuit ([Some 0] for any non-negative cutoff). *)
 
 val distance_brute : eq:('a -> 'a -> bool) -> 'a Tree.t -> 'a Tree.t -> int
 (** [distance_brute ~eq t1 t2] computes the same unit-cost distance with

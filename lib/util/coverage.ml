@@ -45,6 +45,33 @@ let lines_hit t ~file =
   | None -> []
   | Some tbl -> Hashtbl.fold (fun l _ acc -> l :: acc) tbl [] |> List.sort compare
 
+(* Sorted dump so serialising a recording is deterministic: Hashtbl
+   iteration order depends on insertion history, which differs between a
+   fresh interpreter run and a cache restore. *)
+let dump t =
+  files t
+  |> List.map (fun file ->
+         let tbl = Hashtbl.find t file in
+         let lines =
+           Hashtbl.fold (fun l n acc -> (l, n) :: acc) tbl []
+           |> List.sort compare
+         in
+         (file, lines))
+
+let restore entries =
+  let t = create () in
+  List.iter
+    (fun (file, lines) ->
+      List.iter
+        (fun (line, n) ->
+          if n > 0 then
+            let tbl = file_table t file in
+            Hashtbl.replace tbl line
+              (n + Option.value ~default:0 (Hashtbl.find_opt tbl line)))
+        lines)
+    entries;
+  t
+
 let keep_loc t loc =
   if Loc.is_none loc then true
   else List.exists (fun line -> covered t ~file:loc.Loc.file ~line) (Loc.lines_covered loc)

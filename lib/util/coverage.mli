@@ -31,6 +31,14 @@ val files : t -> string list
 val lines_hit : t -> file:string -> int list
 (** Sorted executed lines of one file. *)
 
+val dump : t -> (string * (int * int) list) list
+(** Full contents as [(file, (line, count) list)], sorted by file and
+    line — the deterministic form the index cache serialises. *)
+
+val restore : (string * (int * int) list) list -> t
+(** Inverse of {!dump}: rebuild a recording. [restore (dump t)] observes
+    identically to [t]; non-positive counts are dropped. *)
+
 val keep_loc : t -> Loc.t -> bool
 (** [keep_loc t loc] is the tree-mask predicate: true when [loc] is a
     synthesised location ({!Loc.none} — always kept) or when at least one

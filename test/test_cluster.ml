@@ -32,6 +32,72 @@ let test_row_euclidean () =
   checkf "diagonal zero" 0.0 d.C.data.(0).(0);
   checkf "symmetric" d.C.data.(0).(1) d.C.data.(1).(0)
 
+(* byte-level rendering of a matrix: the symmetric fast paths must be
+   indistinguishable from the naive full tabulation, not merely close *)
+let render (m : C.matrix) =
+  String.concat "\n"
+    (Array.to_list
+       (Array.map
+          (fun row ->
+            String.concat " "
+              (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+          m.C.data))
+
+let test_of_fn_symmetric_identical () =
+  let labels = Array.init 9 string_of_int in
+  let f i j =
+    (* symmetric, irrational-ish values so mirroring bugs can't hide *)
+    sqrt (float_of_int (((i + 1) * (j + 1)) + ((i - j) * (i - j))))
+  in
+  let full = C.of_fn labels f in
+  let half = C.of_fn ~symmetric:true labels f in
+  Alcotest.(check string) "byte-identical" (render full) (render half)
+
+let test_of_fn_symmetric_eval_count () =
+  let n = 10 in
+  let calls = ref 0 in
+  let f i j =
+    incr calls;
+    float_of_int (i * j)
+  in
+  let (_ : C.matrix) = C.of_fn ~symmetric:true (Array.init n string_of_int) f in
+  checki "one call per unordered pair" (n * (n + 1) / 2) !calls;
+  calls := 0;
+  let (_ : C.matrix) = C.of_fn (Array.init n string_of_int) f in
+  checki "asymmetric still tabulates everything" (n * n) !calls
+
+let test_row_euclidean_triangle_identical () =
+  (* differential test against the naive all-pairs definition *)
+  let rng = Random.State.make [| 0x5eed |] in
+  for _ = 1 to 20 do
+    let n = 1 + Random.State.int rng 8 in
+    let m =
+      {
+        C.labels = Array.init n string_of_int;
+        data =
+          Array.init n (fun _ ->
+              Array.init n (fun _ -> Random.State.float rng 100.0));
+      }
+    in
+    let dist i j =
+      let s = ref 0.0 in
+      for k = 0 to n - 1 do
+        let d = m.C.data.(i).(k) -. m.C.data.(j).(k) in
+        s := !s +. (d *. d)
+      done;
+      sqrt !s
+    in
+    let naive =
+      {
+        C.labels = m.C.labels;
+        data = Array.init n (fun i -> Array.init n (fun j -> dist i j));
+      }
+    in
+    Alcotest.(check string)
+      "byte-identical to naive all-pairs" (render naive)
+      (render (C.row_euclidean m))
+  done
+
 let test_cluster_pairs_first () =
   let d = C.cluster C.Complete two_pairs in
   match d with
@@ -145,6 +211,12 @@ let () =
         [
           Alcotest.test_case "of_fn" `Quick test_of_fn;
           Alcotest.test_case "row euclidean" `Quick test_row_euclidean;
+          Alcotest.test_case "of_fn symmetric identical" `Quick
+            test_of_fn_symmetric_identical;
+          Alcotest.test_case "of_fn symmetric eval count" `Quick
+            test_of_fn_symmetric_eval_count;
+          Alcotest.test_case "row euclidean vs naive" `Quick
+            test_row_euclidean_triangle_identical;
           Alcotest.test_case "pairs cluster first" `Quick test_cluster_pairs_first;
           Alcotest.test_case "linkage heights" `Quick test_linkage_heights_differ;
           Alcotest.test_case "leaves" `Quick test_leaves_complete;

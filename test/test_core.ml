@@ -261,6 +261,106 @@ let test_stepping_stone_api () =
   let g = Migration.stepping_stone_gain ~base:serial ~via ~target ~metric:Tbmd.TSem in
   checkb "finite gain value" true (Float.is_finite g)
 
+(* --- the indexing engine --- *)
+
+module Index_engine = Sv_core.Index_engine
+module Index_cache = Sv_db.Index_cache
+
+(* Everything observable about an indexed codebase: the portable artifact
+   bytes (trees, counts, lines, coverage-masked variants) plus the
+   verdict and the coverage dump, which the artifact does not carry. *)
+let ix_fingerprint (ix : Pipeline.indexed) =
+  ( Sv_db.Codebase_db.save (Pipeline.to_db ix),
+    ix.Pipeline.ix_verification,
+    Option.map Sv_util.Coverage.dump ix.Pipeline.ix_coverage )
+
+let engine_corpus () =
+  (* mixed-language batch: MiniC codebases exercise both parallel grains,
+     the MiniF one the serial fallback of the unit-grain path *)
+  let c = Sv_corpus.Babelstream.all () in
+  [ List.nth c 0; List.nth c 1; List.nth c 2;
+    List.hd (Sv_corpus.Babelstream_f.all ()) ]
+
+let with_cache cache f =
+  Index_engine.set_cache cache;
+  Fun.protect ~finally:(fun () -> Index_engine.set_cache None) f
+
+let check_identical name reference ixs =
+  List.iter2
+    (fun (a : Pipeline.indexed) (b : Pipeline.indexed) ->
+      checkb
+        (Printf.sprintf "%s: %s byte-identical" name b.Pipeline.ix_model)
+        true
+        (ix_fingerprint a = ix_fingerprint b))
+    reference ixs
+
+let test_engine_parallel_model_grain () =
+  let cbs = engine_corpus () in
+  let reference = List.map Pipeline.index cbs in
+  (* chunk:1 with jobs:2 over 4 misses takes the whole-codebase branch *)
+  check_identical "model grain" reference
+    (Index_engine.index_many ~jobs:2 ~chunk:1 cbs)
+
+let test_engine_parallel_unit_grain () =
+  let cbs = engine_corpus () in
+  let reference = List.map Pipeline.index cbs in
+  (* more workers than misses takes the per-unit branch *)
+  check_identical "unit grain" reference
+    (Index_engine.index_many ~jobs:8 cbs)
+
+let test_engine_warm_cache () =
+  let cbs = engine_corpus () in
+  let reference = List.map Pipeline.index cbs in
+  let cache = Index_cache.create () in
+  with_cache (Some cache) (fun () ->
+      check_identical "cold" reference (Index_engine.index_many ~jobs:1 cbs);
+      checki "all misses recorded" (List.length cbs) (Index_cache.size cache);
+      let hits_before = Index_cache.hits cache in
+      check_identical "warm" reference (Index_engine.index_many ~jobs:1 cbs);
+      checki "all hits" (hits_before + List.length cbs) (Index_cache.hits cache));
+  (* the persisted cache serves an identical warm run in a fresh table *)
+  let reloaded =
+    match Index_cache.load (Index_cache.save cache) with
+    | Ok c -> c
+    | Error e -> Alcotest.fail e
+  in
+  with_cache (Some reloaded) (fun () ->
+      check_identical "warm from disk" reference
+        (Index_engine.index_many ~jobs:1 cbs);
+      checki "no recompute" (List.length cbs) (Index_cache.hits reloaded))
+
+let test_engine_key_invalidation () =
+  let cb = List.hd (Sv_corpus.Babelstream.all ()) in
+  let k = Index_engine.codebase_key ~run:true cb in
+  let change name cb' =
+    checkb (name ^ " changes the key") true
+      (Index_engine.codebase_key ~run:true cb' <> k)
+  in
+  change "editing a source file"
+    { cb with
+      Sv_corpus.Emit.files =
+        (match cb.Sv_corpus.Emit.files with
+        | (f, src) :: rest -> (f, src ^ "\n") :: rest
+        | [] -> assert false) };
+  change "adding a define"
+    { cb with Sv_corpus.Emit.defines = ("EXTRA", "1") :: cb.Sv_corpus.Emit.defines };
+  change "switching dialect" { cb with Sv_corpus.Emit.lang = `F };
+  checkb "disabling the run changes the key" true
+    (Index_engine.codebase_key ~run:false cb <> k);
+  checkb "same codebase, same key" true
+    (Index_engine.codebase_key ~run:true cb = k)
+
+let test_engine_corrupt_payload_recomputes () =
+  (* an undecodable payload under the right key is treated as a miss and
+     silently recomputed, never an error *)
+  let cb = List.hd (Sv_corpus.Babelstream.all ()) in
+  let reference = Pipeline.index cb in
+  let cache = Index_cache.create () in
+  Index_cache.add cache (Index_engine.codebase_key ~run:true cb) "garbage";
+  with_cache (Some cache) (fun () ->
+      checkb "recomputed identically" true
+        (ix_fingerprint (Index_engine.index ~jobs:1 cb) = ix_fingerprint reference))
+
 (* --- dendrogram integration --- *)
 
 let test_dendrogram_runs () =
@@ -353,6 +453,17 @@ let () =
           Alcotest.test_case "fortran acc" `Quick test_finding_fortran_acc;
           Alcotest.test_case "fortran array forms" `Quick test_finding_fortran_array_similarity;
           Alcotest.test_case "stepping stone api" `Slow test_stepping_stone_api;
+        ] );
+      ( "index-engine",
+        [
+          Alcotest.test_case "parallel model grain identical" `Quick
+            test_engine_parallel_model_grain;
+          Alcotest.test_case "parallel unit grain identical" `Quick
+            test_engine_parallel_unit_grain;
+          Alcotest.test_case "warm cache identical" `Quick test_engine_warm_cache;
+          Alcotest.test_case "key invalidation" `Quick test_engine_key_invalidation;
+          Alcotest.test_case "corrupt payload recomputes" `Quick
+            test_engine_corrupt_payload_recomputes;
         ] );
       ( "integration",
         [

@@ -189,6 +189,89 @@ let prop_ted_cache_truncation =
       let cut = cut_seed mod String.length art in
       Result.is_error (Tc.load (String.sub art 0 cut)))
 
+(* --- index cache --- *)
+
+module Ic = Sv_db.Index_cache
+
+let ic_key ?version ?(digest = String.make 16 'd') ?(defines = [ "N=8" ])
+    ?(dialect = "minic") () =
+  Ic.key ?version ~source_digest:digest ~defines ~dialect ()
+
+let test_index_cache_key_invalidation () =
+  let base = ic_key () in
+  checkb "deterministic" true (ic_key () = base);
+  checki "16-byte key" 16 (String.length base);
+  checkb "source digest changes key" false
+    (ic_key ~digest:(String.make 16 'e') () = base);
+  checkb "defines change key" false (ic_key ~defines:[ "N=9" ] () = base);
+  checkb "define order is significant" false
+    (ic_key ~defines:[ "A=1"; "B=2" ] () = ic_key ~defines:[ "B=2"; "A=1" ] ());
+  checkb "dialect changes key" false (ic_key ~dialect:"minif" () = base);
+  checkb "pipeline version changes key" false
+    (ic_key ~version:(Ic.pipeline_version + 1) () = base)
+
+let test_index_cache_add_defensive () =
+  let c = Ic.create () in
+  let k = ic_key () in
+  Ic.add c k "payload-1";
+  checki "stored" 1 (Ic.size c);
+  (* a second writer for the same key (two processes racing on a shared
+     cache file) must not clobber the first result *)
+  Ic.add c k "payload-2";
+  checkb "never overwrites" true (Ic.find c k = Some "payload-1");
+  Ic.add c "short-key" "x";
+  Ic.add c (String.make 16 'k') "";
+  checki "malformed entries dropped" 1 (Ic.size c);
+  checki "hits counted" 1 (Ic.hits c);
+  checkb "miss counted" true (Ic.find c (ic_key ~dialect:"minif" ()) = None);
+  checki "misses counted" 1 (Ic.misses c)
+
+let test_index_cache_merge_idempotent () =
+  let c = Ic.create () in
+  let entries =
+    [ (ic_key (), "a"); (ic_key ~dialect:"minif" (), "b"); ("bad", "c") ]
+  in
+  Ic.merge c entries;
+  checki "valid entries merged" 2 (Ic.size c);
+  Ic.merge c entries;
+  Ic.merge c entries;
+  checki "idempotent under re-merge" 2 (Ic.size c);
+  checkb "values intact" true (Ic.find c (ic_key ()) = Some "a")
+
+let test_index_cache_load_file_missing () =
+  let c = Ic.load_file "/nonexistent/dir/index.cache" in
+  checki "missing file is a cold start" 0 (Ic.size c)
+
+let gen_ic_entries =
+  QCheck.Gen.(
+    list_size (int_bound 40)
+      (pair (string_size (return 16)) (string_size (int_range 1 64))))
+
+let arb_ic_entries = QCheck.make gen_ic_entries
+
+let prop_index_cache_roundtrip =
+  QCheck.Test.make ~name:"index cache artifact round-trip" ~count:200
+    arb_ic_entries (fun entries ->
+      let c = Ic.create () in
+      Ic.merge c entries;
+      match Ic.load (Ic.save c) with
+      | Error _ -> false
+      | Ok c' ->
+          Ic.size c' = Ic.size c
+          && List.for_all (fun (k, _) -> Ic.find c' k = Ic.find c k) entries
+          (* sorted serialisation: contents determine the bytes *)
+          && Ic.save c' = Ic.save c)
+
+let prop_index_cache_truncation =
+  QCheck.Test.make ~name:"truncated index cache artifact is rejected" ~count:200
+    QCheck.(pair arb_ic_entries (int_bound 100_000))
+    (fun (entries, cut_seed) ->
+      let c = Ic.create () in
+      Ic.merge c entries;
+      let art = Ic.save c in
+      let cut = cut_seed mod String.length art in
+      Result.is_error (Ic.load (String.sub art 0 cut)))
+
 let test_db_pipeline_integration () =
   (* a real indexed codebase survives the save/load cycle *)
   let cb =
@@ -232,8 +315,20 @@ let () =
           Alcotest.test_case "find is symmetric" `Quick test_ted_cache_find_symmetric;
           Alcotest.test_case "merge is defensive" `Quick test_ted_cache_merge_defensive;
         ] );
+      ( "index-cache",
+        [
+          Alcotest.test_case "key invalidation" `Quick
+            test_index_cache_key_invalidation;
+          Alcotest.test_case "add is defensive" `Quick
+            test_index_cache_add_defensive;
+          Alcotest.test_case "merge is idempotent" `Quick
+            test_index_cache_merge_idempotent;
+          Alcotest.test_case "missing file is cold start" `Quick
+            test_index_cache_load_file_missing;
+        ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest
           [ prop_tree_codec_roundtrip; prop_ted_cache_roundtrip;
-            prop_ted_cache_truncation ] );
+            prop_ted_cache_truncation; prop_index_cache_roundtrip;
+            prop_index_cache_truncation ] );
     ]

@@ -291,6 +291,78 @@ let test_oracle_default () = run_oracle ~iters:(max 500 prop_iters) ~max_nodes:1
 let test_oracle_long () =
   run_oracle ~iters:(max 500 prop_iters) ~max_nodes:26 ~max_brute:20 ()
 
+(* --- hash-consing --------------------------------------------------- *)
+
+module Hc = Sv_tree.Hashcons
+
+(* intern ∘ extern = id: the table must preserve the tree exactly (int
+   labels, so label equality is structural). *)
+let test_hashcons_extern_id () =
+  let tbl = Hc.create ~hash:Hashtbl.hash ~equal:Int.equal () in
+  let rng = Prng.create 0xca11_ab1e in
+  for i = 1 to max 500 prop_iters do
+    let t = gen_tree_sized rng (1 + Prng.int rng 24) in
+    let n = Hc.intern tbl t in
+    if not (Tree.equal Int.equal (Hc.extern n) t) then
+      Alcotest.failf "tree %d: extern (intern t) <> t for %s" i (show_tree t);
+    if Hc.size n <> Tree.size t then
+      Alcotest.failf "tree %d: interned size %d <> %d" i (Hc.size n) (Tree.size t)
+  done;
+  let s = Hc.stats tbl in
+  if s.Hc.labels > 4 then
+    Alcotest.failf "label alphabet is 0..3 but table holds %d labels" s.Hc.labels
+
+(* Tree.equal ⇔ id equality (and ⇒ digest equality) on seeded pairs.
+   Pairs are drawn small so equal pairs actually occur. *)
+let test_hashcons_equal_iff_id () =
+  let tbl = Hc.create ~hash:Hashtbl.hash ~equal:Int.equal () in
+  let rng = Prng.create 0x1d_c0de in
+  let equal_pairs = ref 0 in
+  for i = 1 to max 500 prop_iters do
+    let a = gen_tree_sized rng (1 + Prng.int rng 5) in
+    let b = gen_tree_sized rng (1 + Prng.int rng 5) in
+    let na = Hc.intern tbl a and nb = Hc.intern tbl b in
+    let structural = Tree.equal Int.equal a b in
+    if structural then incr equal_pairs;
+    if Hc.equal na nb <> structural then
+      Alcotest.failf "pair %d: id equality %b but structural %b (%s vs %s)" i
+        (Hc.equal na nb) structural (show_tree a) (show_tree b);
+    if (Hc.id na = Hc.id nb) <> structural then
+      Alcotest.failf "pair %d: Hc.equal and id comparison disagree" i;
+    if structural && Hc.digest na <> Hc.digest nb then
+      Alcotest.failf "pair %d: equal trees with different digests" i
+  done;
+  if !equal_pairs = 0 then
+    Alcotest.fail "generator never produced an equal pair; test is vacuous"
+
+(* Canonical int views feed the TED fast path: distances through canon
+   must match the plain kernel (and the brute oracle transitively, since
+   the plain kernel is oracle-checked above). *)
+let test_hashcons_canon_ted_agrees () =
+  let c = Hc.canonizer ~hash:Hashtbl.hash ~equal:Int.equal () in
+  let rng = Prng.create 0x7ed0_5eed in
+  for i = 1 to max 500 prop_iters do
+    let a = gen_tree_sized rng (1 + Prng.int rng 10) in
+    let b = gen_tree_sized rng (1 + Prng.int rng 10) in
+    let ca = Hc.canon c a and cb = Hc.canon c b in
+    (* physical sharing: equal trees canonise to the same pointer *)
+    if Tree.equal Int.equal a b && not (ca == cb) then
+      Alcotest.failf "pair %d: equal trees not physically shared" i;
+    let d = ted a b in
+    if Ted.distance_int ca cb <> d then
+      Alcotest.failf "pair %d: TED through canon %d, direct %d (%s vs %s)" i
+        (Ted.distance_int ca cb) d (show_tree a) (show_tree b);
+    if Ted.distance_int ca ca <> 0 then
+      Alcotest.failf "pair %d: fast path broke the identity distance" i;
+    List.iter
+      (fun cutoff ->
+        let want = if d <= cutoff then Some d else None in
+        if Ted.distance_bounded_int ~cutoff ca cb <> want then
+          Alcotest.failf "pair %d: bounded TED through canon disagrees at cutoff %d"
+            i cutoff)
+      [ d - 1; d; d + 3 ]
+  done
+
 let prop_custom_costs_scale =
   QCheck.Test.make ~name:"doubled costs double the distance" ~count:100
     (QCheck.pair arb_tree arb_tree)
@@ -337,6 +409,14 @@ let () =
         [
           Alcotest.test_case "seeded suite (>=500 pairs)" `Quick test_oracle_default;
           Alcotest.test_case "long mode (bigger trees)" `Slow test_oracle_long;
+        ] );
+      ( "hashcons",
+        [
+          Alcotest.test_case "extern (intern t) = t" `Quick test_hashcons_extern_id;
+          Alcotest.test_case "Tree.equal iff id equality" `Quick
+            test_hashcons_equal_iff_id;
+          Alcotest.test_case "TED through canon agrees" `Quick
+            test_hashcons_canon_ted_agrees;
         ] );
       ( "ted-properties",
         List.map QCheck_alcotest.to_alcotest
