@@ -36,7 +36,7 @@ let () =
       | [] -> ()
       | entries -> (
           let path =
-            Option.value ~default:"BENCH_PR4.json" (Sys.getenv_opt "SV_BENCH_JSON")
+            Option.value ~default:"BENCH_PR5.json" (Sys.getenv_opt "SV_BENCH_JSON")
           in
           try
             let oc = open_out path in
@@ -550,6 +550,157 @@ let index_engine () =
     exit 1
   end
 
+(* The PR 5 tentpole: the flat-array TED kernel against the pointer-tree
+   Zhang–Shasha reference. One full T_sem matrix per kernel (the in-process
+   memo dropped in between, algorithms alternated through the public
+   switch), rendered to text and compared byte-for-byte — a mismatch exits
+   nonzero, which makes this part of the @bench-smoke contract. A
+   single-pair microbenchmark isolates the kernels from indexing noise,
+   and a bounded sweep exercises the pruning cascade; both the timings and
+   the prune counters land in the JSON report. *)
+let ted_core () =
+  section "TED core: flat kernel vs Zhang\xe2\x80\x93Shasha (BabelStream, T_sem)";
+  let module T = Sv_perf.Telemetry in
+  let module Div = Sv_metrics.Divergence in
+  let render (m : Cluster.matrix) =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              String.concat " "
+                (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+            m.Cluster.data))
+  in
+  let ixs = Lazy.force babelstream in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let run algo () =
+    Div.set_ted_algo algo;
+    Tbmd.clear_memo ();
+    Fun.protect
+      ~finally:(fun () -> Div.set_ted_algo `Flat)
+      (fun () -> Tbmd.matrix Tbmd.TSem ixs)
+  in
+  (* one untimed warm-up so indexing, canonisation and flat compilation
+     never pollute either timed run *)
+  let (_ : Cluster.matrix) = run `Zs () in
+  let (_ : Cluster.matrix) = run `Flat () in
+  let zs_m, t_zs = wall (run `Zs) in
+  T.reset_ted ();
+  let flat_m, t_flat = wall (run `Flat) in
+  let mtx = T.ted_snapshot () in
+  let n = Array.length zs_m.Cluster.labels in
+  let matrix_speedup = t_zs /. Float.max 1e-9 t_flat in
+  let matrix_identical = render zs_m = render flat_m in
+  Printf.printf "  %-28s %9.3fs  (%d models, %d pairs)\n" "matrix, zs kernel"
+    t_zs n
+    (n * (n - 1) / 2);
+  Printf.printf "  %-28s %9.3fs  (%.2fx)\n" "matrix, flat kernel" t_flat
+    matrix_speedup;
+  Printf.printf "  matrices byte-identical: %s\n"
+    (if matrix_identical then "OK" else "MISMATCH");
+  Printf.printf "  %s\n" (T.ted_to_string mtx);
+  (* single-pair microbenchmark: the largest cross-model unit pair,
+     repeated until stable, so the two kernels are compared with zero
+     indexing or matrix bookkeeping in the loop *)
+  let u1 = (List.hd (List.hd ixs).Pipeline.ix_units).Pipeline.u_t_sem in
+  let u2 =
+    (List.hd (List.nth ixs 1).Pipeline.ix_units).Pipeline.u_t_sem
+  in
+  let time_pair algo =
+    Div.set_ted_algo algo;
+    Fun.protect
+      ~finally:(fun () -> Div.set_ted_algo `Flat)
+      (fun () ->
+        let d = Div.tree_distance u1 u2 in
+        let t0 = Unix.gettimeofday () in
+        let once = Div.tree_distance u1 u2 in
+        let t_once = Unix.gettimeofday () -. t0 in
+        assert (once = d);
+        let reps =
+          max 5 (min 500 (int_of_float (0.3 /. Float.max 1e-6 t_once)))
+        in
+        let t0 = Unix.gettimeofday () in
+        for _ = 1 to reps do
+          ignore (Div.tree_distance u1 u2)
+        done;
+        (d, (Unix.gettimeofday () -. t0) /. float_of_int reps, reps))
+  in
+  let d_zs, pair_zs_s, reps_zs = time_pair `Zs in
+  let d_flat, pair_flat_s, reps_flat = time_pair `Flat in
+  let pair_speedup = pair_zs_s /. Float.max 1e-9 pair_flat_s in
+  let pair_identical = d_zs = d_flat in
+  Printf.printf "  %-28s %9.0fns  (d=%d, %d reps)\n" "pair, zs kernel"
+    (pair_zs_s *. 1e9) d_zs reps_zs;
+  Printf.printf "  %-28s %9.0fns  (%.2fx, %d reps)\n" "pair, flat kernel"
+    (pair_flat_s *. 1e9) pair_speedup reps_flat;
+  Printf.printf "  pair distances identical: %s\n"
+    (if pair_identical then "OK" else "MISMATCH");
+  (* bounded sweep: every cross-model unit pair under a tight cutoff —
+     most pairs are far apart, so the cascade should settle nearly all of
+     them without a DP run *)
+  let trees =
+    List.concat_map
+      (fun (c : Pipeline.indexed) ->
+        List.map (fun u -> u.Pipeline.u_t_sem) c.Pipeline.ix_units)
+      ixs
+  in
+  let tarr = Array.of_list trees in
+  let nt = Array.length tarr in
+  T.reset_ted ();
+  let bounded_total = ref 0 and bounded_kept = ref 0 in
+  for i = 0 to nt - 1 do
+    for j = i + 1 to nt - 1 do
+      incr bounded_total;
+      match Div.tree_distance_bounded ~cutoff:8 tarr.(i) tarr.(j) with
+      | Some _ -> incr bounded_kept
+      | None -> ()
+    done
+  done;
+  let bnd = T.ted_snapshot () in
+  Printf.printf
+    "  bounded sweep (cutoff 8): %d pairs, %d within cutoff, %d pruned \
+     without DP\n"
+    !bounded_total !bounded_kept (T.ted_pruned bnd);
+  Printf.printf "  %s\n" (T.ted_to_string bnd);
+  record "ted-core"
+    (J.Obj
+       ([
+          ("models", J.Int n);
+          ("matrix_zs_s", J.Float t_zs);
+          ("matrix_flat_s", J.Float t_flat);
+          ("matrix_speedup", J.Float matrix_speedup);
+          ("pair_zs_ns", J.Float (pair_zs_s *. 1e9));
+          ("pair_flat_ns", J.Float (pair_flat_s *. 1e9));
+          ("pair_speedup", J.Float pair_speedup);
+          ("identical", J.Bool (matrix_identical && pair_identical));
+          ("bounded_pairs", J.Int !bounded_total);
+          ("bounded_within_cutoff", J.Int !bounded_kept);
+          ("bounded_pruned_without_dp", J.Int (T.ted_pruned bnd));
+        ]
+       @
+       let counters prefix (t : T.ted) =
+         [
+           (prefix ^ "equal_prunes", J.Int t.T.equal_prunes);
+           (prefix ^ "size_prunes", J.Int t.T.size_prunes);
+           (prefix ^ "hist_prunes", J.Int t.T.hist_prunes);
+           (prefix ^ "cutoff_abandons", J.Int t.T.cutoff_abandons);
+           (prefix ^ "dp_runs", J.Int t.T.dp_runs);
+           (prefix ^ "flat_compiles", J.Int t.T.flat_compiles);
+           (prefix ^ "scratch_grows", J.Int t.T.scratch_grows);
+           (prefix ^ "strategy_left", J.Int t.T.strategy_left);
+           (prefix ^ "strategy_right", J.Int t.T.strategy_right);
+         ]
+       in
+       counters "matrix_" mtx @ counters "bounded_" bnd));
+  if not (matrix_identical && pair_identical) then begin
+    Printf.eprintf "[bench] ted-core: flat/zs mismatch\n%!";
+    exit 1
+  end
+
 let kernels () =
   section "Kernel timings (Bechamel)";
   let open Bechamel in
@@ -723,6 +874,7 @@ let experiments =
     ("ablation-linkage", ablation_linkage); ("structure", structure);
     ("extension-raja", extension_raja);
     ("ted-engine", ted_engine);
+    ("ted-core", ted_core);
     ("index-engine", index_engine);
     ("kernels", kernels);
   ]

@@ -100,6 +100,27 @@ let index_cache_arg =
                  source digest, defines, dialect and pipeline version — \
                  any change is an automatic miss, never a stale result.")
 
+let ted_algo_arg =
+  Arg.(
+    value
+    & opt (enum [ ("flat", `Flat); ("zs", `Zs) ]) `Flat
+    & info [ "ted-algo" ] ~docv:"ALGO"
+        ~doc:
+          "Tree-edit-distance kernel: $(b,flat) (default) compiles each \
+           distinct tree once into contiguous int arrays and runs the \
+           allocation-free kernel with per-pair strategy selection and a \
+           pruning cascade; $(b,zs) is the pointer-tree Zhang\xE2\x80\x93Shasha \
+           reference. Both produce identical distances.")
+
+let stats_arg =
+  Arg.(
+    value & flag
+    & info [ "stats" ]
+        ~doc:
+          "Print TED engine counters after the run: pairs pruned by the \
+           digest/size/histogram cascade, DP runs and abandons, flat \
+           compiles, and left/right strategy picks.")
+
 let fault_arg =
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
          ~doc:"Deterministic fault injection for the worker pool (manual \
@@ -117,7 +138,7 @@ let fault_arg =
    activity and reset both engines so one subcommand cannot leak state
    into a later library use of Tbmd or Index_engine. [f] receives the
    resolved worker count for the indexing fan-out. *)
-let with_engine ?index_cache ~jobs ~ted_cache ~fault f =
+let with_engine ?index_cache ?(ted_algo = `Flat) ~jobs ~ted_cache ~fault f =
   let module F = Sv_sched.Sched.Fault in
   match
     match fault with
@@ -127,6 +148,7 @@ let with_engine ?index_cache ~jobs ~ted_cache ~fault f =
   | Error e -> fail "--fault: %s" e
   | Ok spec ->
       (match spec with Some s -> F.set s | None -> ());
+      Sv_metrics.Divergence.set_ted_algo ted_algo;
       let jobs = if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs in
       Tbmd.set_jobs jobs;
       (match ted_cache with
@@ -163,7 +185,8 @@ let with_engine ?index_cache ~jobs ~ted_cache ~fault f =
         F.clear ();
         Sv_core.Index_engine.set_cache None;
         Tbmd.set_ted_cache None;
-        Tbmd.set_jobs 1
+        Tbmd.set_jobs 1;
+        Sv_metrics.Divergence.set_ted_algo `Flat
       in
       (match f jobs with
       | r ->
@@ -304,11 +327,13 @@ let inspect_cmd =
     Term.(ret (const run $ path))
 
 let compare_cmd =
-  let run app base target jobs ted_cache index_cache fault =
+  let run app base target jobs ted_cache index_cache fault ted_algo stats =
     with_app app (fun cbs ->
         match (find_codebase ~app cbs base, find_codebase ~app cbs target) with
         | Some b, Some t ->
-            with_engine ?index_cache ~jobs ~ted_cache ~fault @@ fun jobs ->
+            with_engine ?index_cache ~ted_algo ~jobs ~ted_cache ~fault
+            @@ fun jobs ->
+            if stats then Sv_perf.Telemetry.reset_ted ();
             let bix, tix =
               match Sv_core.Index_engine.index_many ~jobs [ b; t ] with
               | [ bix; tix ] -> (bix, tix)
@@ -329,6 +354,9 @@ let compare_cmd =
             Printf.printf "divergence %s: %s -> %s\n" app base target;
             print_string
               (Report.table ~headers:[ "metric"; "d"; "dmax"; "normalised" ] ~rows);
+            if stats then
+              Printf.printf "%s\n"
+                (Sv_perf.Telemetry.ted_to_string Sv_perf.Telemetry.ted);
             `Ok ()
         | _ -> fail "unknown model (base %s / target %s)" base target)
   in
@@ -339,15 +367,17 @@ let compare_cmd =
         (const run $ app_arg
         $ model_arg [ "base"; "b" ] "Base model id (the port's origin)."
         $ model_arg [ "target"; "t" ] "Target model id."
-        $ jobs_arg $ ted_cache_arg $ index_cache_arg $ fault_arg))
+        $ jobs_arg $ ted_cache_arg $ index_cache_arg $ fault_arg $ ted_algo_arg
+        $ stats_arg))
 
 let cluster_cmd =
-  let run app metric jobs ted_cache index_cache fault =
+  let run app metric jobs ted_cache index_cache fault ted_algo =
     match Tbmd.metric_of_string metric with
     | None -> fail "unknown metric %S" metric
     | Some m ->
         with_app app (fun cbs ->
-            with_engine ?index_cache ~jobs ~ted_cache ~fault @@ fun jobs ->
+            with_engine ?index_cache ~ted_algo ~jobs ~ted_cache ~fault
+            @@ fun jobs ->
             let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
             let matrix, dendro = Tbmd.dendrogram m ixs in
             print_string
@@ -364,7 +394,7 @@ let cluster_cmd =
     Term.(
       ret
         (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg
-        $ index_cache_arg $ fault_arg))
+        $ index_cache_arg $ fault_arg $ ted_algo_arg))
 
 let phi_cmd =
   let run app =

@@ -359,3 +359,27 @@ let index ?run ?jobs ?chunk cb =
   match index_many ?run ?jobs ?chunk [ cb ] with
   | [ ix ] -> ix
   | _ -> assert false
+
+(* --- TED warm-up ------------------------------------------------------ *)
+
+(* Compile the flat TED kernel of every tree a matrix sweep will touch,
+   before any pair is evaluated (and before any worker forks — children
+   then inherit the compiled kernels copy-on-write instead of each
+   recompiling them). Ascending size order keeps compile locality cheap;
+   reserving scratch for the two largest trees means no DP buffer ever
+   regrows mid-sweep. Distances are unaffected — this is purely a
+   warming pass. *)
+let warm_ted (trees : Sv_tree.Label.tree list) =
+  let sorted =
+    List.stable_sort
+      (fun a b -> compare (Sv_tree.Tree.size a) (Sv_tree.Tree.size b))
+      trees
+  in
+  List.iter Sv_metrics.Divergence.warm_flat sorted;
+  match List.rev sorted with
+  | a :: b :: _ ->
+      Sv_tree.Flat.reserve (Sv_tree.Tree.size a) (Sv_tree.Tree.size b)
+  | [ a ] ->
+      let n = Sv_tree.Tree.size a in
+      Sv_tree.Flat.reserve n n
+  | [] -> ()

@@ -56,6 +56,15 @@ val index_many :
     {!Sv_sched.Sched.default_jobs}. The result is byte-identical to
     [List.map (Pipeline.index ~run) cbs] in all configurations. *)
 
+val warm_ted : Sv_tree.Label.tree list -> unit
+(** [warm_ted trees] pre-compiles the flat TED kernel of every tree
+    (ascending by size, memoised by intern id in
+    {!Sv_metrics.Divergence}) and pre-grows the shared DP scratch for the
+    two largest, so a following matrix sweep — serial or fanned over
+    forked workers, which inherit the compiled kernels copy-on-write —
+    never compiles or reallocates mid-pair. Purely a warming pass;
+    distances are unchanged. *)
+
 (** {2 Payload codecs}
 
     Exposed for tests and the bench harness: the exact serialisation the

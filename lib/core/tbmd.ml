@@ -225,6 +225,18 @@ let matrix ?(variant = Base) metric codebases =
       incr idx
     done
   done;
+  (* Tree metrics on the flat kernel: compile every tree's flat form and
+     size the DP scratch up front, so neither the serial loop nor any
+     forked worker (which inherits the warm memo copy-on-write) compiles
+     or reallocates mid-pair. Pair order below is untouched — results,
+     memo and cache contents stay byte-identical. *)
+  (match metric with
+  | (TSrc | TSem | TSemI | TIr) when Div.ted_algo () = `Flat ->
+      Index_engine.warm_ted
+        (List.concat_map
+           (fun c -> List.map (fun u -> tree_of metric variant c u) c.ix_units)
+           codebases)
+  | _ -> ());
   let jobs = !engine_jobs in
   if jobs <= 1 || Array.length pairs < 2 then
     Array.iter

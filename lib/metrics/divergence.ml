@@ -18,10 +18,68 @@ let canonizer : Label.t Sv_tree.Hashcons.canonizer =
 let canon t = Sv_tree.Hashcons.canon canonizer t
 let intern_stats () = Sv_tree.Hashcons.canonizer_stats canonizer
 
-let tree_distance t1 t2 = Sv_tree.Ted.distance_int (canon t1) (canon t2)
+(* Which TED kernel answers [tree_distance]. [`Flat] compiles each
+   distinct canonical tree once into Flat's contiguous arrays (memoised
+   below by intern id) and runs the allocation-free flat kernel; [`Zs] is
+   the pointer-tree Zhang–Shasha of PR 4, kept as the reference the bench
+   harness compares against byte-for-byte. Both compute the identical
+   distance. *)
+type ted_algo = [ `Flat | `Zs ]
+
+let algo : ted_algo ref = ref `Flat
+let set_ted_algo a = algo := a
+let ted_algo () = !algo
+
+(* Flat kernels memoised by intern id: one compile per distinct tree for
+   the life of the process, shared by every matrix cell that mentions it.
+   Forked workers inherit the parent's memo copy-on-write, so pre-warming
+   the memo before a fan-out (see [Index_engine.warm_ted]) means no
+   worker recompiles what the parent already has. *)
+let flat_memo : (int, Sv_tree.Flat.t) Hashtbl.t = Hashtbl.create 1024
+
+let flat_of_id id view =
+  match Hashtbl.find_opt flat_memo id with
+  | Some f -> f
+  | None ->
+      let f = Sv_tree.Flat.of_tree view in
+      Hashtbl.add flat_memo id f;
+      f
+
+let warm_flat t =
+  let id, view = Sv_tree.Hashcons.canon_id canonizer t in
+  ignore (flat_of_id id view)
+
+let flat_count () = Hashtbl.length flat_memo
+
+let tree_distance t1 t2 =
+  match !algo with
+  | `Zs -> Sv_tree.Ted.distance_int (canon t1) (canon t2)
+  | `Flat ->
+      let id1, v1 = Sv_tree.Hashcons.canon_id canonizer t1 in
+      let id2, v2 = Sv_tree.Hashcons.canon_id canonizer t2 in
+      if id1 = id2 then begin
+        let open Sv_perf.Telemetry in
+        ted.equal_prunes <- ted.equal_prunes + 1;
+        0
+      end
+      else Sv_tree.Flat.distance (flat_of_id id1 v1) (flat_of_id id2 v2)
 
 let tree_distance_bounded ~cutoff t1 t2 =
-  Sv_tree.Ted.distance_bounded_int ~cutoff (canon t1) (canon t2)
+  match !algo with
+  | `Zs -> Sv_tree.Ted.distance_bounded_int ~cutoff (canon t1) (canon t2)
+  | `Flat ->
+      if cutoff < 0 then None
+      else
+        let id1, v1 = Sv_tree.Hashcons.canon_id canonizer t1 in
+        let id2, v2 = Sv_tree.Hashcons.canon_id canonizer t2 in
+        if id1 = id2 then begin
+          let open Sv_perf.Telemetry in
+          ted.equal_prunes <- ted.equal_prunes + 1;
+          Some 0
+        end
+        else
+          Sv_tree.Flat.distance_bounded ~cutoff (flat_of_id id1 v1)
+            (flat_of_id id2 v2)
 
 let tree_distance_matched t1 t2 =
   let root_cost = if Label.equal (Tree.label t1) (Tree.label t2) then 0 else 1 in

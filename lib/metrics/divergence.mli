@@ -11,11 +11,32 @@ val source_distance : string list -> string list -> int
 (** [source_distance a b] is the insert+delete edit distance between two
     normalised line lists (Eq. 4's summand). *)
 
+type ted_algo = [ `Flat | `Zs ]
+(** Kernel behind {!tree_distance}: [`Flat] (default) compiles each
+    distinct canonical tree once into {!Sv_tree.Flat} contiguous arrays
+    and runs the allocation-free kernel with per-pair strategy selection;
+    [`Zs] is the pointer-tree Zhang–Shasha kernel, kept as the reference
+    baseline. Both compute the identical distance — the bench harness
+    checks whole matrices byte-for-byte. *)
+
+val set_ted_algo : ted_algo -> unit
+val ted_algo : unit -> ted_algo
+
+val warm_flat : Sv_tree.Label.tree -> unit
+(** [warm_flat t] canonises [t] and compiles its flat kernel into the
+    process-global memo (keyed by intern id) if not already present.
+    Call before forking a worker pool so children inherit the compiled
+    kernels copy-on-write instead of each recompiling them. *)
+
+val flat_count : unit -> int
+(** Number of distinct trees with a compiled flat kernel in the memo. *)
+
 val tree_distance : Sv_tree.Label.tree -> Sv_tree.Label.tree -> int
 (** Unit-cost TED with the paper's label equality ({!Sv_tree.Label.equal}:
     kind and retained text; locations ignored). Operands are canonised
     through a process-global {!Sv_tree.Hashcons} table, so equal trees
-    cost a pointer compare and repeated operands skip re-interning. *)
+    cost a pointer compare and repeated operands skip re-interning; the
+    selected {!ted_algo} kernel computes the rest. *)
 
 val tree_distance_bounded :
   cutoff:int -> Sv_tree.Label.tree -> Sv_tree.Label.tree -> int option

@@ -1,0 +1,48 @@
+(** Process-wide performance counters for the hot engines.
+
+    The TED pruning cascade (digest equality, size bound, label-histogram
+    lower bound) decides per pair whether the DP runs at all; these
+    counters record those decisions so `sv compare --stats` and the bench
+    harness can report prune rates next to wall-clock numbers. Counters
+    are plain mutable ints — monotone within a process, reset explicitly,
+    and private to each forked worker (children inherit a copy; their
+    increments do not flow back, so parent-side reports describe
+    parent-side work only). *)
+
+type ted = {
+  mutable equal_prunes : int;
+      (** pairs answered 0 by pointer/digest equality, no DP *)
+  mutable size_prunes : int;
+      (** bounded queries rejected by the size-difference bound alone *)
+  mutable hist_prunes : int;
+      (** bounded queries rejected by the label-histogram lower bound *)
+  mutable cutoff_abandons : int;
+      (** DP runs abandoned mid-flight once the cutoff became unreachable *)
+  mutable dp_runs : int;  (** full kernel runs (flat or Zhang–Shasha) *)
+  mutable flat_compiles : int;  (** trees compiled to flat form *)
+  mutable scratch_grows : int;  (** geometric growths of the DP scratch *)
+  mutable strategy_left : int;  (** pairs decomposed along the left path *)
+  mutable strategy_right : int;  (** pairs decomposed along the right path *)
+}
+
+val ted : ted
+(** The process-global TED counter block, incremented by the kernels in
+    [Sv_tree]. *)
+
+val reset_ted : unit -> unit
+(** Zero every TED counter. *)
+
+val ted_snapshot : unit -> ted
+(** An independent copy of the current counters (for before/after diffs). *)
+
+val ted_diff : before:ted -> after:ted -> ted
+(** Field-wise [after - before]. *)
+
+val ted_pruned : ted -> int
+(** Total pairs settled without running the DP. *)
+
+val ted_rows : ted -> (string * int) list
+(** Label/value rows for tabular reports, cascade order first. *)
+
+val ted_to_string : ted -> string
+(** One-line summary for CLI [--stats] output. *)

@@ -128,4 +128,9 @@ let rec canon_node c n =
       t
 
 let canon c tree = canon_node c (intern c.table tree)
+
+let canon_id c tree =
+  let n = intern c.table tree in
+  (n.id, canon_node c n)
+
 let canonizer_stats c = stats c.table

@@ -88,4 +88,10 @@ val canon : 'a canonizer -> 'a Tree.t -> int Tree.t
     labels are the dense {!label_id}s, so label equality maps to integer
     equality exactly. *)
 
+val canon_id : 'a canonizer -> 'a Tree.t -> int * int Tree.t
+(** [canon_id c tree] is [canon c tree] paired with the interned root's
+    {!id} — a stable dense key for caches of per-tree derived artifacts
+    (the metric layer memoises compiled {!Flat.t} kernels by it). Equal
+    trees return equal ids. *)
+
 val canonizer_stats : 'a canonizer -> stats

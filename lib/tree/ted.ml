@@ -1,3 +1,5 @@
+module T = Sv_perf.Telemetry
+
 type 'a costs = {
   delete : 'a -> int;
   insert : 'a -> int;
@@ -131,8 +133,12 @@ let equal_int (t1 : int Tree.t) (t2 : int Tree.t) =
 (* Int-labelled unit-cost kernel: direct integer compares and a single
    preallocated forest-distance buffer reused across keyroot pairs. *)
 let distance_int (t1 : int Tree.t) (t2 : int Tree.t) =
-  if equal_int t1 t2 then 0
+  if equal_int t1 t2 then begin
+    T.ted.equal_prunes <- T.ted.equal_prunes + 1;
+    0
+  end
   else
+  let () = T.ted.dp_runs <- T.ted.dp_runs + 1 in
   let d1 = decompose t1 and d2 = decompose t2 in
   let n1 = Array.length d1.labels - 1 and n2 = Array.length d2.labels - 1 in
   let td = Array.make_matrix (n1 + 1) (n2 + 1) 0 in
@@ -247,14 +253,41 @@ let distance ?costs ~eq t1 t2 =
 
 exception Cutoff
 
-(* Lower bound from sizes and the label multiset: every mapped pair with
-   unequal labels and every unmapped node costs one edit; at most
-   Σ_l min(count₁ l, count₂ l) mapped pairs are free, and at most
-   min(n₁,n₂) pairs exist, so TED ≥ max(n₁,n₂) − Σ_l min(count₁, count₂).
-   O(n₁+n₂); lets the clustering layer skip the full DP when even the
-   bound exceeds its cutoff. *)
+(* Lower bound from per-tree summaries, each admissible on its own:
+
+   - label multiset: every mapped pair with unequal labels and every
+     unmapped node costs one edit; at most Σ_l min(count₁ l, count₂ l)
+     mapped pairs are free, and at most min(n₁,n₂) pairs exist, so
+     TED ≥ max(n₁,n₂) − Σ_l min(count₁, count₂) (subsumes |n₁ − n₂|,
+     kept explicit for clarity);
+   - leaf count: a delete removes at most one leaf (splicing children
+     cannot create more than it destroys), an insert adds at most one,
+     a relabel none, so TED ≥ |leaves₁ − leaves₂|;
+   - height: deleting a node lowers its descendants exactly one level
+     and no other, so every operation moves the height by at most one
+     and TED ≥ |height₁ − height₂|.
+
+   All hold for degenerate inputs too — a single node has one leaf,
+   height 1 and a one-entry histogram, so every component is 0 against an
+   equal tree. O(n₁+n₂); lets the bounded engine skip the full DP when
+   even the bound exceeds its cutoff. Admissibility (lb ≤ distance) is
+   property-tested against the brute-force oracle. *)
 let lower_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
-  let n1 = Tree.size t1 and n2 = Tree.size t2 in
+  let summary t =
+    let n = ref 0 and leaves = ref 0 in
+    let rec go depth (Tree.Node (_, cs)) =
+      incr n;
+      match cs with
+      | [] ->
+          incr leaves;
+          depth
+      | _ -> List.fold_left (fun acc c -> max acc (go (depth + 1) c)) depth cs
+    in
+    let height = go 1 t in
+    (!n, !leaves, height)
+  in
+  let n1, leaves1, height1 = summary t1 in
+  let n2, leaves2, height2 = summary t2 in
   let counts : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
   let rec fill (Tree.Node (x, cs)) =
     (match Hashtbl.find_opt counts x with
@@ -273,7 +306,9 @@ let lower_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
     List.iter drain cs
   in
   drain t2;
-  max (abs (n1 - n2)) (max n1 n2 - !common)
+  let lb = max (abs (n1 - n2)) (max n1 n2 - !common) in
+  let lb = max lb (abs (leaves1 - leaves2)) in
+  max lb (abs (height1 - height2))
 
 (* Early-abandon check shared by the bounded kernels.  Valid only for the
    final keyroot pair (whole tree vs whole tree, li = lj = 1): there the
@@ -343,6 +378,7 @@ let distance_unit_bounded ~eq ~cutoff t1 t2 =
 (* Int-labelled bounded kernel: the shared-buffer fast path of
    [distance_int] plus the same early abandon. *)
 let distance_int_bounded ~cutoff (t1 : int Tree.t) (t2 : int Tree.t) =
+  T.ted.dp_runs <- T.ted.dp_runs + 1;
   let d1 = decompose t1 and d2 = decompose t2 in
   let n1 = Array.length d1.labels - 1 and n2 = Array.length d2.labels - 1 in
   if n1 = 0 || n2 = 0 then begin
@@ -421,13 +457,25 @@ let distance_bounded ?costs ~eq ~cutoff t1 t2 =
 
 let distance_bounded_int ~cutoff t1 t2 =
   if cutoff < 0 then None
-  else if equal_int t1 t2 then Some 0
-  else if lower_bound_int t1 t2 > cutoff then None
+  else if equal_int t1 t2 then begin
+    T.ted.equal_prunes <- T.ted.equal_prunes + 1;
+    Some 0
+  end
+  else if abs (Tree.size t1 - Tree.size t2) > cutoff then begin
+    T.ted.size_prunes <- T.ted.size_prunes + 1;
+    None
+  end
+  else if lower_bound_int t1 t2 > cutoff then begin
+    T.ted.hist_prunes <- T.ted.hist_prunes + 1;
+    None
+  end
   else if Tree.size t1 + Tree.size t2 <= cutoff then Some (distance_int t1 t2)
   else
     match distance_int_bounded ~cutoff t1 t2 with
     | d -> if d <= cutoff then Some d else None
-    | exception Cutoff -> None
+    | exception Cutoff ->
+        T.ted.cutoff_abandons <- T.ted.cutoff_abandons + 1;
+        None
 
 (* Direct forest recursion with memoisation; the oracle assumes [eq]
    agrees with structural equality so memo keys (polymorphic hashing of

@@ -140,6 +140,36 @@ let test_matrix_shape () =
   checkf "diagonal zero" 0.0 m.Sv_cluster.Cluster.data.(1).(1);
   checkb "off-diagonal positive" true (m.Sv_cluster.Cluster.data.(0).(2) > 0.0)
 
+(* the flat TED kernel is an implementation detail: every tree metric,
+   over the real corpus, must be byte-for-byte the Zhang–Shasha answer *)
+let test_ted_algo_byte_identity () =
+  let ixs =
+    [ find stream "serial"; find stream "omp"; find stream "cuda";
+      find stream "kokkos" ]
+  in
+  let render (m : Sv_cluster.Cluster.matrix) =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              String.concat " "
+                (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+            m.Sv_cluster.Cluster.data))
+  in
+  let run algo =
+    Sv_metrics.Divergence.set_ted_algo algo;
+    Tbmd.clear_memo ();
+    Fun.protect
+      ~finally:(fun () -> Sv_metrics.Divergence.set_ted_algo `Flat)
+      (fun () ->
+        String.concat "\n--\n"
+          (List.map
+             (fun m -> render (Tbmd.matrix m ixs))
+             [ Tbmd.TSrc; Tbmd.TSem; Tbmd.TSemI; Tbmd.TIr ]))
+  in
+  Alcotest.(check string) "flat matrices byte-identical to zs" (run `Zs)
+    (run `Flat)
+
 (* --- the paper's findings --- *)
 
 let d ?variant m a b = Tbmd.divergence ?variant m a b
@@ -439,6 +469,8 @@ let () =
           Alcotest.test_case "absolute metrics" `Quick test_absolute_metrics;
           Alcotest.test_case "metric parsing" `Quick test_metric_parsing;
           Alcotest.test_case "matrix shape" `Quick test_matrix_shape;
+          Alcotest.test_case "ted algo byte identity" `Slow
+            test_ted_algo_byte_identity;
         ] );
       ( "paper-findings",
         [

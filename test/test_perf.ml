@@ -9,6 +9,7 @@ module Cascade = Sv_perf.Cascade
 
 let checkb = Alcotest.(check bool)
 let checkf = Alcotest.(check (float 1e-9))
+let checki = Alcotest.(check int)
 let app = M.tealeaf
 
 (* --- phi arithmetic --- *)
@@ -149,6 +150,48 @@ let test_cascade_kokkos_survives () =
   let kokkos = List.find (fun s -> s.Cascade.model.M.id = "kokkos") series in
   checkb "kokkos keeps nonzero phi" true (kokkos.Cascade.final_phi > 0.5)
 
+(* --- telemetry ------------------------------------------------------- *)
+
+module T = Sv_perf.Telemetry
+
+let test_telemetry_reset_and_diff () =
+  T.reset_ted ();
+  let before = T.ted_snapshot () in
+  T.ted.T.equal_prunes <- T.ted.T.equal_prunes + 3;
+  T.ted.T.dp_runs <- T.ted.T.dp_runs + 2;
+  T.ted.T.strategy_right <- T.ted.T.strategy_right + 1;
+  let diff = T.ted_diff ~before ~after:(T.ted_snapshot ()) in
+  checki "diff equal_prunes" 3 diff.T.equal_prunes;
+  checki "diff dp_runs" 2 diff.T.dp_runs;
+  checki "diff strategy_right" 1 diff.T.strategy_right;
+  checki "untouched counter" 0 diff.T.size_prunes;
+  checki "pruned total" 3 (T.ted_pruned diff);
+  (* the snapshot is an independent copy, not an alias *)
+  let snap = T.ted_snapshot () in
+  T.ted.T.equal_prunes <- 0;
+  checki "snapshot survives later writes" 3 snap.T.equal_prunes;
+  T.reset_ted ();
+  checki "reset zeroes" 0 (T.ted_pruned (T.ted_snapshot ()));
+  checki "reset zeroes dp_runs" 0 T.ted.T.dp_runs
+
+let contains hay needle =
+  let lh = String.length hay and ln = String.length needle in
+  let rec go i = i + ln <= lh && (String.sub hay i ln = needle || go (i + 1)) in
+  ln = 0 || go 0
+
+let test_telemetry_rows_and_string () =
+  T.reset_ted ();
+  T.ted.T.size_prunes <- 5;
+  T.ted.T.dp_runs <- 7;
+  let rows = T.ted_rows (T.ted_snapshot ()) in
+  checki "rows cover every counter" 9 (List.length rows);
+  checkb "size prunes row carries its value" true
+    (List.exists (fun (k, v) -> v = 5 && contains k "size") rows);
+  let s = T.ted_to_string (T.ted_snapshot ()) in
+  checkb "summary mentions the prune split" true (contains s "size 5");
+  checkb "summary mentions DP runs" true (contains s "7 DP runs");
+  T.reset_ted ()
+
 let () =
   Alcotest.run "perf"
     [
@@ -173,6 +216,13 @@ let () =
           Alcotest.test_case "series shapes" `Quick test_cascade_shapes;
           Alcotest.test_case "cuda crashes" `Quick test_cascade_cuda_crashes;
           Alcotest.test_case "kokkos survives" `Quick test_cascade_kokkos_survives;
+        ] );
+      ( "telemetry",
+        [
+          Alcotest.test_case "reset, diff, snapshot" `Quick
+            test_telemetry_reset_and_diff;
+          Alcotest.test_case "rows and summary string" `Quick
+            test_telemetry_rows_and_string;
         ] );
       ( "properties",
         List.map QCheck_alcotest.to_alcotest

@@ -4,6 +4,7 @@
 
 module Tree = Sv_tree.Tree
 module Ted = Sv_tree.Ted
+module Flat = Sv_tree.Flat
 module Label = Sv_tree.Label
 
 let leaf = Tree.leaf
@@ -252,6 +253,14 @@ let check_pair ~max_brute i a b c =
   if d > sa + sb then ctx "above the size-sum upper bound";
   let lb = Ted.lower_bound_int a b in
   if lb > d then ctx "histogram lower bound %d exceeds the distance %d" lb d;
+  let fa = Flat.of_tree a and fb = Flat.of_tree b in
+  let fd = Flat.distance fa fb in
+  if fd <> d then ctx "flat kernel %d disagrees with distance %d" fd d;
+  if Flat.distance fb fa <> d then
+    ctx "flat kernel not symmetric: %d vs %d" (Flat.distance fb fa) d;
+  let flb = Flat.lower_bound fa fb in
+  if flb <> lb then
+    ctx "Flat.lower_bound %d disagrees with Ted.lower_bound_int %d" flb lb;
   List.iter
     (fun cutoff ->
       (match Ted.distance_bounded ~eq:Int.equal ~cutoff a b with
@@ -261,13 +270,21 @@ let check_pair ~max_brute i a b c =
       | None ->
           if d <= cutoff then
             ctx "distance_bounded refused a pair within cutoff %d (d = %d)" cutoff d);
-      match Ted.distance_bounded_int ~cutoff a b with
+      (match Ted.distance_bounded_int ~cutoff a b with
       | Some bd ->
           if bd <> d || d > cutoff then
             ctx "distance_bounded_int (cutoff %d) = %d, want %d" cutoff bd d
       | None ->
           if d <= cutoff then
-            ctx "distance_bounded_int refused a pair within cutoff %d (d = %d)" cutoff d)
+            ctx "distance_bounded_int refused a pair within cutoff %d (d = %d)" cutoff d);
+      match Flat.distance_bounded ~cutoff fa fb with
+      | Some bd ->
+          if bd <> d || d > cutoff then
+            ctx "Flat.distance_bounded (cutoff %d) = %d, want %d" cutoff bd d
+      | None ->
+          if d <= cutoff then
+            ctx "Flat.distance_bounded refused a pair within cutoff %d (d = %d)"
+              cutoff d)
     [ d - 1; d; d + 3; 0; 64 ];
   let dac = ted a c and dbc = ted b c in
   if dac > d + dbc then
@@ -363,6 +380,127 @@ let test_hashcons_canon_ted_agrees () =
       [ d - 1; d; d + 3 ]
   done
 
+(* --- flat kernel ----------------------------------------------------- *)
+
+module T = Sv_perf.Telemetry
+
+(* Degenerate shapes where off-by-ones and empty histograms would bite:
+   single nodes, uniform labels, and a chain vs a star (where only the
+   leaf/height components of the lower bound are nonzero). *)
+let test_flat_degenerate () =
+  let chain n = List.fold_left (fun acc _ -> node 0 [ acc ]) (leaf 0) (List.init (n - 1) Fun.id) in
+  let star n = node 0 (List.init (n - 1) (fun _ -> leaf 0)) in
+  let pairs =
+    [
+      (leaf 0, leaf 0); (leaf 0, leaf 1); (leaf 0, chain 6); (chain 6, star 6);
+      (star 6, star 6); (chain 9, chain 2); (t_example, leaf 1);
+    ]
+  in
+  List.iteri
+    (fun i (a, b) ->
+      let want = Ted.distance_int a b in
+      let fa = Flat.of_tree a and fb = Flat.of_tree b in
+      if Flat.distance fa fb <> want then
+        Alcotest.failf "degenerate pair %d: flat %d, zs %d" i (Flat.distance fa fb) want;
+      let lb = Flat.lower_bound fa fb in
+      if lb > want then
+        Alcotest.failf "degenerate pair %d: lower bound %d above distance %d" i lb want;
+      if Ted.lower_bound_int a b <> lb then
+        Alcotest.failf "degenerate pair %d: flat and tree lower bounds disagree" i)
+    pairs;
+  (* chain vs star, same size and labels: the histogram/size components
+     are 0, so only the strengthened leaf/height components can prune *)
+  let lb = Flat.lower_bound (Flat.of_tree (chain 6)) (Flat.of_tree (star 6)) in
+  checki "chain-vs-star bound from leaves/height" 4 lb
+
+(* Left and right combs skew the keyroot costs maximally; the strategy
+   rule must pick the cheap direction on both orders and the distances
+   must be unchanged. *)
+let test_flat_strategy_combs () =
+  let rec left_comb n = if n <= 1 then leaf 7 else node 3 [ left_comb (n - 2); leaf 1 ] in
+  let rec right_comb n = if n <= 1 then leaf 7 else node 3 [ leaf 1; right_comb (n - 2) ] in
+  let a = left_comb 41 and b = right_comb 41 in
+  (* zs references first: Ted.distance_int counts its own DP runs *)
+  let zab = Ted.distance_int a b in
+  let zaa = Ted.distance_int a (left_comb 39) in
+  let zbb = Ted.distance_int b (right_comb 39) in
+  let before = T.ted_snapshot () in
+  let fa = Flat.of_tree a and fb = Flat.of_tree b in
+  let fab = Flat.distance fa fb in
+  let faa = Flat.distance fa (Flat.of_tree (left_comb 39)) in
+  let fbb = Flat.distance fb (Flat.of_tree (right_comb 39)) in
+  checki "comb distance flat=zs" zab fab;
+  checki "left-comb pair flat=zs" zaa faa;
+  checki "right-comb pair flat=zs" zbb fbb;
+  let diff = T.ted_diff ~before ~after:(T.ted_snapshot ()) in
+  (* the two same-leaning pairs must split one left, one right *)
+  if diff.T.strategy_left < 1 || diff.T.strategy_right < 1 then
+    Alcotest.failf "strategy never flipped (left %d, right %d)" diff.T.strategy_left
+      diff.T.strategy_right;
+  checki "every pair ran the DP" 3 diff.T.dp_runs
+
+(* One scratch context across interleaved sizes: dirty buffers must never
+   leak between pairs, and results must match fresh-scratch runs. *)
+let test_flat_scratch_reuse () =
+  let rng = Prng.create 0xf1a7_b0f5 in
+  let s = Flat.scratch () in
+  let flats =
+    Array.init 24 (fun _ -> Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 30)))
+  in
+  Array.iteri
+    (fun i fa ->
+      Array.iteri
+        (fun j fb ->
+          let shared_scratch = Flat.distance ~scratch:s fa fb in
+          let fresh = Flat.distance ~scratch:(Flat.scratch ()) fa fb in
+          if shared_scratch <> fresh then
+            Alcotest.failf "pair (%d,%d): reused scratch %d, fresh %d" i j
+              shared_scratch fresh;
+          let cutoff = Prng.int rng 12 in
+          let bounded = Flat.distance_bounded ~scratch:s ~cutoff fa fb in
+          let want = if fresh <= cutoff then Some fresh else None in
+          if bounded <> want then
+            Alcotest.failf "pair (%d,%d): bounded at %d disagrees after reuse" i j
+              cutoff)
+        flats)
+    flats
+
+(* [reserve] pre-grows; subsequent in-bound pairs must not grow again. *)
+let test_flat_reserve () =
+  let s = Flat.scratch () in
+  Flat.reserve ~scratch:s 64 64;
+  let rng = Prng.create 0xbeef in
+  let before = T.ted_snapshot () in
+  for _ = 1 to 20 do
+    let a = Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 60)) in
+    let b = Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 60)) in
+    ignore (Flat.distance ~scratch:s a b)
+  done;
+  let diff = T.ted_diff ~before ~after:(T.ted_snapshot ()) in
+  checki "no scratch growth after reserve" 0 diff.T.scratch_grows
+
+(* canon_id: stable dense ids, equal trees share one id, and the id keys
+   the same canonical view [canon] returns. *)
+let test_hashcons_canon_id () =
+  let c = Hc.canonizer ~hash:Hashtbl.hash ~equal:Int.equal () in
+  let rng = Prng.create 0x0dd_1d5 in
+  for i = 1 to max 500 prop_iters do
+    let a = gen_tree_sized rng (1 + Prng.int rng 8) in
+    let b = gen_tree_sized rng (1 + Prng.int rng 8) in
+    let ida, va = Hc.canon_id c a in
+    let idb, vb = Hc.canon_id c b in
+    let ida', va' = Hc.canon_id c a in
+    if ida <> ida' || not (va == va') then
+      Alcotest.failf "pair %d: canon_id not stable across calls" i;
+    if (ida = idb) <> Tree.equal Int.equal a b then
+      Alcotest.failf "pair %d: id equality %b but structural %b" i (ida = idb)
+        (Tree.equal Int.equal a b);
+    if not (Hc.canon c a == va) then
+      Alcotest.failf "pair %d: canon and canon_id views differ" i;
+    if (va == vb) <> (ida = idb) then
+      Alcotest.failf "pair %d: view sharing disagrees with id equality" i
+  done
+
 let prop_custom_costs_scale =
   QCheck.Test.make ~name:"doubled costs double the distance" ~count:100
     (QCheck.pair arb_tree arb_tree)
@@ -417,6 +555,15 @@ let () =
             test_hashcons_equal_iff_id;
           Alcotest.test_case "TED through canon agrees" `Quick
             test_hashcons_canon_ted_agrees;
+          Alcotest.test_case "canon_id stable and shared" `Quick
+            test_hashcons_canon_id;
+        ] );
+      ( "flat-kernel",
+        [
+          Alcotest.test_case "degenerate shapes" `Quick test_flat_degenerate;
+          Alcotest.test_case "strategy on combs" `Quick test_flat_strategy_combs;
+          Alcotest.test_case "scratch reuse" `Quick test_flat_scratch_reuse;
+          Alcotest.test_case "reserve pre-grows" `Quick test_flat_reserve;
         ] );
       ( "ted-properties",
         List.map QCheck_alcotest.to_alcotest
