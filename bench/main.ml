@@ -36,7 +36,7 @@ let () =
       | [] -> ()
       | entries -> (
           let path =
-            Option.value ~default:"BENCH_PR5.json" (Sys.getenv_opt "SV_BENCH_JSON")
+            Option.value ~default:"BENCH_PR7.json" (Sys.getenv_opt "SV_BENCH_JSON")
           in
           try
             let oc = open_out path in
@@ -863,6 +863,220 @@ let extension_raja () =
   let m, d = Tbmd.dendrogram Tbmd.TSem ixs in
   print_string (Report.dendrogram ~labels:m.Sv_cluster.Cluster.labels d)
 
+(* The PR 7 tentpole: the resident `sv serve` daemon against the
+   one-shot path, on the canonical BabelStream serial->omp compare.
+
+   Cold baseline: the real CLI when SV_BIN is set (the bench-smoke rule
+   sets it), a forked fresh-process evaluation otherwise — either way a
+   process that must index both codebases from scratch. Warm: repeated
+   requests against a resident daemon that answers from its decoded LRU.
+   Then sustained throughput at 1/4/16 pipelined clients. Every daemon
+   reply is compared byte-for-byte against the one-shot output; any
+   mismatch exits nonzero (the @bench-smoke contract). *)
+let serve_bench () =
+  let module Engine = Sv_serve.Engine in
+  let module Server = Sv_serve.Server in
+  let module Client = Sv_serve.Client in
+  let module P = Sv_serve.Protocol in
+  section "Service layer: resident daemon vs one-shot (BabelStream serial->omp)";
+  let req = P.Compare { app = "babelstream"; base = "serial"; target = "omp" } in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* one cold evaluation in a fresh process: (output, seconds) *)
+  let cold_cli bin () =
+    let cmd =
+      String.concat " "
+        (List.map Filename.quote
+           [ bin; "compare"; "--app"; "babelstream"; "-b"; "serial"; "-t"; "omp" ])
+    in
+    let (out : string), dt =
+      wall (fun () ->
+          let ic = Unix.open_process_in cmd in
+          let buf = Buffer.create 4096 in
+          (try
+             while true do
+               Buffer.add_channel buf ic 4096
+             done
+           with End_of_file -> ());
+          match Unix.close_process_in ic with
+          | Unix.WEXITED 0 -> Buffer.contents buf
+          | _ -> failwith ("command failed: " ^ cmd))
+    in
+    (out, dt)
+  in
+  let cold_fork () =
+    let r, w = Unix.pipe () in
+    flush stdout;
+    flush stderr;
+    let pid = Unix.fork () in
+    if pid = 0 then begin
+      Unix.close r;
+      let (out : string), dt =
+        wall (fun () ->
+            let e =
+              Engine.create
+                { (Engine.default_config ()) with Engine.persist_every = 0 }
+            in
+            match Engine.handle e req with
+            | P.Output { output; _ } -> output
+            | _ -> "")
+      in
+      let oc = Unix.out_channel_of_descr w in
+      output_value oc (out, dt);
+      flush oc;
+      Unix._exit 0
+    end;
+    Unix.close w;
+    let ic = Unix.in_channel_of_descr r in
+    let ((out, dt) : string * float) = input_value ic in
+    close_in ic;
+    ignore (Unix.waitpid [] pid);
+    (out, dt)
+  in
+  let cold_once, cold_source =
+    match Sys.getenv_opt "SV_BIN" with
+    | Some bin when bin <> "" -> (cold_cli bin, "cli")
+    | _ -> (cold_fork, "fork")
+  in
+  let cold_runs = List.init 3 (fun _ -> cold_once ()) in
+  let expect = fst (List.hd cold_runs) in
+  let t_cold =
+    List.fold_left (fun acc (_, dt) -> Float.min acc dt) infinity cold_runs
+  in
+  let mismatch = ref false in
+  let check out =
+    if out <> expect then begin
+      mismatch := true;
+      Printf.eprintf "[bench] serve: daemon output differs from one-shot\n%!"
+    end
+  in
+  List.iter (fun (out, _) -> check out) cold_runs;
+  (* resident daemon on a private socket *)
+  let socket = Filename.temp_file "sv_bench_serve" ".sock" in
+  Sys.remove socket;
+  flush stdout;
+  flush stderr;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       Sv_perf.Telemetry.reset_serve ();
+       Server.serve ~socket
+         (Engine.create
+            {
+              (Engine.default_config ()) with
+              Engine.high_water = 128;
+              persist_every = 0;
+            })
+     with _ -> ());
+    Unix._exit 0
+  end;
+  let connect () =
+    let rec go n =
+      match Client.connect ~socket ~timeout_s:120. () with
+      | Ok c -> c
+      | Error e ->
+          if n = 0 then failwith ("daemon did not come up: " ^ e)
+          else begin
+            Unix.sleepf 0.05;
+            go (n - 1)
+          end
+    in
+    go 200
+  in
+  let c0 = connect () in
+  let daemon_output c =
+    match Client.call c req with
+    | Ok (P.Output { output; _ }) -> output
+    | Ok _ -> failwith "serve: unexpected reply class"
+    | Error e -> failwith ("serve: " ^ e)
+  in
+  let out_cold, t_daemon_cold = wall (fun () -> daemon_output c0) in
+  check out_cold;
+  let warm_runs = 20 in
+  let warm_times =
+    List.init warm_runs (fun _ ->
+        let out, dt = wall (fun () -> daemon_output c0) in
+        check out;
+        dt)
+  in
+  let t_warm_mean =
+    List.fold_left ( +. ) 0.0 warm_times /. float_of_int warm_runs
+  in
+  let t_warm_min = List.fold_left Float.min infinity warm_times in
+  let warm_speedup = t_cold /. Float.max 1e-9 t_warm_mean in
+  (* sustained throughput: [total] warm compares pipelined over
+     [clients] connections (the daemon services one request per loop
+     iteration, so this measures service rate under interleaving, not
+     parallel evaluation) *)
+  let throughput clients =
+    let total = 64 in
+    let quota = total / clients in
+    let conns = Array.init clients (fun _ -> connect ()) in
+    let (), dt =
+      wall (fun () ->
+          Array.iter
+            (fun c ->
+              for _ = 1 to quota do
+                match Client.send c req with
+                | Ok () -> ()
+                | Error e -> failwith ("serve: " ^ e)
+              done)
+            conns;
+          Array.iter
+            (fun c ->
+              for _ = 1 to quota do
+                match Client.recv c with
+                | Ok (_, P.Output { output; _ }) -> check output
+                | Ok (_, P.Overloaded _) -> failwith "serve: shed during bench"
+                | Ok _ -> failwith "serve: unexpected reply class"
+                | Error e -> failwith ("serve: " ^ e)
+              done)
+            conns)
+    in
+    Array.iter Client.close conns;
+    float_of_int (quota * clients) /. Float.max 1e-9 dt
+  in
+  let rps_1 = throughput 1 in
+  let rps_4 = throughput 4 in
+  let rps_16 = throughput 16 in
+  (match Client.call c0 P.Shutdown with
+  | Ok P.Shutdown_ack -> ()
+  | _ -> failwith "serve: shutdown failed");
+  Client.close c0;
+  ignore (Unix.waitpid [] pid);
+  Printf.printf "  %-30s %9.3fs  (best of 3, %s)\n" "cold one-shot compare"
+    t_cold cold_source;
+  Printf.printf "  %-30s %9.3fs\n" "daemon first request (cold)" t_daemon_cold;
+  Printf.printf "  %-30s %9.5fs  (min %.5fs over %d, %.1fx vs one-shot)\n"
+    "daemon warm compare" t_warm_mean t_warm_min warm_runs warm_speedup;
+  Printf.printf "  %-30s %9.1f rps\n" "throughput, 1 client" rps_1;
+  Printf.printf "  %-30s %9.1f rps\n" "throughput, 4 clients" rps_4;
+  Printf.printf "  %-30s %9.1f rps\n" "throughput, 16 clients" rps_16;
+  Printf.printf "  daemon byte-identical to one-shot: %s\n"
+    (if !mismatch then "MISMATCH" else "OK");
+  record "serve"
+    (J.Obj
+       [
+         ("pair", J.String "babelstream serial->omp");
+         ("cold_oneshot_s", J.Float t_cold);
+         ("cold_oneshot_source", J.String cold_source);
+         ("daemon_cold_s", J.Float t_daemon_cold);
+         ("daemon_warm_mean_s", J.Float t_warm_mean);
+         ("daemon_warm_min_s", J.Float t_warm_min);
+         ("warm_speedup_vs_cold_oneshot", J.Float warm_speedup);
+         ("rps_1_client", J.Float rps_1);
+         ("rps_4_clients", J.Float rps_4);
+         ("rps_16_clients", J.Float rps_16);
+         ("identical", J.Bool (not !mismatch));
+       ]);
+  if !mismatch then begin
+    Printf.eprintf "[bench] serve: daemon/one-shot mismatch\n%!";
+    exit 1
+  end
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -876,6 +1090,7 @@ let experiments =
     ("ted-engine", ted_engine);
     ("ted-core", ted_core);
     ("index-engine", index_engine);
+    ("serve", serve_bench);
     ("kernels", kernels);
   ]
 

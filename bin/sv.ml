@@ -16,53 +16,20 @@ open Cmdliner
 module Pipeline = Sv_core.Pipeline
 module Tbmd = Sv_core.Tbmd
 module Report = Sv_report.Report
+module Apps = Sv_core.Apps
+module Engine = Sv_serve.Engine
+module Protocol = Sv_serve.Protocol
 
-let corpus_of_app app =
-  match String.lowercase_ascii app with
-  | "babelstream" -> Some (Sv_corpus.Babelstream.all ())
-  | "babelstream-f" | "babelstream-fortran" -> Some (Sv_corpus.Babelstream_f.all ())
-  | "tealeaf" -> Some (Sv_corpus.Tealeaf.all ())
-  | "cloverleaf" -> Some (Sv_corpus.Cloverleaf.all ())
-  | "minibude" -> Some (Sv_corpus.Minibude.all ())
-  | _ -> None
-
-let perf_app_of app =
-  match String.lowercase_ascii app with
-  | "babelstream" -> Sv_perf.Pmodel.babelstream
-  | "tealeaf" -> Sv_perf.Pmodel.tealeaf
-  | "cloverleaf" -> Sv_perf.Pmodel.cloverleaf
-  | "minibude" -> Sv_perf.Pmodel.minibude
-  | _ -> Sv_perf.Pmodel.tealeaf
-
-let app_names = [ "babelstream"; "babelstream-f"; "tealeaf"; "cloverleaf"; "minibude" ]
+let perf_app_of = Apps.perf_app_of
+let find_codebase = Apps.find_codebase
+let app_names = Apps.app_names
 
 let fail fmt = Printf.ksprintf (fun m -> `Error (false, m)) fmt
 
 let with_app app f =
-  match corpus_of_app app with
+  match Apps.corpus_of_app app with
   | Some cbs -> f cbs
   | None -> fail "unknown app %S (expected one of: %s)" app (String.concat ", " app_names)
-
-let codebase_builder_of app =
-  match String.lowercase_ascii app with
-  | "babelstream" -> Some (fun model -> Sv_corpus.Babelstream.codebase ~model)
-  | "tealeaf" -> Some (fun model -> Sv_corpus.Tealeaf.codebase ~model)
-  | "cloverleaf" -> Some (fun model -> Sv_corpus.Cloverleaf.codebase ~model)
-  | "minibude" -> Some (fun model -> Sv_corpus.Minibude.codebase ~model)
-  | "babelstream-f" | "babelstream-fortran" ->
-      Some (fun model -> Sv_corpus.Babelstream_f.codebase ~model)
-  | _ -> None
-
-let find_codebase ?app cbs model =
-  match
-    List.find_opt (fun (cb : Sv_corpus.Emit.codebase) -> cb.Sv_corpus.Emit.model = model) cbs
-  with
-  | Some cb -> Some cb
-  | None -> (
-      (* extension models (e.g. raja) are built on demand *)
-      match Option.bind app codebase_builder_of with
-      | Some build -> build model
-      | None -> None)
 
 (* --- args --- *)
 
@@ -274,17 +241,11 @@ let index_cmd =
             with_engine ?index_cache ~jobs ~ted_cache:None ~fault:None
             @@ fun jobs ->
             let ix = Sv_core.Index_engine.index ~jobs cb in
-            let db = Pipeline.to_db ix in
-            let bytes = Sv_db.Codebase_db.save db in
+            let bytes = Sv_db.Codebase_db.save (Pipeline.to_db ix) in
             let oc = open_out_bin out in
             output_string oc bytes;
             close_out oc;
-            Printf.printf "%s\n" (Sv_db.Codebase_db.stats db);
-            (match ix.Pipeline.ix_verification with
-            | Some v ->
-                Printf.printf "built-in verification: %s\n"
-                  (if v.Pipeline.v_ok then "PASSED" else "FAILED")
-            | None -> ());
+            print_string (Engine.render_index ix);
             Printf.printf "saved Codebase DB to %s (%d bytes)\n" out (String.length bytes);
             `Ok ())
   in
@@ -339,21 +300,7 @@ let compare_cmd =
               | [ bix; tix ] -> (bix, tix)
               | _ -> assert false
             in
-            let rows =
-              List.map
-                (fun m ->
-                  let d, dmax = Tbmd.raw_divergence m bix tix in
-                  [
-                    Tbmd.metric_label m;
-                    string_of_int d;
-                    string_of_int dmax;
-                    Printf.sprintf "%.3f" (Tbmd.divergence m bix tix);
-                  ])
-                Tbmd.all_metrics
-            in
-            Printf.printf "divergence %s: %s -> %s\n" app base target;
-            print_string
-              (Report.table ~headers:[ "metric"; "d"; "dmax"; "normalised" ] ~rows);
+            print_string (Engine.render_compare ~app ~base ~target bix tix);
             if stats then
               Printf.printf "%s\n"
                 (Sv_perf.Telemetry.ted_to_string Sv_perf.Telemetry.ted);
@@ -379,13 +326,7 @@ let cluster_cmd =
             with_engine ?index_cache ~ted_algo ~jobs ~ted_cache ~fault
             @@ fun jobs ->
             let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
-            let matrix, dendro = Tbmd.dendrogram m ixs in
-            print_string
-              (Report.heatmap
-                 ~row_labels:(Array.to_list matrix.Sv_cluster.Cluster.labels)
-                 ~col_labels:(Array.to_list matrix.Sv_cluster.Cluster.labels)
-                 matrix.Sv_cluster.Cluster.data);
-            print_string (Report.dendrogram ~labels:matrix.Sv_cluster.Cluster.labels dendro);
+            print_string (Engine.render_cluster m ixs);
             `Ok ())
   in
   Cmd.v
@@ -454,12 +395,164 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run every port's built-in verification under the interpreter.")
     Term.(ret (const run $ app_arg $ jobs_arg $ index_cache_arg))
 
+(* --- service layer --- *)
+
+let socket_arg =
+  Arg.(value & opt (some string) None
+       & info [ "socket"; "s" ] ~env:(Cmd.Env.info "SV_SOCKET") ~docv:"PATH"
+           ~doc:"Unix domain socket the daemon listens on (default: a \
+                 per-user path under the temp directory).")
+
+let resolve_socket = function
+  | Some s -> s
+  | None -> Sv_serve.Server.default_socket ()
+
+let engine_config jobs lru_mb high_water ted_cache index_cache =
+  let base = Engine.default_config () in
+  {
+    base with
+    Engine.jobs;
+    lru_budget =
+      (match lru_mb with
+      | Some mb when mb > 0 -> mb * 1024 * 1024
+      | _ -> base.Engine.lru_budget);
+    high_water;
+    ted_cache_path = ted_cache;
+    index_cache_path = index_cache;
+  }
+
+let serve_cmd =
+  let run socket jobs lru_mb high_water ted_cache index_cache =
+    let cfg = engine_config jobs lru_mb high_water ted_cache index_cache in
+    let socket = resolve_socket socket in
+    match Sv_serve.Server.create ~socket (Engine.create cfg) with
+    | exception Failure msg -> fail "%s" msg
+    | server ->
+        let cfg_jobs = if jobs <= 0 then Sv_sched.Sched.default_jobs () else jobs in
+        Printf.printf "sv serve: listening on %s (jobs %d, lru %d MiB, high-water %d)\n%!"
+          socket cfg_jobs
+          (cfg.Engine.lru_budget / (1024 * 1024))
+          high_water;
+        Sv_serve.Server.run server;
+        Printf.printf "sv serve: shut down\n%!";
+        `Ok ()
+  in
+  let lru_mb =
+    Arg.(value & opt (some int) None
+         & info [ "lru-mb" ] ~env:(Cmd.Env.info "SV_LRU_MB") ~docv:"MB"
+             ~doc:"Resident-codebase LRU budget in MiB (default 64). Evicted \
+                   entries spill into the persistent index cache, so \
+                   eviction costs a decode, never a re-index.")
+  in
+  let high_water =
+    Arg.(value & opt int 8
+         & info [ "high-water" ] ~docv:"N"
+             ~doc:"Request-queue admission mark: frames arriving while N \
+                   requests are already queued are answered with a typed \
+                   overloaded reply instead of being admitted.")
+  in
+  Cmd.v
+    (Cmd.info "serve"
+       ~doc:"Run the resident divergence daemon on a Unix domain socket.")
+    Term.(
+      ret
+        (const run $ socket_arg $ jobs_arg $ lru_mb $ high_water $ ted_cache_arg
+        $ index_cache_arg))
+
+let client_cmd =
+  let run verb socket app model base target metric jobs ted_cache index_cache =
+    let need name = function
+      | Some v -> Ok v
+      | None -> Error (Printf.sprintf "verb %S needs --%s" verb name)
+    in
+    let request =
+      match verb with
+      | "index" ->
+          Result.bind (need "app" app) (fun app ->
+              Result.map (fun model -> Protocol.Index { app; model })
+                (need "model" model))
+      | "compare" ->
+          Result.bind (need "app" app) (fun app ->
+              Result.bind (need "base" base) (fun base ->
+                  Result.map
+                    (fun target -> Protocol.Compare { app; base; target })
+                    (need "target" target)))
+      | "matrix" ->
+          Result.map (fun app -> Protocol.Matrix { app; metric }) (need "app" app)
+      | "cluster" ->
+          Result.map (fun app -> Protocol.Cluster { app; metric }) (need "app" app)
+      | "status" -> Ok Protocol.Status
+      | "shutdown" -> Ok Protocol.Shutdown
+      | v ->
+          Error
+            (Printf.sprintf
+               "unknown verb %S (expected index, compare, matrix, cluster, \
+                status or shutdown)"
+               v)
+    in
+    match request with
+    | Error msg -> fail "%s" msg
+    | Ok req -> (
+        let config = engine_config jobs None 8 ted_cache index_cache in
+        match
+          Sv_serve.Client.call_or_fallback ~socket:(resolve_socket socket)
+            ~config req
+        with
+        | Error msg -> fail "%s" msg
+        | Ok (resp, path) -> (
+            (match path with
+            | `Local ->
+                Printf.eprintf "sv client: no daemon; evaluated in-process\n%!"
+            | `Daemon -> ());
+            match resp with
+            | Protocol.Output { output; _ } ->
+                print_string output;
+                `Ok ()
+            | Protocol.Status_of fields ->
+                List.iter
+                  (fun (k, v) ->
+                    Printf.printf "%-14s %s\n" k (Sv_jsonx.Jsonx.to_string v))
+                  fields;
+                `Ok ()
+            | Protocol.Shutdown_ack ->
+                print_endline "shutdown acknowledged";
+                `Ok ()
+            | Protocol.Error { kind; message } ->
+                fail "%s: %s" (Protocol.kind_to_string kind) message
+            | Protocol.Overloaded { queue; high_water } ->
+                fail "daemon overloaded (queue %d at high-water %d); retry later"
+                  queue high_water))
+  in
+  let verb =
+    Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
+           ~doc:"index, compare, matrix, cluster, status or shutdown.")
+  in
+  let opt_model names doc =
+    Arg.(value & opt (some string) None & info names ~docv:"MODEL" ~doc)
+  in
+  let app_opt =
+    Arg.(value & opt (some string) None & info [ "app"; "a" ] ~docv:"APP"
+           ~doc:"Mini-app: babelstream, babelstream-f, tealeaf, cloverleaf, \
+                 minibude.")
+  in
+  Cmd.v
+    (Cmd.info "client"
+       ~doc:"Send one request to the divergence daemon (in-process fallback \
+             when no daemon is listening).")
+    Term.(
+      ret
+        (const run $ verb $ socket_arg $ app_opt
+        $ opt_model [ "model" ] "Model id (index verb)."
+        $ opt_model [ "base"; "b" ] "Base model id (compare verb)."
+        $ opt_model [ "target"; "t" ] "Target model id (compare verb)."
+        $ metric_arg $ jobs_arg $ ted_cache_arg $ index_cache_arg))
+
 let main_cmd =
   let doc = "SilverVale-ML: tree-based programming-model productivity analysis" in
   Cmd.group (Cmd.info "sv" ~version:"1.0.0" ~doc)
     [
       models_cmd; emit_cmd; index_cmd; inspect_cmd; compare_cmd; cluster_cmd;
-      phi_cmd; chart_cmd; verify_cmd;
+      phi_cmd; chart_cmd; verify_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -1,0 +1,39 @@
+let app_names = [ "babelstream"; "babelstream-f"; "tealeaf"; "cloverleaf"; "minibude" ]
+
+let corpus_of_app app =
+  match String.lowercase_ascii app with
+  | "babelstream" -> Some (Sv_corpus.Babelstream.all ())
+  | "babelstream-f" | "babelstream-fortran" -> Some (Sv_corpus.Babelstream_f.all ())
+  | "tealeaf" -> Some (Sv_corpus.Tealeaf.all ())
+  | "cloverleaf" -> Some (Sv_corpus.Cloverleaf.all ())
+  | "minibude" -> Some (Sv_corpus.Minibude.all ())
+  | _ -> None
+
+let codebase_builder_of app =
+  match String.lowercase_ascii app with
+  | "babelstream" -> Some (fun model -> Sv_corpus.Babelstream.codebase ~model)
+  | "tealeaf" -> Some (fun model -> Sv_corpus.Tealeaf.codebase ~model)
+  | "cloverleaf" -> Some (fun model -> Sv_corpus.Cloverleaf.codebase ~model)
+  | "minibude" -> Some (fun model -> Sv_corpus.Minibude.codebase ~model)
+  | "babelstream-f" | "babelstream-fortran" ->
+      Some (fun model -> Sv_corpus.Babelstream_f.codebase ~model)
+  | _ -> None
+
+let find_codebase ?app cbs model =
+  match
+    List.find_opt (fun (cb : Sv_corpus.Emit.codebase) -> cb.Sv_corpus.Emit.model = model) cbs
+  with
+  | Some cb -> Some cb
+  | None -> (
+      (* extension models (e.g. raja) are built on demand *)
+      match Option.bind app codebase_builder_of with
+      | Some build -> build model
+      | None -> None)
+
+let perf_app_of app =
+  match String.lowercase_ascii app with
+  | "babelstream" -> Sv_perf.Pmodel.babelstream
+  | "tealeaf" -> Sv_perf.Pmodel.tealeaf
+  | "cloverleaf" -> Sv_perf.Pmodel.cloverleaf
+  | "minibude" -> Sv_perf.Pmodel.minibude
+  | _ -> Sv_perf.Pmodel.tealeaf

@@ -1,0 +1,28 @@
+(** The mini-app registry: one place that maps CLI/protocol app and
+    model names onto corpus codebases and performance models.
+
+    Previously private to [bin/sv.ml]; hoisted here so the `sv serve`
+    daemon, the thin client's in-process fallback and the CLI resolve
+    names through exactly the same code — a prerequisite for the
+    daemon-vs-one-shot byte-identity guarantee. *)
+
+val app_names : string list
+(** Canonical app spellings, in listing order. *)
+
+val corpus_of_app : string -> Sv_corpus.Emit.codebase list option
+(** [corpus_of_app app] is the full model corpus of a mini-app
+    (case-insensitive; accepts the ["babelstream-fortran"] alias), or
+    [None] for an unknown app. *)
+
+val find_codebase :
+  ?app:string ->
+  Sv_corpus.Emit.codebase list ->
+  string ->
+  Sv_corpus.Emit.codebase option
+(** [find_codebase ?app cbs model] finds a model in a corpus list;
+    with [?app], extension models outside the paper's Table II set
+    (e.g. ["raja"]) are built on demand. *)
+
+val perf_app_of : string -> Sv_perf.Pmodel.app
+(** Performance-model app for the Φ experiments (TeaLeaf for apps
+    without one, matching the CLI's historical behaviour). *)

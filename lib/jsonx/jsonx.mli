@@ -38,6 +38,12 @@ val to_list : t -> t list
 val string_value : t -> string option
 (** [string_value v] extracts a [String] payload. *)
 
+val int_value : t -> int option
+(** [int_value v] extracts an [Int] payload (floats are not coerced). *)
+
+val bool_value : t -> bool option
+(** [bool_value v] extracts a [Bool] payload. *)
+
 val equal : t -> t -> bool
 (** Structural equality; object key order is significant (round-trip
     equality). *)

@@ -73,3 +73,73 @@ let ted_to_string t =
      runs (%d abandoned), %d flats, strategy L/R %d/%d"
     (ted_pruned t) queries t.equal_prunes t.size_prunes t.hist_prunes t.dp_runs
     t.cutoff_abandons t.flat_compiles t.strategy_left t.strategy_right
+
+(* --- service counters --- *)
+
+type serve = {
+  mutable connections : int;
+  mutable requests : int;
+  mutable served : int;
+  mutable errors : int;
+  mutable overloaded : int;
+  mutable queue_peak : int;
+  mutable bytes_in : int;
+  mutable bytes_out : int;
+  mutable warm_hits : int;
+  mutable cold_misses : int;
+  mutable usec_total : int;
+}
+
+let serve =
+  {
+    connections = 0;
+    requests = 0;
+    served = 0;
+    errors = 0;
+    overloaded = 0;
+    queue_peak = 0;
+    bytes_in = 0;
+    bytes_out = 0;
+    warm_hits = 0;
+    cold_misses = 0;
+    usec_total = 0;
+  }
+
+let reset_serve () =
+  serve.connections <- 0;
+  serve.requests <- 0;
+  serve.served <- 0;
+  serve.errors <- 0;
+  serve.overloaded <- 0;
+  serve.queue_peak <- 0;
+  serve.bytes_in <- 0;
+  serve.bytes_out <- 0;
+  serve.warm_hits <- 0;
+  serve.cold_misses <- 0;
+  serve.usec_total <- 0
+
+let serve_snapshot () = { serve with connections = serve.connections }
+
+let note_queue_depth d = if d > serve.queue_peak then serve.queue_peak <- d
+
+let serve_rows s =
+  [
+    ("connections", s.connections);
+    ("requests", s.requests);
+    ("served", s.served);
+    ("errors", s.errors);
+    ("overloaded", s.overloaded);
+    ("queue_peak", s.queue_peak);
+    ("bytes_in", s.bytes_in);
+    ("bytes_out", s.bytes_out);
+    ("warm_hits", s.warm_hits);
+    ("cold_misses", s.cold_misses);
+    ("usec_total", s.usec_total);
+  ]
+
+let serve_to_string s =
+  Printf.sprintf
+    "serve: %d conns, %d reqs (%d ok, %d err, %d shed), queue peak %d, %d/%d \
+     B in/out, warm %d / cold %d, %d us total"
+    s.connections s.requests s.served s.errors s.overloaded s.queue_peak
+    s.bytes_in s.bytes_out s.warm_hits s.cold_misses s.usec_total

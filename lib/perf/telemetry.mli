@@ -46,3 +46,40 @@ val ted_rows : ted -> (string * int) list
 
 val ted_to_string : ted -> string
 (** One-line summary for CLI [--stats] output. *)
+
+(** {2 Service counters}
+
+    The `sv serve` daemon's per-request telemetry: connections accepted,
+    frames decoded, replies by class, queue pressure, wire volume, and
+    whether requests were answered from resident state. All counters are
+    monotone within a process (the soak test's oracle) except none —
+    there is no decrement anywhere; {!reset_serve} is the only way down.
+    The daemon's [status] verb reports them next to cache hit rates. *)
+
+type serve = {
+  mutable connections : int;  (** connections accepted *)
+  mutable requests : int;  (** complete frames received *)
+  mutable served : int;  (** [ok] replies sent *)
+  mutable errors : int;  (** [error] replies sent *)
+  mutable overloaded : int;  (** requests shed by admission control *)
+  mutable queue_peak : int;  (** deepest request queue observed *)
+  mutable bytes_in : int;  (** payload bytes received (frames, sans headers) *)
+  mutable bytes_out : int;  (** payload bytes sent *)
+  mutable warm_hits : int;  (** requests served entirely from resident state *)
+  mutable cold_misses : int;  (** requests that had to index at least one codebase *)
+  mutable usec_total : int;  (** cumulative request-handling microseconds *)
+}
+
+val serve : serve
+(** The process-global service counter block. *)
+
+val reset_serve : unit -> unit
+val serve_snapshot : unit -> serve
+
+val note_queue_depth : int -> unit
+(** Raise [queue_peak] to the given depth if deeper than seen before. *)
+
+val serve_rows : serve -> (string * int) list
+(** Label/value rows in a fixed order (the [status] verb's payload). *)
+
+val serve_to_string : serve -> string

@@ -1,0 +1,67 @@
+type conn = { fd : Unix.file_descr; reader : Protocol.Reader.t }
+
+let connect ?socket ?timeout_s () =
+  let path = match socket with Some s -> s | None -> Server.default_socket () in
+  let fd = Unix.socket Unix.PF_UNIX Unix.SOCK_STREAM 0 in
+  match
+    (match timeout_s with
+    | Some s -> Unix.setsockopt_float fd Unix.SO_RCVTIMEO s
+    | None -> ());
+    Unix.connect fd (Unix.ADDR_UNIX path)
+  with
+  | () -> Ok { fd; reader = Protocol.Reader.create () }
+  | exception Unix.Unix_error (e, _, _) ->
+      (try Unix.close fd with Unix.Unix_error (_, _, _) -> ());
+      Error (Printf.sprintf "%s: %s" path (Unix.error_message e))
+
+let close c = try Unix.close c.fd with Unix.Unix_error (_, _, _) -> ()
+
+let send c ?id req =
+  let bytes = Protocol.frame (Protocol.encode_request ?id req) in
+  let n = String.length bytes in
+  let rec go off =
+    if off < n then
+      let w = Unix.write_substring c.fd bytes off (n - off) in
+      go (off + w)
+  in
+  match go 0 with
+  | () -> Ok ()
+  | exception Unix.Unix_error (e, _, _) ->
+      Error (Printf.sprintf "send: %s" (Unix.error_message e))
+
+let recv c =
+  let buf = Bytes.create 65536 in
+  let rec go () =
+    match Protocol.Reader.next c.reader with
+    | `Frame payload -> Protocol.decode_response payload
+    | `Oversized n -> Error (Printf.sprintf "oversized reply frame (%d bytes)" n)
+    | `Awaiting -> (
+        match Unix.read c.fd buf 0 (Bytes.length buf) with
+        | 0 -> Error "connection closed by daemon"
+        | n ->
+            Protocol.Reader.feed c.reader (Bytes.sub_string buf 0 n);
+            go ()
+        | exception Unix.Unix_error (Unix.EINTR, _, _) -> go ()
+        | exception Unix.Unix_error ((Unix.EAGAIN | Unix.EWOULDBLOCK), _, _) ->
+            Error "timed out waiting for a reply"
+        | exception Unix.Unix_error (e, _, _) ->
+            Error (Printf.sprintf "recv: %s" (Unix.error_message e)))
+  in
+  go ()
+
+let call c ?id req =
+  match send c ?id req with
+  | Error m -> Error m
+  | Ok () -> Result.map snd (recv c)
+
+let call_or_fallback ?socket ~config req =
+  match connect ?socket () with
+  | Ok c ->
+      let r = call c req in
+      close c;
+      Result.map (fun resp -> (resp, `Daemon)) r
+  | Error _ ->
+      let engine = Engine.create config in
+      let resp = Engine.handle engine req in
+      Engine.persist engine;
+      Ok (resp, `Local)

@@ -1,0 +1,38 @@
+(** Thin client for the `sv serve` daemon.
+
+    [send]/[recv] are split so tests can pipeline bursts (the soak
+    harness drives admission control by writing faster than the daemon
+    services); [call] is the one-request convenience. [call_or_fallback]
+    is what `sv client` uses: talk to a running daemon if there is one,
+    else evaluate in-process through the very same {!Engine} — so the
+    caller gets byte-identical output either way. *)
+
+type conn
+
+val connect :
+  ?socket:string -> ?timeout_s:float -> unit -> (conn, string) result
+(** Connect to the daemon ([socket] defaults to
+    {!Server.default_socket}). [timeout_s] arms a receive timeout on the
+    connection, so a wedged daemon surfaces as an error instead of a
+    hang (the soak test's guard). *)
+
+val close : conn -> unit
+
+val send : conn -> ?id:int -> Protocol.request -> (unit, string) result
+(** Write one framed request (does not wait for the reply). *)
+
+val recv : conn -> (int option * Protocol.response, string) result
+(** Read the next complete reply frame. *)
+
+val call :
+  conn -> ?id:int -> Protocol.request -> (Protocol.response, string) result
+(** [send] then [recv]. *)
+
+val call_or_fallback :
+  ?socket:string ->
+  config:Engine.config ->
+  Protocol.request ->
+  (Protocol.response * [ `Daemon | `Local ], string) result
+(** Try the daemon first; when no daemon is listening, evaluate the
+    request in-process against a fresh {!Engine.t} built from [config]
+    (persisting its caches afterwards) and report which path answered. *)

@@ -1,0 +1,252 @@
+module J = Sv_jsonx.Jsonx
+
+let default_max_frame = 16 * 1024 * 1024
+
+type request =
+  | Index of { app : string; model : string }
+  | Compare of { app : string; base : string; target : string }
+  | Matrix of { app : string; metric : string }
+  | Cluster of { app : string; metric : string }
+  | Status
+  | Shutdown
+
+let verb_of_request = function
+  | Index _ -> "index"
+  | Compare _ -> "compare"
+  | Matrix _ -> "matrix"
+  | Cluster _ -> "cluster"
+  | Status -> "status"
+  | Shutdown -> "shutdown"
+
+type error_kind =
+  | Oversized
+  | Bad_json
+  | Bad_request
+  | Unknown_verb
+  | Unknown_app
+  | Unknown_model
+  | Unknown_metric
+  | Failed
+
+let kind_to_string = function
+  | Oversized -> "oversized"
+  | Bad_json -> "bad-json"
+  | Bad_request -> "bad-request"
+  | Unknown_verb -> "unknown-verb"
+  | Unknown_app -> "unknown-app"
+  | Unknown_model -> "unknown-model"
+  | Unknown_metric -> "unknown-metric"
+  | Failed -> "failed"
+
+let kind_of_string = function
+  | "oversized" -> Some Oversized
+  | "bad-json" -> Some Bad_json
+  | "bad-request" -> Some Bad_request
+  | "unknown-verb" -> Some Unknown_verb
+  | "unknown-app" -> Some Unknown_app
+  | "unknown-model" -> Some Unknown_model
+  | "unknown-metric" -> Some Unknown_metric
+  | "failed" -> Some Failed
+  | _ -> None
+
+type response =
+  | Output of { verb : string; warm : bool; output : string }
+  | Status_of of (string * J.t) list
+  | Shutdown_ack
+  | Error of { kind : error_kind; message : string }
+  | Overloaded of { queue : int; high_water : int }
+
+(* --- requests --- *)
+
+let id_field = function None -> [] | Some id -> [ ("id", J.Int id) ]
+
+let encode_request ?id req =
+  let fields =
+    match req with
+    | Index { app; model } -> [ ("app", J.String app); ("model", J.String model) ]
+    | Compare { app; base; target } ->
+        [ ("app", J.String app); ("base", J.String base); ("target", J.String target) ]
+    | Matrix { app; metric } -> [ ("app", J.String app); ("metric", J.String metric) ]
+    | Cluster { app; metric } -> [ ("app", J.String app); ("metric", J.String metric) ]
+    | Status | Shutdown -> []
+  in
+  J.to_string
+    (J.Obj (id_field id @ (("verb", J.String (verb_of_request req)) :: fields)))
+
+let obj_id v = Option.bind (J.member "id" v) J.int_value
+
+let request_id payload =
+  match J.of_string payload with
+  | exception J.Parse_error _ -> None
+  | v -> obj_id v
+
+let decode_request payload =
+  match J.of_string payload with
+  | exception J.Parse_error msg -> Stdlib.Error (Bad_json, msg)
+  | J.Obj _ as v -> (
+      let id = obj_id v in
+      let str k = Option.bind (J.member k v) J.string_value in
+      match str "verb" with
+      | None -> Stdlib.Error (Bad_request, "missing string field \"verb\"")
+      | Some verb -> (
+          let need fields k =
+            match List.map (fun f -> (f, str f)) fields with
+            | pairs when List.for_all (fun (_, v) -> v <> None) pairs ->
+                Stdlib.Ok (id, k (List.map (fun (_, v) -> Option.get v) pairs))
+            | pairs ->
+                let missing =
+                  List.filter_map
+                    (fun (f, v) -> if v = None then Some f else None)
+                    pairs
+                in
+                Stdlib.Error
+                  ( Bad_request,
+                    Printf.sprintf "verb %S needs string fields: %s" verb
+                      (String.concat ", " missing) )
+          in
+          match verb with
+          | "index" ->
+              need [ "app"; "model" ] (function
+                | [ app; model ] -> Index { app; model }
+                | _ -> assert false)
+          | "compare" ->
+              need [ "app"; "base"; "target" ] (function
+                | [ app; base; target ] -> Compare { app; base; target }
+                | _ -> assert false)
+          | "matrix" ->
+              need [ "app"; "metric" ] (function
+                | [ app; metric ] -> Matrix { app; metric }
+                | _ -> assert false)
+          | "cluster" ->
+              need [ "app"; "metric" ] (function
+                | [ app; metric ] -> Cluster { app; metric }
+                | _ -> assert false)
+          | "status" -> Stdlib.Ok (id, Status)
+          | "shutdown" -> Stdlib.Ok (id, Shutdown)
+          | v -> Stdlib.Error (Unknown_verb, Printf.sprintf "unknown verb %S" v)))
+  | _ -> Stdlib.Error (Bad_request, "request is not a JSON object")
+
+(* --- responses --- *)
+
+let encode_response ~id resp =
+  let id_kv = ("id", match id with Some i -> J.Int i | None -> J.Null) in
+  let fields =
+    match resp with
+    | Output { verb; warm; output } ->
+        [
+          ("status", J.String "ok");
+          ("verb", J.String verb);
+          ("warm", J.Bool warm);
+          ("output", J.String output);
+        ]
+    | Status_of kvs ->
+        [ ("status", J.String "ok"); ("verb", J.String "status") ] @ kvs
+    | Shutdown_ack -> [ ("status", J.String "ok"); ("verb", J.String "shutdown") ]
+    | Error { kind; message } ->
+        [
+          ("status", J.String "error");
+          ("kind", J.String (kind_to_string kind));
+          ("message", J.String message);
+        ]
+    | Overloaded { queue; high_water } ->
+        [
+          ("status", J.String "overloaded");
+          ("queue", J.Int queue);
+          ("high_water", J.Int high_water);
+        ]
+  in
+  J.to_string (J.Obj (id_kv :: fields))
+
+let decode_response payload =
+  match J.of_string payload with
+  | exception J.Parse_error msg -> Stdlib.Error ("response is not JSON: " ^ msg)
+  | J.Obj kvs as v -> (
+      let id = obj_id v in
+      let str k = Option.bind (J.member k v) J.string_value in
+      let int k = Option.bind (J.member k v) J.int_value in
+      match str "status" with
+      | Some "ok" -> (
+          match str "verb" with
+          | Some "status" ->
+              let counters =
+                List.filter
+                  (fun (k, _) -> k <> "id" && k <> "status" && k <> "verb")
+                  kvs
+              in
+              Stdlib.Ok (id, Status_of counters)
+          | Some "shutdown" -> Stdlib.Ok (id, Shutdown_ack)
+          | Some verb -> (
+              match (str "output", Option.bind (J.member "warm" v) J.bool_value) with
+              | Some output, Some warm -> Stdlib.Ok (id, Output { verb; warm; output })
+              | _ -> Stdlib.Error "ok response lacks output/warm fields")
+          | None -> Stdlib.Error "ok response lacks a verb")
+      | Some "error" -> (
+          match (Option.bind (str "kind") kind_of_string, str "message") with
+          | Some kind, Some message -> Stdlib.Ok (id, Error { kind; message })
+          | _ -> Stdlib.Error "error response lacks kind/message fields")
+      | Some "overloaded" -> (
+          match (int "queue", int "high_water") with
+          | Some queue, Some high_water -> Stdlib.Ok (id, Overloaded { queue; high_water })
+          | _ -> Stdlib.Error "overloaded response lacks queue/high_water fields")
+      | Some s -> Stdlib.Error (Printf.sprintf "unknown status %S" s)
+      | None -> Stdlib.Error "response lacks a status")
+  | _ -> Stdlib.Error "response is not a JSON object"
+
+(* --- framing --- *)
+
+let frame payload =
+  let n = String.length payload in
+  let b = Bytes.create (4 + n) in
+  Bytes.set b 0 (Char.chr ((n lsr 24) land 0xff));
+  Bytes.set b 1 (Char.chr ((n lsr 16) land 0xff));
+  Bytes.set b 2 (Char.chr ((n lsr 8) land 0xff));
+  Bytes.set b 3 (Char.chr (n land 0xff));
+  Bytes.blit_string payload 0 b 4 n;
+  Bytes.unsafe_to_string b
+
+module Reader = struct
+  type t = {
+    max_frame : int;
+    buf : Buffer.t;
+    mutable pos : int;  (* consumed prefix of [buf] *)
+    mutable poisoned : int option;  (* oversized announcement, sticky *)
+  }
+
+  let create ?(max_frame = default_max_frame) () =
+    { max_frame; buf = Buffer.create 4096; pos = 0; poisoned = None }
+
+  let feed t s = Buffer.add_string t.buf s
+
+  (* Drop the consumed prefix once it dominates the buffer, so a
+     long-lived connection cannot grow its buffer without bound. *)
+  let compact t =
+    if t.pos > 65536 && t.pos * 2 > Buffer.length t.buf then begin
+      let rest = Buffer.sub t.buf t.pos (Buffer.length t.buf - t.pos) in
+      Buffer.clear t.buf;
+      Buffer.add_string t.buf rest;
+      t.pos <- 0
+    end
+
+  let next t =
+    match t.poisoned with
+    | Some n -> `Oversized n
+    | None ->
+        let avail = Buffer.length t.buf - t.pos in
+        if avail < 4 then `Awaiting
+        else
+          let b i = Char.code (Buffer.nth t.buf (t.pos + i)) in
+          let n = (b 0 lsl 24) lor (b 1 lsl 16) lor (b 2 lsl 8) lor b 3 in
+          if n > t.max_frame then begin
+            t.poisoned <- Some n;
+            `Oversized n
+          end
+          else if avail < 4 + n then `Awaiting
+          else begin
+            let payload = Buffer.sub t.buf (t.pos + 4) n in
+            t.pos <- t.pos + 4 + n;
+            compact t;
+            `Frame payload
+          end
+
+  let buffered t = Buffer.length t.buf - t.pos
+end

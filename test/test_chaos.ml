@@ -214,6 +214,84 @@ let test_cache_under_faults () =
   done;
   checki "every truncation of the artifact is rejected" 0 !torn
 
+(* --- the daemon under faults --- *)
+
+(* The service layer on top of the faulted pool: a `sv serve` daemon
+   forked with fault injection armed and a parallel worker pool must
+   stay byte-identical on the wire to a fault-free serial evaluation —
+   the recovery machinery is invisible through one more layer of
+   indirection (socket, framing, resident caches). *)
+let test_daemon_under_faults () =
+  let module Engine = Sv_serve.Engine in
+  let module Server = Sv_serve.Server in
+  let module Client = Sv_serve.Client in
+  let module P = Sv_serve.Protocol in
+  let cbs = Option.get (Sv_core.Apps.corpus_of_app "babelstream") in
+  let find m = Option.get (Sv_core.Apps.find_codebase ~app:"babelstream" cbs m) in
+  (* fault-free serial references, computed in this (parent) process *)
+  let bix = Pipeline.index (find "serial") in
+  let tix = Pipeline.index (find "kokkos") in
+  let expect_compare =
+    Engine.render_compare ~app:"babelstream" ~base:"serial" ~target:"kokkos"
+      bix tix
+  in
+  let ixs = List.map Pipeline.index cbs in
+  let expect_matrix = Engine.render_matrix Tbmd.TSem ixs in
+  let socket = Filename.temp_file "sv_chaos_daemon" ".sock" in
+  Sys.remove socket;
+  flush stdout;
+  flush stderr;
+  let pid = Unix.fork () in
+  if pid = 0 then begin
+    (try
+       Sv_perf.Telemetry.reset_serve ();
+       Fault.set { engine_spec with Fault.seed = 11 };
+       Server.serve ~socket
+         (Engine.create
+            { (Engine.default_config ()) with Engine.jobs = 3; persist_every = 0 })
+     with _ -> ());
+    Unix._exit 0
+  end;
+  let rec wait n =
+    match Client.connect ~socket ~timeout_s:120. () with
+    | Ok c -> c
+    | Error e ->
+        if n = 0 then Alcotest.failf "daemon did not come up: %s" e
+        else begin
+          Unix.sleepf 0.05;
+          wait (n - 1)
+        end
+  in
+  let c = wait 200 in
+  let output req =
+    match Client.call c req with
+    | Ok (P.Output { output; _ }) -> output
+    | Ok (P.Error { kind; message }) ->
+        Alcotest.failf "daemon error %s: %s" (P.kind_to_string kind) message
+    | Ok _ -> Alcotest.fail "expected an output reply"
+    | Error e -> Alcotest.failf "call failed: %s" e
+  in
+  let compare_req =
+    P.Compare { app = "babelstream"; base = "serial"; target = "kokkos" }
+  in
+  let matrix_req = P.Matrix { app = "babelstream"; metric = "t_sem" } in
+  Alcotest.(check string)
+    "faulted daemon compare identical to fault-free serial" expect_compare
+    (output compare_req);
+  Alcotest.(check string)
+    "faulted daemon matrix identical to fault-free serial" expect_matrix
+    (output matrix_req);
+  Alcotest.(check string)
+    "warm faulted rerun still identical" expect_compare (output compare_req);
+  (match Client.call c P.Shutdown with
+  | Ok P.Shutdown_ack -> ()
+  | Ok _ -> Alcotest.fail "expected a shutdown ack"
+  | Error e -> Alcotest.failf "shutdown failed: %s" e);
+  Client.close c;
+  match Unix.waitpid [] pid with
+  | _, Unix.WEXITED 0 -> ()
+  | _ -> Alcotest.fail "daemon exited abnormally"
+
 let () =
   Alcotest.run "chaos"
     [
@@ -237,5 +315,7 @@ let () =
             test_faulted_matrix_identical;
           Alcotest.test_case "cache never torn under faults" `Slow
             test_cache_under_faults;
+          Alcotest.test_case "daemon under faults" `Slow
+            test_daemon_under_faults;
         ] );
     ]
