@@ -30,13 +30,18 @@ module J = Sv_jsonx.Jsonx
 let bench_records : (string * J.t) list ref = ref []
 let record name v = bench_records := (name, v) :: !bench_records
 
+(* `--smoke` (stripped from argv before experiment lookup) shrinks the
+   experiments that have a size knob — today the corpus study — to
+   seconds, which is how @bench-smoke runs them. *)
+let smoke_flag = ref false
+
 let () =
   at_exit (fun () ->
       match List.rev !bench_records with
       | [] -> ()
       | entries -> (
           let path =
-            Option.value ~default:"BENCH_PR7.json" (Sys.getenv_opt "SV_BENCH_JSON")
+            Option.value ~default:"BENCH_PR8.json" (Sys.getenv_opt "SV_BENCH_JSON")
           in
           try
             let oc = open_out path in
@@ -1077,6 +1082,265 @@ let serve_bench () =
     exit 1
   end
 
+(* The PR 8 tentpole: a statistical divergence study over a generated
+   corpus. A seeded synthetic corpus (mutants of BabelStream ports plus
+   grown kernel chains, every variant interpreter-verified at birth) is
+   pushed through the whole engine stack — index (serial vs pool), T_sem
+   matrix (serial vs pool vs cold/warm persistent TED cache) — with the
+   usual byte-identity contract (mismatch exits nonzero), and the
+   resulting distance distribution is characterised: moments and a
+   histogram of all pairwise divergences, triangle-inequality tightness
+   over sampled triples (normalised divergence is not guaranteed
+   metric — violations are counted, not assumed away), the paper's
+   clustering recipe over the variant matrix, and the stability of the
+   distribution across generator seeds. `--smoke` runs ~60 variants;
+   the full study defaults to 1000 (SV_GEN_VARIANTS overrides). *)
+let corpus_study () =
+  let module Gen = Sv_gen.Gen in
+  let module Prng = Sv_util.Prng in
+  section "Corpus study: generated variants through index -> TED matrix -> cluster";
+  let smoke = !smoke_flag in
+  let count =
+    if smoke then 60
+    else
+      match Sys.getenv_opt "SV_GEN_VARIANTS" with
+      | Some s -> ( match int_of_string_opt s with Some n when n >= 10 -> n | _ -> 1000)
+      | None -> 1000
+  in
+  (* Smoke exercises both generator modes (mutants of full BabelStream
+     ports have ~3x the tree size of grown kernels, so they are the
+     expensive path). The full-scale study is grow-mode over the
+     lean-scaffold models: the point at 1000+ programs is the geometry
+     of the distance distribution — Sporring & Larsen's random-program
+     shape — and grown kernel chains keep the n^2 exact-TED bill
+     affordable on one core while mutation stays covered by smoke and
+     the property suites. *)
+  let spec =
+    if smoke then { Gen.seed = 8; count; mode = Gen.Mixed; base = "babelstream" }
+    else { Gen.seed = 8; count; mode = Gen.Grow; base = "serial,omp,stdpar,tbb,kokkos" }
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  (* generation (every variant re-verified through the interpreter) *)
+  let variants, t_gen = wall (fun () -> Gen.generate spec) in
+  let grown = List.length (List.filter (fun v -> v.Gen.v_kind = `Grown) variants) in
+  Printf.printf "  %s: %d variants (%d grown, %d mutated) generated in %.1fs\n"
+    (Gen.spec_string spec) count grown (count - grown) t_gen;
+  List.iter
+    (fun (op, n) -> Printf.printf "    %-18s %d\n" op n)
+    (Gen.op_counts variants);
+  let cbs = List.map (fun v -> v.Gen.v_cb) variants in
+  (* index: serial vs pool, byte-identical artifacts *)
+  let artifact_bytes ixs =
+    String.concat ""
+      (List.map (fun ix -> Sv_db.Codebase_db.save (Pipeline.to_db ix)) ixs)
+  in
+  let serial_ixs, t_ix_serial = wall (fun () -> Sv_core.Index_engine.index_many ~jobs:1 cbs) in
+  let jobs = max 2 (Sv_sched.Sched.default_jobs ()) in
+  let par_ixs, t_ix_par = wall (fun () -> Sv_core.Index_engine.index_many ~jobs cbs) in
+  let index_identical = artifact_bytes par_ixs = artifact_bytes serial_ixs in
+  Printf.printf "  %-30s %9.1fs\n" "index, serial" t_ix_serial;
+  Printf.printf "  %-30s %9.1fs  (%d workers, %.2fx)\n" "index, parallel" t_ix_par
+    jobs
+    (t_ix_serial /. Float.max 1e-9 t_ix_par);
+  Printf.printf "  index artifacts byte-identical: %s\n"
+    (if index_identical then "OK" else "MISMATCH");
+  let ixs = serial_ixs in
+  (* T_sem matrix: serial vs pool vs cold/warm persistent TED cache *)
+  let render (m : Cluster.matrix) =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              String.concat " "
+                (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+            m.Cluster.data))
+  in
+  let run_matrix ~jobs ~cache () =
+    Tbmd.clear_memo ();
+    Tbmd.set_jobs jobs;
+    Tbmd.set_ted_cache cache;
+    Fun.protect
+      ~finally:(fun () ->
+        Tbmd.set_jobs 1;
+        Tbmd.set_ted_cache None)
+      (fun () -> Tbmd.matrix Tbmd.TSem ixs)
+  in
+  let serial_m, t_m_serial = wall (run_matrix ~jobs:1 ~cache:None) in
+  (* the parallel run doubles as the cold-cache run: workers ship their
+     TED entries back, so it both checks pool identity and leaves a warm
+     persistent cache for the third configuration *)
+  let cache = Sv_db.Codebase_db.Ted_cache.create () in
+  let par_m, t_m_par = wall (run_matrix ~jobs ~cache:(Some cache)) in
+  let warm_m, t_m_warm = wall (run_matrix ~jobs:1 ~cache:(Some cache)) in
+  let sr = render serial_m in
+  let matrix_identical = render par_m = sr && render warm_m = sr in
+  Printf.printf "  %-30s %9.1fs  (%d^2 divergences)\n" "matrix, serial" t_m_serial
+    count;
+  Printf.printf "  %-30s %9.1fs  (%d workers, cold TED cache)\n"
+    "matrix, parallel" t_m_par jobs;
+  Printf.printf "  %-30s %9.1fs  (%s)\n" "matrix, warm TED cache" t_m_warm
+    (Sv_db.Codebase_db.Ted_cache.stats cache);
+  Printf.printf "  matrices byte-identical: %s\n"
+    (if matrix_identical then "OK" else "MISMATCH");
+  (* distance distribution: all off-diagonal divergences *)
+  let d = serial_m.Cluster.data in
+  let n = Array.length d in
+  let values = ref [] and sum = ref 0.0 and sq = ref 0.0 and nv = ref 0 in
+  let dmin = ref infinity and dmax = ref neg_infinity in
+  for i = 0 to n - 1 do
+    for j = 0 to n - 1 do
+      if i <> j then begin
+        let v = d.(i).(j) in
+        values := v :: !values;
+        sum := !sum +. v;
+        sq := !sq +. (v *. v);
+        incr nv;
+        if v < !dmin then dmin := v;
+        if v > !dmax then dmax := v
+      end
+    done
+  done;
+  let mean = !sum /. float_of_int !nv in
+  let variance = (!sq /. float_of_int !nv) -. (mean *. mean) in
+  let bins = 16 in
+  let hist = Array.make bins 0 in
+  List.iter
+    (fun v ->
+      let b = int_of_float (v *. float_of_int bins) in
+      hist.(min (bins - 1) (max 0 b)) <- hist.(min (bins - 1) (max 0 b)) + 1)
+    !values;
+  Printf.printf
+    "  distances: n=%d mean=%.4f var=%.5f min=%.4f max=%.4f\n" !nv mean variance
+    !dmin !dmax;
+  Printf.printf "  histogram [0,1) x%d: %s\n" bins
+    (String.concat " " (Array.to_list (Array.map string_of_int hist)));
+  (* triangle-inequality tightness over sampled triples: normalised
+     divergence need not be a metric, so violations are measured *)
+  let rng = Prng.create (spec.Gen.seed lxor 0x7ea) in
+  let triples = min 20000 (n * (n - 1) * (n - 2)) in
+  let violations = ref 0 and worst = ref 0.0 and tight_sum = ref 0.0 in
+  for _ = 1 to triples do
+    let i = Prng.int rng n in
+    let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+    let k = ref (Prng.int rng n) in
+    while !k = i || !k = j do
+      k := Prng.int rng n
+    done;
+    let lhs = d.(i).(!k) and rhs = d.(i).(j) +. d.(j).(!k) in
+    let ratio = lhs /. Float.max 1e-12 rhs in
+    tight_sum := !tight_sum +. Float.min 1.0 ratio;
+    if lhs > rhs +. 1e-12 then begin
+      incr violations;
+      if ratio > !worst then worst := ratio
+    end
+  done;
+  Printf.printf
+    "  triangle inequality: %d/%d sampled triples violate (worst ratio %.3f, \
+     mean tightness %.3f)\n"
+    !violations triples !worst
+    (!tight_sum /. float_of_int triples);
+  (* the paper's clustering recipe over the variant matrix *)
+  let (dm, dendro), t_cluster = wall (fun () -> Tbmd.dendrogram Tbmd.TSem ixs) in
+  let heights = Cluster.merge_heights dendro in
+  let hmax = List.fold_left Float.max 0.0 heights in
+  let cut = hmax /. 2.0 in
+  let clusters_at_cut = 1 + List.length (List.filter (fun h -> h > cut) heights) in
+  Printf.printf
+    "  clustering: %d leaves in %.1fs, max merge height %.3f, %d clusters at \
+     height %.3f\n"
+    (Array.length dm.Cluster.labels)
+    t_cluster hmax clusters_at_cut cut;
+  (* stability: re-run a smaller study under neighbouring seeds and
+     compare distribution moments and dendrogram scale *)
+  let stab_count = max 10 (count / 10) in
+  let stability =
+    List.map
+      (fun seed ->
+        let sspec = { spec with Gen.seed; count = stab_count } in
+        let sixs =
+          Sv_core.Index_engine.index_many ~jobs
+            (List.map (fun v -> v.Gen.v_cb) (Gen.generate sspec))
+        in
+        Tbmd.clear_memo ();
+        let sm, sd = Tbmd.dendrogram Tbmd.TSem sixs in
+        let data = sm.Cluster.data in
+        let sn = Array.length data in
+        let s = ref 0.0 and c = ref 0 in
+        for i = 0 to sn - 1 do
+          for j = 0 to sn - 1 do
+            if i <> j then begin
+              s := !s +. data.(i).(j);
+              incr c
+            end
+          done
+        done;
+        let smean = !s /. float_of_int (max 1 !c) in
+        let shmax = List.fold_left Float.max 0.0 (Cluster.merge_heights sd) in
+        Printf.printf "  seed %-4d (%d variants): mean distance %.4f, dendrogram \
+                       height %.3f\n"
+          seed stab_count smean shmax;
+        (seed, smean, shmax))
+      [ spec.Gen.seed; spec.Gen.seed + 1; spec.Gen.seed + 2 ]
+  in
+  let means = List.map (fun (_, m, _) -> m) stability in
+  let mmin = List.fold_left Float.min infinity means in
+  let mmax = List.fold_left Float.max neg_infinity means in
+  let mavg = List.fold_left ( +. ) 0.0 means /. float_of_int (List.length means) in
+  let spread = (mmax -. mmin) /. Float.max 1e-9 mavg in
+  Printf.printf "  stability: mean-distance spread %.1f%% across %d seeds\n"
+    (100.0 *. spread) (List.length stability);
+  record "corpus-study"
+    (J.Obj
+       [
+         ("spec", J.String (Gen.spec_string spec));
+         ("variants", J.Int count);
+         ("grown", J.Int grown);
+         ("mutated", J.Int (count - grown));
+         ("gen_s", J.Float t_gen);
+         ("index_serial_s", J.Float t_ix_serial);
+         ("index_parallel_s", J.Float t_ix_par);
+         ("jobs", J.Int jobs);
+         ("matrix_serial_s", J.Float t_m_serial);
+         ("matrix_parallel_cold_cache_s", J.Float t_m_par);
+         ("matrix_warm_cache_s", J.Float t_m_warm);
+         ("cluster_s", J.Float t_cluster);
+         ("pairs", J.Int !nv);
+         ("distance_mean", J.Float mean);
+         ("distance_variance", J.Float variance);
+         ("distance_min", J.Float !dmin);
+         ("distance_max", J.Float !dmax);
+         ( "histogram",
+           J.List (Array.to_list (Array.map (fun c -> J.Int c) hist)) );
+         ("triangle_triples", J.Int triples);
+         ("triangle_violations", J.Int !violations);
+         ("triangle_worst_ratio", J.Float !worst);
+         ("triangle_mean_tightness", J.Float (!tight_sum /. float_of_int triples));
+         ("dendrogram_height", J.Float hmax);
+         ("clusters_at_half_height", J.Int clusters_at_cut);
+         ( "stability",
+           J.List
+             (List.map
+                (fun (seed, m, h) ->
+                  J.Obj
+                    [
+                      ("seed", J.Int seed);
+                      ("mean_distance", J.Float m);
+                      ("dendrogram_height", J.Float h);
+                    ])
+                stability) );
+         ("stability_mean_spread", J.Float spread);
+         ("index_identical", J.Bool index_identical);
+         ("matrix_identical", J.Bool matrix_identical);
+       ]);
+  if not (index_identical && matrix_identical) then begin
+    Printf.eprintf "[bench] corpus-study: serial/parallel/cached mismatch\n%!";
+    exit 1
+  end
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -1091,13 +1355,24 @@ let experiments =
     ("ted-core", ted_core);
     ("index-engine", index_engine);
     ("serve", serve_bench);
+    ("corpus-study", corpus_study);
     ("kernels", kernels);
   ]
 
 let () =
+  let args =
+    List.filter
+      (fun a ->
+        if a = "--smoke" then begin
+          smoke_flag := true;
+          false
+        end
+        else true)
+      (List.tl (Array.to_list Sys.argv))
+  in
   let requested =
-    match Array.to_list Sys.argv with
-    | _ :: args when args <> [] && args <> [ "all" ] -> args
+    match args with
+    | args when args <> [] && args <> [ "all" ] -> args
     | _ -> List.map fst experiments
   in
   List.iter

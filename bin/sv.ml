@@ -9,6 +9,7 @@
      phi      cascade plot (performance portability)
      chart    navigation chart (Phi vs TBMD)
      verify   run every port's built-in verification
+     gen      emit a seeded synthetic corpus of verified program variants
      models   list apps, models and platforms *)
 
 open Cmdliner
@@ -17,6 +18,7 @@ module Pipeline = Sv_core.Pipeline
 module Tbmd = Sv_core.Tbmd
 module Report = Sv_report.Report
 module Apps = Sv_core.Apps
+module Gen = Sv_gen.Gen
 module Engine = Sv_serve.Engine
 module Protocol = Sv_serve.Protocol
 
@@ -395,6 +397,158 @@ let verify_cmd =
     (Cmd.info "verify" ~doc:"Run every port's built-in verification under the interpreter.")
     Term.(ret (const run $ app_arg $ jobs_arg $ index_cache_arg))
 
+let gen_cmd =
+  let run seed count mode base spec out list_variants diagnose =
+    let spec =
+      match spec with
+      | Some s -> (
+          match Gen.parse_spec s with
+          | Some sp -> Ok sp
+          | None ->
+              Error
+                (Printf.sprintf
+                   "bad --spec %S (expected gen:<mode>:<base>:<seed>:<count>)" s))
+      | None -> (
+          if count <= 0 then Error "--count must be positive"
+          else
+            match Gen.mode_of_name mode with
+            | Some m -> Ok { Gen.seed; count; mode = m; base }
+            | None ->
+                Error (Printf.sprintf "unknown --mode %S (grow, mutate or mixed)" mode))
+    in
+    match spec with
+    | Error m -> fail "%s" m
+    | Ok spec -> (
+        match diagnose with
+        | Some k -> (
+            match Gen.diagnose spec k with
+            | report ->
+                print_string report;
+                `Ok ()
+            | exception Invalid_argument m -> fail "%s" m)
+        | None -> (
+            match Gen.generate spec with
+            | exception Invalid_argument m -> fail "%s" m
+            | variants ->
+                let chain v =
+                  if v.Gen.v_kind = `Grown then "-"
+                  else if v.Gen.v_ops = [] then "(seed reprint)"
+                  else
+                    String.concat ";"
+                      (List.map
+                         (fun (op, detail) ->
+                           if detail = "" then op
+                           else Printf.sprintf "%s(%s)" op detail)
+                         v.Gen.v_ops)
+                in
+                if list_variants then
+                  List.iter
+                    (fun v ->
+                      Printf.printf "%-18s %-7s %-12s tries=%d %s\n" v.Gen.v_id
+                        (match v.Gen.v_kind with
+                        | `Grown -> "grown"
+                        | `Mutated -> "mutated")
+                        (Option.value ~default:"-" v.Gen.v_seed_model)
+                        v.Gen.v_tries (chain v))
+                    variants;
+                (match out with
+                | None -> ()
+                | Some dir ->
+                    let mkdir d =
+                      try Unix.mkdir d 0o755
+                      with Unix.Unix_error (Unix.EEXIST, _, _) -> ()
+                    in
+                    mkdir dir;
+                    let manifest = Buffer.create 1024 in
+                    Buffer.add_string manifest (Gen.spec_string spec ^ "\n");
+                    List.iter
+                      (fun v ->
+                        let cb = v.Gen.v_cb in
+                        let vdir = Filename.concat dir v.Gen.v_id in
+                        mkdir vdir;
+                        List.iter
+                          (fun (name, content) ->
+                            let oc = open_out (Filename.concat vdir name) in
+                            output_string oc content;
+                            close_out oc)
+                          cb.Sv_corpus.Emit.files;
+                        Buffer.add_string manifest
+                          (Printf.sprintf "%s\t%s\t%s\n" v.Gen.v_id
+                             cb.Sv_corpus.Emit.main_file (chain v)))
+                      variants;
+                    let oc = open_out (Filename.concat dir "MANIFEST") in
+                    Buffer.output_buffer oc manifest;
+                    close_out oc;
+                    Printf.printf "wrote %d variants + MANIFEST to %s\n"
+                      (List.length variants) dir);
+                if not list_variants then begin
+                  let grown, mutated =
+                    List.partition (fun v -> v.Gen.v_kind = `Grown) variants
+                  in
+                  Printf.printf
+                    "%s: %d variants (%d grown, %d mutated), all verified\n"
+                    (Gen.spec_string spec) (List.length variants)
+                    (List.length grown) (List.length mutated);
+                  List.iter
+                    (fun (op, n) -> Printf.printf "  %-18s %d\n" op n)
+                    (Gen.op_counts variants)
+                end;
+                `Ok ()))
+  in
+  let seed =
+    Arg.(value & opt int 42 & info [ "seed" ] ~docv:"N"
+           ~doc:"PRNG seed. The corpus is a pure function of the spec: same \
+                 seed, byte-identical variants.")
+  in
+  let count =
+    Arg.(value & opt int 100 & info [ "count"; "n" ] ~docv:"N"
+           ~doc:"Number of variants to generate.")
+  in
+  let mode =
+    Arg.(value & opt string "mixed" & info [ "mode" ] ~docv:"MODE"
+           ~doc:"$(b,grow) fresh kernel chains, $(b,mutate) \
+                 semantics-preserving rewrites of bundled ports, or \
+                 $(b,mixed) (default) alternating both.")
+  in
+  let base =
+    Arg.(value & opt string "babelstream" & info [ "base" ] ~docv:"BASE"
+           ~doc:"Seed corpus for mutation (babelstream, babelstream-f, \
+                 tealeaf, cloverleaf, minibude or all); model set for \
+                 growth (a model id list or all).")
+  in
+  let spec =
+    Arg.(value & opt (some string) None & info [ "spec" ] ~docv:"SPEC"
+           ~doc:"Full spec gen:<mode>:<base>:<seed>:<count>; overrides the \
+                 individual flags. The same string is accepted as an app \
+                 name by index, cluster, verify and the daemon.")
+  in
+  let out =
+    Arg.(value & opt (some string) None & info [ "out"; "o" ] ~docv:"DIR"
+           ~doc:"Write each variant's sources under DIR/<id>/ plus a \
+                 MANIFEST (spec line, then one id/main-file/operator-chain \
+                 row per variant).")
+  in
+  let list_variants =
+    Arg.(value & flag
+         & info [ "list" ]
+             ~doc:"Print one line per variant: id, kind, seed model, \
+                   attempts, operator chain.")
+  in
+  let diagnose =
+    Arg.(value & opt (some int) None & info [ "diagnose" ] ~docv:"K"
+           ~doc:"Replay variant K and print the shrinking report: the \
+                 shortest operator-chain prefix that breaks the semantic \
+                 check, for every rejected attempt.")
+  in
+  Cmd.v
+    (Cmd.info "gen"
+       ~doc:"Generate a seeded synthetic corpus of interpreter-verified \
+             program variants.")
+    Term.(
+      ret
+        (const run $ seed $ count $ mode $ base $ spec $ out $ list_variants
+        $ diagnose))
+
 (* --- service layer --- *)
 
 let socket_arg =
@@ -552,7 +706,7 @@ let main_cmd =
   Cmd.group (Cmd.info "sv" ~version:"1.0.0" ~doc)
     [
       models_cmd; emit_cmd; index_cmd; inspect_cmd; compare_cmd; cluster_cmd;
-      phi_cmd; chart_cmd; verify_cmd; serve_cmd; client_cmd;
+      phi_cmd; chart_cmd; verify_cmd; gen_cmd; serve_cmd; client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

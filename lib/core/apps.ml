@@ -1,23 +1,19 @@
-let app_names = [ "babelstream"; "babelstream-f"; "tealeaf"; "cloverleaf"; "minibude" ]
+let app_names = Sv_corpus.Registry.names
 
 let corpus_of_app app =
   match String.lowercase_ascii app with
-  | "babelstream" -> Some (Sv_corpus.Babelstream.all ())
-  | "babelstream-f" | "babelstream-fortran" -> Some (Sv_corpus.Babelstream_f.all ())
-  | "tealeaf" -> Some (Sv_corpus.Tealeaf.all ())
-  | "cloverleaf" -> Some (Sv_corpus.Cloverleaf.all ())
-  | "minibude" -> Some (Sv_corpus.Minibude.all ())
-  | _ -> None
+  | g when String.length g >= 4 && String.sub g 0 4 = "gen:" ->
+      (* synthetic corpora: "gen:<mode>:<base>:<seed>:<count>" resolves to
+         a freshly generated (deterministic, interpreter-verified) variant
+         set — every consumer of the registry (CLI, daemon, benches) can
+         name one exactly like a bundled mini-app *)
+      Sv_gen.Gen.corpus_of_spec g
+  | name -> Sv_corpus.Registry.corpus name
 
 let codebase_builder_of app =
-  match String.lowercase_ascii app with
-  | "babelstream" -> Some (fun model -> Sv_corpus.Babelstream.codebase ~model)
-  | "tealeaf" -> Some (fun model -> Sv_corpus.Tealeaf.codebase ~model)
-  | "cloverleaf" -> Some (fun model -> Sv_corpus.Cloverleaf.codebase ~model)
-  | "minibude" -> Some (fun model -> Sv_corpus.Minibude.codebase ~model)
-  | "babelstream-f" | "babelstream-fortran" ->
-      Some (fun model -> Sv_corpus.Babelstream_f.codebase ~model)
-  | _ -> None
+  Option.map
+    (fun build model -> build ~model)
+    (Sv_corpus.Registry.builder app)
 
 let find_codebase ?app cbs model =
   match

@@ -12,7 +12,12 @@ val app_names : string list
 val corpus_of_app : string -> Sv_corpus.Emit.codebase list option
 (** [corpus_of_app app] is the full model corpus of a mini-app
     (case-insensitive; accepts the ["babelstream-fortran"] alias), or
-    [None] for an unknown app. *)
+    [None] for an unknown app.
+
+    Names of the form ["gen:<mode>:<base>:<seed>:<count>"] (see
+    {!Sv_gen.Gen.parse_spec}) resolve to a synthetic corpus generated on
+    the spot: deterministic in the seed and interpreter-verified, so a
+    generated corpus is addressable wherever a mini-app name is. *)
 
 val find_codebase :
   ?app:string ->

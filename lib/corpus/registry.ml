@@ -1,0 +1,20 @@
+let names = [ "babelstream"; "babelstream-f"; "tealeaf"; "cloverleaf"; "minibude" ]
+
+let corpus name =
+  match String.lowercase_ascii name with
+  | "babelstream" -> Some (Babelstream.all ())
+  | "babelstream-f" | "babelstream-fortran" -> Some (Babelstream_f.all ())
+  | "tealeaf" -> Some (Tealeaf.all ())
+  | "cloverleaf" -> Some (Cloverleaf.all ())
+  | "minibude" -> Some (Minibude.all ())
+  | _ -> None
+
+let builder name =
+  match String.lowercase_ascii name with
+  | "babelstream" -> Some (fun ~model -> Babelstream.codebase ~model)
+  | "babelstream-f" | "babelstream-fortran" ->
+      Some (fun ~model -> Babelstream_f.codebase ~model)
+  | "tealeaf" -> Some (fun ~model -> Tealeaf.codebase ~model)
+  | "cloverleaf" -> Some (fun ~model -> Cloverleaf.codebase ~model)
+  | "minibude" -> Some (fun ~model -> Minibude.codebase ~model)
+  | _ -> None

@@ -1,0 +1,100 @@
+open Sv_lang_c.Ast
+module Loc = Sv_util.Loc
+
+type t = {
+  expr : t -> expr -> expr;
+  stmt : t -> stmt -> stmt;
+  stmts : t -> stmt list -> stmt list;
+  loc : Loc.t -> Loc.t;
+}
+
+let map_expr m e = m.expr m e
+let map_stmt m s = m.stmt m s
+let map_stmts m ss = m.stmts m ss
+
+let default_expr m (e : expr) : expr =
+  let go = map_expr m in
+  let node =
+    match e.e with
+    | (IntE _ | FloatE _ | BoolE _ | StrE _ | CharE _ | NullE | Var _ | SizeofT _)
+      as atom ->
+        atom
+    | Unary (op, a) -> Unary (op, go a)
+    | Binary (op, a, b) -> Binary (op, go a, go b)
+    | Assign (op, l, r) -> Assign (op, go l, go r)
+    | Ternary (c, a, b) -> Ternary (go c, go a, go b)
+    | Call (callee, targs, args) -> Call (go callee, targs, List.map go args)
+    | KernelLaunch (callee, cfg, args) ->
+        KernelLaunch (go callee, List.map go cfg, List.map go args)
+    | Index (a, i) -> Index (go a, go i)
+    | Member (a, f, k) -> Member (go a, f, k)
+    | Lambda (cap, params, body) ->
+        let params =
+          List.map (fun p -> { p with p_loc = m.loc p.p_loc }) params
+        in
+        Lambda (cap, params, map_stmts m body)
+    | Cast (t, a) -> Cast (t, go a)
+    | New (t, n) -> New (t, Option.map go n)
+    | InitList es -> InitList (List.map go es)
+  in
+  { e = node; eloc = m.loc e.eloc }
+
+let default_stmt m (s : stmt) : stmt =
+  let go_e = map_expr m in
+  let go_ss = map_stmts m in
+  let node =
+    match s.s with
+    | Decl (t, names) ->
+        Decl (t, List.map (fun (n, init) -> (n, Option.map go_e init)) names)
+    | ExprS e -> ExprS (go_e e)
+    | If (c, a, b) -> If (go_e c, go_ss a, go_ss b)
+    | For (init, cond, step, body) ->
+        For
+          ( Option.map (map_stmt m) init,
+            Option.map go_e cond,
+            Option.map go_e step,
+            go_ss body )
+    | While (c, body) -> While (go_e c, go_ss body)
+    | DoWhile (body, c) -> DoWhile (go_ss body, go_e c)
+    | Return e -> Return (Option.map go_e e)
+    | (Break | Continue) as leaf -> leaf
+    | Block body -> Block (go_ss body)
+    | Directive (d, body) ->
+        Directive ({ d with d_loc = m.loc d.d_loc }, Option.map (map_stmt m) body)
+    | DeleteS (e, arr) -> DeleteS (go_e e, arr)
+  in
+  { s = node; sloc = m.loc s.sloc }
+
+let default_stmts m ss = List.map (map_stmt m) ss
+
+let default =
+  {
+    expr = default_expr;
+    stmt = default_stmt;
+    stmts = default_stmts;
+    loc = Fun.id;
+  }
+
+let map_func m (f : func) : func =
+  {
+    f with
+    f_params = List.map (fun p -> { p with p_loc = m.loc p.p_loc }) f.f_params;
+    f_body = Option.map (map_stmts m) f.f_body;
+    f_loc = m.loc f.f_loc;
+  }
+
+let map_top m (t : top) : top =
+  match t with
+  | Func f -> Func (map_func m f)
+  | Record r -> Record { r with r_loc = m.loc r.r_loc }
+  | GlobalVar (attrs, ty, name, init, loc) ->
+      GlobalVar (attrs, ty, name, Option.map (map_expr m) init, m.loc loc)
+  | Using (name, loc) -> Using (name, m.loc loc)
+  | TopDirective d -> TopDirective { d with d_loc = m.loc d.d_loc }
+
+let map_tunit m (u : tunit) : tunit =
+  { u with t_tops = List.map (map_top m) u.t_tops }
+
+let strip_locs_tunit u = map_tunit { default with loc = (fun _ -> Loc.none) } u
+
+let equal_tunit a b = strip_locs_tunit a = strip_locs_tunit b

@@ -1,0 +1,37 @@
+(** Generic bottom-up rewriting over the MiniC AST.
+
+    A {!t} bundles the traversal hooks; {!default} recurses everywhere
+    and changes nothing. Mutation operators override a single hook (most
+    often [stmts], since loop fission and statement permutation rewrite
+    statement {e lists}) and inherit full recursion for everything
+    else. *)
+
+type t = {
+  expr : t -> Sv_lang_c.Ast.expr -> Sv_lang_c.Ast.expr;
+  stmt : t -> Sv_lang_c.Ast.stmt -> Sv_lang_c.Ast.stmt;
+  stmts : t -> Sv_lang_c.Ast.stmt list -> Sv_lang_c.Ast.stmt list;
+  loc : Sv_util.Loc.t -> Sv_util.Loc.t;
+}
+
+val default : t
+
+val default_expr : t -> Sv_lang_c.Ast.expr -> Sv_lang_c.Ast.expr
+(** One level of structural recursion — an overriding hook calls this to
+    descend into children after (or instead of) its own rewrite. *)
+
+val default_stmt : t -> Sv_lang_c.Ast.stmt -> Sv_lang_c.Ast.stmt
+val default_stmts : t -> Sv_lang_c.Ast.stmt list -> Sv_lang_c.Ast.stmt list
+
+val map_expr : t -> Sv_lang_c.Ast.expr -> Sv_lang_c.Ast.expr
+val map_stmt : t -> Sv_lang_c.Ast.stmt -> Sv_lang_c.Ast.stmt
+val map_stmts : t -> Sv_lang_c.Ast.stmt list -> Sv_lang_c.Ast.stmt list
+val map_func : t -> Sv_lang_c.Ast.func -> Sv_lang_c.Ast.func
+val map_top : t -> Sv_lang_c.Ast.top -> Sv_lang_c.Ast.top
+val map_tunit : t -> Sv_lang_c.Ast.tunit -> Sv_lang_c.Ast.tunit
+
+val strip_locs_tunit : Sv_lang_c.Ast.tunit -> Sv_lang_c.Ast.tunit
+(** Every location replaced by [Loc.none]. *)
+
+val equal_tunit : Sv_lang_c.Ast.tunit -> Sv_lang_c.Ast.tunit -> bool
+(** Structural equality modulo locations — the re-parse fidelity oracle
+    for {!Printer}. *)

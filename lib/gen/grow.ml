@@ -1,0 +1,258 @@
+module Emit = Sv_corpus.Emit
+module Prng = Sv_util.Prng
+
+(* Grammar-directed growth of fresh STREAM-style kernels, composed
+   through the same {!Emit} vocabulary the hand-written mini-apps use, so
+   every model's scaffolding (CUDA grids, SYCL queues, Kokkos views…)
+   comes out idiomatic. Verification is self-contained: an OCaml mirror
+   of the kernel sequence computes per-array checksums and the final
+   reduction under the exact IEEE semantics the interpreter uses, and the
+   emitted program compares against those constants ("Validation
+   PASSED" / exit 0), which is what [Pipeline.index] already treats as
+   the pass signal. *)
+
+(* Kernel body expressions over index [i]: array reads, embedded
+   constants, named scalar parameters, and +/-/*. Division is excluded
+   (no zero hazards), and depth is bounded so value magnitudes stay
+   finite through a whole kernel chain. *)
+type gx =
+  | XRead of string
+  | XConst of float
+  | XIdx
+  | XScalar of string * float
+  | XBin of [ `Add | `Sub | `Mul ] * gx * gx
+
+let rec render_gx g = function
+  | XRead a -> Emit.arr g a "i"
+  | XConst f ->
+      if f < 0.0 then "(0.0 - " ^ Printer.float_literal (-.f) ^ ")"
+      else Printer.float_literal f
+  | XIdx -> "i"
+  | XScalar (name, _) -> name
+  | XBin (op, a, b) ->
+      let sym = match op with `Add -> "+" | `Sub -> "-" | `Mul -> "*" in
+      Printf.sprintf "(%s %s %s)" (render_gx g a) sym (render_gx g b)
+
+let rec eval_gx arrays i = function
+  | XRead a -> (List.assoc a arrays).(i)
+  | XConst f -> f
+  | XIdx -> float_of_int i
+  | XScalar (_, v) -> v
+  | XBin (op, a, b) -> (
+      let x = eval_gx arrays i a and y = eval_gx arrays i b in
+      match op with `Add -> x +. y | `Sub -> x -. y | `Mul -> x *. y)
+
+let rec gx_scalars = function
+  | XScalar (name, v) -> [ (name, v) ]
+  | XBin (_, a, b) -> gx_scalars a @ gx_scalars b
+  | _ -> []
+
+type kernel = { k_name : string; k_target : string; k_expr : gx }
+
+type program = {
+  p_n : int;
+  p_arrays : string list;
+  p_inits : (string * float * float) list;  (** array, c0, c1: a[i] = c0 + c1*i *)
+  p_kernels : kernel list;
+  p_reduce : gx;
+}
+
+(* ------------------------------------------------------------------ *)
+(* Random program construction (all draws through the caller's PRNG)   *)
+
+let array_pool = [| "a"; "b"; "c"; "d"; "e" |]
+
+let rand_const rng = float_of_int (Prng.int rng 150 + 25) /. 100.0
+
+let rec rand_expr rng ~arrays ~scalars ~depth =
+  let leaf () =
+    match Prng.int rng (if scalars = [] then 5 else 6) with
+    | 0 | 1 -> XRead (Prng.pick rng (Array.of_list arrays))
+    | 2 | 3 -> XConst (rand_const rng)
+    | 4 -> XIdx
+    | _ -> Prng.pick rng (Array.of_list scalars)
+  in
+  if depth = 0 then leaf ()
+  else
+    match Prng.int rng 4 with
+    | 0 ->
+        XBin
+          ( (match Prng.int rng 3 with 0 -> `Add | 1 -> `Sub | _ -> `Mul),
+            rand_expr rng ~arrays ~scalars ~depth:(depth - 1),
+            rand_expr rng ~arrays ~scalars ~depth:(depth - 1) )
+    | _ ->
+        XBin
+          ( (match Prng.int rng 2 with 0 -> `Add | _ -> `Sub),
+            leaf (),
+            rand_expr rng ~arrays ~scalars ~depth:(depth - 1) )
+
+let rand_program rng =
+  let n = (Prng.int rng 4 + 1) * 256 in
+  let n_arrays = Prng.int rng 3 + 2 in
+  let arrays = Array.to_list (Array.sub array_pool 0 n_arrays) in
+  let inits =
+    List.map
+      (fun a ->
+        let c0 = rand_const rng in
+        let c1 = float_of_int (Prng.int rng 200) /. 100000.0 in
+        (a, c0, c1))
+      arrays
+  in
+  let n_kernels = Prng.int rng 3 + 1 in
+  let kernels =
+    List.init n_kernels (fun k ->
+        let name = Printf.sprintf "kern%d" k in
+        let target = Prng.pick rng (Array.of_list arrays) in
+        let scalars =
+          if Prng.bool rng then
+            [ XScalar (Printf.sprintf "s%d" k, rand_const rng) ]
+          else []
+        in
+        let expr = rand_expr rng ~arrays ~scalars ~depth:2 in
+        { k_name = name; k_target = target; k_expr = expr })
+  in
+  let reduce =
+    if n_arrays >= 2 && Prng.bool rng then
+      XBin (`Mul, XRead (List.nth arrays 0), XRead (List.nth arrays 1))
+    else XRead (List.nth arrays 0)
+  in
+  { p_n = n; p_arrays = arrays; p_inits = inits; p_kernels = kernels; p_reduce = reduce }
+
+(* ------------------------------------------------------------------ *)
+(* Mirror evaluation: the gold the emitted program must reproduce      *)
+
+type gold = { g_checksums : (string * float) list; g_sum : float }
+
+let mirror (p : program) : gold =
+  let arrays =
+    List.map (fun a -> (a, Array.make p.p_n 0.0)) p.p_arrays
+  in
+  List.iter
+    (fun (a, c0, c1) ->
+      let arr = List.assoc a arrays in
+      for i = 0 to p.p_n - 1 do
+        arr.(i) <- c0 +. (c1 *. float_of_int i)
+      done)
+    p.p_inits;
+  List.iter
+    (fun k ->
+      let target = List.assoc k.k_target arrays in
+      (* same-index map: reads use the value before this iteration's
+         write, matching the emitted loop statement order *)
+      for i = 0 to p.p_n - 1 do
+        target.(i) <- eval_gx arrays i k.k_expr
+      done)
+    p.p_kernels;
+  let sum = ref 0.0 in
+  for i = 0 to p.p_n - 1 do
+    sum := !sum +. eval_gx arrays i p.p_reduce
+  done;
+  let checksums =
+    List.map
+      (fun (a, arr) ->
+        let c = ref 0.0 in
+        for i = 0 to p.p_n - 1 do
+          c := !c +. arr.(i)
+        done;
+        (a, !c))
+      arrays
+  in
+  { g_checksums = checksums; g_sum = !sum }
+
+(* ------------------------------------------------------------------ *)
+(* Emission                                                            *)
+
+let c_float f =
+  if f < 0.0 then "(0.0 - " ^ Printer.float_literal (-.f) ^ ")"
+  else Printer.float_literal f
+
+let emit ~variant_id (p : program) g : Emit.codebase =
+  let gold = mirror p in
+  let n = "n" in
+  let k_init =
+    Emit.map_kernel g ~name:"init_arrays" ~n ~arrays:p.p_arrays ~scalars:[]
+      ~body:
+        (List.map
+           (fun (a, c0, c1) ->
+             Printf.sprintf "%s = %s + (%s * i);" (Emit.arr g a "i") (c_float c0)
+               (c_float c1))
+           p.p_inits)
+  in
+  let compute =
+    List.map
+      (fun k ->
+        let scalars = gx_scalars k.k_expr in
+        Emit.map_kernel g ~name:k.k_name ~n ~arrays:p.p_arrays
+          ~scalars:(List.map (fun (s, _) -> ("double", s)) scalars)
+          ~body:
+            [
+              Printf.sprintf "%s = %s;" (Emit.arr g k.k_target "i")
+                (render_gx g k.k_expr);
+            ])
+      p.p_kernels
+  in
+  let k_dot =
+    Emit.reduce_kernel g ~name:"dot" ~n ~arrays:p.p_arrays ~scalars:[]
+      ~result:"sum" ~expr:(render_gx g p.p_reduce)
+  in
+  let kernels = (k_init :: compute) @ [ k_dot ] in
+  let tops = List.concat_map fst kernels in
+  let rb a = Emit.read_back g ~host:("h_" ^ a) ~dev:a ~n in
+  let staged = rb (List.hd p.p_arrays) <> [] in
+  let vread a i =
+    if staged then Printf.sprintf "h_%s[%s]" a i else Emit.arr g a i
+  in
+  let scalar_decls =
+    List.concat_map
+      (fun k ->
+        List.map
+          (fun (s, v) -> Printf.sprintf "const double %s = %s;" s (c_float v))
+          (gx_scalars k.k_expr))
+      p.p_kernels
+  in
+  let checksum a =
+    [
+      Printf.sprintf "double chk_%s = 0.0;" a;
+      Printf.sprintf "for (int i = 0; i < %s; i++) {" n;
+      Printf.sprintf "  chk_%s += %s;" a (vread a "i");
+      "}";
+    ]
+  in
+  let check_one lhs gold_v =
+    Printf.sprintf
+      "if (fabs(%s - (%s)) > tol * (1.0 + fabs(%s))) { errs = errs + 1; }" lhs
+      (c_float gold_v) (c_float gold_v)
+  in
+  let main_body =
+    [
+      Printf.sprintf "const int n = %d;" p.p_n;
+      "double sum = 0.0;";
+    ]
+    @ List.concat_map (fun a -> Emit.alloc g ~name:a ~n) p.p_arrays
+    @ scalar_decls
+    @ List.concat_map snd kernels
+    @ (if staged then List.concat_map rb p.p_arrays else [])
+    @ List.concat_map checksum p.p_arrays
+    @ [ "const double tol = 1.0e-6;"; "int errs = 0;" ]
+    @ List.map
+        (fun (a, gv) -> check_one (Printf.sprintf "chk_%s" a) gv)
+        gold.g_checksums
+    @ [ check_one "sum" gold.g_sum ]
+    @ [
+        "if (errs == 0) {";
+        "  printf(\"Validation PASSED\\n\");";
+        "} else {";
+        "  printf(\"Validation FAILED\\n\");";
+        "  return 1;";
+        "}";
+      ]
+    @ List.concat_map (fun a -> Emit.dealloc g ~name:a ~n) p.p_arrays
+  in
+  let header =
+    Printf.sprintf "%s: generated kernel chain (%d arrays, %d kernels, n=%d)"
+      variant_id (List.length p.p_arrays) (List.length p.p_kernels) p.p_n
+  in
+  let source = Emit.render ~header_comment:header ~tops ~main_body g in
+  Emit.wrap ~app:"gen" g ~source
+    ~main_file:(Printf.sprintf "%s.cpp" variant_id)
+    ()

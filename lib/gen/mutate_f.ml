@@ -1,0 +1,168 @@
+module Prng = Sv_util.Prng
+module Dsyn = Sv_util.Directive_syntax
+
+(* MiniF mutations work at the source-line level (the Fortran frontend
+   has no printer), which keeps them honest: only rewrites that are easy
+   to prove at that level are attempted — uniform identifier renames and
+   directive clause permutations — and the interpreter backstop still
+   re-verifies every variant. *)
+
+type applied = { af_op : string; af_detail : string }
+
+let is_ident_char c =
+  (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || (c >= '0' && c <= '9') || c = '_'
+
+let is_ident_start c = (c >= 'a' && c <= 'z') || (c >= 'A' && c <= 'Z') || c = '_'
+
+(* Replace whole-identifier occurrences of [old] outside 'quoted'
+   strings. *)
+let replace_ident ~old ~fresh src =
+  let b = Buffer.create (String.length src) in
+  let n = String.length src in
+  let i = ref 0 in
+  while !i < n do
+    let c = src.[!i] in
+    if c = '\'' then (
+      (* copy the quoted string verbatim *)
+      Buffer.add_char b c;
+      incr i;
+      while !i < n && src.[!i] <> '\'' do
+        Buffer.add_char b src.[!i];
+        incr i
+      done;
+      if !i < n then (
+        Buffer.add_char b '\'';
+        incr i))
+    else if is_ident_start c then (
+      let start = !i in
+      while !i < n && is_ident_char src.[!i] do
+        incr i
+      done;
+      let word = String.sub src start (!i - start) in
+      Buffer.add_string b (if word = old then fresh else word))
+    else (
+      Buffer.add_char b c;
+      incr i)
+  done;
+  Buffer.contents b
+
+let contains_ident ~ident src =
+  let marked = replace_ident ~old:ident ~fresh:"\x00" src in
+  String.contains marked '\x00'
+
+(* Declared names: everything after a [::] on a declaration line, split
+   on commas, dimension suffixes stripped. *)
+let declared_names src =
+  let names = ref [] in
+  String.split_on_char '\n' src
+  |> List.iter (fun line ->
+         match String.index_opt line ':' with
+         | Some i
+           when i + 1 < String.length line
+                && line.[i + 1] = ':'
+                && not (String.length (String.trim line) > 0
+                        && (String.trim line).[0] = '!') ->
+             let rhs = String.sub line (i + 2) (String.length line - i - 2) in
+             (* strip dimension parens so "a(:), b(:)" yields a, b *)
+             let depth = ref 0 in
+             let cleaned = Buffer.create 16 in
+             String.iter
+               (fun c ->
+                 if c = '(' then incr depth
+                 else if c = ')' then decr depth
+                 else if !depth = 0 then Buffer.add_char cleaned c)
+               rhs;
+             String.split_on_char ',' (Buffer.contents cleaned)
+             |> List.iter (fun piece ->
+                    let nm = String.trim piece in
+                    if
+                      nm <> ""
+                      && is_ident_start nm.[0]
+                      && String.for_all is_ident_char nm
+                      && not (List.mem nm !names)
+                    then names := !names @ [ nm ])
+         | _ -> ())
+  |> ignore;
+  !names
+
+let head_words =
+  [
+    "parallel"; "do"; "loop"; "kernels"; "target"; "teams"; "distribute";
+    "taskloop"; "single"; "end"; "concurrent"; "simd"; "data"; "enter"; "exit";
+  ]
+
+(* Directive lines whose clause tail (after the construct head words) has
+   at least two reorderable clauses. *)
+let directive_sites src =
+  String.split_on_char '\n' src
+  |> List.mapi (fun i line -> (i, line))
+  |> List.filter_map (fun (i, line) ->
+         let t = String.trim line in
+         let sentinel p = String.length t > String.length p && String.sub t 0 (String.length p) = p in
+         if (sentinel "!$omp " || sentinel "!$acc ") && not (String.contains t '&')
+         then
+           let prefix = String.sub t 0 6 in
+           let body = String.sub t 6 (String.length t - 6) in
+           let clauses = Dsyn.split body in
+           let rec split_head acc = function
+             | ((w, None) as c) :: rest when List.mem w head_words ->
+                 split_head (c :: acc) rest
+             | rest -> (List.rev acc, rest)
+           in
+           let head, tail = split_head [] clauses in
+           if List.length tail >= 2 then Some (i, prefix, head, tail) else None
+         else None)
+
+let render_clauses cs =
+  String.concat " "
+    (List.map (fun (w, a) -> match a with None -> w | Some x -> w ^ x) cs)
+
+let rename_op rng src =
+  let candidates = declared_names src in
+  if candidates = [] then None
+  else
+    let old = Prng.pick rng (Array.of_list candidates) in
+    let rec fresh () =
+      let cand = Printf.sprintf "%s_r%d" old (Prng.int rng 900 + 100) in
+      if contains_ident ~ident:cand src then fresh () else cand
+    in
+    let fresh = fresh () in
+    Some
+      ( replace_ident ~old ~fresh src,
+        { af_op = "rename"; af_detail = Printf.sprintf "%s->%s" old fresh } )
+
+let permute_op rng src =
+  match directive_sites src with
+  | [] -> None
+  | sites ->
+      let i, prefix, head, tail = Prng.pick rng (Array.of_list sites) in
+      let arr = Array.of_list tail in
+      Prng.shuffle rng arr;
+      let tail' = Array.to_list arr in
+      let tail' = if tail' = tail then List.tl tail @ [ List.hd tail ] else tail' in
+      let lines = String.split_on_char '\n' src in
+      let lines =
+        List.mapi
+          (fun j line ->
+            if j = i then
+              let indent_len =
+                let k = ref 0 in
+                while !k < String.length line && line.[!k] = ' ' do incr k done;
+                !k
+              in
+              String.make indent_len ' ' ^ prefix
+              ^ render_clauses (head @ tail')
+            else line)
+          lines
+      in
+      Some
+        ( String.concat "\n" lines,
+          {
+            af_op = "directive-permute";
+            af_detail = Printf.sprintf "line %d" (i + 1);
+          } )
+
+let apply rng src : (string * applied) option =
+  match Prng.int rng 2 with
+  | 0 -> ( match rename_op rng src with Some r -> Some r | None -> permute_op rng src)
+  | _ -> ( match permute_op rng src with Some r -> Some r | None -> rename_op rng src)

@@ -1,0 +1,287 @@
+open Sv_lang_c.Ast
+
+(* Re-parse fidelity is the whole game here (see the interface). Two
+   parser facts carry the design:
+   - a parenthesised expression is returned as the inner node, so parens
+     are free insurance: every non-atomic operand gets a pair, which
+     neutralises precedence, the template-call backtrack on [<], and the
+     [x * y;] declaration ambiguity;
+   - the declaration backtrack claims an expression statement only when
+     it starts with a (possibly qualified) name followed by a name or
+     [*]; atoms and parenthesised forms can never match it. *)
+
+let indent_unit = "  "
+
+let float_literal f =
+  if not (Float.is_finite f) then invalid_arg "Printer.float_literal: not finite";
+  if f < 0.0 then invalid_arg "Printer.float_literal: negative literal";
+  let shortest =
+    (* shortest decimal spelling that round-trips to the same double *)
+    let s15 = Printf.sprintf "%.15g" f in
+    if float_of_string s15 = f then s15
+    else
+      let s16 = Printf.sprintf "%.16g" f in
+      if float_of_string s16 = f then s16 else Printf.sprintf "%.17g" f
+  in
+  (* the lexer only makes a FloatLit of "d.d" or "dEd": "1." alone would
+     lex as IntLit followed by Op [.] *)
+  let has_marker =
+    String.exists (fun c -> c = '.' || c = 'e' || c = 'E') shortest
+  in
+  if has_marker then
+    (* "1.e3" never appears from %g; "1.5" and "1e+06" both lex fine *)
+    shortest
+  else shortest ^ ".0"
+
+let int_literal n =
+  if n < 0 then invalid_arg "Printer.int_literal: negative literal";
+  string_of_int n
+
+let char_literal c =
+  match c with
+  | '\n' -> "'\\n'"
+  | '\t' -> "'\\t'"
+  | '\\' -> "'\\\\'"
+  | c when Char.code c >= 32 && Char.code c <= 126 && c <> '\'' ->
+      Printf.sprintf "'%c'" c
+  | _ -> invalid_arg "Printer.char_literal: unprintable char"
+
+let unop_spelling = function
+  | Neg -> "-"
+  | Not -> "!"
+  | BitNot -> "~"
+  | PreInc | PostInc -> "++"
+  | PreDec | PostDec -> "--"
+  | Deref -> "*"
+  | AddrOf -> "&"
+
+let binop_spelling = function
+  | Add -> "+" | Sub -> "-" | Mul -> "*" | Div -> "/" | Mod -> "%"
+  | Eq -> "==" | Ne -> "!=" | Lt -> "<" | Gt -> ">" | Le -> "<=" | Ge -> ">="
+  | LAnd -> "&&" | LOr -> "||"
+  | BitAnd -> "&" | BitOr -> "|" | BitXor -> "^" | Shl -> "<<" | Shr -> ">>"
+
+let rec ty t =
+  match t with
+  | TVoid -> "void"
+  | TBool -> "bool"
+  | TChar -> "char"
+  | TInt -> "int"
+  | TLong -> "long"
+  | TSizeT -> "size_t"
+  | TFloat -> "float"
+  | TDouble -> "double"
+  | TAuto -> "auto"
+  | TPtr t -> ty t ^ "*"
+  | TRef t -> ty t ^ "&"
+  | TConst t -> "const " ^ ty t
+  | TNamed (name, []) -> name
+  | TNamed (name, targs) ->
+      let args = String.concat ", " (List.map targ targs) in
+      (* nested template arguments need the [> >] split (the parser does
+         not handle [>>]) *)
+      let args =
+        if String.length args > 0 && args.[String.length args - 1] = '>' then
+          args ^ " "
+        else args
+      in
+      Printf.sprintf "%s<%s>" name args
+  | TArr (t, _) ->
+      (* the [n] suffix belongs to the declarator; callers print it *)
+      ty t
+
+and targ = function TyArg t -> ty t | IntArg n -> string_of_int n
+
+(* Atoms are self-delimiting and safe to print bare in any operand
+   position; everything else is wrapped in parentheses (AST-neutral). *)
+let is_atom (e : expr) =
+  match e.e with
+  | IntE _ | FloatE _ | BoolE _ | StrE _ | CharE _ | NullE | Var _ | SizeofT _ ->
+      true
+  | _ -> false
+
+let rec expr (e : expr) = if is_atom e then bare e else "(" ^ bare e ^ ")"
+
+and bare (e : expr) =
+  match e.e with
+  | IntE n -> int_literal n
+  | FloatE f -> float_literal f
+  | BoolE b -> if b then "true" else "false"
+  | StrE s -> "\"" ^ String.escaped s ^ "\""
+  | CharE c -> char_literal c
+  | NullE -> "nullptr"
+  | Var name -> name
+  | Unary ((PostInc | PostDec) as op, a) -> expr a ^ unop_spelling op
+  | Unary (op, a) -> unop_spelling op ^ expr a
+  | Binary (op, a, b) ->
+      Printf.sprintf "%s %s %s" (expr a) (binop_spelling op) (expr b)
+  | Assign (None, l, r) -> Printf.sprintf "%s = %s" (expr l) (expr r)
+  | Assign (Some op, l, r) ->
+      Printf.sprintf "%s %s= %s" (expr l) (binop_spelling op) (expr r)
+  | Ternary (c, a, b) ->
+      Printf.sprintf "%s ? %s : %s" (expr c) (expr a) (expr b)
+  | Call (callee, [], args) ->
+      Printf.sprintf "%s(%s)" (expr callee) (String.concat ", " (List.map expr args))
+  | Call (callee, targs, args) ->
+      let targ_str = String.concat ", " (List.map targ targs) in
+      let targ_str =
+        if String.length targ_str > 0 && targ_str.[String.length targ_str - 1] = '>'
+        then targ_str ^ " "
+        else targ_str
+      in
+      Printf.sprintf "%s<%s>(%s)" (expr callee) targ_str
+        (String.concat ", " (List.map expr args))
+  | KernelLaunch (callee, cfg, args) ->
+      Printf.sprintf "%s<<<%s>>>(%s)" (expr callee)
+        (String.concat ", " (List.map expr cfg))
+        (String.concat ", " (List.map expr args))
+  | Index (a, i) -> Printf.sprintf "%s[%s]" (expr a) (expr i)
+  | Member (a, f, `Dot) -> Printf.sprintf "%s.%s" (expr a) f
+  | Member (a, f, `Arrow) -> Printf.sprintf "%s->%s" (expr a) f
+  | Lambda (cap, params, body) ->
+      let intro = match cap with ByValue -> "[=]" | ByRef -> "[&]" in
+      let ps =
+        String.concat ", "
+          (List.map (fun p -> ty p.p_ty ^ " " ^ p.p_name) params)
+      in
+      let body_lines = List.concat_map (stmt ~indent:0) body in
+      Printf.sprintf "%s(%s) { %s }" intro ps (String.concat " " body_lines)
+  | Cast (t, a) -> Printf.sprintf "(%s)%s" (ty t) (expr a)
+  | New (t, Some n) -> Printf.sprintf "new %s[%s]" (ty t) (expr n)
+  | New (t, None) -> "new " ^ ty t
+  | InitList es -> "{" ^ String.concat ", " (List.map expr es) ^ "}"
+  | SizeofT t -> Printf.sprintf "sizeof(%s)" (ty t)
+
+(* Declarations: the shared base type plus per-declarator array suffix
+   and initialiser. Constructor-style initialisers were parsed into
+   [InitList], which the brace spelling reproduces exactly. *)
+and decl_line t names =
+  let base, suffix =
+    match t with
+    | TArr (elem, Some n) -> (ty elem, Printf.sprintf "[%d]" n)
+    | TArr (elem, None) -> (ty elem, "[]")
+    | t -> (ty t, "")
+  in
+  let declarator (name, init) =
+    let init_str =
+      match init with None -> "" | Some e -> " = " ^ expr e
+    in
+    name ^ suffix ^ init_str
+  in
+  Printf.sprintf "%s %s;" base (String.concat ", " (List.map declarator names))
+
+and directive (d : directive) =
+  let origin = match d.d_origin with `Omp -> "omp" | `Acc -> "acc" in
+  let clause (word, args) =
+    match args with None -> word | Some a -> word ^ a
+  in
+  let body = String.concat " " (List.map clause d.d_clauses) in
+  if body = "" then Printf.sprintf "#pragma %s" origin
+  else Printf.sprintf "#pragma %s %s" origin body
+
+and stmt ~indent (s : stmt) : string list =
+  let pfx = String.concat "" (List.init indent (fun _ -> indent_unit)) in
+  let line l = pfx ^ l in
+  let block body = List.concat_map (stmt ~indent:(indent + 1)) body in
+  match s.s with
+  | Decl (t, names) -> [ line (decl_line t names) ]
+  | ExprS e ->
+      (* the operand form already parenthesises every shape the
+         declaration backtrack could claim ([x * y;], [T x(..);]) *)
+      [ line (expr e ^ ";") ]
+  | If (c, then_, else_) ->
+      [ line (Printf.sprintf "if (%s) {" (expr c)) ]
+      @ block then_
+      @ (if else_ = [] then [ line "}" ]
+         else (line "} else {" :: block else_) @ [ line "}" ])
+  | For (init, cond, step, body) ->
+      let init_str =
+        match init with
+        | None -> ";"
+        | Some { s = Decl (t, names); _ } -> decl_line t names
+        | Some { s = ExprS e; _ } -> expr e ^ ";"
+        | Some _ -> invalid_arg "Printer.stmt: non-decl/expr for-initialiser"
+      in
+      let cond_str = match cond with None -> "" | Some e -> " " ^ expr e in
+      let step_str = match step with None -> "" | Some e -> " " ^ expr e in
+      [ line (Printf.sprintf "for (%s%s;%s) {" init_str cond_str step_str) ]
+      @ block body @ [ line "}" ]
+  | While (c, body) ->
+      [ line (Printf.sprintf "while (%s) {" (expr c)) ] @ block body @ [ line "}" ]
+  | DoWhile (body, c) ->
+      [ line "do {" ] @ block body
+      @ [ line (Printf.sprintf "} while (%s);" (expr c)) ]
+  | Return None -> [ line "return;" ]
+  | Return (Some e) -> [ line (Printf.sprintf "return %s;" (expr e)) ]
+  | Break -> [ line "break;" ]
+  | Continue -> [ line "continue;" ]
+  | Block body -> [ line "{" ] @ block body @ [ line "}" ]
+  | Directive (d, body) -> (
+      line (directive d)
+      ::
+      (match body with
+      | None -> []
+      | Some b -> stmt ~indent b))
+  | DeleteS (e, arr) ->
+      [ line (Printf.sprintf "delete%s %s;" (if arr then "[]" else "") (expr e)) ]
+
+let attr_spelling = function
+  | AGlobal -> "__global__"
+  | ADevice -> "__device__"
+  | AHost -> "__host__"
+  | AShared -> "__shared__"
+  | AStatic -> "static"
+  | AInline -> "inline"
+  | AExtern -> "extern"
+  | AConstant -> "__constant__"
+
+let top (t : top) : string list =
+  match t with
+  | Func f ->
+      let tmpl =
+        if f.f_tparams = [] then ""
+        else
+          Printf.sprintf "template<%s> "
+            (String.concat ", "
+               (List.map (fun p -> "typename " ^ p) f.f_tparams))
+      in
+      let attrs =
+        String.concat "" (List.map (fun a -> attr_spelling a ^ " ") f.f_attrs)
+      in
+      let params =
+        String.concat ", "
+          (List.map (fun p -> ty p.p_ty ^ " " ^ p.p_name) f.f_params)
+      in
+      let head =
+        Printf.sprintf "%s%s%s %s(%s)" tmpl attrs (ty f.f_ret) f.f_name params
+      in
+      (match f.f_body with
+      | None -> [ head ^ ";" ]
+      | Some body ->
+          [ head ^ " {" ] @ List.concat_map (stmt ~indent:1) body @ [ "}" ])
+  | Record r ->
+      if r.r_fields = [] then [ Printf.sprintf "struct %s;" r.r_name ]
+      else
+        [ Printf.sprintf "struct %s {" r.r_name ]
+        @ List.map
+            (fun (ft, fname) ->
+              Printf.sprintf "%s%s %s;" indent_unit (ty ft) fname)
+            r.r_fields
+        @ [ "};" ]
+  | GlobalVar (attrs, t, name, init, _) ->
+      let attr_str =
+        String.concat "" (List.map (fun a -> attr_spelling a ^ " ") attrs)
+      in
+      let base, suffix =
+        match t with
+        | TArr (elem, Some n) -> (ty elem, Printf.sprintf "[%d]" n)
+        | TArr (elem, None) -> (ty elem, "[]")
+        | t -> (ty t, "")
+      in
+      let init_str = match init with None -> "" | Some e -> " = " ^ expr e in
+      [ Printf.sprintf "%s%s %s%s%s;" attr_str base name suffix init_str ]
+  | Using (name, _) -> [ Printf.sprintf "using namespace %s;" name ]
+  | TopDirective d -> [ directive d ]
+
+let tops ts =
+  String.concat "\n" (List.concat_map (fun t -> top t @ [ "" ]) ts)

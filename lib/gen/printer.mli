@@ -1,0 +1,46 @@
+(** MiniC AST pretty-printer, the inverse of [Sv_lang_c.Parser].
+
+    The generator mutates parsed ASTs and must re-emit source that the
+    standard pipeline (preprocessor, parser, interpreter) consumes, so
+    the single contract of this module is {e re-parse fidelity}: for any
+    AST the parser can produce, [Parser.parse ~file (print ast)] yields a
+    structurally identical AST (locations excepted).
+
+    The strategy leans on two parser properties verified in
+    [test_gen.ml]:
+    - parenthesised expressions return the inner node unchanged, so
+      every non-atomic operand is printed inside parentheses (which
+      sidesteps precedence, template-argument backtracking and the
+      [x * y;] declaration ambiguity at once);
+    - expression statements are printed with an outer parenthesis
+      whenever the declaration backtrack could otherwise claim them. *)
+
+val ty : Sv_lang_c.Ast.ty -> string
+(** Type spelling; array declarators ([TArr]) print only their element
+    type — the [\[n\]] suffix belongs to the declarator and is emitted
+    by {!stmt}/{!top}. *)
+
+val expr : Sv_lang_c.Ast.expr -> string
+(** Operand form: atoms (literals, names) bare, everything else
+    parenthesised. *)
+
+val stmt : indent:int -> Sv_lang_c.Ast.stmt -> string list
+(** Statement as source lines at the given indentation depth (two
+    spaces per level). *)
+
+val top : Sv_lang_c.Ast.top -> string list
+(** One top-level declaration as source lines. *)
+
+val tops : Sv_lang_c.Ast.top list -> string
+(** A whole translation-unit body (no includes — the caller re-emits
+    the original preprocessor lines in front). *)
+
+val directive : Sv_lang_c.Ast.directive -> string
+(** The [#pragma omp ...] / [#pragma acc ...] line, single-spaced, as
+    {!Sv_lang_c.Cst.directive_label} expects it. *)
+
+val float_literal : float -> string
+(** Shortest literal that re-parses to the exact same IEEE double and
+    always lexes as a [FloatLit] (a ['.'] or exponent is guaranteed).
+    Raises [Invalid_argument] for negatives, infinities and NaN — the
+    parser never produces those as literals. *)

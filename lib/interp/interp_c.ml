@@ -50,6 +50,8 @@ let value_to_float = function
   | VBool b -> Some (if b then 1.0 else 0.0)
   | _ -> None
 
+let observation o = (o.result, o.output)
+
 let rec pp_value fmt = function
   | VUnit -> Format.pp_print_string fmt "()"
   | VInt n -> Format.pp_print_int fmt n

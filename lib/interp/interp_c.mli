@@ -55,5 +55,12 @@ val run :
 val value_to_float : value -> float option
 (** Numeric view of a value, for assertions in tests and benches. *)
 
+val observation : outcome -> (value, string) Result.t * string
+(** [observation o] projects the behaviour a semantics-preserving
+    transformation must keep: the entry function's result and the
+    accumulated output. Coverage and step counts are execution detail,
+    free to change. This is the equivalence the corpus generator's
+    semantic check compares. *)
+
 val pp_value : Format.formatter -> value -> unit
 (** Debug printer. *)

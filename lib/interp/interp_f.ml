@@ -42,6 +42,8 @@ let value_to_float = function
   | FBoolV b -> Some (if b then 1.0 else 0.0)
   | _ -> None
 
+let observation o = (o.result, o.output)
+
 let to_float loc v =
   match value_to_float v with Some f -> f | None -> err loc "expected a number"
 

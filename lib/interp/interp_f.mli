@@ -30,3 +30,9 @@ val run : ?max_steps:int -> Sv_lang_f.Ast.file -> outcome
 
 val value_to_float : value -> float option
 (** Numeric view, for test assertions. *)
+
+val observation : outcome -> (unit, string) Result.t * string
+(** [observation o] projects the behaviour a semantics-preserving
+    transformation must keep: the program's result and the accumulated
+    output — the equivalence the corpus generator's semantic check
+    compares. *)

@@ -183,6 +183,28 @@ let test_faulted_matrix_identical () =
   checkb "float data identical" true (serial.Cluster.data = faulted.Cluster.data);
   Alcotest.(check string) "rendered bytes identical" (render serial) (render faulted)
 
+(* The same oracle over a generated (not hand-written) corpus: grown
+   kernels for the fat models carry T_sem trees several times larger
+   than the BabelStream slice, so the recovery paths — retry
+   re-serialisation, in-process degradation — are exercised on
+   non-trivial tree sizes. *)
+let gen_slice =
+  lazy
+    (Option.get (Sv_core.Apps.corpus_of_app "gen:grow:cuda,hip,sycl-acc:29:8")
+    |> List.map Pipeline.index)
+
+let test_faulted_matrix_generated () =
+  let ixs = Lazy.force gen_slice in
+  let serial = matrix_with ~jobs:1 ~cache:None ixs in
+  Fault.set { engine_spec with Fault.seed = 13 };
+  let faulted =
+    Fun.protect ~finally:Fault.clear (fun () ->
+        matrix_with ~jobs:3 ~cache:None ixs)
+  in
+  checkb "labels equal" true (serial.Cluster.labels = faulted.Cluster.labels);
+  checkb "float data identical" true (serial.Cluster.data = faulted.Cluster.data);
+  Alcotest.(check string) "rendered bytes identical" (render serial) (render faulted)
+
 (* A run that degrades mid-batch must leave the cache either absent or
    valid for every key — never torn. The strongest form: the artifact a
    faulted parallel run persists is byte-identical to a clean serial
@@ -313,6 +335,8 @@ let () =
         [
           Alcotest.test_case "faulted matrix identical" `Slow
             test_faulted_matrix_identical;
+          Alcotest.test_case "faulted matrix on a generated corpus" `Slow
+            test_faulted_matrix_generated;
           Alcotest.test_case "cache never torn under faults" `Slow
             test_cache_under_faults;
           Alcotest.test_case "daemon under faults" `Slow

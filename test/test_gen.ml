@@ -1,0 +1,153 @@
+(* Generator suite: printer re-parse fidelity, corpus determinism,
+   semantic preservation, operator coverage and shrinking. *)
+
+module Printer = Sv_gen.Printer
+module Ast_map = Sv_gen.Ast_map
+module Parser = Sv_lang_c.Parser
+module Preproc = Sv_lang_c.Preproc
+module Pipeline = Sv_core.Pipeline
+
+let prop_iters default =
+  match Sys.getenv_opt "SV_PROP_ITERS" with
+  | Some s -> ( match int_of_string_opt s with Some n when n > 0 -> n | _ -> default)
+  | None -> default
+
+(* Re-parse printed source the way the pipeline would: through the
+   preprocessor (a pass-through here — printed source has no includes)
+   and the parser. *)
+let reparse ~file src =
+  let pp = Preproc.run ~resolve:(fun _ -> None) ~defines:[] ~file src in
+  Parser.parse_tokens ~file pp.Preproc.tokens
+
+let c_codebases () =
+  List.concat_map
+    (fun corpus -> List.filter (fun cb -> cb.Sv_corpus.Emit.lang = `C) corpus)
+    [
+      Sv_corpus.Babelstream.all ();
+      Sv_corpus.Tealeaf.all ();
+      Sv_corpus.Cloverleaf.all ();
+      Sv_corpus.Minibude.all ();
+    ]
+
+(* Tentpole oracle: for every translation unit of every bundled C
+   codebase (shim headers spliced in, so templates, CUDA attributes,
+   lambdas and directives are all exercised), print → re-parse must
+   reproduce the AST modulo locations. *)
+let test_printer_roundtrip () =
+  let checked = ref 0 in
+  List.iter
+    (fun cb ->
+      let ast = Pipeline.c_unit_ast cb cb.Sv_corpus.Emit.main_file in
+      let printed = Printer.tops ast.Sv_lang_c.Ast.t_tops in
+      let reparsed = reparse ~file:cb.Sv_corpus.Emit.main_file printed in
+      if not (Ast_map.equal_tunit ast reparsed) then
+        Alcotest.failf "round-trip mismatch for %s/%s"
+          cb.Sv_corpus.Emit.app cb.Sv_corpus.Emit.model;
+      (* printing must be a fixpoint: print (reparse (print ast)) is
+         byte-identical to print ast *)
+      let printed2 = Printer.tops reparsed.Sv_lang_c.Ast.t_tops in
+      if printed <> printed2 then
+        Alcotest.failf "printer not a fixpoint for %s/%s"
+          cb.Sv_corpus.Emit.app cb.Sv_corpus.Emit.model;
+      incr checked)
+    (c_codebases ());
+  Alcotest.(check bool) "checked some codebases" true (!checked > 20)
+
+module Gen = Sv_gen.Gen
+module Mutate = Sv_gen.Mutate
+
+let contains ~sub s =
+  let n = String.length s and m = String.length sub in
+  let rec go i = i + m <= n && (String.sub s i m = sub || go (i + 1)) in
+  m = 0 || go 0
+
+let corpus_bytes cbs =
+  String.concat "\x00"
+    (List.concat_map
+       (fun (cb : Sv_corpus.Emit.codebase) ->
+         cb.model :: List.concat_map (fun (f, c) -> [ f; c ]) cb.files)
+       cbs)
+
+(* Same seed -> byte-identical corpus, independent generations. A
+   different seed must diverge (collision odds are negligible). *)
+let test_determinism () =
+  let spec = { Gen.seed = 11; count = 6; mode = Gen.Mixed; base = "babelstream" } in
+  let a = corpus_bytes (Gen.codebases spec) in
+  let b = corpus_bytes (Gen.codebases spec) in
+  Alcotest.(check bool) "same seed, same bytes" true (a = b);
+  let c = corpus_bytes (Gen.codebases { spec with Gen.seed = 12 }) in
+  Alcotest.(check bool) "different seed diverges" true (a <> c)
+
+(* Every emitted variant must pass the pipeline's semantic check: the
+   interpreter runs it and the built-in verification succeeds (mutants
+   are observation-equivalent to verified seeds; grown programs carry
+   their own mirror-computed gold). *)
+let check_all_verify spec =
+  List.iter
+    (fun v ->
+      let ix = Sv_core.Pipeline.index v.Gen.v_cb in
+      match ix.Sv_core.Pipeline.ix_verification with
+      | Some { v_ok = true; _ } -> ()
+      | Some { v_output; _ } ->
+          Alcotest.failf "variant %s fails verification (ops: %s): %s" v.Gen.v_id
+            (String.concat ";" (List.map fst v.Gen.v_ops))
+            v_output
+      | None -> Alcotest.failf "variant %s was not executed" v.Gen.v_id)
+    (Gen.generate spec)
+
+let test_semantic_mutate () =
+  let count = max 8 (prop_iters 800 / 100) in
+  check_all_verify { Gen.seed = 21; count; mode = Gen.Mutate; base = "babelstream" }
+
+let test_semantic_grow () =
+  let count = max 8 (prop_iters 800 / 100) in
+  check_all_verify { Gen.seed = 22; count; mode = Gen.Grow; base = "all" }
+
+let test_semantic_fortran () =
+  let count = max 4 (prop_iters 800 / 200) in
+  check_all_verify { Gen.seed = 23; count; mode = Gen.Mutate; base = "babelstream-f" }
+
+(* Operator coverage: across a decent sample every variant records its
+   chain, and several distinct operators must actually fire. *)
+let test_op_coverage () =
+  let count = max 16 (prop_iters 800 / 40) in
+  let spec = { Gen.seed = 31; count; mode = Gen.Mutate; base = "babelstream" } in
+  let variants = Gen.generate spec in
+  let counts = Gen.op_counts variants in
+  let fired = List.length counts in
+  if fired < 4 then
+    Alcotest.failf "only %d distinct operators fired: %s" fired
+      (String.concat ", " (List.map (fun (o, n) -> Printf.sprintf "%s=%d" o n) counts));
+  let mutated = List.filter (fun v -> v.Gen.v_ops <> []) variants in
+  Alcotest.(check bool)
+    "most variants carry a non-empty chain" true
+    (List.length mutated * 10 >= List.length variants * 7)
+
+(* The shrinking report replays a variant and prints its seed and
+   operator chain — the debugging entry point when a variant fails. *)
+let test_shrink_report () =
+  let spec = { Gen.seed = 41; count = 2; mode = Gen.Mutate; base = "babelstream" } in
+  let report = Gen.diagnose spec 0 in
+  List.iter
+    (fun needle ->
+      Alcotest.(check bool)
+        (Printf.sprintf "report mentions %S" needle)
+        true
+        (contains ~sub:needle report))
+    [ "spec gen:mutate:babelstream:41:2"; "seed codebase"; "attempt 1" ]
+
+let () =
+  Alcotest.run "gen"
+    [
+      ( "printer",
+        [ Alcotest.test_case "corpus round-trip" `Quick test_printer_roundtrip ] );
+      ( "generator",
+        [
+          Alcotest.test_case "determinism" `Quick test_determinism;
+          Alcotest.test_case "semantic preservation (mutate)" `Slow test_semantic_mutate;
+          Alcotest.test_case "semantic preservation (grow)" `Slow test_semantic_grow;
+          Alcotest.test_case "semantic preservation (minif)" `Slow test_semantic_fortran;
+          Alcotest.test_case "operator coverage" `Slow test_op_coverage;
+          Alcotest.test_case "shrink report" `Quick test_shrink_report;
+        ] );
+    ]

@@ -546,6 +546,126 @@ let test_soak () =
         + int_field after "overloaded" + 1);
       checkb "queue peak observed" true (int_field after "queue_peak" >= 2))
 
+(* --- generator-driven soak (`Slow) --- *)
+
+(* A daemon serving a 200-variant synthetic corpus (resolved through the
+   Apps "gen:" registry hook) under admission pressure: four clients keep
+   two index requests each in flight against high_water = 2, so sheds are
+   part of normal service. Oracles: every variant's daemon render is
+   byte-identical to an independent in-process evaluation; shed requests
+   are retried without ever recomputing (cold evaluations = corpus size
+   exactly); and a second pass over sampled variants is served entirely
+   warm with unchanged bytes. *)
+
+let gen_spec = "gen:grow:serial,omp:11:200"
+
+let test_gen_soak () =
+  let cbs = Option.get (Apps.corpus_of_app gen_spec) in
+  let n = List.length cbs in
+  checki "corpus size" 200 n;
+  let models =
+    Array.of_list (List.map (fun cb -> cb.Sv_corpus.Emit.model) cbs)
+  in
+  let goldens =
+    Array.of_list (List.map (fun cb -> Engine.render_index (Pipeline.index cb)) cbs)
+  in
+  let pid, socket, c0 = fork_daemon ~high_water:2 () in
+  Fun.protect
+    ~finally:(fun () -> shutdown_daemon pid c0)
+    (fun () ->
+      let nclients = 4 in
+      let conns =
+        Array.init nclients (fun _ ->
+            match Client.connect ~socket ~timeout_s:120. () with
+            | Ok c -> c
+            | Error e -> Alcotest.failf "connect failed: %s" e)
+      in
+      let outputs = Array.make n None in
+      let sheds = ref 0 and answered = ref 0 in
+      (* client i owns variants congruent to i; the id wires each reply
+         back to its variant *)
+      let pending =
+        Array.init nclients (fun i ->
+            ref (List.filter (fun k -> k mod nclients = i) (List.init n Fun.id)))
+      in
+      let inflight = Array.make nclients [] in
+      let send_next i =
+        match !(pending.(i)) with
+        | [] -> ()
+        | k :: rest -> (
+            pending.(i) := rest;
+            match
+              Client.send conns.(i) ~id:k
+                (P.Index { app = gen_spec; model = models.(k) })
+            with
+            | Ok () -> inflight.(i) <- k :: inflight.(i)
+            | Error e -> Alcotest.failf "send failed: %s" e)
+      in
+      Array.iteri
+        (fun i _ ->
+          send_next i;
+          send_next i)
+        conns;
+      while !answered < n do
+        for i = 0 to nclients - 1 do
+          if inflight.(i) <> [] then begin
+            (match Client.recv conns.(i) with
+            | Ok (Some id, P.Output { verb; output; _ }) ->
+                checks "verb echoed" "index" verb;
+                if not (List.mem id inflight.(i)) then
+                  Alcotest.failf "reply id %d was not in flight" id;
+                inflight.(i) <- List.filter (fun k -> k <> id) inflight.(i);
+                (match outputs.(id) with
+                | Some _ -> Alcotest.failf "variant %s answered twice" models.(id)
+                | None -> outputs.(id) <- Some output);
+                incr answered
+            | Ok (Some id, P.Overloaded { high_water; _ }) ->
+                checki "sheds carry the configured mark" 2 high_water;
+                inflight.(i) <- List.filter (fun k -> k <> id) inflight.(i);
+                pending.(i) := id :: !(pending.(i));
+                incr sheds
+            | Ok (_, P.Error { kind; message }) ->
+                Alcotest.failf "daemon error %s: %s" (P.kind_to_string kind)
+                  message
+            | Ok _ -> Alcotest.fail "unexpected reply class"
+            | Error e -> Alcotest.failf "recv failed: %s" e);
+            send_next i
+          end
+        done
+      done;
+      Array.iter Client.close conns;
+      Array.iteri
+        (fun k out ->
+          match out with
+          | Some out ->
+              if out <> goldens.(k) then
+                Alcotest.failf "variant %s: daemon bytes differ from one-shot"
+                  models.(k)
+          | None -> Alcotest.failf "variant %s never answered" models.(k))
+        outputs;
+      (* cache conservation: sheds + retries must not have recomputed
+         anything — exactly one cold evaluation per variant... *)
+      let fields = status_fields c0 in
+      checki "cold evaluations = corpus size" n (int_field fields "cold_misses");
+      checkb "the daemon actually shed under pressure" true (!sheds > 0);
+      checkb "queue pressure reached the mark" true
+        (int_field fields "queue_peak" >= 2);
+      (* ...and a revisit is pure cache: warm replies, unchanged bytes *)
+      List.iter
+        (fun k ->
+          match
+            Client.call c0 (P.Index { app = gen_spec; model = models.(k) })
+          with
+          | Ok (P.Output { warm; output; _ }) ->
+              checkb "second pass is warm" true warm;
+              if output <> goldens.(k) then
+                Alcotest.failf "variant %s: warm bytes changed" models.(k)
+          | Ok (P.Error { kind; message }) ->
+              Alcotest.failf "daemon error %s: %s" (P.kind_to_string kind) message
+          | Ok _ -> Alcotest.fail "expected an output reply"
+          | Error e -> Alcotest.failf "call failed: %s" e)
+        [ 0; 13; 59; 101; 137; 199 ])
+
 let () =
   Alcotest.run "serve"
     [
@@ -584,5 +704,7 @@ let () =
           Alcotest.test_case "differential byte-identity" `Slow
             test_daemon_differential;
           Alcotest.test_case "concurrency soak" `Slow test_soak;
+          Alcotest.test_case "generated-corpus soak (200 variants)" `Slow
+            test_gen_soak;
         ] );
     ]

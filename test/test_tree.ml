@@ -308,6 +308,48 @@ let test_oracle_default () = run_oracle ~iters:(max 500 prop_iters) ~max_nodes:1
 let test_oracle_long () =
   run_oracle ~iters:(max 500 prop_iters) ~max_nodes:26 ~max_brute:20 ()
 
+(* Generated mode: the same differential, but over subtrees harvested
+   from real T_sem trees of synthetic program variants (Sv_gen), so the
+   kernels face realistic label alphabets, arities and depths — not just
+   the uniform shapes gen_tree_sized produces. Labels are mapped to ints
+   via an intern table keyed on (kind, text), matching Label.equal. *)
+let test_oracle_generated () =
+  let module Gen = Sv_gen.Gen in
+  let module Pipeline = Sv_core.Pipeline in
+  let spec = { Gen.seed = 0x5eed; count = 6; mode = Gen.Mixed; base = "babelstream" } in
+  let intern = Hashtbl.create 256 in
+  let int_label (l : Label.t) =
+    let key = (l.Label.kind, l.Label.text) in
+    match Hashtbl.find_opt intern key with
+    | Some i -> i
+    | None ->
+        let i = Hashtbl.length intern in
+        Hashtbl.add intern key i;
+        i
+  in
+  let rec harvest acc t =
+    let acc = if Tree.size t <= 30 then t :: acc else acc in
+    List.fold_left harvest acc (Tree.children t)
+  in
+  let pool =
+    List.concat_map
+      (fun v ->
+        let ix = Pipeline.index ~run:false v.Gen.v_cb in
+        List.concat_map
+          (fun u -> harvest [] (Tree.map int_label u.Pipeline.u_t_sem))
+          ix.Pipeline.ix_units)
+      (Gen.generate spec)
+    |> Array.of_list
+  in
+  if Array.length pool < 100 then
+    Alcotest.failf "only %d harvested subtrees; the differential would be thin"
+      (Array.length pool);
+  let rng = Prng.create 0x6e7_5eed in
+  let pick () = pool.(Prng.int rng (Array.length pool)) in
+  for i = 1 to max 500 prop_iters do
+    check_pair ~max_brute:18 i (pick ()) (pick ()) (pick ())
+  done
+
 (* --- hash-consing --------------------------------------------------- *)
 
 module Hc = Sv_tree.Hashcons
@@ -547,6 +589,8 @@ let () =
         [
           Alcotest.test_case "seeded suite (>=500 pairs)" `Quick test_oracle_default;
           Alcotest.test_case "long mode (bigger trees)" `Slow test_oracle_long;
+          Alcotest.test_case "generated semantic trees (>=500 pairs)" `Slow
+            test_oracle_generated;
         ] );
       ( "hashcons",
         [
