@@ -41,7 +41,7 @@ let () =
       | [] -> ()
       | entries -> (
           let path =
-            Option.value ~default:"BENCH_PR8.json" (Sys.getenv_opt "SV_BENCH_JSON")
+            Option.value ~default:"BENCH_PR9.json" (Sys.getenv_opt "SV_BENCH_JSON")
           in
           try
             let oc = open_out path in
@@ -1341,6 +1341,251 @@ let corpus_study () =
     exit 1
   end
 
+(* The PR 9 tentpole: metric-space acceleration over a generated corpus.
+   For each corpus size in the grid, the full T_sem dendrogram is
+   computed twice — exhaustively, then under the triangle-bounded pivot
+   scheduler — and the two must agree to the last byte (matrix floats
+   and dendrogram structure; a mismatch exits nonzero). The scheduler's
+   ledger (pivot rows computed by exact DP, pairs resolved by the
+   triangle bracket or the normalisation clamp, pairs that ran the
+   bounded kernel) and the TED telemetry split land in the JSON report;
+   the exact-DP fraction must fall as the corpus grows (pivot rows are
+   ~2k/(n-1) of all pairs at k ~ sqrt n). A VP-tree k-NN sweep then
+   answers every variant's 5-nearest query through the index and checks
+   the ranking against brute force, counting bounded evaluations per
+   query. Sampled triples check the integer-TED triangle inequality (the
+   metric the index relies on — violations exit nonzero), and the
+   index-grain heuristic row times serial vs pool indexing of the tiny
+   generated codebases, recording which grain [plan_grain] picked (the
+   PR 8 parallel-indexing regression: IPC loses below the source-size
+   floor, so the pool path must now match serial within noise).
+   `--smoke` runs n in {12, 24}; the full grid is {50, 100, 200}
+   (SV_METRIC_GRID overrides, comma-separated). *)
+let metric_study () =
+  let module Gen = Sv_gen.Gen in
+  let module Prng = Sv_util.Prng in
+  let module T = Sv_perf.Telemetry in
+  let module P = Sv_metric.Pivots in
+  section "Metric study: triangle-bounded matrices and VP-tree k-NN";
+  let grid =
+    match Sys.getenv_opt "SV_METRIC_GRID" with
+    | Some s ->
+        List.filter_map int_of_string_opt
+          (String.split_on_char ',' (String.trim s))
+    | None -> if !smoke_flag then [ 12; 24 ] else [ 50; 100; 200 ]
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let render (m : Cluster.matrix) =
+    String.concat "\n"
+      (Array.to_list
+         (Array.map
+            (fun row ->
+              String.concat " "
+                (Array.to_list (Array.map (Printf.sprintf "%.17g") row)))
+            m.Cluster.data))
+  in
+  let mismatch = ref false in
+  let rows =
+    List.map
+      (fun n ->
+        let spec =
+          {
+            Gen.seed = 8;
+            count = n;
+            mode = Gen.Grow;
+            base = "serial,omp,stdpar,tbb,kokkos";
+          }
+        in
+        let cbs = List.map (fun v -> v.Gen.v_cb) (Gen.generate spec) in
+        (* satellite row: the grain heuristic on these tiny codebases —
+           the pool must no longer lose to serial now that [plan_grain]
+           keeps sub-floor corpora in-process *)
+        let grain = Sv_core.Index_engine.plan_grain ~jobs:2 cbs in
+        let _, t_ix_serial =
+          wall (fun () -> Sv_core.Index_engine.index_many ~jobs:1 cbs)
+        in
+        let ixs, t_ix_j2 =
+          wall (fun () -> Sv_core.Index_engine.index_many ~jobs:2 cbs)
+        in
+        (* exhaustive dendrogram *)
+        Tbmd.clear_memo ();
+        T.reset_ted ();
+        let (ex_m, ex_d), t_exhaustive =
+          wall (fun () -> Tbmd.dendrogram Tbmd.TSem ixs)
+        in
+        let dp_exhaustive = (T.ted_snapshot ()).T.dp_runs in
+        (* pivot-scheduled dendrogram, identical by construction *)
+        Tbmd.clear_memo ();
+        T.reset_ted ();
+        Tbmd.set_pivots Tbmd.Pivots_auto;
+        let (pv_m, pv_d), t_pivoted =
+          Fun.protect
+            ~finally:(fun () -> Tbmd.set_pivots Tbmd.Pivots_off)
+            (fun () -> wall (fun () -> Tbmd.dendrogram Tbmd.TSem ixs))
+        in
+        let tel = T.ted_snapshot () in
+        let stats =
+          match Tbmd.pivot_stats () with
+          | Some s -> s
+          | None -> failwith "metric-study: pivot scheduler did not run"
+        in
+        let identical =
+          render ex_m = render pv_m && Cluster.equal ex_d pv_d
+        in
+        if not identical then begin
+          mismatch := true;
+          Printf.eprintf
+            "[bench] metric-study: pivoted dendrogram differs at n=%d\n%!" n
+        end;
+        let exact_frac =
+          float_of_int stats.P.pivot_pairs /. float_of_int (max 1 stats.P.pairs)
+        in
+        (* VP-tree k-NN: every variant's 5-nearest, checked against brute
+           force over the (memo-warm) distances *)
+        let arr = Array.of_list ixs in
+        let vp = Tbmd.vp_index Tbmd.TSem ixs in
+        let k = 5 in
+        let evals_total = ref 0 and knn_ok = ref true in
+        Array.iter
+          (fun q ->
+            let hits, evals = Tbmd.vp_nearest vp ~k q in
+            evals_total := !evals_total + evals;
+            let brute =
+              List.sort compare
+                (Array.to_list
+                   (Array.mapi
+                      (fun i c -> (fst (Tbmd.raw_divergence Tbmd.TSem c q), i))
+                      arr))
+            in
+            let brute_k = List.filteri (fun i _ -> i < k) brute in
+            let vp_k =
+              List.map
+                (fun (c, d, _) ->
+                  ( d,
+                    let rec find i = if arr.(i) == c then i else find (i + 1) in
+                    find 0 ))
+                hits
+            in
+            if vp_k <> brute_k then knn_ok := false)
+          arr;
+        if not !knn_ok then begin
+          mismatch := true;
+          Printf.eprintf
+            "[bench] metric-study: VP-tree k-NN differs from brute force at \
+             n=%d\n%!"
+            n
+        end;
+        let avg_evals = float_of_int !evals_total /. float_of_int n in
+        (* the integer TED the index relies on must be a true metric *)
+        let rng = Prng.create (spec.Gen.seed lxor 0x913) in
+        let triples = 2000 in
+        let tri_violations = ref 0 in
+        let raw i j = fst (Tbmd.raw_divergence Tbmd.TSem arr.(i) arr.(j)) in
+        for _ = 1 to triples do
+          let i = Prng.int rng n in
+          let j = (i + 1 + Prng.int rng (n - 1)) mod n in
+          let l = ref (Prng.int rng n) in
+          while !l = i || !l = j do
+            l := Prng.int rng n
+          done;
+          if raw i !l > raw i j + raw j !l then incr tri_violations
+        done;
+        if !tri_violations > 0 then begin
+          mismatch := true;
+          Printf.eprintf
+            "[bench] metric-study: %d integer-TED triangle violations at \
+             n=%d\n%!"
+            !tri_violations n
+        end;
+        Printf.printf
+          "  n=%-4d exhaustive %6.1fs (%d DP)  pivoted %6.1fs (%d DP, %d \
+           pivots, %.1f%% exact, %d interval, %d clamp, %d bounded)  %s\n"
+          n t_exhaustive dp_exhaustive t_pivoted tel.T.dp_runs
+          (Array.length stats.P.pivots)
+          (100.0 *. exact_frac) stats.P.resolved_interval
+          stats.P.resolved_clamp stats.P.bounded_pairs
+          (if identical then "identical" else "MISMATCH");
+        Printf.printf
+          "         k-NN k=%d: %.1f evals/query (brute %d), ranking %s; \
+           triangle %d/%d violations\n"
+          k avg_evals n
+          (if !knn_ok then "identical" else "MISMATCH")
+          !tri_violations triples;
+        Printf.printf
+          "         index: serial %.2fs, jobs=2 %.2fs (grain %s)\n" t_ix_serial
+          t_ix_j2
+          (match grain with
+          | `Serial -> "serial"
+          | `Codebase -> "codebase"
+          | `Unit -> "unit");
+        ( n,
+          exact_frac,
+          J.Obj
+            [
+              ("n", J.Int n);
+              ("exhaustive_s", J.Float t_exhaustive);
+              ("exhaustive_dp_runs", J.Int dp_exhaustive);
+              ("pivoted_s", J.Float t_pivoted);
+              ("pivoted_dp_runs", J.Int tel.T.dp_runs);
+              ("pivots", J.Int (Array.length stats.P.pivots));
+              ("pairs", J.Int stats.P.pairs);
+              ("pivot_pairs", J.Int stats.P.pivot_pairs);
+              ("exact_dp_fraction", J.Float exact_frac);
+              ("resolved_interval", J.Int stats.P.resolved_interval);
+              ("resolved_clamp", J.Int stats.P.resolved_clamp);
+              ("bounded_pairs", J.Int stats.P.bounded_pairs);
+              ("triangle_resolved", J.Int tel.T.tri_resolved);
+              ("branch_prunes", J.Int tel.T.pq_prunes);
+              ("hist_prunes", J.Int tel.T.hist_prunes);
+              ("cutoff_abandons", J.Int tel.T.cutoff_abandons);
+              ("identical", J.Bool identical);
+              ("knn_k", J.Int k);
+              ("knn_avg_evals_per_query", J.Float avg_evals);
+              ("knn_brute_evals_per_query", J.Int n);
+              ("knn_identical", J.Bool !knn_ok);
+              ("vp_build_evals", J.Int (Tbmd.vp_build_evals vp));
+              ("triangle_triples", J.Int triples);
+              ("triangle_violations", J.Int !tri_violations);
+              ("index_serial_s", J.Float t_ix_serial);
+              ("index_jobs2_s", J.Float t_ix_j2);
+              ( "index_grain",
+                J.String
+                  (match grain with
+                  | `Serial -> "serial"
+                  | `Codebase -> "codebase"
+                  | `Unit -> "unit") );
+            ] ))
+      grid
+  in
+  (* the headline claim: the exact-DP fraction falls as the corpus grows *)
+  let fracs = List.map (fun (_, f, _) -> f) rows in
+  let falling =
+    let rec go = function
+      | a :: (b :: _ as rest) -> a > b && go rest
+      | _ -> true
+    in
+    go fracs
+  in
+  Printf.printf "  exact-DP fraction across grid: %s (%s)\n"
+    (String.concat " -> " (List.map (Printf.sprintf "%.3f") fracs))
+    (if falling then "falling" else "NOT FALLING");
+  record "metric-study"
+    (J.Obj
+       [
+         ("grid", J.List (List.map (fun (n, _, _) -> J.Int n) rows));
+         ("results", J.List (List.map (fun (_, _, o) -> o) rows));
+         ("exact_dp_fraction_falling", J.Bool falling);
+         ("identical", J.Bool (not !mismatch));
+       ]);
+  if !mismatch then begin
+    Printf.eprintf "[bench] metric-study: identity contract violated\n%!";
+    exit 1
+  end
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -1356,6 +1601,7 @@ let experiments =
     ("index-engine", index_engine);
     ("serve", serve_bench);
     ("corpus-study", corpus_study);
+    ("metric-study", metric_study);
     ("kernels", kernels);
   ]
 

@@ -6,6 +6,7 @@
      inspect  print the stats of a saved Codebase DB
      compare  divergence of one model from a base model, all metrics
      cluster  divergence matrix + dendrogram for an app under one metric
+     nearest  k nearest ports to a model through the VP-tree metric index
      phi      cascade plot (performance portability)
      chart    navigation chart (Phi vs TBMD)
      verify   run every port's built-in verification
@@ -89,6 +90,20 @@ let stats_arg =
           "Print TED engine counters after the run: pairs pruned by the \
            digest/size/histogram cascade, DP runs and abandons, flat \
            compiles, and left/right strategy picks.")
+
+let pivots_arg =
+  Arg.(value & opt (some int) None & info [ "pivots" ] ~docv:"K"
+         ~doc:"Triangle-bounded matrix evaluation with exactly K pivots: \
+               pivot rows are computed exactly, every remaining pair is \
+               bracketed by the triangle inequality and only runs the \
+               (bounded) DP when the bracket cannot resolve it. Output is \
+               byte-identical to the exhaustive evaluation.")
+
+let metric_index_arg =
+  Arg.(value & flag
+       & info [ "metric-index" ]
+           ~doc:"Shorthand for --pivots with the automatic pivot count \
+                 (about the square root of the model count).")
 
 let fault_arg =
   Arg.(value & opt (some string) None & info [ "fault" ] ~docv:"SPEC"
@@ -320,15 +335,35 @@ let compare_cmd =
         $ stats_arg))
 
 let cluster_cmd =
-  let run app metric jobs ted_cache index_cache fault ted_algo =
+  let run app metric jobs ted_cache index_cache fault ted_algo pivots metric_index =
     match Tbmd.metric_of_string metric with
     | None -> fail "unknown metric %S" metric
     | Some m ->
         with_app app (fun cbs ->
+            let conf =
+              match (pivots, metric_index) with
+              | Some k, _ -> Tbmd.Pivots k
+              | None, true -> Tbmd.Pivots_auto
+              | None, false -> Tbmd.Pivots_off
+            in
+            Tbmd.set_pivots conf;
+            Fun.protect ~finally:(fun () -> Tbmd.set_pivots Tbmd.Pivots_off)
+            @@ fun () ->
             with_engine ?index_cache ~ted_algo ~jobs ~ted_cache ~fault
             @@ fun jobs ->
             let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
             print_string (Engine.render_cluster m ixs);
+            (match Tbmd.pivot_stats () with
+            | Some s ->
+                Printf.printf
+                  "metric index: %d pivots, %d of %d pairs exact, %d \
+                   interval, %d clamp, %d bounded\n"
+                  (Array.length s.Sv_metric.Pivots.pivots)
+                  s.Sv_metric.Pivots.pivot_pairs s.Sv_metric.Pivots.pairs
+                  s.Sv_metric.Pivots.resolved_interval
+                  s.Sv_metric.Pivots.resolved_clamp
+                  s.Sv_metric.Pivots.bounded_pairs
+            | None -> ());
             `Ok ())
   in
   Cmd.v
@@ -337,7 +372,39 @@ let cluster_cmd =
     Term.(
       ret
         (const run $ app_arg $ metric_arg $ jobs_arg $ ted_cache_arg
-        $ index_cache_arg $ fault_arg $ ted_algo_arg))
+        $ index_cache_arg $ fault_arg $ ted_algo_arg $ pivots_arg
+        $ metric_index_arg))
+
+let nearest_cmd =
+  let run app model k metric jobs ted_cache index_cache =
+    match Tbmd.metric_of_string metric with
+    | None -> fail "unknown metric %S" metric
+    | Some m ->
+        with_app app (fun cbs ->
+            match find_codebase ~app cbs model with
+            | None -> fail "app %s has no model %s" app model
+            | Some cb ->
+                with_engine ?index_cache ~jobs ~ted_cache ~fault:None
+                @@ fun jobs ->
+                let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
+                let qix = List.assq cb (List.combine cbs ixs) in
+                print_string (Engine.render_nearest ~app ~model ~k m qix ixs);
+                `Ok ())
+  in
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K"
+           ~doc:"Number of nearest ports to report.")
+  in
+  Cmd.v
+    (Cmd.info "nearest"
+       ~doc:"The k ports nearest a model under a divergence metric, \
+             answered through the VP-tree metric index (Fig. 15 \
+             navigation). Results are exactly the brute-force ranking.")
+    Term.(
+      ret
+        (const run $ app_arg
+        $ model_arg [ "model" ] "Query model id."
+        $ k_arg $ metric_arg $ jobs_arg $ ted_cache_arg $ index_cache_arg))
 
 let phi_cmd =
   let run app =
@@ -614,7 +681,7 @@ let serve_cmd =
         $ index_cache_arg))
 
 let client_cmd =
-  let run verb socket app model base target metric jobs ted_cache index_cache =
+  let run verb socket app model base target metric k jobs ted_cache index_cache =
     let need name = function
       | Some v -> Ok v
       | None -> Error (Printf.sprintf "verb %S needs --%s" verb name)
@@ -635,13 +702,18 @@ let client_cmd =
           Result.map (fun app -> Protocol.Matrix { app; metric }) (need "app" app)
       | "cluster" ->
           Result.map (fun app -> Protocol.Cluster { app; metric }) (need "app" app)
+      | "nearest" ->
+          Result.bind (need "app" app) (fun app ->
+              Result.map
+                (fun model -> Protocol.Nearest { app; model; metric; k })
+                (need "model" model))
       | "status" -> Ok Protocol.Status
       | "shutdown" -> Ok Protocol.Shutdown
       | v ->
           Error
             (Printf.sprintf
                "unknown verb %S (expected index, compare, matrix, cluster, \
-                status or shutdown)"
+                nearest, status or shutdown)"
                v)
     in
     match request with
@@ -679,7 +751,11 @@ let client_cmd =
   in
   let verb =
     Arg.(required & pos 0 (some string) None & info [] ~docv:"VERB"
-           ~doc:"index, compare, matrix, cluster, status or shutdown.")
+           ~doc:"index, compare, matrix, cluster, nearest, status or shutdown.")
+  in
+  let k_arg =
+    Arg.(value & opt int 3 & info [ "k" ] ~docv:"K"
+           ~doc:"Number of nearest ports (nearest verb).")
   in
   let opt_model names doc =
     Arg.(value & opt (some string) None & info names ~docv:"MODEL" ~doc)
@@ -696,17 +772,18 @@ let client_cmd =
     Term.(
       ret
         (const run $ verb $ socket_arg $ app_opt
-        $ opt_model [ "model" ] "Model id (index verb)."
+        $ opt_model [ "model" ] "Model id (index and nearest verbs)."
         $ opt_model [ "base"; "b" ] "Base model id (compare verb)."
         $ opt_model [ "target"; "t" ] "Target model id (compare verb)."
-        $ metric_arg $ jobs_arg $ ted_cache_arg $ index_cache_arg))
+        $ metric_arg $ k_arg $ jobs_arg $ ted_cache_arg $ index_cache_arg))
 
 let main_cmd =
   let doc = "SilverVale-ML: tree-based programming-model productivity analysis" in
   Cmd.group (Cmd.info "sv" ~version:"1.0.0" ~doc)
     [
       models_cmd; emit_cmd; index_cmd; inspect_cmd; compare_cmd; cluster_cmd;
-      phi_cmd; chart_cmd; verify_cmd; gen_cmd; serve_cmd; client_cmd;
+      nearest_cmd; phi_cmd; chart_cmd; verify_cmd; gen_cmd; serve_cmd;
+      client_cmd;
     ]
 
 let () = exit (Cmd.eval main_cmd)

@@ -104,6 +104,17 @@ let rec leaves = function
   | Leaf i -> [ i ]
   | Merge (a, b, _) -> leaves a @ leaves b
 
+(* Exact equality, heights compared bit-for-bit (Float.equal, not =, so
+   the result is well-defined even if a NaN ever reached a height). The
+   byte-identity harnesses' oracle: a pruned or parallel matrix path must
+   reproduce the serial dendrogram exactly, not approximately. *)
+let rec equal a b =
+  match (a, b) with
+  | Leaf i, Leaf j -> i = j
+  | Merge (a1, b1, h1), Merge (a2, b2, h2) ->
+      Float.equal h1 h2 && equal a1 a2 && equal b1 b2
+  | _ -> false
+
 let merge_heights d =
   let rec go acc = function
     | Leaf _ -> acc

@@ -51,6 +51,12 @@ val cluster : linkage -> matrix -> dendro
     lowest pair of cluster indices, so results are deterministic.
     Raises [Invalid_argument] on an empty matrix. *)
 
+val equal : dendro -> dendro -> bool
+(** Exact structural equality with bit-for-bit merge heights
+    ([Float.equal]) — the oracle the byte-identity harnesses use to check
+    a pruned or parallel evaluation reproduced the serial dendrogram
+    exactly. *)
+
 val leaves : dendro -> int list
 (** Left-to-right leaf order — the display order of the clustered axis. *)
 

@@ -235,6 +235,42 @@ let decode_indexed_list = function
         vs
   | _ -> failwith "index worker frame: not an array"
 
+(* --- fan-out grain ---------------------------------------------------- *)
+
+(* Forked indexing ships every result back as a msgpack frame the parent
+   must decode — work proportional to the payload, which is itself
+   proportional to the source text. For small translation units that
+   decode (plus fork/pipe overhead) costs more than indexing outright:
+   the PR 8 corpus study measured jobs=2 indexing of 1000 generated
+   single-unit codebases at 4.5× the serial wall. So the codebase-grain
+   fan-out only engages when the average source size of the missing
+   codebases clears a floor; below it the serial loop is the fast path,
+   not a fallback. An explicit [?chunk] argument bypasses the heuristic
+   (the caller is asking for the parallel shape, e.g. conformance
+   tests). Override the floor with SV_INDEX_GRAIN_BYTES. *)
+let default_grain_bytes = 16384
+
+let grain_bytes () =
+  match Sys.getenv_opt "SV_INDEX_GRAIN_BYTES" with
+  | Some s -> ( match int_of_string_opt s with Some n -> n | None -> default_grain_bytes)
+  | None -> default_grain_bytes
+
+let source_bytes (cb : Emit.codebase) =
+  List.fold_left (fun acc (_, c) -> acc + String.length c) 0 cb.Emit.files
+
+type grain = [ `Serial | `Codebase | `Unit ]
+
+let plan_grain ~jobs ?chunk (misses : Emit.codebase list) : grain =
+  let nmiss = List.length misses in
+  if jobs <= 1 || nmiss <= 1 then `Serial
+  else if nmiss >= jobs then
+    if chunk <> None then `Codebase
+    else begin
+      let total = List.fold_left (fun acc cb -> acc + source_bytes cb) 0 misses in
+      if total / nmiss < grain_bytes () then `Serial else `Codebase
+    end
+  else `Unit
+
 let index_many ?(run = true) ?jobs ?chunk (cbs : Emit.codebase list) =
   let jobs = match jobs with Some j -> j | None -> Sched.default_jobs () in
   let cbs = Array.of_list cbs in
@@ -267,11 +303,12 @@ let index_many ?(run = true) ?jobs ?chunk (cbs : Emit.codebase list) =
   in
   let nmiss = List.length misses in
   if nmiss > 0 then begin
-    if jobs <= 1 || nmiss <= 1 then
-      (* the serial reference path (also the single-miss path: one fork
-         would cost more than it saves) *)
-      List.iter (fun (i, cb) -> record i (Pipeline.index ~run cb)) misses
-    else if nmiss >= jobs then begin
+    match plan_grain ~jobs ?chunk (List.map snd misses) with
+    | `Serial ->
+        (* the serial reference path: single miss, jobs=1, or misses too
+           small for the fan-out to beat its own IPC *)
+        List.iter (fun (i, cb) -> record i (Pipeline.index ~run cb)) misses
+    | `Codebase -> begin
       (* whole-codebase grain: enough misses to keep every worker busy.
          Chunked submission amortises fork/pipe overhead; results are
          reassembled by chunk index, so order — hence output — matches
@@ -302,7 +339,7 @@ let index_many ?(run = true) ?jobs ?chunk (cbs : Emit.codebase list) =
           List.iter2 (fun (i, _) ix -> record i ix) tasks.(t) ixs)
         results
     end
-    else begin
+    | `Unit -> begin
       (* unit grain: fewer codebases than workers, so split MiniC
          codebases into per-unit tasks and let the parent reassemble via
          the [unit_indexer] hook (re-running the interpreter in-process —

@@ -32,6 +32,24 @@ val codebase_key : run:bool -> Sv_corpus.Emit.codebase -> string
     the system-header mask and the [run] flag; defines and dialect are
     separate key components. Any change to any of them is a miss. *)
 
+type grain = [ `Serial | `Codebase | `Unit ]
+(** How a batch of cache misses is executed: in-process, fanned out at
+    whole-codebase grain, or fanned out per translation unit. *)
+
+val plan_grain :
+  jobs:int -> ?chunk:int -> Sv_corpus.Emit.codebase list -> grain
+(** The grain {!index_many} will pick for the given {e missing}
+    codebases. Serial when [jobs <= 1] or a single miss — and also when
+    there are enough misses for the codebase-grain fan-out but their
+    average source size is below the IPC floor (default 16 KiB,
+    override with [SV_INDEX_GRAIN_BYTES]): shipping a fully indexed
+    small codebase through the fork pipe and decoding it in the parent
+    costs more than indexing it in-process (the PR 8 corpus-study
+    regression, jobs=2 at 4.5× serial on 1000 tiny generated units). An
+    explicit [?chunk] bypasses the floor — the caller is asking for the
+    parallel shape. Exposed so benches and tests can assert which path a
+    corpus takes. *)
+
 val index :
   ?run:bool ->
   ?jobs:int ->
@@ -48,11 +66,11 @@ val index_many :
   Pipeline.indexed list
 (** [index_many cbs] indexes a batch, in order. Cache hits are served
     directly (an undecodable payload counts as a miss, never an error);
-    misses run serially when [jobs <= 1] (or there is only one), else in
-    the worker pool at whole-codebase grain (submission chunk
-    [?chunk], default [max 1 (misses / (2 * jobs))]) or unit grain when
-    misses are scarcer than workers. Every freshly computed result is
-    added to the installed cache. [jobs] defaults to
+    misses run at the grain {!plan_grain} picks — serially, in the
+    worker pool at whole-codebase grain (submission chunk [?chunk],
+    default [max 1 (misses / (2 * jobs))]), or at unit grain when misses
+    are scarcer than workers. Every freshly computed result is added to
+    the installed cache. [jobs] defaults to
     {!Sv_sched.Sched.default_jobs}. The result is byte-identical to
     [List.map (Pipeline.index ~run) cbs] in all configurations. *)
 

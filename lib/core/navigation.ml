@@ -62,6 +62,40 @@ let render pts =
   ^ "legend (uppercase = T_sem, lowercase = T_src):\n"
   ^ String.concat "\n" legend ^ "\n"
 
+(* Fig. 15's "find the nearest existing port" as a query primitive: the
+   k candidates nearest the query codebase under the unnormalized
+   integer divergence, through [Tbmd]'s VP-tree, with the eval count the
+   index actually spent (vs a brute-force scan of all candidates). *)
+type nearest_hit = {
+  nh_model : string;
+  nh_model_name : string;
+  nh_d : int;
+  nh_div : float;
+}
+
+let nearest_ports ?variant ?(metric = Tbmd.TSem) ~k ~query codebases =
+  let cands =
+    List.filter
+      (fun (c : Pipeline.indexed) ->
+        c.Pipeline.ix_model <> query.Pipeline.ix_model)
+      codebases
+  in
+  if cands = [] then ([], 0)
+  else begin
+    let idx = Tbmd.vp_index ?variant metric cands in
+    let hits, evals = Tbmd.vp_nearest idx ~k query in
+    ( List.map
+        (fun ((c : Pipeline.indexed), d, div) ->
+          {
+            nh_model = c.Pipeline.ix_model;
+            nh_model_name = c.Pipeline.ix_model_name;
+            nh_d = d;
+            nh_div = div;
+          })
+        hits,
+      evals )
+  end
+
 type scenario_stage = {
   stage : int;
   description : string;

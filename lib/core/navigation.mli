@@ -29,6 +29,32 @@ val render : point list -> string
 (** The chart plus its legend. Each model plots its [T_sem] position with
     an uppercase marker and its [T_src] position with the lowercase one. *)
 
+(** {2 Nearest existing port}
+
+    Fig. 15's navigation question as an interactive query: which of the
+    candidate ports is closest to this codebase? Exact k-NN through
+    {!Tbmd.vp_index} on the unnormalized integer divergence; the second
+    component is the bounded-evaluation count the index spent (compare
+    against the candidate count for the brute-force baseline). *)
+
+type nearest_hit = {
+  nh_model : string;
+  nh_model_name : string;
+  nh_d : int;  (** raw integer divergence *)
+  nh_div : float;  (** normalised against the hit's own dmax *)
+}
+
+val nearest_ports :
+  ?variant:Tbmd.variant ->
+  ?metric:Tbmd.metric ->
+  k:int ->
+  query:Pipeline.indexed ->
+  Pipeline.indexed list ->
+  nearest_hit list * int
+(** [nearest_ports ~k ~query codebases] — candidates sharing the query's
+    model id are excluded (the port itself is not an answer). Default
+    metric [T_sem]. *)
+
 type scenario_stage = {
   stage : int;
   description : string;

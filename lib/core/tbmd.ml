@@ -112,6 +112,18 @@ let engine_cache : Db.Ted_cache.cache option ref = ref None
 let set_ted_cache c = engine_cache := c
 let ted_cache () = !engine_cache
 
+(* Triangle-bounded matrix evaluation (lib/metric): off by default; auto
+   picks ⌈√n⌉ pivots. Applies to tree metrics only (the others are
+   near-free to evaluate exhaustively) and schedules in-process — when
+   both pivots and jobs>1 are configured, pivots win. *)
+type pivot_conf = Pivots_off | Pivots_auto | Pivots of int
+
+let engine_pivots = ref Pivots_off
+let set_pivots p = engine_pivots := p
+let pivots () = !engine_pivots
+let last_pivot_stats : Sv_metric.Pivots.stats option ref = ref None
+let pivot_stats () = !last_pivot_stats
+
 let ted_distance t1 t2 =
   match !engine_cache with
   | None -> Div.tree_distance t1 t2
@@ -123,6 +135,20 @@ let ted_distance t1 t2 =
           let d = Div.tree_distance t1 t2 in
           Db.Ted_cache.add c da db d;
           d)
+
+let ted_distance_bounded ~cutoff t1 t2 =
+  match !engine_cache with
+  | None -> Div.tree_distance_bounded ~cutoff t1 t2
+  | Some c -> (
+      let da = Db.Ted_cache.digest t1 and db = Db.Ted_cache.digest t2 in
+      match Db.Ted_cache.find c da db with
+      | Some d -> if d <= cutoff then Some d else None
+      | None -> (
+          match Div.tree_distance_bounded ~cutoff t1 t2 with
+          | Some d ->
+              Db.Ted_cache.add c da db d;
+              Some d
+          | None -> None))
 
 let rec raw_divergence ?(variant = Base) metric c1 c2 =
   let key = memo_key ~variant metric c1 c2 in
@@ -167,6 +193,57 @@ and raw_divergence_uncached ?(variant = Base) metric c1 c2 =
               (d + n, dmax + n)
           | None, None -> (d, dmax))
         (0, 0) (unit_pairs c1 c2)
+
+(* Admissible codebase-level lower bound for tree metrics: per matched
+   slot the flat summary bound, unmatched units at full size — each slot
+   term bounds its slot distance from below, so the sum bounds the raw
+   divergence. Never runs a DP. *)
+let codebase_lower ~variant metric c1 c2 =
+  List.fold_left
+    (fun acc pair ->
+      match pair with
+      | Some u1, Some u2 ->
+          acc
+          + Div.tree_lower_bound
+              (tree_of metric variant c1 u1)
+              (tree_of metric variant c2 u2)
+      | Some u1, None -> acc + Tree.size (tree_of metric variant c1 u1)
+      | None, Some u2 -> acc + Tree.size (tree_of metric variant c2 u2)
+      | None, None -> acc)
+    0 (unit_pairs c1 c2)
+
+(* Bounded raw divergence for tree metrics: the per-slot bounded kernel
+   with the remaining budget as its cutoff. [Some d] iff the exact raw
+   divergence is [d ≤ cutoff]; a [None] from any slot proves the running
+   total must exceed the budget, hence the pair distance does too. *)
+let raw_divergence_bounded ?(variant = Base) metric ~cutoff c1 c2 =
+  check_lang c1 c2;
+  (match metric with
+  | TSrc | TSem | TSemI | TIr -> ()
+  | _ -> invalid_arg "raw_divergence_bounded: tree metrics only");
+  if cutoff < 0 then None
+  else begin
+    let rec go acc = function
+      | [] -> Some acc
+      | pair :: rest -> (
+          let budget = cutoff - acc in
+          match pair with
+          | Some u1, Some u2 -> (
+              let t1 = tree_of metric variant c1 u1 in
+              let t2 = tree_of metric variant c2 u2 in
+              match ted_distance_bounded ~cutoff:budget t1 t2 with
+              | None -> None
+              | Some v -> go (acc + v) rest)
+          | Some u1, None ->
+              let s = Tree.size (tree_of metric variant c1 u1) in
+              if s > budget then None else go (acc + s) rest
+          | None, Some u2 ->
+              let s = Tree.size (tree_of metric variant c2 u2) in
+              if s > budget then None else go (acc + s) rest
+          | None, None -> go acc rest)
+    in
+    go 0 (unit_pairs c1 c2)
+  end
 
 let divergence ?(variant = Base) metric c1 c2 =
   let d, dmax = raw_divergence ~variant metric c1 c2 in
@@ -237,8 +314,52 @@ let matrix ?(variant = Base) metric codebases =
            (fun c -> List.map (fun u -> tree_of metric variant c u) c.ix_units)
            codebases)
   | _ -> ());
+  let tree_metric =
+    match metric with TSrc | TSem | TSemI | TIr -> true | _ -> false
+  in
+  let pivk =
+    match !engine_pivots with
+    | Pivots_off -> 0
+    | Pivots_auto -> Sv_metric.Pivots.auto_pivots n
+    | Pivots k -> max 1 k
+  in
+  last_pivot_stats := None;
   let jobs = !engine_jobs in
-  if jobs <= 1 || Array.length pairs < 2 then
+  if tree_metric && pivk > 0 && n >= 2 then begin
+    (* Triangle-bounded schedule (serial, in-process): pivot rows exact,
+       every other pair either resolved from the pivot intervals — a
+       collapsed interval is the distance; a lower bound at or above
+       max(dmax_i, dmax_j) normalises to exactly 1.0 in both directions,
+       same as the true distance would — or computed by the bounded
+       kernel seeded with the interval's upper bound, which always
+       returns the exact distance. Every cell therefore yields the same
+       float as the exhaustive loop: matrices and dendrograms are
+       byte-identical by construction. *)
+    let o =
+      {
+        Sv_metric.Pivots.n;
+        size = (fun i -> dmax.(i));
+        lower = (fun i j -> codebase_lower ~variant metric arr.(i) arr.(j));
+        dist =
+          (fun i j -> fst (raw_divergence ~variant metric arr.(i) arr.(j)));
+        dist_bounded =
+          (fun i j ~cutoff ->
+            raw_divergence_bounded ~variant metric ~cutoff arr.(i) arr.(j));
+      }
+    in
+    let dd, st =
+      Sv_metric.Pivots.schedule ~pivots:pivk
+        ~clamp:(fun i j -> max dmax.(i) dmax.(j))
+        o
+    in
+    for i = 0 to n - 1 do
+      for j = 0 to n - 1 do
+        d.(i).(j) <- dd.(i).(j)
+      done
+    done;
+    last_pivot_stats := Some st
+  end
+  else if jobs <= 1 || Array.length pairs < 2 then
     Array.iter
       (fun (i, j) ->
         let dij, _ = raw_divergence ~variant metric arr.(i) arr.(j) in
@@ -285,3 +406,68 @@ let dendrogram ?(variant = Base) ?(linkage = Sv_cluster.Cluster.Complete) metric
   let m = matrix ~variant metric codebases in
   let dist = Sv_cluster.Cluster.row_euclidean m in
   (m, Sv_cluster.Cluster.cluster linkage dist)
+
+(* --- VP-tree k-NN over codebases (Fig. 15's navigation scenario) ------ *)
+
+type vp = {
+  vt : Sv_metric.Vptree.t;
+  vp_arr : indexed array;
+  vp_variant : variant;
+  vp_metric : metric;
+}
+
+let vp_index ?(variant = Base) metric codebases =
+  let arr = Array.of_list codebases in
+  (match metric with
+  | (TSrc | TSem | TSemI | TIr) when Div.ted_algo () = `Flat ->
+      Index_engine.warm_ted
+        (List.concat_map
+           (fun c -> List.map (fun u -> tree_of metric variant c u) c.ix_units)
+           codebases)
+  | _ -> ());
+  let dist i j = fst (raw_divergence ~variant metric arr.(i) arr.(j)) in
+  let vt =
+    Sv_metric.Vptree.build ~dist (Array.init (Array.length arr) Fun.id)
+  in
+  { vt; vp_arr = arr; vp_variant = variant; vp_metric = metric }
+
+let vp_build_evals t = Sv_metric.Vptree.build_evals t.vt
+
+(* Bounded query evaluator: tree metrics go through the real bounded
+   cascade (size / histogram / branch-profile prunes fire per unit); the
+   near-free metrics just compute and threshold. *)
+let vp_bounded t query id ~cutoff =
+  match t.vp_metric with
+  | TSrc | TSem | TSemI | TIr ->
+      raw_divergence_bounded ~variant:t.vp_variant t.vp_metric ~cutoff query
+        t.vp_arr.(id)
+  | _ ->
+      let d = fst (raw_divergence ~variant:t.vp_variant t.vp_metric query t.vp_arr.(id)) in
+      if d <= cutoff then Some d else None
+
+let vp_nearest t ~k query =
+  let hits, evals =
+    Sv_metric.Vptree.nearest ~dist_bounded:(vp_bounded t query) ~k t.vt
+  in
+  ( List.map
+      (fun (dv, id) ->
+        let c = t.vp_arr.(id) in
+        (c, dv, Div.normalised ~d:dv ~dmax:(target_size ~variant:t.vp_variant t.vp_metric c)))
+      hits,
+    evals )
+
+let vp_range t ~radius query =
+  let hits, evals =
+    Sv_metric.Vptree.range ~dist_bounded:(vp_bounded t query) ~radius t.vt
+  in
+  ( List.map
+      (fun (dv, id) ->
+        let c = t.vp_arr.(id) in
+        (c, dv, Div.normalised ~d:dv ~dmax:(target_size ~variant:t.vp_variant t.vp_metric c)))
+      hits,
+    evals )
+
+let nearest ?(variant = Base) metric ~k ~query codebases =
+  let t = vp_index ~variant metric codebases in
+  let hits, _ = vp_nearest t ~k query in
+  hits

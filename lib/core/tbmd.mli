@@ -60,6 +60,47 @@ val clear_memo : unit -> unit
 (** Drop the in-process divergence memo — for benchmarks and tests that
     must measure or observe cold recomputation. *)
 
+(** {2 Triangle-bounded evaluation}
+
+    The unnormalized integer divergence of the tree metrics is a true
+    metric (per-slot TED is; a positional sum of metrics is), so
+    {!matrix} can schedule through {!Sv_metric.Pivots}: pivot rows are
+    computed exactly, every other pair is bracketed by triangle
+    intervals and either resolved outright or computed by the bounded
+    kernel seeded with its interval upper bound — which always returns
+    the exact distance, keeping matrices and dendrograms byte-identical
+    to the exhaustive run by construction. Normalisation (which breaks
+    metricity — see DESIGN.md) happens only at the edge, on the final
+    integer cells. *)
+
+type pivot_conf =
+  | Pivots_off  (** exhaustive evaluation (default) *)
+  | Pivots_auto  (** ⌈√n⌉ pivots *)
+  | Pivots of int  (** explicit pivot count (clamped to ≥ 1) *)
+
+val set_pivots : pivot_conf -> unit
+(** Configure the scheduler for subsequent {!matrix} calls. Applies to
+    tree metrics with n ≥ 2; the schedule runs in-process (it takes
+    precedence over [set_jobs]). *)
+
+val pivots : unit -> pivot_conf
+
+val pivot_stats : unit -> Sv_metric.Pivots.stats option
+(** Scheduler statistics of the most recent {!matrix} call ([None] if it
+    did not use the pivot path). *)
+
+val raw_divergence_bounded :
+  ?variant:variant ->
+  metric ->
+  cutoff:int ->
+  Pipeline.indexed ->
+  Pipeline.indexed ->
+  int option
+(** [raw_divergence_bounded m ~cutoff c1 c2] is [Some d] iff the raw
+    divergence is [d ≤ cutoff], driving each matched unit pair through
+    the bounded TED kernel with the remaining budget as its cutoff.
+    Tree metrics only ([Invalid_argument] otherwise). *)
+
 val absolute : metric -> Pipeline.indexed -> int option
 (** [absolute m ix] is the codebase-level value for absolute metrics
     (Eq. 2–3); [None] for relative metrics. *)
@@ -91,3 +132,49 @@ val dendrogram :
   Sv_cluster.Cluster.matrix * Sv_cluster.Cluster.dendro
 (** The paper's clustering recipe: divergence matrix → Euclidean row
     distance → agglomerative clustering (complete linkage by default). *)
+
+(** {2 k-NN navigation (Fig. 15)}
+
+    "Find the nearest existing port": a VP-tree over the candidate
+    codebases under the {e unnormalized} integer divergence (the true
+    metric), queried with the bounded kernel so far candidates are
+    rejected by the cheap-bound cascade instead of full DPs. Results are
+    exact — identical to a brute-force scan, ties broken by index. *)
+
+type vp
+(** A built index over a fixed candidate list. *)
+
+val vp_index :
+  ?variant:variant -> metric -> Pipeline.indexed list -> vp
+(** Build the index (deterministic; O(n log n) exact distances). The
+    candidate order defines the ids reported in stats. *)
+
+val vp_build_evals : vp -> int
+(** Exact distance evaluations spent building the index. *)
+
+val vp_nearest :
+  vp ->
+  k:int ->
+  Pipeline.indexed ->
+  (Pipeline.indexed * int * float) list * int
+(** [vp_nearest t ~k q] is the k candidates nearest to [q] in ascending
+    order as [(codebase, raw d, normalised)] — normalisation against
+    each hit's own dmax, at the edge only — plus the bounded-evaluator
+    call count (the work actually spent; compare against a brute-force
+    n). *)
+
+val vp_range :
+  vp ->
+  radius:int ->
+  Pipeline.indexed ->
+  (Pipeline.indexed * int * float) list * int
+(** All candidates within raw distance [radius] of the query. *)
+
+val nearest :
+  ?variant:variant ->
+  metric ->
+  k:int ->
+  query:Pipeline.indexed ->
+  Pipeline.indexed list ->
+  (Pipeline.indexed * int * float) list
+(** One-shot convenience: build and query. *)

@@ -1,0 +1,119 @@
+module T = Sv_perf.Telemetry
+
+type oracle = {
+  n : int;
+  size : int -> int;
+  lower : int -> int -> int;
+  dist : int -> int -> int;
+  dist_bounded : int -> int -> cutoff:int -> int option;
+}
+
+type stats = {
+  n : int;
+  pairs : int;
+  pivots : int array;
+  pivot_pairs : int;
+  resolved_interval : int;
+  resolved_clamp : int;
+  bounded_pairs : int;
+}
+
+let auto_pivots n = if n <= 1 then 0 else int_of_float (ceil (sqrt (float n)))
+
+let schedule ?(pivots = 0) ?clamp (o : oracle) =
+  let n = o.n in
+  let k = min n (if pivots > 0 then pivots else auto_pivots n) in
+  let d = Array.make_matrix n n (-1) in
+  for i = 0 to n - 1 do
+    d.(i).(i) <- 0
+  done;
+  let pivot = Array.make k 0 in
+  let is_pivot = Array.make n false in
+  let mind = Array.make n max_int in
+  let pivot_pairs = ref 0 in
+  (* Farthest-first pivot selection: start at index 0, then repeatedly
+     take the point maximising the distance to its nearest pivot (ties to
+     the lowest index) — deterministic, and it spreads pivots so the
+     derived intervals are as tight as a k-subset of rows can make them.
+     Pivot rows are computed exactly (the only unbounded DP the schedule
+     ever requests). *)
+  let cur = ref 0 in
+  for pi = 0 to k - 1 do
+    let p = !cur in
+    pivot.(pi) <- p;
+    is_pivot.(p) <- true;
+    mind.(p) <- 0;
+    for x = 0 to n - 1 do
+      if x <> p then begin
+        if d.(p).(x) < 0 then begin
+          let v = o.dist p x in
+          d.(p).(x) <- v;
+          d.(x).(p) <- v;
+          incr pivot_pairs
+        end;
+        if d.(p).(x) < mind.(x) then mind.(x) <- d.(p).(x)
+      end
+    done;
+    if pi + 1 < k then begin
+      let best = ref p and bestv = ref (-1) in
+      for x = 0 to n - 1 do
+        if (not is_pivot.(x)) && mind.(x) > !bestv then begin
+          bestv := mind.(x);
+          best := x
+        end
+      done;
+      cur := !best
+    end
+  done;
+  (* Every remaining pair: triangle interval from the pivot rows,
+     |d(i,p) − d(j,p)| ≤ d(i,j) ≤ d(i,p) + d(j,p), intersected over all
+     pivots and with the oracle's own cheap lower bound and the
+     size-sum upper bound. A collapsed interval is the distance; a clamp
+     hit stores the lower bound (callers opt in only when downstream
+     consumers cannot distinguish, e.g. normalisation saturates); the
+     rest run the bounded kernel seeded with the upper bound, which by
+     construction always returns the exact distance (d ≤ hi). *)
+  let resolved_interval = ref 0 and resolved_clamp = ref 0 in
+  let bounded_pairs = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if d.(i).(j) < 0 then begin
+        let lo = ref (o.lower i j) and hi = ref (o.size i + o.size j) in
+        for pi = 0 to k - 1 do
+          let p = pivot.(pi) in
+          let a = d.(p).(i) and b = d.(p).(j) in
+          let l = abs (a - b) and h = a + b in
+          if l > !lo then lo := l;
+          if h < !hi then hi := h
+        done;
+        let store v = d.(i).(j) <- v; d.(j).(i) <- v in
+        if !lo >= !hi then begin
+          store !hi;
+          incr resolved_interval;
+          T.ted.T.tri_resolved <- T.ted.T.tri_resolved + 1
+        end
+        else
+          match clamp with
+          | Some thr when !lo >= thr i j ->
+              store !lo;
+              incr resolved_clamp;
+              T.ted.T.tri_resolved <- T.ted.T.tri_resolved + 1
+          | _ ->
+              incr bounded_pairs;
+              store
+                (match o.dist_bounded i j ~cutoff:(!hi - 1) with
+                | Some v -> v
+                | None -> !hi)
+      end
+    done
+  done;
+  ( d,
+    {
+      n;
+      pairs = n * (n - 1) / 2;
+      pivots = pivot;
+      pivot_pairs = !pivot_pairs;
+      resolved_interval = !resolved_interval;
+      resolved_clamp = !resolved_clamp;
+      bounded_pairs = !bounded_pairs;
+    } )

@@ -1,0 +1,54 @@
+(** Pivot-based triangle-bounded evaluation of all-pairs distance
+    matrices over a metric.
+
+    Works for any integer metric presented as an {!oracle}; in this
+    codebase that is the unnormalized integer TED (a true metric — the
+    normalized divergence is not, see DESIGN.md "Metric index"). A small
+    set of pivot rows is computed exactly; every remaining pair gets the
+    interval [max_p |d(i,p) − d(j,p)| , min_p (d(i,p) + d(j,p))], and
+    only pairs whose interval neither collapses nor clears the caller's
+    clamp threshold run the DP — through the bounded kernel, seeded with
+    the interval's upper bound, which therefore {e always} returns the
+    exact distance. The resulting matrix is exact (clamped cells
+    excepted, and those are opt-in), so dendrograms built from it are
+    byte-identical to an exhaustive run by construction. *)
+
+type oracle = {
+  n : int;  (** number of points, indexed 0..n−1 *)
+  size : int -> int;
+      (** d(x, ⊥): the distance to the empty point — for TED the tree
+          size — giving the a-priori upper bound d(i,j) ≤ size i + size j *)
+  lower : int -> int -> int;  (** admissible cheap lower bound *)
+  dist : int -> int -> int;  (** exact distance (unbounded DP) *)
+  dist_bounded : int -> int -> cutoff:int -> int option;
+      (** [Some d] iff the exact distance is [d ≤ cutoff]; [None]
+          guarantees the distance exceeds [cutoff] *)
+}
+
+type stats = {
+  n : int;
+  pairs : int;  (** n·(n−1)/2 *)
+  pivots : int array;  (** chosen pivot indices, selection order *)
+  pivot_pairs : int;  (** pairs computed exactly in pivot rows *)
+  resolved_interval : int;  (** pairs whose interval collapsed (lo = hi) *)
+  resolved_clamp : int;  (** pairs settled by the clamp threshold *)
+  bounded_pairs : int;  (** pairs sent to the bounded kernel *)
+}
+
+val auto_pivots : int -> int
+(** ⌈√n⌉ — the default pivot count, making exact pivot-row work
+    O(n^1.5) pairs out of O(n²). *)
+
+val schedule :
+  ?pivots:int ->
+  ?clamp:(int -> int -> int) ->
+  oracle ->
+  int array array * stats
+(** [schedule o] computes the full symmetric distance matrix. [pivots]
+    overrides the pivot count (default {!auto_pivots}); pivot selection
+    is deterministic farthest-first from index 0, ties to the lowest
+    index. With [clamp], a pair whose interval lower bound reaches
+    [clamp i j] stores that lower bound instead of the exact distance —
+    sound only when the caller's downstream use saturates at the
+    threshold (e.g. normalisation clamping at d ≥ dmax). Triangle
+    resolutions are counted in [Sv_perf.Telemetry.ted.tri_resolved]. *)

@@ -1,0 +1,149 @@
+type node =
+  | Leaf of int array
+  | Node of { v : int; mu : int; inside : node; outside : node }
+
+type t = { root : node; n : int; build_evals : int }
+
+let leaf_cap = 4
+let size t = t.n
+let build_evals t = t.build_evals
+
+let build ~dist ids =
+  let evals = ref 0 in
+  let d a b =
+    incr evals;
+    dist a b
+  in
+  (* Vantage = lowest id of the subset (deterministic); μ = lower median
+     of the distances to the rest; inside holds d ≤ μ, outside d > μ.
+     Even when every distance equals μ the vantage leaves the subset, so
+     the recursion strictly shrinks and terminates. Partition preserves
+     the ascending id order of the input. *)
+  let rec make ids =
+    if Array.length ids <= leaf_cap then Leaf ids
+    else begin
+      let v = ids.(0) in
+      let rest = Array.sub ids 1 (Array.length ids - 1) in
+      let ds = Array.map (fun x -> d v x) rest in
+      let sorted = Array.copy ds in
+      Array.sort compare sorted;
+      let mu = sorted.((Array.length sorted - 1) / 2) in
+      let nin = ref 0 in
+      Array.iter (fun dv -> if dv <= mu then incr nin) ds;
+      let inside = Array.make !nin 0
+      and outside = Array.make (Array.length rest - !nin) 0 in
+      let i = ref 0 and o = ref 0 in
+      Array.iteri
+        (fun idx x ->
+          if ds.(idx) <= mu then begin
+            inside.(!i) <- x;
+            incr i
+          end
+          else begin
+            outside.(!o) <- x;
+            incr o
+          end)
+        rest;
+      Node { v; mu; inside = make inside; outside = make outside }
+    end
+  in
+  let ids = Array.copy ids in
+  Array.sort compare ids;
+  let root = make ids in
+  { root; n = Array.length ids; build_evals = !evals }
+
+(* Saturating add: cutoffs near max_int must not wrap. *)
+let sat_add a b = if a >= max_int - b then max_int else a + b
+
+let nearest ~dist_bounded ~k t =
+  if k <= 0 then ([], 0)
+  else begin
+    let evals = ref 0 in
+    let dq id ~cutoff =
+      incr evals;
+      dist_bounded id ~cutoff
+    in
+    (* best: ascending (d, id) list, ≤ k long. τ = the kth key; a
+       candidate or subtree survives only if it can beat τ under the
+       lexicographic (d, id) order, which makes the result the exact k
+       smallest keys independent of traversal order. *)
+    let best = ref [] and nbest = ref 0 in
+    let tau_key () =
+      if !nbest < k then (max_int, max_int)
+      else List.nth !best (!nbest - 1)
+    in
+    let tau_d () = fst (tau_key ()) in
+    let consider id dv =
+      let key = (dv, id) in
+      if !nbest < k || key < tau_key () then begin
+        let rec ins = function
+          | [] -> [ key ]
+          | x :: rest -> if key < x then key :: x :: rest else x :: ins rest
+        in
+        let merged = ins !best in
+        if !nbest < k then begin
+          best := merged;
+          incr nbest
+        end
+        else
+          (* drop the previous kth *)
+          best := List.filteri (fun i _ -> i < k) merged
+      end
+    in
+    let try_candidate id =
+      match dq id ~cutoff:(tau_d ()) with
+      | Some dv -> consider id dv
+      | None -> ()
+    in
+    let rec visit = function
+      | Leaf ids -> Array.iter try_candidate ids
+      | Node { v; mu; inside; outside } -> (
+          (* One bounded eval serves both the candidate check and the
+             routing: cutoff τ+μ. [None] proves d(q,v) > τ+μ, hence
+             d(q,v) − μ > τ and the inside ball cannot beat τ; the
+             outside shell still can (μ − d(q,v) < 0 ≤ τ). *)
+          match dq v ~cutoff:(sat_add (tau_d ()) mu) with
+          | None -> visit outside
+          | Some dv ->
+              if dv <= tau_d () then consider v dv;
+              if dv <= mu then begin
+                visit inside;
+                if mu - dv <= tau_d () then visit outside
+              end
+              else begin
+                visit outside;
+                if dv - mu <= tau_d () then visit inside
+              end)
+    in
+    visit t.root;
+    (!best, !evals)
+  end
+
+let range ~dist_bounded ~radius t =
+  if radius < 0 then ([], 0)
+  else begin
+    let evals = ref 0 in
+    let dq id ~cutoff =
+      incr evals;
+      dist_bounded id ~cutoff
+    in
+    let hits = ref [] in
+    let rec visit = function
+      | Leaf ids ->
+          Array.iter
+            (fun id ->
+              match dq id ~cutoff:radius with
+              | Some dv -> hits := (dv, id) :: !hits
+              | None -> ())
+            ids
+      | Node { v; mu; inside; outside } -> (
+          match dq v ~cutoff:(sat_add radius mu) with
+          | None -> visit outside
+          | Some dv ->
+              if dv <= radius then hits := (dv, v) :: !hits;
+              if dv - mu <= radius then visit inside;
+              if mu - dv <= radius then visit outside)
+    in
+    visit t.root;
+    (List.sort compare !hits, !evals)
+  end

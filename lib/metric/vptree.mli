@@ -1,0 +1,43 @@
+(** Vantage-point tree over an integer metric: exact k-NN and range
+    queries with triangle-inequality pruning.
+
+    Elements are caller-side integer ids; the tree stores no payloads.
+    Construction and queries are fully deterministic (vantage = lowest
+    id, μ = lower median, ties in results broken by id), so query
+    answers are {e exactly} the brute-force answers — the k smallest
+    (distance, id) pairs, or all elements within the radius — not an
+    approximation. Queries take a {e bounded} distance evaluator so the
+    caller's cheap-bound cascade (size / histogram / binary-branch
+    profile, for TED) fires on every pruned comparison; the second
+    component of each result is the number of evaluator calls, the
+    honest measure of work against the brute-force n. *)
+
+type t
+
+val build : dist:(int -> int -> int) -> int array -> t
+(** [build ~dist ids] builds the index over [ids] (order-insensitive;
+    duplicates are the caller's concern). [dist] must be a metric.
+    O(n log n) evaluations in the balanced case. *)
+
+val size : t -> int
+val build_evals : t -> int
+(** Exact-distance evaluations spent building (amortised over queries). *)
+
+val nearest :
+  dist_bounded:(int -> cutoff:int -> int option) ->
+  k:int ->
+  t ->
+  (int * int) list * int
+(** [nearest ~dist_bounded ~k t] is the k nearest elements to the
+    implicit query point as ascending [(distance, id)] pairs, plus the
+    evaluator-call count. [dist_bounded id ~cutoff] must return [Some d]
+    iff the exact query–element distance is [d ≤ cutoff] and [None]
+    otherwise (proving d > cutoff). *)
+
+val range :
+  dist_bounded:(int -> cutoff:int -> int option) ->
+  radius:int ->
+  t ->
+  (int * int) list * int
+(** All elements within [radius] of the query point, ascending
+    [(distance, id)], plus the evaluator-call count. *)

@@ -81,6 +81,16 @@ let tree_distance_bounded ~cutoff t1 t2 =
           Sv_tree.Flat.distance_bounded ~cutoff (flat_of_id id1 v1)
             (flat_of_id id2 v2)
 
+(* Cheap admissible lower bound through the same canonizer/flat memo as
+   the kernels, so the metric scheduler's bound calls share every compile
+   with the distance calls that follow. Always flat-based (both kernels
+   compute the identical distance, so one bound serves both). *)
+let tree_lower_bound t1 t2 =
+  let id1, v1 = Sv_tree.Hashcons.canon_id canonizer t1 in
+  let id2, v2 = Sv_tree.Hashcons.canon_id canonizer t2 in
+  if id1 = id2 then 0
+  else Sv_tree.Flat.lower_bound (flat_of_id id1 v1) (flat_of_id id2 v2)
+
 let tree_distance_matched t1 t2 =
   let root_cost = if Label.equal (Tree.label t1) (Tree.label t2) then 0 else 1 in
   (* Align the children sequences by an LCS over coarse fingerprints

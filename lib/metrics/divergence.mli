@@ -46,6 +46,14 @@ val tree_distance_bounded :
     so rejections are far cheaper than a full TED — the clustering
     fast path when only "within threshold?" matters. *)
 
+val tree_lower_bound :
+  Sv_tree.Label.tree -> Sv_tree.Label.tree -> int
+(** Admissible lower bound on {!tree_distance} from compile-time
+    summaries only ({!Sv_tree.Flat.lower_bound}: size / histogram /
+    leaves / height deltas and the binary-branch profile bound), through
+    the same process-global canonizer and flat memo as the kernels —
+    never runs a DP. The metric scheduler's prefilter. *)
+
 val tree_distance_matched : Sv_tree.Label.tree -> Sv_tree.Label.tree -> int
 (** [tree_distance_matched t1 t2] approximates {!tree_distance} by the
     paper's [match] acceleration (§III-C) pushed one level down: the

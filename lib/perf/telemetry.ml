@@ -2,7 +2,9 @@ type ted = {
   mutable equal_prunes : int;
   mutable size_prunes : int;
   mutable hist_prunes : int;
+  mutable pq_prunes : int;
   mutable cutoff_abandons : int;
+  mutable tri_resolved : int;
   mutable dp_runs : int;
   mutable flat_compiles : int;
   mutable scratch_grows : int;
@@ -15,7 +17,9 @@ let zero () =
     equal_prunes = 0;
     size_prunes = 0;
     hist_prunes = 0;
+    pq_prunes = 0;
     cutoff_abandons = 0;
+    tri_resolved = 0;
     dp_runs = 0;
     flat_compiles = 0;
     scratch_grows = 0;
@@ -29,7 +33,9 @@ let reset_ted () =
   ted.equal_prunes <- 0;
   ted.size_prunes <- 0;
   ted.hist_prunes <- 0;
+  ted.pq_prunes <- 0;
   ted.cutoff_abandons <- 0;
+  ted.tri_resolved <- 0;
   ted.dp_runs <- 0;
   ted.flat_compiles <- 0;
   ted.scratch_grows <- 0;
@@ -43,7 +49,9 @@ let ted_diff ~before ~after =
     equal_prunes = after.equal_prunes - before.equal_prunes;
     size_prunes = after.size_prunes - before.size_prunes;
     hist_prunes = after.hist_prunes - before.hist_prunes;
+    pq_prunes = after.pq_prunes - before.pq_prunes;
     cutoff_abandons = after.cutoff_abandons - before.cutoff_abandons;
+    tri_resolved = after.tri_resolved - before.tri_resolved;
     dp_runs = after.dp_runs - before.dp_runs;
     flat_compiles = after.flat_compiles - before.flat_compiles;
     scratch_grows = after.scratch_grows - before.scratch_grows;
@@ -51,14 +59,17 @@ let ted_diff ~before ~after =
     strategy_right = after.strategy_right - before.strategy_right;
   }
 
-let ted_pruned t = t.equal_prunes + t.size_prunes + t.hist_prunes
+let ted_pruned t =
+  t.equal_prunes + t.size_prunes + t.hist_prunes + t.pq_prunes
 
 let ted_rows t =
   [
     ("pruned: equal/digest", t.equal_prunes);
     ("pruned: size bound", t.size_prunes);
     ("pruned: label histogram", t.hist_prunes);
+    ("pruned: branch profile", t.pq_prunes);
     ("DP abandoned at cutoff", t.cutoff_abandons);
+    ("resolved: triangle bound", t.tri_resolved);
     ("DP runs", t.dp_runs);
     ("flat compiles", t.flat_compiles);
     ("scratch growths", t.scratch_grows);
@@ -69,10 +80,12 @@ let ted_rows t =
 let ted_to_string t =
   let queries = ted_pruned t + t.dp_runs in
   Printf.sprintf
-    "ted: %d bounded queries pruned of %d (equal %d, size %d, hist %d), %d DP \
-     runs (%d abandoned), %d flats, strategy L/R %d/%d"
-    (ted_pruned t) queries t.equal_prunes t.size_prunes t.hist_prunes t.dp_runs
-    t.cutoff_abandons t.flat_compiles t.strategy_left t.strategy_right
+    "ted: %d bounded queries pruned of %d (equal %d, size %d, hist %d, branch \
+     %d), %d triangle-resolved, %d DP runs (%d abandoned), %d flats, strategy \
+     L/R %d/%d"
+    (ted_pruned t) queries t.equal_prunes t.size_prunes t.hist_prunes
+    t.pq_prunes t.tri_resolved t.dp_runs t.cutoff_abandons t.flat_compiles
+    t.strategy_left t.strategy_right
 
 (* --- service counters --- *)
 

@@ -16,8 +16,14 @@ type ted = {
       (** bounded queries rejected by the size-difference bound alone *)
   mutable hist_prunes : int;
       (** bounded queries rejected by the label-histogram lower bound *)
+  mutable pq_prunes : int;
+      (** bounded queries rejected by the binary-branch profile bound
+          (the pq-gram-style L1/5 distance) after the histogram passed *)
   mutable cutoff_abandons : int;
       (** DP runs abandoned mid-flight once the cutoff became unreachable *)
+  mutable tri_resolved : int;
+      (** matrix pairs settled by pivot triangle bounds (interval collapse
+          or clamp) without touching the kernel at all *)
   mutable dp_runs : int;  (** full kernel runs (flat or Zhang–Shasha) *)
   mutable flat_compiles : int;  (** trees compiled to flat form *)
   mutable scratch_grows : int;  (** geometric growths of the DP scratch *)

@@ -4,6 +4,7 @@ module T = Sv_perf.Telemetry
 module Pipeline = Sv_core.Pipeline
 module Tbmd = Sv_core.Tbmd
 module Apps = Sv_core.Apps
+module Navigation = Sv_core.Navigation
 module Index_engine = Sv_core.Index_engine
 module Index_cache = Sv_db.Index_cache
 module Ted_cache = Sv_db.Codebase_db.Ted_cache
@@ -186,6 +187,30 @@ let render_cluster m ixs =
     matrix.Sv_cluster.Cluster.data
   ^ Report.dendrogram ~labels:matrix.Sv_cluster.Cluster.labels dendro
 
+let render_nearest ~app ~model ~k m qix ixs =
+  let hits, evals = Navigation.nearest_ports ~metric:m ~k ~query:qix ixs in
+  let cands =
+    List.length
+      (List.filter
+         (fun (c : Pipeline.indexed) ->
+           c.Pipeline.ix_model <> qix.Pipeline.ix_model)
+         ixs)
+  in
+  let rows =
+    List.map
+      (fun (h : Navigation.nearest_hit) ->
+        [
+          h.Navigation.nh_model;
+          h.Navigation.nh_model_name;
+          string_of_int h.Navigation.nh_d;
+          Printf.sprintf "%.3f" h.Navigation.nh_div;
+        ])
+      hits
+  in
+  Printf.sprintf "nearest %s: %s (%s, k=%d)\n" app model (Tbmd.metric_label m) k
+  ^ Report.table ~headers:[ "model"; "name"; "d"; "normalised" ] ~rows
+  ^ Printf.sprintf "index evaluations: %d of %d candidates\n" evals cands
+
 let render_index ix =
   let db = Pipeline.to_db ix in
   Sv_db.Codebase_db.stats db ^ "\n"
@@ -339,6 +364,17 @@ let evaluate t req =
               with_installed t (fun () ->
                   let ixs, warm = obtain t cbs in
                   output "cluster" warm (render_cluster m ixs))))
+  | Protocol.Nearest { app; model; metric; k } ->
+      with_metric metric (fun m ->
+          with_app app (fun cbs ->
+              match Apps.find_codebase ~app cbs model with
+              | None -> unknown_model app model
+              | Some cb ->
+                  with_installed t (fun () ->
+                      let ixs, warm = obtain t cbs in
+                      let qix = List.assq cb (List.combine cbs ixs) in
+                      output "nearest" warm
+                        (render_nearest ~app ~model ~k m qix ixs))))
 
 let handle t req =
   match evaluate t req with

@@ -97,3 +97,16 @@ val render_cluster : Sv_core.Tbmd.metric -> Pipeline.indexed list -> string
 val render_index : Pipeline.indexed -> string
 (** Codebase DB stats line plus the built-in verification verdict —
     `sv index`'s output up to the artifact-save banner. *)
+
+val render_nearest :
+  app:string ->
+  model:string ->
+  k:int ->
+  Sv_core.Tbmd.metric ->
+  Pipeline.indexed ->
+  Pipeline.indexed list ->
+  string
+(** `sv nearest`'s output: the query's k nearest ports (other models
+    only) by raw and normalised divergence, through the VP-tree index
+    ({!Sv_core.Navigation.nearest_ports}), plus the bounded-evaluation
+    count the index spent against the candidate total. *)

@@ -7,6 +7,7 @@ type request =
   | Compare of { app : string; base : string; target : string }
   | Matrix of { app : string; metric : string }
   | Cluster of { app : string; metric : string }
+  | Nearest of { app : string; model : string; metric : string; k : int }
   | Status
   | Shutdown
 
@@ -15,6 +16,7 @@ let verb_of_request = function
   | Compare _ -> "compare"
   | Matrix _ -> "matrix"
   | Cluster _ -> "cluster"
+  | Nearest _ -> "nearest"
   | Status -> "status"
   | Shutdown -> "shutdown"
 
@@ -68,6 +70,13 @@ let encode_request ?id req =
         [ ("app", J.String app); ("base", J.String base); ("target", J.String target) ]
     | Matrix { app; metric } -> [ ("app", J.String app); ("metric", J.String metric) ]
     | Cluster { app; metric } -> [ ("app", J.String app); ("metric", J.String metric) ]
+    | Nearest { app; model; metric; k } ->
+        [
+          ("app", J.String app);
+          ("model", J.String model);
+          ("metric", J.String metric);
+          ("k", J.Int k);
+        ]
     | Status | Shutdown -> []
   in
   J.to_string
@@ -120,6 +129,16 @@ let decode_request payload =
           | "cluster" ->
               need [ "app"; "metric" ] (function
                 | [ app; metric ] -> Cluster { app; metric }
+                | _ -> assert false)
+          | "nearest" ->
+              (* optional integer field "k", default 3 *)
+              let k =
+                match Option.bind (J.member "k" v) J.int_value with
+                | Some k -> k
+                | None -> 3
+              in
+              need [ "app"; "model"; "metric" ] (function
+                | [ app; model; metric ] -> Nearest { app; model; metric; k }
                 | _ -> assert false)
           | "status" -> Stdlib.Ok (id, Status)
           | "shutdown" -> Stdlib.Ok (id, Shutdown)

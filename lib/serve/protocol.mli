@@ -14,6 +14,7 @@
       { "id": <int>?, "verb": "compare",  "app": <s>, "base": <s>, "target": <s> }
       { "id": <int>?, "verb": "matrix",   "app": <s>, "metric": <s> }
       { "id": <int>?, "verb": "cluster",  "app": <s>, "metric": <s> }
+      { "id": <int>?, "verb": "nearest",  "app": <s>, "model": <s>, "metric": <s>, "k": <int>? }
       { "id": <int>?, "verb": "status" }
       { "id": <int>?, "verb": "shutdown" }
     v}
@@ -39,6 +40,9 @@ type request =
   | Compare of { app : string; base : string; target : string }
   | Matrix of { app : string; metric : string }
   | Cluster of { app : string; metric : string }
+  | Nearest of { app : string; model : string; metric : string; k : int }
+      (** k-NN over the VP-tree index ({!Sv_core.Tbmd.vp_index}); the
+          wire field ["k"] is optional and defaults to 3. *)
   | Status
   | Shutdown
 
@@ -63,7 +67,7 @@ val kind_of_string : string -> error_kind option
 
 type response =
   | Output of { verb : string; warm : bool; output : string }
-      (** [index]/[compare]/[matrix]/[cluster] result: [output] is
+      (** [index]/[compare]/[matrix]/[cluster]/[nearest] result: [output] is
           byte-identical to what the one-shot CLI prints for the same
           request; [warm] is true when no codebase had to be indexed. *)
   | Status_of of (string * Sv_jsonx.Jsonx.t) list

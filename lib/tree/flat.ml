@@ -22,6 +22,8 @@ type t = {
   right : dir;
   hist_labels : int array;
   hist_counts : int array;
+  bb_keys : int array;
+  bb_counts : int array;
 }
 
 (* splitmix64 avalanche, the same mixer (and fold) as [Hashcons], so a
@@ -80,6 +82,53 @@ let compile_dir ~mirror t n =
     !krs;
   { labels; lml; keyroots; kcost = !kcost }
 
+(* Binary-branch profile (Yang, Kalnis & Tung, SIGMOD'05): under the
+   first-child/next-sibling transform every node contributes the triple
+   (label, first-child label or ε, next-sibling label or ε), and the L1
+   distance between the two triple multisets is at most 5× the unit-cost
+   TED — any single edit operation rewrites at most five triples. Triples
+   are hashed to 62-bit keys: merging distinct triples into one bin can
+   only cancel mass, i.e. shrink the L1, so hashing preserves
+   admissibility (and collisions are vanishing at 62 bits anyway). *)
+let bb_key x cp c sp s =
+  let open Int64 in
+  let step h v = mix64 (logxor (mul h 0x100000001B3L) (of_int v)) in
+  let h = mix64 (add (of_int x) 0x9E3779B97F4A7C15L) in
+  let h = step (step (step (step h cp) c) sp) s in
+  to_int (shift_right_logical h 2)
+
+let bb_profile t n =
+  let keys = Array.make n 0 in
+  let next = ref 0 in
+  let rec go sp s (Tree.Node (x, cs)) =
+    let cp, c = match cs with [] -> (0, 0) | Tree.Node (y, _) :: _ -> (1, y) in
+    keys.(!next) <- bb_key x cp c sp s;
+    incr next;
+    let rec kids = function
+      | [] -> ()
+      | [ last ] -> go 0 0 last
+      | a :: (Tree.Node (y, _) :: _ as rest) ->
+          go 1 y a;
+          kids rest
+    in
+    kids cs
+  in
+  go 0 0 t;
+  Array.sort compare keys;
+  let runs = ref 0 in
+  Array.iteri (fun i x -> if i = 0 || keys.(i - 1) <> x then incr runs) keys;
+  let bb_keys = Array.make !runs 0 and bb_counts = Array.make !runs 0 in
+  let r = ref (-1) in
+  Array.iteri
+    (fun i x ->
+      if i = 0 || keys.(i - 1) <> x then begin
+        incr r;
+        bb_keys.(!r) <- x
+      end;
+      bb_counts.(!r) <- bb_counts.(!r) + 1)
+    keys;
+  (bb_keys, bb_counts)
+
 let of_tree t =
   T.ted.T.flat_compiles <- T.ted.T.flat_compiles + 1;
   let n = Tree.size t in
@@ -110,6 +159,7 @@ let of_tree t =
       end;
       hist_counts.(!r) <- hist_counts.(!r) + 1)
     sorted;
+  let bb_keys, bb_counts = bb_profile t n in
   {
     size = n;
     digest = digest_tree t;
@@ -119,6 +169,8 @@ let of_tree t =
     right;
     hist_labels;
     hist_counts;
+    bb_keys;
+    bb_counts;
   }
 
 let size f = f.size
@@ -131,7 +183,7 @@ let digest f = f.digest
    min(n₁,n₂) nodes map, and only label-equal mapped pairs are free),
    leaf-count delta and height delta (no operation moves either by more
    than one). *)
-let lower_bound a b =
+let summary_bound a b =
   let common = ref 0 in
   let i = ref 0 and j = ref 0 in
   let ka = Array.length a.hist_labels and kb = Array.length b.hist_labels in
@@ -149,6 +201,41 @@ let lower_bound a b =
   let m = max m (max a.size b.size - !common) in
   let m = max m (abs (a.nleaves - b.nleaves)) in
   max m (abs (a.height - b.height))
+
+(* L1 distance between binary-branch profiles: a merge walk over the
+   sorted key arrays, unmatched bins contribute their whole count. *)
+let bb_l1 a b =
+  let l1 = ref 0 in
+  let i = ref 0 and j = ref 0 in
+  let ka = Array.length a.bb_keys and kb = Array.length b.bb_keys in
+  while !i < ka && !j < kb do
+    let la = a.bb_keys.(!i) and lb = b.bb_keys.(!j) in
+    if la < lb then begin
+      l1 := !l1 + a.bb_counts.(!i);
+      incr i
+    end
+    else if lb < la then begin
+      l1 := !l1 + b.bb_counts.(!j);
+      incr j
+    end
+    else begin
+      l1 := !l1 + abs (a.bb_counts.(!i) - b.bb_counts.(!j));
+      incr i;
+      incr j
+    end
+  done;
+  while !i < ka do
+    l1 := !l1 + a.bb_counts.(!i);
+    incr i
+  done;
+  while !j < kb do
+    l1 := !l1 + b.bb_counts.(!j);
+    incr j
+  done;
+  !l1
+
+let branch_bound a b = (bb_l1 a b + 4) / 5
+let lower_bound a b = max (summary_bound a b) (branch_bound a b)
 
 (* --- scratch buffers -------------------------------------------------- *)
 
@@ -310,8 +397,9 @@ let distance ?(scratch = shared) a b =
   else run_dp ~scratch ~cutoff:max_int a b
 
 (* The pruning cascade, cheapest test first: digest equality (free), the
-   size-difference bound, the histogram/leaves/height lower bound, then —
-   only for pairs no bound settles — the DP with in-flight abandon. *)
+   size-difference bound, the histogram/leaves/height lower bound, the
+   binary-branch profile bound, then — only for pairs no bound settles —
+   the DP with in-flight abandon. *)
 let distance_bounded ?(scratch = shared) ~cutoff a b =
   if cutoff < 0 then None
   else if equal_flat a b then begin
@@ -322,8 +410,12 @@ let distance_bounded ?(scratch = shared) ~cutoff a b =
     T.ted.T.size_prunes <- T.ted.T.size_prunes + 1;
     None
   end
-  else if lower_bound a b > cutoff then begin
+  else if summary_bound a b > cutoff then begin
     T.ted.T.hist_prunes <- T.ted.T.hist_prunes + 1;
+    None
+  end
+  else if branch_bound a b > cutoff then begin
+    T.ted.T.pq_prunes <- T.ted.T.pq_prunes + 1;
     None
   end
   else if a.size + b.size <= cutoff then

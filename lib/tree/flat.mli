@@ -9,8 +9,8 @@
     inner loops. Per pair the kernel picks the cheaper direction (left
     path, or right path via the mirror decomposition — the distance is
     mirror-invariant), and bounded queries pass a pruning cascade (digest
-    equality, size bound, label-histogram/leaves/height lower bound)
-    before any DP cell is touched. Distances are exactly those of
+    equality, size bound, label-histogram/leaves/height lower bound,
+    binary-branch profile bound) before any DP cell is touched. Distances are exactly those of
     {!Ted.distance_int}; the bench harness checks the two kernels
     byte-identical over whole corpora.
 
@@ -46,9 +46,17 @@ val reserve : ?scratch:scratch -> int -> int -> unit
 
 val lower_bound : t -> t -> int
 (** Admissible lower bound on the unit-cost TED from compile-time
-    summaries only (O(k₁+k₂) in distinct labels): the maximum of the
-    size delta, the unmatched label mass, the leaf-count delta and the
-    height delta. *)
+    summaries only (O(k₁+k₂) in distinct labels / profile bins): the
+    maximum of the size delta, the unmatched label mass, the leaf-count
+    delta, the height delta, and the binary-branch profile bound
+    ⌈‖BRV₁−BRV₂‖₁ / 5⌉ (Yang–Kalnis–Tung): one edit operation rewrites at
+    most five (label, first-child, next-sibling) triples, so the L1
+    distance between the triple multisets is ≤ 5·TED. Dominates the old
+    four-component bound pointwise. *)
+
+val branch_bound : t -> t -> int
+(** The binary-branch component of {!lower_bound} alone (for telemetry
+    and property tests). *)
 
 val distance : ?scratch:scratch -> t -> t -> int
 (** Exact unit-cost TED; equals [Ted.distance_int] on the source trees.

@@ -272,7 +272,7 @@ exception Cutoff
    equal tree. O(n₁+n₂); lets the bounded engine skip the full DP when
    even the bound exceeds its cutoff. Admissibility (lb ≤ distance) is
    property-tested against the brute-force oracle. *)
-let lower_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
+let summary_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
   let summary t =
     let n = ref 0 and leaves = ref 0 in
     let rec go depth (Tree.Node (_, cs)) =
@@ -309,6 +309,54 @@ let lower_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
   let lb = max (abs (n1 - n2)) (max n1 n2 - !common) in
   let lb = max lb (abs (leaves1 - leaves2)) in
   max lb (abs (height1 - height2))
+
+(* Binary-branch profile bound, computed on the fly (the flat kernel
+   precomputes the same profile per compiled tree — see [Flat.bb_profile]
+   for the admissibility argument): hash every (label, first-child,
+   next-sibling) triple, accumulate +1 for t1 and −1 for t2, and the L1
+   residue is ≤ 5·TED, so ⌈L1/5⌉ is admissible. *)
+let bb_mix z =
+  let open Int64 in
+  let z = mul (logxor z (shift_right_logical z 30)) 0xBF58476D1CE4E5B9L in
+  let z = mul (logxor z (shift_right_logical z 27)) 0x94D049BB133111EBL in
+  logxor z (shift_right_logical z 31)
+
+let bb_key x cp c sp s =
+  let open Int64 in
+  let step h v = bb_mix (logxor (mul h 0x100000001B3L) (of_int v)) in
+  let h = bb_mix (add (of_int x) 0x9E3779B97F4A7C15L) in
+  let h = step (step (step (step h cp) c) sp) s in
+  to_int (shift_right_logical h 2)
+
+let branch_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let bump sgn t =
+    let rec go sp s (Tree.Node (x, cs)) =
+      let cp, c =
+        match cs with [] -> (0, 0) | Tree.Node (y, _) :: _ -> (1, y)
+      in
+      let k = bb_key x cp c sp s in
+      (match Hashtbl.find_opt counts k with
+      | Some r -> r := !r + sgn
+      | None -> Hashtbl.add counts k (ref sgn));
+      let rec kids = function
+        | [] -> ()
+        | [ last ] -> go 0 0 last
+        | a :: (Tree.Node (y, _) :: _ as rest) ->
+            go 1 y a;
+            kids rest
+      in
+      kids cs
+    in
+    go 0 0 t
+  in
+  bump 1 t1;
+  bump (-1) t2;
+  let l1 = Hashtbl.fold (fun _ r acc -> acc + abs !r) counts 0 in
+  (l1 + 4) / 5
+
+let lower_bound_int t1 t2 =
+  max (summary_bound_int t1 t2) (branch_bound_int t1 t2)
 
 (* Early-abandon check shared by the bounded kernels.  Valid only for the
    final keyroot pair (whole tree vs whole tree, li = lj = 1): there the
@@ -465,8 +513,12 @@ let distance_bounded_int ~cutoff t1 t2 =
     T.ted.size_prunes <- T.ted.size_prunes + 1;
     None
   end
-  else if lower_bound_int t1 t2 > cutoff then begin
+  else if summary_bound_int t1 t2 > cutoff then begin
     T.ted.hist_prunes <- T.ted.hist_prunes + 1;
+    None
+  end
+  else if branch_bound_int t1 t2 > cutoff then begin
+    T.ted.pq_prunes <- T.ted.pq_prunes + 1;
     None
   end
   else if Tree.size t1 + Tree.size t2 <= cutoff then Some (distance_int t1 t2)

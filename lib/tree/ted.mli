@@ -47,11 +47,21 @@ val lower_bound_int : int Tree.t -> int Tree.t -> int
     on the unit-cost distance: the largest of [|size t1 − size t2|],
     [max n₁ n₂ − Σ_l min(count₁ l, count₂ l)] (every mapped pair with
     unequal labels and every unmapped node costs at least one edit),
-    [|leaves t1 − leaves t2|] and [|height t1 − height t2|] (each edit
-    operation moves each of those quantities by at most one). Holds on
-    degenerate inputs — single-node trees, uniform labels — and is
-    property-tested ([lower_bound_int ≤ distance]) against the oracle.
-    The bounded engine uses it to skip the full DP outright. *)
+    [|leaves t1 − leaves t2|], [|height t1 − height t2|] (each edit
+    operation moves each of those quantities by at most one), and the
+    binary-branch profile bound {!branch_bound_int}. Holds on degenerate
+    inputs — single-node trees, uniform labels — and is property-tested
+    ([lower_bound_int ≤ distance]) against the oracle. The bounded engine
+    uses it to skip the full DP outright. *)
+
+val branch_bound_int : int Tree.t -> int Tree.t -> int
+(** The binary-branch (pq-gram-style) component alone: hash every
+    (label, first-child label, next-sibling label) triple of each tree
+    and take ⌈L1/5⌉ of the multiset difference — one edit operation
+    rewrites at most five triples (Yang–Kalnis–Tung, SIGMOD'05), so this
+    is admissible; hashing bins can only shrink the L1. Often far
+    tighter than the histogram components on same-size, same-alphabet
+    trees that differ structurally. *)
 
 val distance_bounded :
   ?costs:'a costs ->

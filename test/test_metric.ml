@@ -1,0 +1,238 @@
+(* Property suite for the metric layer: admissible TED lower bounds
+   (binary-branch profile included), the pivot scheduler's exactness and
+   interval soundness, and VP-tree k-NN / range queries against brute
+   force. Everything is Prng-seeded (SV_PROP_ITERS scales the volume),
+   so a failure reports a reproducible case. *)
+
+module Tree = Sv_tree.Tree
+module Ted = Sv_tree.Ted
+module Flat = Sv_tree.Flat
+module Pivots = Sv_metric.Pivots
+module Vptree = Sv_metric.Vptree
+module Prng = Sv_util.Prng
+
+let checki = Alcotest.(check int)
+let checkb = Alcotest.(check bool)
+
+let prop_iters =
+  match Sys.getenv_opt "SV_PROP_ITERS" with
+  | Some s -> (
+      match int_of_string_opt (String.trim s) with
+      | Some n when n > 0 -> n
+      | _ -> 500)
+  | None -> 500
+
+let rec gen_tree_sized rng n =
+  let label = Prng.int rng 4 in
+  if n <= 1 then Tree.leaf label
+  else begin
+    let kids = ref [] and remaining = ref (n - 1) in
+    while !remaining > 0 do
+      let take = 1 + Prng.int rng !remaining in
+      kids := gen_tree_sized rng take :: !kids;
+      remaining := !remaining - take
+    done;
+    Tree.node label (List.rev !kids)
+  end
+
+let show_tree t = Format.asprintf "%a" (Tree.pp Format.pp_print_int) t
+
+(* --- lower bounds ---------------------------------------------------- *)
+
+(* Admissibility against the brute-force oracle (small trees, so the
+   oracle itself is independent of the DP under test), and dominance of
+   the combined bound over its components. *)
+let test_bounds_admissible () =
+  let rng = Prng.create 0x6b0d_5eed in
+  let iters = max 500 prop_iters in
+  for i = 1 to iters do
+    let a = gen_tree_sized rng (1 + Prng.int rng 10) in
+    let b = gen_tree_sized rng (1 + Prng.int rng 10) in
+    let d = Ted.distance_brute ~eq:Int.equal a b in
+    let ctx fmt =
+      Printf.ksprintf
+        (fun m ->
+          Alcotest.failf "iter %d: %s\n  a = %s\n  b = %s" i m (show_tree a)
+            (show_tree b))
+        fmt
+    in
+    let lb = Ted.lower_bound_int a b and bb = Ted.branch_bound_int a b in
+    if lb > d then ctx "lower_bound_int %d > distance %d" lb d;
+    if bb > d then ctx "branch_bound_int %d > distance %d" bb d;
+    if lb < bb then ctx "lower_bound_int %d below branch component %d" lb bb;
+    let sz = abs (Tree.size a - Tree.size b) in
+    if lb < sz then ctx "lower_bound_int %d below size delta %d" lb sz;
+    let fa = Flat.of_tree a and fb = Flat.of_tree b in
+    let flb = Flat.lower_bound fa fb and fbb = Flat.branch_bound fa fb in
+    if flb > d then ctx "Flat.lower_bound %d > distance %d" flb d;
+    if fbb > d then ctx "Flat.branch_bound %d > distance %d" fbb d;
+    if flb < fbb then ctx "Flat.lower_bound %d below branch component %d" flb fbb;
+    (* the bounded kernel (branch-profile stage included) must agree with
+       the unbounded one on both sides of the cutoff *)
+    List.iter
+      (fun cutoff ->
+        match Flat.distance_bounded ~cutoff fa fb with
+        | Some bd when bd <> d -> ctx "bounded %d <> distance %d" bd d
+        | Some bd when bd > cutoff -> ctx "bounded %d over cutoff %d" bd cutoff
+        | None when d <= cutoff ->
+            ctx "bounded None but distance %d <= cutoff %d" d cutoff
+        | _ -> ())
+      [ d - 1; d; d + 2; 0 ]
+  done
+
+let test_branch_bound_identical () =
+  (* equal trees: every bound must be 0 *)
+  let rng = Prng.create 0xb0 in
+  for _ = 1 to 50 do
+    let a = gen_tree_sized rng (1 + Prng.int rng 12) in
+    checki "branch_bound_int self" 0 (Ted.branch_bound_int a a);
+    checki "lower_bound_int self" 0 (Ted.lower_bound_int a a);
+    let fa = Flat.of_tree a in
+    checki "Flat.branch_bound self" 0 (Flat.branch_bound fa fa)
+  done
+
+(* --- pivot scheduler -------------------------------------------------- *)
+
+let make_points rng n max_nodes =
+  Array.init n (fun _ -> gen_tree_sized rng (1 + Prng.int rng max_nodes))
+
+let oracle_of points =
+  let flats = Array.map Flat.of_tree points in
+  {
+    Pivots.n = Array.length points;
+    size = (fun i -> Flat.size flats.(i));
+    lower = (fun i j -> Flat.lower_bound flats.(i) flats.(j));
+    dist = (fun i j -> Flat.distance flats.(i) flats.(j));
+    dist_bounded =
+      (fun i j ~cutoff -> Flat.distance_bounded ~cutoff flats.(i) flats.(j));
+  }
+
+let test_pivots_exact () =
+  let rng = Prng.create 0x9140_0001 in
+  let n = 60 in
+  let points = make_points rng n 14 in
+  let o = oracle_of points in
+  List.iter
+    (fun pivots ->
+      let d, stats = Pivots.schedule ?pivots o in
+      checki "pairs" (n * (n - 1) / 2) stats.Pivots.pairs;
+      let ledger =
+        stats.Pivots.pivot_pairs + stats.Pivots.resolved_interval
+        + stats.Pivots.resolved_clamp + stats.Pivots.bounded_pairs
+      in
+      checki "ledger covers every pair" stats.Pivots.pairs ledger;
+      for i = 0 to n - 1 do
+        for j = 0 to n - 1 do
+          let expect = if i = j then 0 else o.Pivots.dist i j in
+          if d.(i).(j) <> expect then
+            Alcotest.failf "pivots=%s: cell (%d,%d) = %d, brute %d"
+              (match pivots with Some k -> string_of_int k | None -> "auto")
+              i j d.(i).(j) expect
+        done
+      done;
+      (* interval soundness: the triangle bracket from the returned pivot
+         set must contain the exact distance for every pair *)
+      Array.iter
+        (fun p ->
+          for i = 0 to n - 1 do
+            for j = i + 1 to n - 1 do
+              let dij = d.(i).(j)
+              and dip = d.(i).(p)
+              and djp = d.(j).(p) in
+              if abs (dip - djp) > dij || dij > dip + djp then
+                Alcotest.failf
+                  "triangle bracket broken at (%d,%d) via pivot %d: |%d-%d| \
+                   <= %d <= %d+%d fails"
+                  i j p dip djp dij dip djp
+            done
+          done)
+        stats.Pivots.pivots)
+    [ None; Some 3 ]
+
+let test_pivots_clamp () =
+  let rng = Prng.create 0x9140_0002 in
+  let n = 40 in
+  let points = make_points rng n 14 in
+  let o = oracle_of points in
+  let thr = 6 in
+  let exact, _ = Pivots.schedule o in
+  let d, stats = Pivots.schedule ~clamp:(fun _ _ -> thr) o in
+  let clamped = ref 0 in
+  for i = 0 to n - 1 do
+    for j = i + 1 to n - 1 do
+      if d.(i).(j) <> exact.(i).(j) then begin
+        incr clamped;
+        (* a clamped cell is an admissible lower bound that already
+           cleared the threshold — sound for any use that saturates there *)
+        checkb "clamped cell is a lower bound" true (d.(i).(j) <= exact.(i).(j));
+        checkb "clamped cell cleared the threshold" true (d.(i).(j) >= thr)
+      end
+    done
+  done;
+  checkb "clamp ledger consistent" true (!clamped <= stats.Pivots.resolved_clamp)
+
+(* --- VP-tree ---------------------------------------------------------- *)
+
+let test_vptree_vs_brute () =
+  let rng = Prng.create 0x7b7_ee5 in
+  let n = max 500 prop_iters in
+  let points = make_points rng n 10 in
+  let flats = Array.map Flat.of_tree points in
+  let dist i j = Flat.distance flats.(i) flats.(j) in
+  let t = Vptree.build ~dist (Array.init n (fun i -> i)) in
+  checki "size" n (Vptree.size t);
+  for q = 0 to 49 do
+    let query = Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 10)) in
+    let dist_bounded id ~cutoff =
+      Flat.distance_bounded ~cutoff query flats.(id)
+    in
+    let brute =
+      List.sort compare (List.init n (fun i -> (Flat.distance query flats.(i), i)))
+    in
+    let k = 7 in
+    let knn, knn_evals = Vptree.nearest ~dist_bounded ~k t in
+    let brute_k = List.filteri (fun i _ -> i < k) brute in
+    if knn <> brute_k then
+      Alcotest.failf "query %d: k-NN differs from brute force" q;
+    checkb "k-NN evals bounded by n" true (knn_evals <= n);
+    let radius = 6 in
+    let within, _ = Vptree.range ~dist_bounded ~radius t in
+    let brute_r = List.filter (fun (d, _) -> d <= radius) brute in
+    if within <> brute_r then
+      Alcotest.failf "query %d: range differs from brute force" q
+  done
+
+let test_vptree_degenerate () =
+  (* single element, and k larger than the population *)
+  let dist _ _ = 0 in
+  let t = Vptree.build ~dist [| 3 |] in
+  let db _ ~cutoff:_ = Some 0 in
+  let hits, _ = Vptree.nearest ~dist_bounded:db ~k:5 t in
+  checkb "k > n returns everything" true (hits = [ (0, 3) ]);
+  let empty = Vptree.build ~dist [||] in
+  let hits, evals = Vptree.nearest ~dist_bounded:db ~k:3 empty in
+  checkb "empty index" true (hits = [] && evals = 0)
+
+let () =
+  Alcotest.run "sv_metric"
+    [
+      ( "bounds",
+        [
+          Alcotest.test_case "admissible vs brute oracle" `Quick
+            test_bounds_admissible;
+          Alcotest.test_case "zero on identical trees" `Quick
+            test_branch_bound_identical;
+        ] );
+      ( "pivots",
+        [
+          Alcotest.test_case "schedule equals brute matrix" `Quick
+            test_pivots_exact;
+          Alcotest.test_case "clamped cells are sound" `Quick test_pivots_clamp;
+        ] );
+      ( "vptree",
+        [
+          Alcotest.test_case "k-NN and range equal brute force" `Quick
+            test_vptree_vs_brute;
+          Alcotest.test_case "degenerate shapes" `Quick test_vptree_degenerate;
+        ] );
+    ]

@@ -112,6 +112,7 @@ let all_requests =
     P.Compare { app = "babelstream"; base = "serial"; target = "omp" };
     P.Matrix { app = "tealeaf"; metric = "t_sem" };
     P.Cluster { app = "minibude"; metric = "sloc" };
+    P.Nearest { app = "babelstream"; model = "omp"; metric = "t_sem"; k = 2 };
     P.Status;
     P.Shutdown;
   ]
@@ -125,9 +126,14 @@ let test_request_roundtrip () =
       | Ok _ -> Alcotest.failf "id lost for %s" (P.verb_of_request req)
       | Error (_, m) -> Alcotest.failf "rejected own encoding: %s" m)
     all_requests;
-  match P.decode_request (P.encode_request P.Status) with
+  (match P.decode_request (P.encode_request P.Status) with
   | Ok (None, P.Status) -> ()
-  | _ -> Alcotest.fail "id-less request must decode with id None"
+  | _ -> Alcotest.fail "id-less request must decode with id None");
+  match
+    P.decode_request {|{"verb":"nearest","app":"a","model":"m","metric":"t_sem"}|}
+  with
+  | Ok (None, P.Nearest { k = 3; _ }) -> ()
+  | _ -> Alcotest.fail "nearest without \"k\" must default to k=3"
 
 let test_request_taxonomy () =
   let kind payload =
