@@ -41,7 +41,7 @@ let () =
       | [] -> ()
       | entries -> (
           let path =
-            Option.value ~default:"BENCH_PR9.json" (Sys.getenv_opt "SV_BENCH_JSON")
+            Option.value ~default:"BENCH_PR10.json" (Sys.getenv_opt "SV_BENCH_JSON")
           in
           try
             let oc = open_out path in
@@ -1540,6 +1540,7 @@ let metric_study () =
               ("bounded_pairs", J.Int stats.P.bounded_pairs);
               ("triangle_resolved", J.Int tel.T.tri_resolved);
               ("branch_prunes", J.Int tel.T.pq_prunes);
+              ("pqgram_prunes", J.Int tel.T.pqg_prunes);
               ("hist_prunes", J.Int tel.T.hist_prunes);
               ("cutoff_abandons", J.Int tel.T.cutoff_abandons);
               ("identical", J.Bool identical);
@@ -1586,6 +1587,313 @@ let metric_study () =
     exit 1
   end
 
+(* The PR 10 tentpole: the phase-2 metric index — persistent,
+   incremental, budgeted-approximate. Over a grown corpus (smoke: 60
+   variants; full: 1000, SV_GEN_VARIANTS overrides):
+
+   - cold vs warm `nearest`: the VP-tree is built once against an empty
+     metric cache, the cache round-trips through bytes (a daemon
+     restart), and the reloaded tree must answer every sampled query
+     byte-identically with zero build evaluations — either violation
+     exits nonzero.
+   - incremental insert: the final few variants arrive via [vp_insert]
+     instead of a rebuild; queries must still equal the fresh build.
+   - recall@k vs budget: every sampled query runs under a grid of
+     evaluation budgets (and an ε grid); recall against the exact
+     answer is recorded per point, and any run whose ledger still
+     claims [guaranteed_exact] must in fact equal the exact answer —
+     the honesty contract, violation exits nonzero.
+   - per-bound prune attribution: the exact query sweep runs under
+     reset telemetry, so the equal/size/histogram/pq-gram/branch/
+     abandon split shows which cascade stage paid for the pruning. *)
+let metric_phase2 () =
+  let module Gen = Sv_gen.Gen in
+  let module T = Sv_perf.Telemetry in
+  let module Vp = Sv_metric.Vptree in
+  let module Mc = Sv_db.Metric_cache in
+  section "Metric phase 2: persistent, incremental, budgeted VP-tree";
+  let count =
+    if !smoke_flag then 60
+    else
+      match Sys.getenv_opt "SV_GEN_VARIANTS" with
+      | Some s -> ( match int_of_string_opt s with Some n when n >= 10 -> n | _ -> 1000)
+      | None -> 1000
+  in
+  let spec =
+    { Gen.seed = 8; count; mode = Gen.Grow; base = "serial,omp,stdpar,tbb,kokkos" }
+  in
+  let wall f =
+    let t0 = Unix.gettimeofday () in
+    let v = f () in
+    (v, Unix.gettimeofday () -. t0)
+  in
+  let variants, t_gen = wall (fun () -> Gen.generate spec) in
+  let cbs = List.map (fun v -> v.Gen.v_cb) variants in
+  let ixs, t_ix = wall (fun () -> Sv_core.Index_engine.index_many ~jobs:1 cbs) in
+  Printf.printf "  %s: %d variants generated in %.1fs, indexed in %.1fs\n"
+    (Gen.spec_string spec) count t_gen t_ix;
+  let arr = Array.of_list ixs in
+  let n = Array.length arr in
+  let k = 5 in
+  let mismatch = ref false in
+  (* query sample: every variant in smoke, a stride sample at full scale *)
+  let qn = min n 200 in
+  let queries = Array.init qn (fun i -> arr.(i * n / qn)) in
+  let hit_key ((c : Pipeline.indexed), d, dv) = (c.Pipeline.ix_model, d, dv) in
+  let answers vp =
+    Array.map (fun q -> List.map hit_key (fst (Tbmd.vp_nearest vp ~k q))) queries
+  in
+  (* cold build against an empty metric cache, then a byte round-trip
+     (a daemon restart) and a warm reload from the persisted file *)
+  let cache = Mc.create () in
+  let tmp = Filename.temp_file "sv_bench_metric" ".cache" in
+  let vp_cold, vp_warm, warm_cache, t_cold, t_warm =
+    Fun.protect
+      ~finally:(fun () ->
+        Tbmd.set_metric_cache None;
+        if Sys.file_exists tmp then Sys.remove tmp)
+      (fun () ->
+        Tbmd.set_metric_cache (Some cache);
+        Tbmd.clear_memo ();
+        let vp_cold, t_cold = wall (fun () -> Tbmd.vp_index Tbmd.TSem ixs) in
+        Mc.save_file tmp cache;
+        let warm_cache = Mc.load_file tmp in
+        Tbmd.set_metric_cache (Some warm_cache);
+        Tbmd.clear_memo ();
+        let vp_warm, t_warm = wall (fun () -> Tbmd.vp_index Tbmd.TSem ixs) in
+        (vp_cold, vp_warm, warm_cache, t_cold, t_warm))
+  in
+  let cold_evals = Tbmd.vp_build_evals vp_cold in
+  let warm_evals = Tbmd.vp_build_evals vp_warm in
+  let exact = answers vp_cold in
+  let warm_identical = answers vp_warm = exact && warm_evals = 0 in
+  if not warm_identical then begin
+    mismatch := true;
+    Printf.eprintf
+      "[bench] metric-phase2: warm reload differs (%d build evals)\n%!"
+      warm_evals
+  end;
+  Printf.printf "  %-30s %9.3fs  (%d build evals)\n" "cold VP-tree build" t_cold
+    cold_evals;
+  Printf.printf "  %-30s %9.3fs  (%d build evals, %s; %s)\n"
+    "warm reload (persisted)" t_warm warm_evals
+    (if warm_identical then "byte-identical" else "MISMATCH")
+    (Mc.stats warm_cache);
+  (* incremental insert: hold out the tail, add it one codebase at a
+     time — candidate order is preserved, so answers must be identical *)
+  let m_ins = min 8 (n / 4) in
+  let base = Array.to_list (Array.sub arr 0 (n - m_ins)) in
+  let tail = Array.to_list (Array.sub arr (n - m_ins) m_ins) in
+  let vp_inc, t_inc =
+    wall (fun () -> List.fold_left Tbmd.vp_insert (Tbmd.vp_index Tbmd.TSem base) tail)
+  in
+  let inc_identical = answers vp_inc = exact in
+  if not inc_identical then begin
+    mismatch := true;
+    Printf.eprintf "[bench] metric-phase2: incremental insert diverged\n%!"
+  end;
+  Printf.printf "  %-30s %9.3fs  (+%d inserts, %d total evals, %s)\n"
+    "incremental insert" t_inc m_ins (Tbmd.vp_build_evals vp_inc)
+    (if inc_identical then "identical" else "MISMATCH");
+  (* exact k-NN sweep under reset telemetry: who pruned what? *)
+  Tbmd.clear_memo ();
+  T.reset_ted ();
+  let sweep_evals, t_sweep =
+    wall (fun () ->
+        Array.fold_left (fun acc q -> acc + snd (Tbmd.vp_nearest vp_cold ~k q)) 0 queries)
+  in
+  let tel = T.ted_snapshot () in
+  let avg_evals = float_of_int sweep_evals /. float_of_int qn in
+  Printf.printf "  %-30s %9.3fs  (k=%d, %.1f evals/query, brute %d)\n"
+    (Printf.sprintf "exact sweep (%d queries)" qn)
+    t_sweep k avg_evals n;
+  Printf.printf
+    "  cascade: equal=%d size=%d hist=%d pqgram=%d branch=%d abandoned=%d \
+     dp=%d\n"
+    tel.T.equal_prunes tel.T.size_prunes tel.T.hist_prunes tel.T.pqg_prunes
+    tel.T.pq_prunes tel.T.cutoff_abandons tel.T.dp_runs;
+  (* bounded-pair attribution: the same cascade under fixed cutoffs, on
+     a mutation corpus. Query-driven cutoffs above are usually generous
+     (the k-th best distance), so the size bound dominates; the profile
+     bounds (pq-gram, then binary branch) win on near-identical pairs
+     whose label multisets agree but whose structure moved — which a
+     mutant population has and a grown one mostly lacks. *)
+  let att_spec = { Gen.seed = 8; count = 60; mode = Gen.Mixed; base = "babelstream" } in
+  let att_arr =
+    Array.of_list
+      (Sv_core.Index_engine.index_many ~jobs:1
+         (List.map (fun v -> v.Gen.v_cb) (Gen.generate att_spec)))
+  in
+  let an = Array.length att_arr in
+  let pair_sample =
+    let all = ref [] in
+    for i = 0 to an - 1 do
+      for j = i + 1 to an - 1 do
+        all := (i, j) :: !all
+      done
+    done;
+    let pairs = Array.of_list !all in
+    let np = Array.length pairs in
+    let target = 2000 in
+    if np <= target then pairs
+    else Array.init target (fun i -> pairs.(i * np / target))
+  in
+  Printf.printf "  bounded-pair attribution (%s, %d sampled pairs):\n"
+    (Gen.spec_string att_spec) (Array.length pair_sample);
+  let attribution =
+    List.map
+      (fun cutoff ->
+        Tbmd.clear_memo ();
+        T.reset_ted ();
+        let within = ref 0 in
+        Array.iter
+          (fun (i, j) ->
+            match
+              Tbmd.raw_divergence_bounded Tbmd.TSem ~cutoff att_arr.(i)
+                att_arr.(j)
+            with
+            | Some _ -> incr within
+            | None -> ())
+          pair_sample;
+        let t = T.ted_snapshot () in
+        Printf.printf
+          "    cutoff %-4d %4d within; equal=%d size=%d hist=%d pqgram=%d \
+           branch=%d abandoned=%d dp=%d\n"
+          cutoff !within t.T.equal_prunes t.T.size_prunes t.T.hist_prunes
+          t.T.pqg_prunes t.T.pq_prunes t.T.cutoff_abandons t.T.dp_runs;
+        (cutoff, !within, t))
+      [ 2; 8; 32 ]
+  in
+  (* recall@k vs budget (and ε): the honesty contract is checked on
+     every single run — a ledger that claims exactness must be right *)
+  let honest = ref true in
+  let sweep label runs =
+    List.map
+      (fun (name, query_once) ->
+        let recall_sum = ref 0.0
+        and evals_sum = ref 0
+        and exact_claims = ref 0 in
+        Array.iteri
+          (fun qi q ->
+            let hits, (ledger : Vp.ledger) = query_once q in
+            let got = List.map hit_key hits in
+            let want = exact.(qi) in
+            let inter = List.filter (fun h -> List.mem h want) got in
+            recall_sum :=
+              !recall_sum
+              +. float_of_int (List.length inter)
+                 /. float_of_int (List.length want);
+            evals_sum := !evals_sum + ledger.Vp.evals;
+            if ledger.Vp.guaranteed_exact then begin
+              incr exact_claims;
+              if got <> want then begin
+                honest := false;
+                Printf.eprintf
+                  "[bench] metric-phase2: ledger claimed exact but %s hits \
+                   differ (%s)\n%!"
+                  label name
+              end
+            end)
+          queries;
+        let recall = !recall_sum /. float_of_int qn in
+        let evals_q = float_of_int !evals_sum /. float_of_int qn in
+        let exact_frac = float_of_int !exact_claims /. float_of_int qn in
+        Printf.printf
+          "    %s %-8s recall@%d %.3f  %7.1f evals/query  %5.1f%% guaranteed \
+           exact\n"
+          label name k recall evals_q (100.0 *. exact_frac);
+        (name, recall, evals_q, exact_frac))
+      runs
+  in
+  Printf.printf "  approximate mode:\n";
+  let budgets =
+    List.sort_uniq compare
+      (List.filter (fun b -> b > 0) [ k; n / 16; n / 8; n / 4; n / 2; n ])
+  in
+  let budget_curve =
+    sweep "budget"
+      (List.map
+         (fun b ->
+           (string_of_int b, fun q -> Tbmd.vp_nearest_budgeted vp_cold ~k ~budget:b q))
+         budgets)
+  in
+  let eps_curve =
+    sweep "epsilon"
+      (List.map
+         (fun e ->
+           (Printf.sprintf "%g" e, fun q -> Tbmd.vp_nearest_budgeted vp_cold ~k ~epsilon:e q))
+         [ 0.05; 0.25; 1.0 ])
+  in
+  if not !honest then mismatch := true;
+  Printf.printf "  exactness ledger honest on every run: %s\n"
+    (if !honest then "OK" else "VIOLATED");
+  let curve_json curve =
+    J.List
+      (List.map
+         (fun (name, recall, evals_q, exact_frac) ->
+           J.Obj
+             [
+               ("point", J.String name);
+               ("recall", J.Float recall);
+               ("evals_per_query", J.Float evals_q);
+               ("guaranteed_exact_fraction", J.Float exact_frac);
+             ])
+         curve)
+  in
+  record "metric-phase2"
+    (J.Obj
+       [
+         ("spec", J.String (Gen.spec_string spec));
+         ("variants", J.Int n);
+         ("queries", J.Int qn);
+         ("k", J.Int k);
+         ("cold_build_s", J.Float t_cold);
+         ("cold_build_evals", J.Int cold_evals);
+         ("warm_reload_s", J.Float t_warm);
+         ("warm_build_evals", J.Int warm_evals);
+         ("warm_identical", J.Bool warm_identical);
+         ("insert_count", J.Int m_ins);
+         ("insert_s", J.Float t_inc);
+         ("insert_total_evals", J.Int (Tbmd.vp_build_evals vp_inc));
+         ("insert_identical", J.Bool inc_identical);
+         ("exact_sweep_s", J.Float t_sweep);
+         ("exact_avg_evals_per_query", J.Float avg_evals);
+         ("equal_prunes", J.Int tel.T.equal_prunes);
+         ("size_prunes", J.Int tel.T.size_prunes);
+         ("hist_prunes", J.Int tel.T.hist_prunes);
+         ("pqgram_prunes", J.Int tel.T.pqg_prunes);
+         ("branch_prunes", J.Int tel.T.pq_prunes);
+         ("cutoff_abandons", J.Int tel.T.cutoff_abandons);
+         ("dp_runs", J.Int tel.T.dp_runs);
+         ("bounded_attribution_spec", J.String (Gen.spec_string att_spec));
+         ( "bounded_attribution",
+           J.List
+             (List.map
+                (fun (cutoff, within, (t : T.ted)) ->
+                  J.Obj
+                    [
+                      ("cutoff", J.Int cutoff);
+                      ("pairs", J.Int (Array.length pair_sample));
+                      ("within", J.Int within);
+                      ("equal_prunes", J.Int t.T.equal_prunes);
+                      ("size_prunes", J.Int t.T.size_prunes);
+                      ("hist_prunes", J.Int t.T.hist_prunes);
+                      ("pqgram_prunes", J.Int t.T.pqg_prunes);
+                      ("branch_prunes", J.Int t.T.pq_prunes);
+                      ("cutoff_abandons", J.Int t.T.cutoff_abandons);
+                      ("dp_runs", J.Int t.T.dp_runs);
+                    ])
+                attribution) );
+         ("budget_curve", curve_json budget_curve);
+         ("epsilon_curve", curve_json eps_curve);
+         ("ledger_honest", J.Bool !honest);
+         ("identical", J.Bool (not !mismatch));
+       ]);
+  if !mismatch then begin
+    Printf.eprintf "[bench] metric-phase2: exactness contract violated\n%!";
+    exit 1
+  end
+
 let experiments =
   [
     ("table1", table1); ("table2", table2); ("table3", table3);
@@ -1602,6 +1910,7 @@ let experiments =
     ("serve", serve_bench);
     ("corpus-study", corpus_study);
     ("metric-study", metric_study);
+    ("metric-phase2", metric_phase2);
     ("kernels", kernels);
   ]
 

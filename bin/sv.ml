@@ -70,6 +70,33 @@ let index_cache_arg =
                  source digest, defines, dialect and pipeline version — \
                  any change is an automatic miss, never a stale result.")
 
+let metric_cache_arg =
+  Arg.(value & opt (some string) None
+       & info [ "metric-cache" ]
+           ~env:(Cmd.Env.info "SV_METRIC_CACHE") ~docv:"FILE"
+           ~doc:"Persistent VP-tree metric-index cache file. Loaded before \
+                 the run (a missing file is a cold start) and saved back \
+                 after, so a re-run of $(b,nearest) over an unchanged \
+                 corpus reloads the index with zero build evaluations and \
+                 answers byte-identically to a cold build. Keyed on the \
+                 corpus digest, metric, variant and schema version — any \
+                 change is an automatic miss, never a stale index.")
+
+let budget_arg =
+  Arg.(value & opt (some int) None & info [ "budget" ] ~docv:"N"
+         ~doc:"Cap the nearest-neighbour search at N distance evaluations \
+               (best-first over lower bounds, so the budget goes to the \
+               most promising subtrees first). The output's ledger line \
+               reports guaranteed_exact=false only when the cap actually \
+               cut the search short.")
+
+let epsilon_arg =
+  Arg.(value & opt (some float) None & info [ "epsilon" ] ~docv:"E"
+         ~doc:"Relative slack for approximate nearest-neighbour search: \
+               subtrees whose lower bound exceeds tau/(1+E) are skipped, \
+               so every reported rank-i distance is at most (1+E) times \
+               the true one. 0 keeps the search exact.")
+
 let ted_algo_arg =
   Arg.(
     value
@@ -122,7 +149,8 @@ let fault_arg =
    activity and reset both engines so one subcommand cannot leak state
    into a later library use of Tbmd or Index_engine. [f] receives the
    resolved worker count for the indexing fan-out. *)
-let with_engine ?index_cache ?(ted_algo = `Flat) ~jobs ~ted_cache ~fault f =
+let with_engine ?index_cache ?metric_cache ?(ted_algo = `Flat) ~jobs ~ted_cache
+    ~fault f =
   let module F = Sv_sched.Sched.Fault in
   match
     match fault with
@@ -143,6 +171,10 @@ let with_engine ?index_cache ?(ted_algo = `Flat) ~jobs ~ted_cache ~fault f =
       | Some path ->
           Sv_core.Index_engine.set_cache (Some (Sv_db.Index_cache.load_file path))
       | None -> ());
+      (match metric_cache with
+      | Some path ->
+          Tbmd.set_metric_cache (Some (Sv_db.Metric_cache.load_file path))
+      | None -> ());
       let finish () =
         (match (ted_cache, Tbmd.ted_cache ()) with
         | Some path, Some c -> (
@@ -161,6 +193,15 @@ let with_engine ?index_cache ?(ted_algo = `Flat) ~jobs ~ted_cache ~fault f =
             | exception Sys_error msg ->
                 Printf.eprintf "sv: warning: index-cache not saved: %s\n" msg)
         | _ -> ());
+        (match (metric_cache, Tbmd.metric_cache ()) with
+        | Some path, Some c -> (
+            match Sv_db.Metric_cache.save_file path c with
+            | () ->
+                Printf.printf "%s (saved to %s)\n" (Sv_db.Metric_cache.stats c)
+                  path
+            | exception Sys_error msg ->
+                Printf.eprintf "sv: warning: metric-cache not saved: %s\n" msg)
+        | _ -> ());
         (match spec with
         | Some s when not (F.is_none s) ->
             Printf.printf "fault injection %s: %s\n" (F.to_string s)
@@ -168,6 +209,7 @@ let with_engine ?index_cache ?(ted_algo = `Flat) ~jobs ~ted_cache ~fault f =
         | _ -> ());
         F.clear ();
         Sv_core.Index_engine.set_cache None;
+        Tbmd.set_metric_cache None;
         Tbmd.set_ted_cache None;
         Tbmd.set_jobs 1;
         Sv_metrics.Divergence.set_ted_algo `Flat
@@ -376,35 +418,52 @@ let cluster_cmd =
         $ metric_index_arg))
 
 let nearest_cmd =
-  let run app model k metric jobs ted_cache index_cache =
+  let run app model k metric budget epsilon jobs ted_cache index_cache
+      metric_cache =
     match Tbmd.metric_of_string metric with
     | None -> fail "unknown metric %S" metric
     | Some m ->
-        with_app app (fun cbs ->
-            match find_codebase ~app cbs model with
-            | None -> fail "app %s has no model %s" app model
-            | Some cb ->
-                with_engine ?index_cache ~jobs ~ted_cache ~fault:None
-                @@ fun jobs ->
-                let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
-                let qix = List.assq cb (List.combine cbs ixs) in
-                print_string (Engine.render_nearest ~app ~model ~k m qix ixs);
-                `Ok ())
+        if k <= 0 then fail "--k must be at least 1 (got %d)" k
+        else if (match budget with Some b -> b < 0 | None -> false) then
+          fail "--budget must be non-negative (got %d)" (Option.get budget)
+        else if
+          match epsilon with
+          | Some e -> (not (Float.is_finite e)) || e < 0.
+          | None -> false
+        then fail "--epsilon must be a finite number >= 0"
+        else
+          with_app app (fun cbs ->
+              match find_codebase ~app cbs model with
+              | None -> fail "app %s has no model %s" app model
+              | Some cb ->
+                  with_engine ?index_cache ?metric_cache ~jobs ~ted_cache
+                    ~fault:None
+                  @@ fun jobs ->
+                  let ixs = Sv_core.Index_engine.index_many ~jobs cbs in
+                  let qix = List.assq cb (List.combine cbs ixs) in
+                  print_string
+                    (Engine.render_nearest ~app ~model ~k ?budget ?epsilon m
+                       qix ixs);
+                  `Ok ())
   in
   let k_arg =
     Arg.(value & opt int 3 & info [ "k" ] ~docv:"K"
-           ~doc:"Number of nearest ports to report.")
+           ~doc:"Number of nearest ports to report (at least 1).")
   in
   Cmd.v
     (Cmd.info "nearest"
        ~doc:"The k ports nearest a model under a divergence metric, \
              answered through the VP-tree metric index (Fig. 15 \
-             navigation). Results are exactly the brute-force ranking.")
+             navigation). Without --budget/--epsilon the results are \
+             exactly the brute-force ranking; with either, a best-first \
+             search under the given evaluation budget and/or relative \
+             slack reports its hits plus an honest exactness ledger.")
     Term.(
       ret
         (const run $ app_arg
         $ model_arg [ "model" ] "Query model id."
-        $ k_arg $ metric_arg $ jobs_arg $ ted_cache_arg $ index_cache_arg))
+        $ k_arg $ metric_arg $ budget_arg $ epsilon_arg $ jobs_arg
+        $ ted_cache_arg $ index_cache_arg $ metric_cache_arg))
 
 let phi_cmd =
   let run app =
@@ -628,7 +687,7 @@ let resolve_socket = function
   | Some s -> s
   | None -> Sv_serve.Server.default_socket ()
 
-let engine_config jobs lru_mb high_water ted_cache index_cache =
+let engine_config jobs lru_mb high_water ted_cache index_cache metric_cache =
   let base = Engine.default_config () in
   {
     base with
@@ -640,11 +699,14 @@ let engine_config jobs lru_mb high_water ted_cache index_cache =
     high_water;
     ted_cache_path = ted_cache;
     index_cache_path = index_cache;
+    metric_cache_path = metric_cache;
   }
 
 let serve_cmd =
-  let run socket jobs lru_mb high_water ted_cache index_cache =
-    let cfg = engine_config jobs lru_mb high_water ted_cache index_cache in
+  let run socket jobs lru_mb high_water ted_cache index_cache metric_cache =
+    let cfg =
+      engine_config jobs lru_mb high_water ted_cache index_cache metric_cache
+    in
     let socket = resolve_socket socket in
     match Sv_serve.Server.create ~socket (Engine.create cfg) with
     | exception Failure msg -> fail "%s" msg
@@ -678,10 +740,11 @@ let serve_cmd =
     Term.(
       ret
         (const run $ socket_arg $ jobs_arg $ lru_mb $ high_water $ ted_cache_arg
-        $ index_cache_arg))
+        $ index_cache_arg $ metric_cache_arg))
 
 let client_cmd =
-  let run verb socket app model base target metric k jobs ted_cache index_cache =
+  let run verb socket app model base target metric k budget epsilon jobs
+      ted_cache index_cache metric_cache =
     let need name = function
       | Some v -> Ok v
       | None -> Error (Printf.sprintf "verb %S needs --%s" verb name)
@@ -705,7 +768,8 @@ let client_cmd =
       | "nearest" ->
           Result.bind (need "app" app) (fun app ->
               Result.map
-                (fun model -> Protocol.Nearest { app; model; metric; k })
+                (fun model ->
+                  Protocol.Nearest { app; model; metric; k; budget; epsilon })
                 (need "model" model))
       | "status" -> Ok Protocol.Status
       | "shutdown" -> Ok Protocol.Shutdown
@@ -719,7 +783,9 @@ let client_cmd =
     match request with
     | Error msg -> fail "%s" msg
     | Ok req -> (
-        let config = engine_config jobs None 8 ted_cache index_cache in
+        let config =
+          engine_config jobs None 8 ted_cache index_cache metric_cache
+        in
         match
           Sv_serve.Client.call_or_fallback ~socket:(resolve_socket socket)
             ~config req
@@ -775,7 +841,8 @@ let client_cmd =
         $ opt_model [ "model" ] "Model id (index and nearest verbs)."
         $ opt_model [ "base"; "b" ] "Base model id (compare verb)."
         $ opt_model [ "target"; "t" ] "Target model id (compare verb)."
-        $ metric_arg $ k_arg $ jobs_arg $ ted_cache_arg $ index_cache_arg))
+        $ metric_arg $ k_arg $ budget_arg $ epsilon_arg $ jobs_arg
+        $ ted_cache_arg $ index_cache_arg $ metric_cache_arg))
 
 let main_cmd =
   let doc = "SilverVale-ML: tree-based programming-model productivity analysis" in

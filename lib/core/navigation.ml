@@ -73,28 +73,41 @@ type nearest_hit = {
   nh_div : float;
 }
 
-let nearest_ports ?variant ?(metric = Tbmd.TSem) ~k ~query codebases =
-  let cands =
-    List.filter
-      (fun (c : Pipeline.indexed) ->
-        c.Pipeline.ix_model <> query.Pipeline.ix_model)
-      codebases
-  in
-  if cands = [] then ([], 0)
-  else begin
-    let idx = Tbmd.vp_index ?variant metric cands in
-    let hits, evals = Tbmd.vp_nearest idx ~k query in
-    ( List.map
-        (fun ((c : Pipeline.indexed), d, div) ->
-          {
-            nh_model = c.Pipeline.ix_model;
-            nh_model_name = c.Pipeline.ix_model_name;
-            nh_d = d;
-            nh_div = div;
-          })
-        hits,
-      evals )
-  end
+let nearest_candidates ~query codebases =
+  List.filter
+    (fun (c : Pipeline.indexed) ->
+      c.Pipeline.ix_model <> query.Pipeline.ix_model)
+    codebases
+
+let nearest_index ?variant ?(metric = Tbmd.TSem) cands =
+  match cands with [] -> None | _ -> Some (Tbmd.vp_index ?variant metric cands)
+
+let hit_of ((c : Pipeline.indexed), d, div) =
+  {
+    nh_model = c.Pipeline.ix_model;
+    nh_model_name = c.Pipeline.ix_model_name;
+    nh_d = d;
+    nh_div = div;
+  }
+
+let nearest_in idx ~k ?budget ?epsilon query =
+  match (budget, epsilon) with
+  | None, None ->
+      (* The exact recursive traversal: same hits as the budgeted path
+         with no constraints, but also the same evaluation count as it
+         has always reported — approximate mode must not perturb the
+         exact mode's receipts. *)
+      let hits, evals = Tbmd.vp_nearest idx ~k query in
+      ( List.map hit_of hits,
+        { Sv_metric.Vptree.evals; guaranteed_exact = true } )
+  | _ ->
+      let hits, ledger = Tbmd.vp_nearest_budgeted idx ~k ?budget ?epsilon query in
+      (List.map hit_of hits, ledger)
+
+let nearest_ports ?variant ?metric ?budget ?epsilon ~k ~query codebases =
+  match nearest_index ?variant ?metric (nearest_candidates ~query codebases) with
+  | None -> ([], { Sv_metric.Vptree.evals = 0; guaranteed_exact = true })
+  | Some idx -> nearest_in idx ~k ?budget ?epsilon query
 
 type scenario_stage = {
   stage : int;

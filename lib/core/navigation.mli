@@ -33,9 +33,11 @@ val render : point list -> string
 
     Fig. 15's navigation question as an interactive query: which of the
     candidate ports is closest to this codebase? Exact k-NN through
-    {!Tbmd.vp_index} on the unnormalized integer divergence; the second
-    component is the bounded-evaluation count the index spent (compare
-    against the candidate count for the brute-force baseline). *)
+    {!Tbmd.vp_index} on the unnormalized integer divergence — or, with
+    a budget/ε, the best-first approximate search — plus the per-query
+    {!Sv_metric.Vptree.ledger}: the bounded-evaluation count the index
+    spent (compare against the candidate count for the brute-force
+    baseline) and the honest exactness claim. *)
 
 type nearest_hit = {
   nh_model : string;
@@ -44,16 +46,48 @@ type nearest_hit = {
   nh_div : float;  (** normalised against the hit's own dmax *)
 }
 
+val nearest_candidates :
+  query:Pipeline.indexed -> Pipeline.indexed list -> Pipeline.indexed list
+(** Candidates sharing the query's model id are excluded (the port
+    itself is not an answer). The result's order — hence its
+    {!Tbmd.vp_key} — is what a resident daemon should key a memoised
+    index on. *)
+
+val nearest_index :
+  ?variant:Tbmd.variant ->
+  ?metric:Tbmd.metric ->
+  Pipeline.indexed list ->
+  Tbmd.vp option
+(** Build (or, with a metric cache installed, reload) the VP-tree over
+    an already-filtered candidate list; [None] iff the list is empty.
+    Split from {!nearest_in} so a resident engine can build once and
+    answer many queries. Default metric [T_sem]. *)
+
+val nearest_in :
+  Tbmd.vp ->
+  k:int ->
+  ?budget:int ->
+  ?epsilon:float ->
+  Pipeline.indexed ->
+  nearest_hit list * Sv_metric.Vptree.ledger
+(** Query a built index. With neither [budget] nor [epsilon] this is the
+    exact traversal — hits and evaluation count identical to what
+    {!nearest_ports} has always reported, and [guaranteed_exact = true].
+    With either option it is the budgeted best-first search with its
+    honest ledger ({!Tbmd.vp_nearest_budgeted}). *)
+
 val nearest_ports :
   ?variant:Tbmd.variant ->
   ?metric:Tbmd.metric ->
+  ?budget:int ->
+  ?epsilon:float ->
   k:int ->
   query:Pipeline.indexed ->
   Pipeline.indexed list ->
-  nearest_hit list * int
-(** [nearest_ports ~k ~query codebases] — candidates sharing the query's
-    model id are excluded (the port itself is not an answer). Default
-    metric [T_sem]. *)
+  nearest_hit list * Sv_metric.Vptree.ledger
+(** [nearest_ports ~k ~query codebases] composes the three pieces above:
+    filter, index, query. No candidates yields [([], {evals = 0;
+    guaranteed_exact = true})]. Default metric [T_sem]. *)
 
 type scenario_stage = {
   stage : int;

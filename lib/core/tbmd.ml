@@ -124,6 +124,14 @@ let pivots () = !engine_pivots
 let last_pivot_stats : Sv_metric.Pivots.stats option ref = ref None
 let pivot_stats () = !last_pivot_stats
 
+(* When set, [vp_index] first probes the persistent metric cache for a
+   VP-tree persisted under this corpus/metric/variant, and records cold
+   builds into it — `sv nearest` and the daemon's nearest verb become
+   warm across restarts. *)
+let engine_metric_cache : Sv_db.Metric_cache.cache option ref = ref None
+let set_metric_cache c = engine_metric_cache := c
+let metric_cache () = !engine_metric_cache
+
 let ted_distance t1 t2 =
   match !engine_cache with
   | None -> Div.tree_distance t1 t2
@@ -416,22 +424,66 @@ type vp = {
   vp_metric : metric;
 }
 
-let vp_index ?(variant = Base) metric codebases =
-  let arr = Array.of_list codebases in
-  (match metric with
+(* The persisted-tree key commits to the full indexed payload of every
+   candidate, in order — element ids are positions into that order — so
+   any change to any codebase, the candidate set, or its order yields a
+   fresh key and the stale tree is merely unreachable. *)
+let corpus_digest codebases =
+  Digest.string
+    (M.encode (M.Arr (List.map Index_engine.indexed_to_msgpack codebases)))
+
+let vp_key ?(variant = Base) metric codebases =
+  Sv_db.Metric_cache.key
+    ~corpus_digest:(corpus_digest codebases)
+    ~metric:(metric_label metric) ~variant:(variant_label variant) ()
+
+let warm_vp_trees metric variant codebases =
+  match metric with
   | (TSrc | TSem | TSemI | TIr) when Div.ted_algo () = `Flat ->
       Index_engine.warm_ted
         (List.concat_map
            (fun c -> List.map (fun u -> tree_of metric variant c u) c.ix_units)
            codebases)
-  | _ -> ());
-  let dist i j = fst (raw_divergence ~variant metric arr.(i) arr.(j)) in
-  let vt =
+  | _ -> ()
+
+let vp_index ?(variant = Base) metric codebases =
+  let arr = Array.of_list codebases in
+  let build () =
+    warm_vp_trees metric variant codebases;
+    let dist i j = fst (raw_divergence ~variant metric arr.(i) arr.(j)) in
     Sv_metric.Vptree.build ~dist (Array.init (Array.length arr) Fun.id)
+  in
+  let vt =
+    match !engine_metric_cache with
+    | None -> build ()
+    | Some mc -> (
+        let key = vp_key ~variant metric codebases in
+        match Sv_db.Metric_cache.find mc key with
+        | Some vt when Sv_metric.Vptree.size vt = Array.length arr ->
+            (* warm: zero build evaluations; queries compile flats
+               lazily through the divergence memo *)
+            vt
+        | _ ->
+            let vt = build () in
+            Sv_db.Metric_cache.add mc key vt;
+            vt)
   in
   { vt; vp_arr = arr; vp_variant = variant; vp_metric = metric }
 
 let vp_build_evals t = Sv_metric.Vptree.build_evals t.vt
+
+(* Incremental extension: route the new codebase into the existing tree
+   (amortised partial rebuilds keep it canonical) instead of rebuilding
+   the whole index — the watch-mode / growing-corpus path. The returned
+   handle shares the (mutated) tree; treat the old handle as consumed. *)
+let vp_insert t codebase =
+  let n = Array.length t.vp_arr in
+  let arr = Array.append t.vp_arr [| codebase |] in
+  let dist i j =
+    fst (raw_divergence ~variant:t.vp_variant t.vp_metric arr.(i) arr.(j))
+  in
+  Sv_metric.Vptree.insert ~dist t.vt n;
+  { t with vp_arr = arr }
 
 (* Bounded query evaluator: tree metrics go through the real bounded
    cascade (size / histogram / branch-profile prunes fire per unit); the
@@ -455,6 +507,22 @@ let vp_nearest t ~k query =
         (c, dv, Div.normalised ~d:dv ~dmax:(target_size ~variant:t.vp_variant t.vp_metric c)))
       hits,
     evals )
+
+(* Budgeted / ε-approximate variant: same hit shape plus the per-query
+   exactness ledger. With neither budget nor ε the hits equal
+   [vp_nearest] (and brute force) exactly and the ledger says so. *)
+let vp_nearest_budgeted t ~k ?budget ?epsilon query =
+  let hits, ledger =
+    Sv_metric.Vptree.nearest_budgeted
+      ~dist_bounded:(vp_bounded t query)
+      ~k ?budget ?epsilon t.vt
+  in
+  ( List.map
+      (fun (dv, id) ->
+        let c = t.vp_arr.(id) in
+        (c, dv, Div.normalised ~d:dv ~dmax:(target_size ~variant:t.vp_variant t.vp_metric c)))
+      hits,
+    ledger )
 
 let vp_range t ~radius query =
   let hits, evals =

@@ -89,6 +89,20 @@ val pivot_stats : unit -> Sv_metric.Pivots.stats option
 (** Scheduler statistics of the most recent {!matrix} call ([None] if it
     did not use the pivot path). *)
 
+val set_metric_cache : Sv_db.Metric_cache.cache option -> unit
+(** Install (or remove, with [None]) the persistent VP-tree cache
+    consulted by {!vp_index}: a hit skips construction entirely (zero
+    build evaluations, hits byte-identical to a cold build — the tree
+    structure is a deterministic function of the corpus), a miss
+    records the freshly built tree for the next process. Keys commit to
+    the corpus digest, metric, variant and schema version. *)
+
+val metric_cache : unit -> Sv_db.Metric_cache.cache option
+
+val vp_key : ?variant:variant -> metric -> Pipeline.indexed list -> string
+(** The metric-cache key {!vp_index} would use for this corpus — for
+    callers that memoise decoded indexes keyed the same way. *)
+
 val raw_divergence_bounded :
   ?variant:variant ->
   metric ->
@@ -146,11 +160,23 @@ type vp
 
 val vp_index :
   ?variant:variant -> metric -> Pipeline.indexed list -> vp
-(** Build the index (deterministic; O(n log n) exact distances). The
-    candidate order defines the ids reported in stats. *)
+(** Build the index (deterministic; O(n log n) exact distances), or —
+    with a metric cache installed ({!set_metric_cache}) — reload the
+    persisted tree for this exact corpus/metric/variant with zero build
+    evaluations. The candidate order defines the ids reported in
+    stats. *)
 
 val vp_build_evals : vp -> int
-(** Exact distance evaluations spent building the index. *)
+(** Exact distance evaluations spent building (and inserting into) the
+    index; 0 for an index reloaded from the metric cache. *)
+
+val vp_insert : vp -> Pipeline.indexed -> vp
+(** [vp_insert t c] extends the index with one more candidate
+    incrementally (metric-routed leaf insertion, amortised scapegoat
+    rebuilds — see {!Sv_metric.Vptree.insert}) instead of rebuilding
+    over the whole corpus. Query results afterwards are identical to a
+    fresh build over the extended list. The underlying tree is mutated:
+    the old handle is consumed. *)
 
 val vp_nearest :
   vp ->
@@ -162,6 +188,20 @@ val vp_nearest :
     each hit's own dmax, at the edge only — plus the bounded-evaluator
     call count (the work actually spent; compare against a brute-force
     n). *)
+
+val vp_nearest_budgeted :
+  vp ->
+  k:int ->
+  ?budget:int ->
+  ?epsilon:float ->
+  Pipeline.indexed ->
+  (Pipeline.indexed * int * float) list * Sv_metric.Vptree.ledger
+(** Best-first k-NN with an optional evaluator budget and/or
+    multiplicative ε, plus the honest per-query exactness ledger
+    ({!Sv_metric.Vptree.nearest_budgeted}): [guaranteed_exact] is false
+    only when the budget or ε actually cut the search, and whenever it
+    is true the hits equal brute force. With neither option the hits
+    equal {!vp_nearest}. *)
 
 val vp_range :
   vp ->

@@ -268,5 +268,6 @@ let member k = function
 let to_list = function List xs -> xs | _ -> []
 let string_value = function String s -> Some s | _ -> None
 let int_value = function Int i -> Some i | _ -> None
+let float_value = function Float f -> Some f | Int i -> Some (float_of_int i) | _ -> None
 let bool_value = function Bool b -> Some b | _ -> None
 let equal (a : t) (b : t) = a = b

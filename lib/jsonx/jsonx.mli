@@ -41,6 +41,10 @@ val string_value : t -> string option
 val int_value : t -> int option
 (** [int_value v] extracts an [Int] payload (floats are not coerced). *)
 
+val float_value : t -> float option
+(** [float_value v] extracts a [Float] payload; [Int] is coerced (JSON
+    does not distinguish [1] from [1.0]). *)
+
 val bool_value : t -> bool option
 (** [bool_value v] extracts a [Bool] payload. *)
 

@@ -2,6 +2,7 @@ type ted = {
   mutable equal_prunes : int;
   mutable size_prunes : int;
   mutable hist_prunes : int;
+  mutable pqg_prunes : int;
   mutable pq_prunes : int;
   mutable cutoff_abandons : int;
   mutable tri_resolved : int;
@@ -17,6 +18,7 @@ let zero () =
     equal_prunes = 0;
     size_prunes = 0;
     hist_prunes = 0;
+    pqg_prunes = 0;
     pq_prunes = 0;
     cutoff_abandons = 0;
     tri_resolved = 0;
@@ -33,6 +35,7 @@ let reset_ted () =
   ted.equal_prunes <- 0;
   ted.size_prunes <- 0;
   ted.hist_prunes <- 0;
+  ted.pqg_prunes <- 0;
   ted.pq_prunes <- 0;
   ted.cutoff_abandons <- 0;
   ted.tri_resolved <- 0;
@@ -49,6 +52,7 @@ let ted_diff ~before ~after =
     equal_prunes = after.equal_prunes - before.equal_prunes;
     size_prunes = after.size_prunes - before.size_prunes;
     hist_prunes = after.hist_prunes - before.hist_prunes;
+    pqg_prunes = after.pqg_prunes - before.pqg_prunes;
     pq_prunes = after.pq_prunes - before.pq_prunes;
     cutoff_abandons = after.cutoff_abandons - before.cutoff_abandons;
     tri_resolved = after.tri_resolved - before.tri_resolved;
@@ -60,13 +64,14 @@ let ted_diff ~before ~after =
   }
 
 let ted_pruned t =
-  t.equal_prunes + t.size_prunes + t.hist_prunes + t.pq_prunes
+  t.equal_prunes + t.size_prunes + t.hist_prunes + t.pqg_prunes + t.pq_prunes
 
 let ted_rows t =
   [
     ("pruned: equal/digest", t.equal_prunes);
     ("pruned: size bound", t.size_prunes);
     ("pruned: label histogram", t.hist_prunes);
+    ("pruned: pq-gram profile", t.pqg_prunes);
     ("pruned: branch profile", t.pq_prunes);
     ("DP abandoned at cutoff", t.cutoff_abandons);
     ("resolved: triangle bound", t.tri_resolved);
@@ -80,12 +85,12 @@ let ted_rows t =
 let ted_to_string t =
   let queries = ted_pruned t + t.dp_runs in
   Printf.sprintf
-    "ted: %d bounded queries pruned of %d (equal %d, size %d, hist %d, branch \
-     %d), %d triangle-resolved, %d DP runs (%d abandoned), %d flats, strategy \
-     L/R %d/%d"
+    "ted: %d bounded queries pruned of %d (equal %d, size %d, hist %d, pqgram \
+     %d, branch %d), %d triangle-resolved, %d DP runs (%d abandoned), %d \
+     flats, strategy L/R %d/%d"
     (ted_pruned t) queries t.equal_prunes t.size_prunes t.hist_prunes
-    t.pq_prunes t.tri_resolved t.dp_runs t.cutoff_abandons t.flat_compiles
-    t.strategy_left t.strategy_right
+    t.pqg_prunes t.pq_prunes t.tri_resolved t.dp_runs t.cutoff_abandons
+    t.flat_compiles t.strategy_left t.strategy_right
 
 (* --- service counters --- *)
 

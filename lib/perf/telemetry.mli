@@ -16,9 +16,15 @@ type ted = {
       (** bounded queries rejected by the size-difference bound alone *)
   mutable hist_prunes : int;
       (** bounded queries rejected by the label-histogram lower bound *)
+  mutable pqg_prunes : int;
+      (** bounded queries rejected by the pq-gram profile bound (the
+          parent-extended Augsten-style label-tuple L1/9 distance) after
+          the histogram passed; sits ahead of the branch profile in the
+          cascade so the two stages' prune counts attribute cleanly *)
   mutable pq_prunes : int;
       (** bounded queries rejected by the binary-branch profile bound
-          (the pq-gram-style L1/5 distance) after the histogram passed *)
+          (the Yang–Kalnis–Tung triple L1/5 distance) after the pq-gram
+          profile passed *)
   mutable cutoff_abandons : int;
       (** DP runs abandoned mid-flight once the cutoff became unreachable *)
   mutable tri_resolved : int;

@@ -8,6 +8,7 @@ module Navigation = Sv_core.Navigation
 module Index_engine = Sv_core.Index_engine
 module Index_cache = Sv_db.Index_cache
 module Ted_cache = Sv_db.Codebase_db.Ted_cache
+module Metric_cache = Sv_db.Metric_cache
 module Lru = Sv_db.Lru
 module Report = Sv_report.Report
 
@@ -17,6 +18,7 @@ type config = {
   high_water : int;
   ted_cache_path : string option;
   index_cache_path : string option;
+  metric_cache_path : string option;
   persist_every : int;
 }
 
@@ -35,6 +37,7 @@ let default_config () =
     high_water = 8;
     ted_cache_path = None;
     index_cache_path = None;
+    metric_cache_path = None;
     persist_every = 32;
   }
 
@@ -43,11 +46,22 @@ let default_config () =
    eviction callback spills into the persistent index cache. *)
 type resident = { ix : Pipeline.indexed; payload : string }
 
+(* A resident VP-tree metric index: built (or reloaded) once per
+   (filtered candidate corpus, metric, variant) and reused across
+   nearest requests instead of being rebuilt per call. Keyed by
+   {!Tbmd.vp_key}, which commits to the candidate payload digests in
+   order — any corpus change is a structural miss. Eviction is safe:
+   the persistent metric cache already holds the encoded tree, so a
+   re-probe decodes instead of re-measuring. *)
+type vp_resident = { vp : Tbmd.vp; vp_bytes : int }
+
 type t = {
   cfg : config;
   lru : resident Lru.t;
+  vp_lru : vp_resident Lru.t;
   index_cache : Index_cache.cache;
   ted_cache : Ted_cache.cache;
+  metric_cache : Metric_cache.cache;
   mutable queue_depth : int;
   mutable shutting_down : bool;
   mutable since_persist : int;
@@ -67,6 +81,11 @@ let create cfg =
     | Some path -> Ted_cache.load_file path
     | None -> Ted_cache.create ()
   in
+  let metric_cache =
+    match cfg.metric_cache_path with
+    | Some path -> Metric_cache.load_file path
+    | None -> Metric_cache.create ()
+  in
   let lru =
     Lru.create
       ~on_evict:(fun key r -> Index_cache.add index_cache key r.payload)
@@ -74,11 +93,16 @@ let create cfg =
       ~size_of:(fun r -> String.length r.payload)
       ()
   in
+  let vp_lru =
+    Lru.create ~budget:cfg.lru_budget ~size_of:(fun r -> r.vp_bytes) ()
+  in
   {
     cfg;
     lru;
+    vp_lru;
     index_cache;
     ted_cache;
+    metric_cache;
     queue_depth = 0;
     shutting_down = false;
     since_persist = 0;
@@ -96,13 +120,16 @@ let with_installed t f =
   let prev_jobs = Tbmd.jobs () in
   let prev_ted = Tbmd.ted_cache () in
   let prev_index = Index_engine.cache () in
+  let prev_metric = Tbmd.metric_cache () in
   Tbmd.set_jobs t.cfg.jobs;
   Tbmd.set_ted_cache (Some t.ted_cache);
   Index_engine.set_cache (Some t.index_cache);
+  Tbmd.set_metric_cache (Some t.metric_cache);
   let restore () =
     Tbmd.set_jobs prev_jobs;
     Tbmd.set_ted_cache prev_ted;
-    Index_engine.set_cache prev_index
+    Index_engine.set_cache prev_index;
+    Tbmd.set_metric_cache prev_metric
   in
   match f () with
   | r ->
@@ -187,14 +214,12 @@ let render_cluster m ixs =
     matrix.Sv_cluster.Cluster.data
   ^ Report.dendrogram ~labels:matrix.Sv_cluster.Cluster.labels dendro
 
-let render_nearest ~app ~model ~k m qix ixs =
-  let hits, evals = Navigation.nearest_ports ~metric:m ~k ~query:qix ixs in
-  let cands =
-    List.length
-      (List.filter
-         (fun (c : Pipeline.indexed) ->
-           c.Pipeline.ix_model <> qix.Pipeline.ix_model)
-         ixs)
+let render_nearest ~app ~model ~k ?budget ?epsilon ?index m qix ixs =
+  let cands = List.length (Navigation.nearest_candidates ~query:qix ixs) in
+  let hits, ledger =
+    match index with
+    | Some idx -> Navigation.nearest_in idx ~k ?budget ?epsilon qix
+    | None -> Navigation.nearest_ports ~metric:m ?budget ?epsilon ~k ~query:qix ixs
   in
   let rows =
     List.map
@@ -207,9 +232,20 @@ let render_nearest ~app ~model ~k m qix ixs =
         ])
       hits
   in
+  let approx =
+    match (budget, epsilon) with
+    | None, None -> ""
+    | _ ->
+        Printf.sprintf "approximation: budget=%s epsilon=%s guaranteed_exact=%b\n"
+          (match budget with Some b -> string_of_int b | None -> "none")
+          (match epsilon with Some e -> Printf.sprintf "%g" e | None -> "none")
+          ledger.Sv_metric.Vptree.guaranteed_exact
+  in
   Printf.sprintf "nearest %s: %s (%s, k=%d)\n" app model (Tbmd.metric_label m) k
   ^ Report.table ~headers:[ "model"; "name"; "d"; "normalised" ] ~rows
-  ^ Printf.sprintf "index evaluations: %d of %d candidates\n" evals cands
+  ^ Printf.sprintf "index evaluations: %d of %d candidates\n"
+      ledger.Sv_metric.Vptree.evals cands
+  ^ approx
 
 let render_index ix =
   let db = Pipeline.to_db ix in
@@ -242,6 +278,12 @@ let status_fields t =
       ("ted_entries", J.Int (Ted_cache.size t.ted_cache));
       ("ted_hits", J.Int (Ted_cache.hits t.ted_cache));
       ("ted_misses", J.Int (Ted_cache.misses t.ted_cache));
+      ("metric_entries", J.Int (Metric_cache.size t.metric_cache));
+      ("metric_hits", J.Int (Metric_cache.hits t.metric_cache));
+      ("metric_misses", J.Int (Metric_cache.misses t.metric_cache));
+      ("vp_entries", J.Int (Lru.count t.vp_lru));
+      ("vp_hits", J.Int (Lru.hits t.vp_lru));
+      ("vp_misses", J.Int (Lru.misses t.vp_lru));
     ]
 
 let shed t ~queue payload =
@@ -281,8 +323,11 @@ let persist t =
   (match t.cfg.ted_cache_path with
   | Some path -> save "ted-cache" path Ted_cache.save_file t.ted_cache
   | None -> ());
-  match t.cfg.index_cache_path with
+  (match t.cfg.index_cache_path with
   | Some path -> save "index-cache" path Index_cache.save_file t.index_cache
+  | None -> ());
+  match t.cfg.metric_cache_path with
+  | Some path -> save "metric-cache" path Metric_cache.save_file t.metric_cache
   | None -> ()
 
 (* --- evaluation --- *)
@@ -309,6 +354,26 @@ let unknown_metric metric =
       kind = Protocol.Unknown_metric;
       message = Printf.sprintf "unknown metric %S" metric;
     }
+
+let invalid_request fmt =
+  Printf.ksprintf
+    (fun message -> Protocol.Error { kind = Protocol.Invalid_request; message })
+    fmt
+
+(* The approximate-search knobs are validated before any work: a
+   nonsensical request earns a typed reply, not a [Failed] raise and
+   not a silently clamped answer. *)
+let check_nearest ~k ~budget ~epsilon =
+  if k <= 0 then Some (invalid_request "k must be at least 1 (got %d)" k)
+  else
+    match budget with
+    | Some b when b < 0 ->
+        Some (invalid_request "budget must be non-negative (got %d)" b)
+    | _ -> (
+        match epsilon with
+        | Some e when (not (Float.is_finite e)) || e < 0. ->
+            Some (invalid_request "epsilon must be a finite number >= 0 (got %g)" e)
+        | _ -> None)
 
 let with_metric metric k =
   match Tbmd.metric_of_string metric with
@@ -364,17 +429,42 @@ let evaluate t req =
               with_installed t (fun () ->
                   let ixs, warm = obtain t cbs in
                   output "cluster" warm (render_cluster m ixs))))
-  | Protocol.Nearest { app; model; metric; k } ->
-      with_metric metric (fun m ->
-          with_app app (fun cbs ->
-              match Apps.find_codebase ~app cbs model with
-              | None -> unknown_model app model
-              | Some cb ->
-                  with_installed t (fun () ->
-                      let ixs, warm = obtain t cbs in
-                      let qix = List.assq cb (List.combine cbs ixs) in
-                      output "nearest" warm
-                        (render_nearest ~app ~model ~k m qix ixs))))
+  | Protocol.Nearest { app; model; metric; k; budget; epsilon } -> (
+      match check_nearest ~k ~budget ~epsilon with
+      | Some err -> err
+      | None ->
+          with_metric metric (fun m ->
+              with_app app (fun cbs ->
+                  match Apps.find_codebase ~app cbs model with
+                  | None -> unknown_model app model
+                  | Some cb ->
+                      with_installed t (fun () ->
+                          let ixs, warm = obtain t cbs in
+                          let qix = List.assq cb (List.combine cbs ixs) in
+                          let cands = Navigation.nearest_candidates ~query:qix ixs in
+                          let index =
+                            match cands with
+                            | [] -> None
+                            | _ -> (
+                                let key = Tbmd.vp_key m cands in
+                                match Lru.find t.vp_lru key with
+                                | Some r -> Some r.vp
+                                | None ->
+                                    Option.map
+                                      (fun vp ->
+                                        (* words of repr, roughly: the
+                                           budget heuristic, not an
+                                           exact account *)
+                                        let vp_bytes =
+                                          8 * 9 * List.length cands
+                                        in
+                                        Lru.add t.vp_lru key { vp; vp_bytes };
+                                        vp)
+                                      (Navigation.nearest_index ~metric:m cands))
+                          in
+                          output "nearest" warm
+                            (render_nearest ~app ~model ~k ?budget ?epsilon
+                               ?index m qix ixs)))))
 
 let handle t req =
   match evaluate t req with

@@ -7,9 +7,12 @@
       codebases, keyed by {!Sv_core.Index_engine.codebase_key} (so a
       corpus edit is a structural miss, never a stale hit), spilling
       evicted entries into the index cache;
-    - a resident {!Sv_db.Index_cache} and
-      {!Sv_db.Codebase_db.Ted_cache}, loaded from disk at creation and
+    - a resident {!Sv_db.Index_cache}, {!Sv_db.Codebase_db.Ted_cache}
+      and {!Sv_db.Metric_cache}, loaded from disk at creation and
       persisted back periodically and at shutdown;
+    - a second {!Sv_db.Lru} of built VP-tree metric indexes keyed by
+      {!Sv_core.Tbmd.vp_key}, so repeated `nearest` requests reuse the
+      resident tree instead of rebuilding it per call;
     - the engine configuration (worker count for the {!Sv_sched} pool).
 
     Every evaluation installs this state into the process-wide engine
@@ -29,6 +32,9 @@ type config = {
   high_water : int;  (** request-queue admission mark (enforced by {!Server}) *)
   ted_cache_path : string option;
   index_cache_path : string option;
+  metric_cache_path : string option;
+      (** persistent VP-tree metric-index cache ({!Sv_db.Metric_cache}):
+          a warm `nearest` pays zero index-build evaluations *)
   persist_every : int;  (** persist caches every N served requests; 0 = only at shutdown *)
 }
 
@@ -102,6 +108,9 @@ val render_nearest :
   app:string ->
   model:string ->
   k:int ->
+  ?budget:int ->
+  ?epsilon:float ->
+  ?index:Sv_core.Tbmd.vp ->
   Sv_core.Tbmd.metric ->
   Pipeline.indexed ->
   Pipeline.indexed list ->
@@ -109,4 +118,9 @@ val render_nearest :
 (** `sv nearest`'s output: the query's k nearest ports (other models
     only) by raw and normalised divergence, through the VP-tree index
     ({!Sv_core.Navigation.nearest_ports}), plus the bounded-evaluation
-    count the index spent against the candidate total. *)
+    count the index spent against the candidate total. [index] is an
+    already-built tree over {e exactly} the filtered candidate list
+    (the daemon's resident memo); construction is deterministic, so
+    passing it cannot change a byte of the output. With [budget] or
+    [epsilon] the search is the budgeted best-first mode and a final
+    line reports the knobs plus the honest [guaranteed_exact] claim. *)

@@ -7,7 +7,14 @@ type request =
   | Compare of { app : string; base : string; target : string }
   | Matrix of { app : string; metric : string }
   | Cluster of { app : string; metric : string }
-  | Nearest of { app : string; model : string; metric : string; k : int }
+  | Nearest of {
+      app : string;
+      model : string;
+      metric : string;
+      k : int;
+      budget : int option;
+      epsilon : float option;
+    }
   | Status
   | Shutdown
 
@@ -28,6 +35,7 @@ type error_kind =
   | Unknown_app
   | Unknown_model
   | Unknown_metric
+  | Invalid_request
   | Failed
 
 let kind_to_string = function
@@ -38,6 +46,7 @@ let kind_to_string = function
   | Unknown_app -> "unknown-app"
   | Unknown_model -> "unknown-model"
   | Unknown_metric -> "unknown-metric"
+  | Invalid_request -> "invalid-request"
   | Failed -> "failed"
 
 let kind_of_string = function
@@ -48,6 +57,7 @@ let kind_of_string = function
   | "unknown-app" -> Some Unknown_app
   | "unknown-model" -> Some Unknown_model
   | "unknown-metric" -> Some Unknown_metric
+  | "invalid-request" -> Some Invalid_request
   | "failed" -> Some Failed
   | _ -> None
 
@@ -70,13 +80,17 @@ let encode_request ?id req =
         [ ("app", J.String app); ("base", J.String base); ("target", J.String target) ]
     | Matrix { app; metric } -> [ ("app", J.String app); ("metric", J.String metric) ]
     | Cluster { app; metric } -> [ ("app", J.String app); ("metric", J.String metric) ]
-    | Nearest { app; model; metric; k } ->
+    | Nearest { app; model; metric; k; budget; epsilon } ->
         [
           ("app", J.String app);
           ("model", J.String model);
           ("metric", J.String metric);
           ("k", J.Int k);
         ]
+        @ (match budget with Some b -> [ ("budget", J.Int b) ] | None -> [])
+        @ (match epsilon with
+          | Some e -> [ ("epsilon", J.Float e) ]
+          | None -> [])
     | Status | Shutdown -> []
   in
   J.to_string
@@ -131,14 +145,20 @@ let decode_request payload =
                 | [ app; metric ] -> Cluster { app; metric }
                 | _ -> assert false)
           | "nearest" ->
-              (* optional integer field "k", default 3 *)
+              (* optional fields: integer "k" (default 3), integer
+                 "budget", number "epsilon" — the approximate-search
+                 knobs travel as absent-or-present, never as sentinel
+                 values *)
               let k =
                 match Option.bind (J.member "k" v) J.int_value with
                 | Some k -> k
                 | None -> 3
               in
+              let budget = Option.bind (J.member "budget" v) J.int_value in
+              let epsilon = Option.bind (J.member "epsilon" v) J.float_value in
               need [ "app"; "model"; "metric" ] (function
-                | [ app; model; metric ] -> Nearest { app; model; metric; k }
+                | [ app; model; metric ] ->
+                    Nearest { app; model; metric; k; budget; epsilon }
                 | _ -> assert false)
           | "status" -> Stdlib.Ok (id, Status)
           | "shutdown" -> Stdlib.Ok (id, Shutdown)

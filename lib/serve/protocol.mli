@@ -14,7 +14,8 @@
       { "id": <int>?, "verb": "compare",  "app": <s>, "base": <s>, "target": <s> }
       { "id": <int>?, "verb": "matrix",   "app": <s>, "metric": <s> }
       { "id": <int>?, "verb": "cluster",  "app": <s>, "metric": <s> }
-      { "id": <int>?, "verb": "nearest",  "app": <s>, "model": <s>, "metric": <s>, "k": <int>? }
+      { "id": <int>?, "verb": "nearest",  "app": <s>, "model": <s>, "metric": <s>,
+                      "k": <int>?, "budget": <int>?, "epsilon": <number>? }
       { "id": <int>?, "verb": "status" }
       { "id": <int>?, "verb": "shutdown" }
     v}
@@ -40,9 +41,19 @@ type request =
   | Compare of { app : string; base : string; target : string }
   | Matrix of { app : string; metric : string }
   | Cluster of { app : string; metric : string }
-  | Nearest of { app : string; model : string; metric : string; k : int }
+  | Nearest of {
+      app : string;
+      model : string;
+      metric : string;
+      k : int;
+      budget : int option;
+      epsilon : float option;
+    }
       (** k-NN over the VP-tree index ({!Sv_core.Tbmd.vp_index}); the
-          wire field ["k"] is optional and defaults to 3. *)
+          wire field ["k"] is optional and defaults to 3. [budget] and
+          [epsilon] (absent = exact search) select the budgeted
+          best-first mode, whose reply reports the honest exactness
+          ledger in its rendered output. *)
   | Status
   | Shutdown
 
@@ -58,6 +69,7 @@ type error_kind =
   | Unknown_app
   | Unknown_model
   | Unknown_metric
+  | Invalid_request  (** well-formed request with out-of-domain values (k < 1, negative budget, bad ε) *)
   | Failed         (** evaluation raised *)
 
 val kind_to_string : error_kind -> string

@@ -24,6 +24,8 @@ type t = {
   hist_counts : int array;
   bb_keys : int array;
   bb_counts : int array;
+  pq_keys : int array;
+  pq_counts : int array;
 }
 
 (* splitmix64 avalanche, the same mixer (and fold) as [Hashcons], so a
@@ -97,6 +99,24 @@ let bb_key x cp c sp s =
   let h = step (step (step (step h cp) c) sp) s in
   to_int (shift_right_logical h 2)
 
+(* Sorted run-length encoding of a key multiset: (distinct keys ascending,
+   matching counts). Shared by the branch and pq-gram profiles. *)
+let rle_sorted keys =
+  Array.sort compare keys;
+  let runs = ref 0 in
+  Array.iteri (fun i x -> if i = 0 || keys.(i - 1) <> x then incr runs) keys;
+  let out_keys = Array.make !runs 0 and out_counts = Array.make !runs 0 in
+  let r = ref (-1) in
+  Array.iteri
+    (fun i x ->
+      if i = 0 || keys.(i - 1) <> x then begin
+        incr r;
+        out_keys.(!r) <- x
+      end;
+      out_counts.(!r) <- out_counts.(!r) + 1)
+    keys;
+  (out_keys, out_counts)
+
 let bb_profile t n =
   let keys = Array.make n 0 in
   let next = ref 0 in
@@ -114,20 +134,53 @@ let bb_profile t n =
     kids cs
   in
   go 0 0 t;
-  Array.sort compare keys;
-  let runs = ref 0 in
-  Array.iteri (fun i x -> if i = 0 || keys.(i - 1) <> x then incr runs) keys;
-  let bb_keys = Array.make !runs 0 and bb_counts = Array.make !runs 0 in
-  let r = ref (-1) in
-  Array.iteri
-    (fun i x ->
-      if i = 0 || keys.(i - 1) <> x then begin
-        incr r;
-        bb_keys.(!r) <- x
-      end;
-      bb_counts.(!r) <- bb_counts.(!r) + 1)
-    keys;
-  (bb_keys, bb_counts)
+  rle_sorted keys
+
+(* pq-gram profile (Augsten, Böhlen & Gamper style label tuples): the
+   binary-branch triple of each node, extended one level up the
+   first-child/next-sibling transform with the node's binary parent —
+   (bparent label, which side, label, first-child label, next-sibling
+   label), ε slots encoded as presence bits. Each node's label occurs in
+   at most 4 tuples (its own, its binary parent's child slot, and the pl
+   slot of its ≤2 binary children), so a relabel moves the profile L1 by
+   ≤ 8; a delete/insert rewrites the tuples of the ≤ 4 structurally
+   affected neighbours (binary parent, first child, last child, next
+   sibling) and removes/adds the node's own, moving the L1 by ≤ 9. Hence
+   ⌈L1/9⌉ is an admissible TED lower bound. The finer tuples carry more
+   mismatch mass than the raw triples, so despite the larger divisor this
+   bound frequently beats ⌈L1_bb/5⌉ on locally-permuted trees; the
+   cascade runs it first and attributes its prunes separately. Hashing
+   tuples into 62-bit bins only ever cancels mass, preserving
+   admissibility exactly as for [bb_key]. *)
+let pq_key x cp c sp s pp pl side =
+  let open Int64 in
+  let step h v = mix64 (logxor (mul h 0x100000001B3L) (of_int v)) in
+  let h = mix64 (add (of_int x) 0x243F6A8885A308D3L) in
+  let h = step (step (step (step h cp) c) sp) s in
+  let h = step (step (step h pp) pl) side in
+  to_int (shift_right_logical h 2)
+
+let pq_profile t n =
+  let keys = Array.make n 0 in
+  let next = ref 0 in
+  (* [pp]/[pl]/[side]: binary-parent presence, label, and which slot this
+     node fills there (1 = first child of its tree parent, 2 = next
+     sibling of its previous sibling, 0 = root). *)
+  let rec go pp pl side sp s (Tree.Node (x, cs)) =
+    let cp, c = match cs with [] -> (0, 0) | Tree.Node (y, _) :: _ -> (1, y) in
+    keys.(!next) <- pq_key x cp c sp s pp pl side;
+    incr next;
+    let rec kids side' pl' = function
+      | [] -> ()
+      | [ last ] -> go 1 pl' side' 0 0 last
+      | (Tree.Node (y, _) as a) :: (Tree.Node (z, _) :: _ as rest) ->
+          go 1 pl' side' 1 z a;
+          kids 2 y rest
+    in
+    kids 1 x cs
+  in
+  go 0 0 0 0 0 t;
+  rle_sorted keys
 
 let of_tree t =
   T.ted.T.flat_compiles <- T.ted.T.flat_compiles + 1;
@@ -160,6 +213,7 @@ let of_tree t =
       hist_counts.(!r) <- hist_counts.(!r) + 1)
     sorted;
   let bb_keys, bb_counts = bb_profile t n in
+  let pq_keys, pq_counts = pq_profile t n in
   {
     size = n;
     digest = digest_tree t;
@@ -171,6 +225,8 @@ let of_tree t =
     hist_counts;
     bb_keys;
     bb_counts;
+    pq_keys;
+    pq_counts;
   }
 
 let size f = f.size
@@ -202,40 +258,45 @@ let summary_bound a b =
   let m = max m (abs (a.nleaves - b.nleaves)) in
   max m (abs (a.height - b.height))
 
-(* L1 distance between binary-branch profiles: a merge walk over the
-   sorted key arrays, unmatched bins contribute their whole count. *)
-let bb_l1 a b =
+(* L1 distance between sorted run-length-encoded profiles: a merge walk
+   over the key arrays, unmatched bins contribute their whole count. *)
+let l1_rle ak ac bk bc =
   let l1 = ref 0 in
   let i = ref 0 and j = ref 0 in
-  let ka = Array.length a.bb_keys and kb = Array.length b.bb_keys in
+  let ka = Array.length ak and kb = Array.length bk in
   while !i < ka && !j < kb do
-    let la = a.bb_keys.(!i) and lb = b.bb_keys.(!j) in
+    let la = ak.(!i) and lb = bk.(!j) in
     if la < lb then begin
-      l1 := !l1 + a.bb_counts.(!i);
+      l1 := !l1 + ac.(!i);
       incr i
     end
     else if lb < la then begin
-      l1 := !l1 + b.bb_counts.(!j);
+      l1 := !l1 + bc.(!j);
       incr j
     end
     else begin
-      l1 := !l1 + abs (a.bb_counts.(!i) - b.bb_counts.(!j));
+      l1 := !l1 + abs (ac.(!i) - bc.(!j));
       incr i;
       incr j
     end
   done;
   while !i < ka do
-    l1 := !l1 + a.bb_counts.(!i);
+    l1 := !l1 + ac.(!i);
     incr i
   done;
   while !j < kb do
-    l1 := !l1 + b.bb_counts.(!j);
+    l1 := !l1 + bc.(!j);
     incr j
   done;
   !l1
 
+let bb_l1 a b = l1_rle a.bb_keys a.bb_counts b.bb_keys b.bb_counts
+let pq_l1 a b = l1_rle a.pq_keys a.pq_counts b.pq_keys b.pq_counts
 let branch_bound a b = (bb_l1 a b + 4) / 5
-let lower_bound a b = max (summary_bound a b) (branch_bound a b)
+let pqgram_bound a b = (pq_l1 a b + 8) / 9
+
+let lower_bound a b =
+  max (summary_bound a b) (max (pqgram_bound a b) (branch_bound a b))
 
 (* --- scratch buffers -------------------------------------------------- *)
 
@@ -398,8 +459,8 @@ let distance ?(scratch = shared) a b =
 
 (* The pruning cascade, cheapest test first: digest equality (free), the
    size-difference bound, the histogram/leaves/height lower bound, the
-   binary-branch profile bound, then — only for pairs no bound settles —
-   the DP with in-flight abandon. *)
+   pq-gram profile bound, the binary-branch profile bound, then — only
+   for pairs no bound settles — the DP with in-flight abandon. *)
 let distance_bounded ?(scratch = shared) ~cutoff a b =
   if cutoff < 0 then None
   else if equal_flat a b then begin
@@ -412,6 +473,10 @@ let distance_bounded ?(scratch = shared) ~cutoff a b =
   end
   else if summary_bound a b > cutoff then begin
     T.ted.T.hist_prunes <- T.ted.T.hist_prunes + 1;
+    None
+  end
+  else if pqgram_bound a b > cutoff then begin
+    T.ted.T.pqg_prunes <- T.ted.T.pqg_prunes + 1;
     None
   end
   else if branch_bound a b > cutoff then begin

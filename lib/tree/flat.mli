@@ -10,7 +10,8 @@
     path, or right path via the mirror decomposition — the distance is
     mirror-invariant), and bounded queries pass a pruning cascade (digest
     equality, size bound, label-histogram/leaves/height lower bound,
-    binary-branch profile bound) before any DP cell is touched. Distances are exactly those of
+    pq-gram profile bound, binary-branch profile bound) before any DP
+    cell is touched. Distances are exactly those of
     {!Ted.distance_int}; the bench harness checks the two kernels
     byte-identical over whole corpora.
 
@@ -48,15 +49,25 @@ val lower_bound : t -> t -> int
 (** Admissible lower bound on the unit-cost TED from compile-time
     summaries only (O(k₁+k₂) in distinct labels / profile bins): the
     maximum of the size delta, the unmatched label mass, the leaf-count
-    delta, the height delta, and the binary-branch profile bound
+    delta, the height delta, the binary-branch profile bound
     ⌈‖BRV₁−BRV₂‖₁ / 5⌉ (Yang–Kalnis–Tung): one edit operation rewrites at
     most five (label, first-child, next-sibling) triples, so the L1
-    distance between the triple multisets is ≤ 5·TED. Dominates the old
+    distance between the triple multisets is ≤ 5·TED — and the pq-gram
+    profile bound ⌈‖PQ₁−PQ₂‖₁ / 9⌉ over the parent-extended tuples (one
+    edit rewrites at most nine of those). Dominates the old
     four-component bound pointwise. *)
 
 val branch_bound : t -> t -> int
 (** The binary-branch component of {!lower_bound} alone (for telemetry
     and property tests). *)
+
+val pqgram_bound : t -> t -> int
+(** The pq-gram component of {!lower_bound} alone: Augsten-style label
+    tuples (binary parent + side, label, first-child, next-sibling) over
+    the first-child/next-sibling transform, ⌈L1/9⌉ of the profile
+    difference. Admissible — see the factor-9 argument at the profile
+    builder; property-tested against the brute oracle. Runs ahead of
+    {!branch_bound} in the bounded cascade with its own prune counter. *)
 
 val distance : ?scratch:scratch -> t -> t -> int
 (** Exact unit-cost TED; equals [Ted.distance_int] on the source trees.

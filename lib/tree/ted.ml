@@ -355,8 +355,52 @@ let branch_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
   let l1 = Hashtbl.fold (fun _ r acc -> acc + abs !r) counts 0 in
   (l1 + 4) / 5
 
+(* pq-gram profile bound, computed on the fly (the flat kernel
+   precomputes the same profile per compiled tree — see [Flat.pq_profile]
+   for the factor-9 admissibility argument): the binary-branch triple
+   extended with the node's binary parent (label + which slot the node
+   fills there), hashed, +1/−1 accumulated, ⌈L1/9⌉. Finer tuples carry
+   more mismatch mass than the raw triples, so this frequently beats
+   ⌈L1/5⌉ despite the larger divisor; the cascade runs it first. *)
+let pq_key x cp c sp s pp pl side =
+  let open Int64 in
+  let step h v = bb_mix (logxor (mul h 0x100000001B3L) (of_int v)) in
+  let h = bb_mix (add (of_int x) 0x243F6A8885A308D3L) in
+  let h = step (step (step (step h cp) c) sp) s in
+  let h = step (step (step h pp) pl) side in
+  to_int (shift_right_logical h 2)
+
+let pqgram_bound_int (t1 : int Tree.t) (t2 : int Tree.t) =
+  let counts : (int, int ref) Hashtbl.t = Hashtbl.create 64 in
+  let bump sgn t =
+    let rec go pp pl side sp s (Tree.Node (x, cs)) =
+      let cp, c =
+        match cs with [] -> (0, 0) | Tree.Node (y, _) :: _ -> (1, y)
+      in
+      let k = pq_key x cp c sp s pp pl side in
+      (match Hashtbl.find_opt counts k with
+      | Some r -> r := !r + sgn
+      | None -> Hashtbl.add counts k (ref sgn));
+      let rec kids side' pl' = function
+        | [] -> ()
+        | [ last ] -> go 1 pl' side' 0 0 last
+        | (Tree.Node (y, _) as a) :: (Tree.Node (z, _) :: _ as rest) ->
+            go 1 pl' side' 1 z a;
+            kids 2 y rest
+      in
+      kids 1 x cs
+    in
+    go 0 0 0 0 0 t
+  in
+  bump 1 t1;
+  bump (-1) t2;
+  let l1 = Hashtbl.fold (fun _ r acc -> acc + abs !r) counts 0 in
+  (l1 + 8) / 9
+
 let lower_bound_int t1 t2 =
-  max (summary_bound_int t1 t2) (branch_bound_int t1 t2)
+  max
+    (summary_bound_int t1 t2)
+    (max (pqgram_bound_int t1 t2) (branch_bound_int t1 t2))
 
 (* Early-abandon check shared by the bounded kernels.  Valid only for the
    final keyroot pair (whole tree vs whole tree, li = lj = 1): there the
@@ -515,6 +559,10 @@ let distance_bounded_int ~cutoff t1 t2 =
   end
   else if summary_bound_int t1 t2 > cutoff then begin
     T.ted.hist_prunes <- T.ted.hist_prunes + 1;
+    None
+  end
+  else if pqgram_bound_int t1 t2 > cutoff then begin
+    T.ted.pqg_prunes <- T.ted.pqg_prunes + 1;
     None
   end
   else if branch_bound_int t1 t2 > cutoff then begin

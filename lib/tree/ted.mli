@@ -48,8 +48,9 @@ val lower_bound_int : int Tree.t -> int Tree.t -> int
     [max n₁ n₂ − Σ_l min(count₁ l, count₂ l)] (every mapped pair with
     unequal labels and every unmapped node costs at least one edit),
     [|leaves t1 − leaves t2|], [|height t1 − height t2|] (each edit
-    operation moves each of those quantities by at most one), and the
-    binary-branch profile bound {!branch_bound_int}. Holds on degenerate
+    operation moves each of those quantities by at most one), the
+    pq-gram profile bound {!pqgram_bound_int} and the binary-branch
+    profile bound {!branch_bound_int}. Holds on degenerate
     inputs — single-node trees, uniform labels — and is property-tested
     ([lower_bound_int ≤ distance]) against the oracle. The bounded engine
     uses it to skip the full DP outright. *)
@@ -62,6 +63,18 @@ val branch_bound_int : int Tree.t -> int Tree.t -> int
     is admissible; hashing bins can only shrink the L1. Often far
     tighter than the histogram components on same-size, same-alphabet
     trees that differ structurally. *)
+
+val pqgram_bound_int : int Tree.t -> int Tree.t -> int
+(** The pq-gram profile component alone: Augsten-style label tuples —
+    each binary-branch triple extended with the node's parent in the
+    first-child/next-sibling transform (label plus which slot the node
+    fills there) — hashed and diffed as multisets, ⌈L1/9⌉. A relabel
+    moves the profile L1 by at most 8 and a delete/insert by at most 9
+    (the node's own tuple plus its ≤ 4 structurally affected
+    neighbours), so this is admissible; property-tested against the
+    oracle. It sits {e ahead} of {!branch_bound_int} in the bounded
+    cascade with its own telemetry counter, so prune attribution between
+    the two profiles stays clean. *)
 
 val distance_bounded :
   ?costs:'a costs ->

@@ -272,6 +272,146 @@ let prop_index_cache_truncation =
       let cut = cut_seed mod String.length art in
       Result.is_error (Ic.load (String.sub art 0 cut)))
 
+(* --- metric cache (persisted VP-tree indexes) --- *)
+
+module Mc = Sv_db.Metric_cache
+module Vp = Sv_metric.Vptree
+
+let mc_key ?version ?(digest = String.make 16 'd') ?(metric = "T_sem")
+    ?(variant = "") () =
+  Mc.key ?version ~corpus_digest:digest ~metric ~variant ()
+
+let test_metric_cache_key_invalidation () =
+  let base = mc_key () in
+  checkb "deterministic" true (mc_key () = base);
+  checki "16-byte key" 16 (String.length base);
+  checkb "corpus digest changes key" false
+    (mc_key ~digest:(String.make 16 'e') () = base);
+  checkb "metric changes key" false (mc_key ~metric:"T_src" () = base);
+  checkb "variant changes key" false (mc_key ~variant:"+pp" () = base);
+  checkb "schema version changes key" false
+    (mc_key ~version:(Mc.metric_schema + 1) () = base)
+
+(* A line metric over deterministic pseudo-random coordinates: cheap,
+   a true metric, and enough spread to build non-trivial trees. *)
+let mc_coords n =
+  Array.init n (fun i -> (i * 2654435761) land 0xffff)
+
+let mc_dist coords i j = abs (coords.(i) - coords.(j))
+
+let mc_tree n =
+  let coords = mc_coords n in
+  (coords, Vp.build ~dist:(mc_dist coords) (Array.init n (fun i -> i)))
+
+let knn coords t q k =
+  let dq i ~cutoff =
+    let d = abs (coords.(i) - q) in
+    if d <= cutoff then Some d else None
+  in
+  fst (Vp.nearest ~dist_bounded:dq ~k t)
+
+let test_metric_cache_tree_roundtrip () =
+  let n = 64 in
+  let coords, t = mc_tree n in
+  let c = Mc.create () in
+  let k = mc_key () in
+  Mc.add c k t;
+  checki "stored" 1 (Mc.size c);
+  (match Mc.find c k with
+  | None -> Alcotest.fail "own entry must decode"
+  | Some t' ->
+      checki "size survives" n (Vp.size t');
+      checki "decoded tree reports zero build evals" 0 (Vp.build_evals t');
+      checkb "elements dense" true
+        (Vp.elements t' = Array.init n (fun i -> i));
+      (* structural identity: the decoded index answers queries with
+         exactly the same hits as the one that was encoded *)
+      List.iter
+        (fun q ->
+          checkb "same k-NN answers" true
+            (knn coords t' q 5 = knn coords t q 5))
+        [ 0; 1; 7777; 65535; 30000 ]);
+  (* adding again never overwrites, and artifacts are deterministic *)
+  Mc.add c k t;
+  checki "never duplicated" 1 (Mc.size c);
+  match Mc.load (Mc.save c) with
+  | Error e -> Alcotest.failf "load failed: %s" e
+  | Ok c' ->
+      checki "size round-trips" 1 (Mc.size c');
+      checkb "sorted serialisation: contents determine bytes" true
+        (Mc.save c' = Mc.save c);
+      checkb "entry decodes after reload" true (Mc.find c' k <> None)
+
+let test_metric_cache_corrupt_payload () =
+  let _, t = mc_tree 32 in
+  let c = Mc.create () in
+  Mc.add c (mc_key ()) t;
+  (* a payload that is valid svz/msgpack framing but not a valid tree
+     must degrade to a miss, never a crash or a wrong answer *)
+  let garbage_key = mc_key ~metric:"garbage" () in
+  Mc.merge c [ (garbage_key, "not msgpack at all") ];
+  checki "merge keeps the raw entry" 2 (Mc.size c);
+  checkb "malformed payload is a miss" true (Mc.find c garbage_key = None);
+  checkb "good entry unaffected" true (Mc.find c (mc_key ()) <> None);
+  (* duplicate-id / mangled reprs are caught by the validation stack *)
+  let mangled =
+    let repr = Array.to_list (Vp.to_repr t) in
+    Sv_msgpack.Msgpack.encode
+      (Sv_msgpack.Msgpack.Arr
+         (List.mapi
+            (fun i x ->
+              Sv_msgpack.Msgpack.Int (if i = 2 then x + 1_000_000 else x))
+            (List.map (fun x -> x) repr)))
+  in
+  let mangled_key = mc_key ~metric:"mangled" () in
+  Mc.merge c [ (mangled_key, mangled) ];
+  checkb "mangled repr is a miss" true (Mc.find c mangled_key = None)
+
+let prop_metric_cache_truncation =
+  QCheck.Test.make ~name:"truncated metric cache artifact is rejected"
+    ~count:100
+    QCheck.(pair (int_range 1 80) (int_bound 100_000))
+    (fun (n, cut_seed) ->
+      let _, t = mc_tree n in
+      let c = Mc.create () in
+      Mc.add c (mc_key ()) t;
+      let art = Mc.save c in
+      let cut = cut_seed mod String.length art in
+      Result.is_error (Mc.load (String.sub art 0 cut)))
+
+let prop_metric_cache_bitflip =
+  QCheck.Test.make ~name:"bit-flipped metric cache artifact never crashes"
+    ~count:100
+    QCheck.(pair (int_range 1 80) (pair small_nat small_nat))
+    (fun (n, (pos_seed, bit)) ->
+      let _, t = mc_tree n in
+      let c = Mc.create () in
+      let k = mc_key () in
+      Mc.add c k t;
+      let art = Bytes.of_string (Mc.save c) in
+      let pos = pos_seed mod Bytes.length art in
+      Bytes.set art pos
+        (Char.chr (Char.code (Bytes.get art pos) lxor (1 lsl (bit mod 8))));
+      match Mc.load (Bytes.to_string art) with
+      | Error _ -> true (* svz checksum or framing caught it *)
+      | Ok c' -> (
+          (* decodable-but-different: the payload validators must still
+             only ever yield a structurally sound tree *)
+          match Mc.find c' k with
+          | None -> true
+          | Some t' -> Vp.elements t' = Array.init (Vp.size t') (fun i -> i)))
+
+let test_metric_cache_load_file_missing () =
+  let c = Mc.load_file "/nonexistent/dir/metric.cache" in
+  checki "missing file is a cold start" 0 (Mc.size c);
+  let path = Filename.temp_file "sv_mc_corrupt" ".svz" in
+  Fun.protect ~finally:(fun () -> Sys.remove path) @@ fun () ->
+  let oc = open_out_bin path in
+  output_string oc "definitely not an svz artifact";
+  close_out oc;
+  let c = Mc.load_file path in
+  checki "corrupt file is a cold start" 0 (Mc.size c)
+
 let test_db_pipeline_integration () =
   (* a real indexed codebase survives the save/load cycle *)
   let cb =
@@ -422,6 +562,17 @@ let () =
           Alcotest.test_case "missing file is cold start" `Quick
             test_index_cache_load_file_missing;
         ] );
+      ( "metric-cache",
+        [
+          Alcotest.test_case "key invalidation" `Quick
+            test_metric_cache_key_invalidation;
+          Alcotest.test_case "tree round-trip" `Quick
+            test_metric_cache_tree_roundtrip;
+          Alcotest.test_case "corrupt payload degrades to miss" `Quick
+            test_metric_cache_corrupt_payload;
+          Alcotest.test_case "missing/corrupt file is cold start" `Quick
+            test_metric_cache_load_file_missing;
+        ] );
       ( "lru",
         [
           Alcotest.test_case "eviction order" `Quick test_lru_eviction_order;
@@ -436,5 +587,6 @@ let () =
         List.map QCheck_alcotest.to_alcotest
           [ prop_tree_codec_roundtrip; prop_ted_cache_roundtrip;
             prop_ted_cache_truncation; prop_index_cache_roundtrip;
-            prop_index_cache_truncation ] );
+            prop_index_cache_truncation; prop_metric_cache_truncation;
+            prop_metric_cache_bitflip ] );
     ]

@@ -57,16 +57,23 @@ let test_bounds_admissible () =
         fmt
     in
     let lb = Ted.lower_bound_int a b and bb = Ted.branch_bound_int a b in
+    let pq = Ted.pqgram_bound_int a b in
     if lb > d then ctx "lower_bound_int %d > distance %d" lb d;
     if bb > d then ctx "branch_bound_int %d > distance %d" bb d;
+    if pq > d then ctx "pqgram_bound_int %d > distance %d" pq d;
     if lb < bb then ctx "lower_bound_int %d below branch component %d" lb bb;
+    if lb < pq then ctx "lower_bound_int %d below pq-gram component %d" lb pq;
     let sz = abs (Tree.size a - Tree.size b) in
     if lb < sz then ctx "lower_bound_int %d below size delta %d" lb sz;
     let fa = Flat.of_tree a and fb = Flat.of_tree b in
     let flb = Flat.lower_bound fa fb and fbb = Flat.branch_bound fa fb in
+    let fpq = Flat.pqgram_bound fa fb in
     if flb > d then ctx "Flat.lower_bound %d > distance %d" flb d;
     if fbb > d then ctx "Flat.branch_bound %d > distance %d" fbb d;
-    if flb < fbb then ctx "Flat.lower_bound %d below branch component %d" flb fbb;
+    if fpq > d then ctx "Flat.pqgram_bound %d > distance %d" fpq d;
+    if fpq <> pq then
+      ctx "Flat.pqgram_bound %d <> pqgram_bound_int %d" fpq pq;
+    if flb < fpq then ctx "Flat.lower_bound %d below pq-gram component %d" flb fpq;
     (* the bounded kernel (branch-profile stage included) must agree with
        the unbounded one on both sides of the cutoff *)
     List.iter
@@ -86,9 +93,11 @@ let test_branch_bound_identical () =
   for _ = 1 to 50 do
     let a = gen_tree_sized rng (1 + Prng.int rng 12) in
     checki "branch_bound_int self" 0 (Ted.branch_bound_int a a);
+    checki "pqgram_bound_int self" 0 (Ted.pqgram_bound_int a a);
     checki "lower_bound_int self" 0 (Ted.lower_bound_int a a);
     let fa = Flat.of_tree a in
-    checki "Flat.branch_bound self" 0 (Flat.branch_bound fa fa)
+    checki "Flat.branch_bound self" 0 (Flat.branch_bound fa fa);
+    checki "Flat.pqgram_bound self" 0 (Flat.pqgram_bound fa fa)
   done
 
 (* --- pivot scheduler -------------------------------------------------- *)
@@ -202,6 +211,154 @@ let test_vptree_vs_brute () =
       Alcotest.failf "query %d: range differs from brute force" q
   done
 
+(* Phase 2: incremental insert must leave every query exactly equal to a
+   fresh build over the same id set (both are exact, so equal to brute
+   force — the stronger check is that evals stay sane and the structure
+   keeps its invariants through the scapegoat rebuilds). *)
+let test_vptree_insert_equals_fresh () =
+  let rng = Prng.create 0x15e7 in
+  let n = max 300 (prop_iters / 2) in
+  let points = make_points rng n 10 in
+  let flats = Array.map Flat.of_tree points in
+  let dist i j = Flat.distance flats.(i) flats.(j) in
+  (* grow from a small seed one insert at a time *)
+  let seed = 5 in
+  let t = Vptree.build ~dist (Array.init seed (fun i -> i)) in
+  for id = seed to n - 1 do
+    Vptree.insert ~dist t id
+  done;
+  checki "size after inserts" n (Vptree.size t);
+  checkb "inserts triggered rebuilds" true (Vptree.rebuilds t > 0);
+  let fresh = Vptree.build ~dist (Array.init n (fun i -> i)) in
+  for q = 0 to 29 do
+    let query = Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 10)) in
+    let dist_bounded id ~cutoff =
+      Flat.distance_bounded ~cutoff query flats.(id)
+    in
+    let k = 5 in
+    let grown, grown_evals = Vptree.nearest ~dist_bounded ~k t in
+    let built, _ = Vptree.nearest ~dist_bounded ~k fresh in
+    if grown <> built then
+      Alcotest.failf "query %d: grown index k-NN differs from fresh build" q;
+    checkb "grown k-NN evals bounded by n" true (grown_evals <= n);
+    let radius = 5 in
+    let grown_r, _ = Vptree.range ~dist_bounded ~radius t in
+    let built_r, _ = Vptree.range ~dist_bounded ~radius fresh in
+    if grown_r <> built_r then
+      Alcotest.failf "query %d: grown index range differs from fresh build" q
+  done
+
+(* Phase 2: the plain-data representation round-trips to a tree with
+   byte-identical query behaviour, and mangled reprs are rejected (or at
+   worst decode to a tree — never crash). *)
+let test_vptree_repr_roundtrip () =
+  let rng = Prng.create 0x4e9a_11 in
+  let n = 200 in
+  let points = make_points rng n 10 in
+  let flats = Array.map Flat.of_tree points in
+  let dist i j = Flat.distance flats.(i) flats.(j) in
+  let t = Vptree.build ~dist (Array.init (n - 20) (fun i -> i)) in
+  (* some inserts so the repr covers count > built nodes too *)
+  for id = n - 20 to n - 1 do
+    Vptree.insert ~dist t id
+  done;
+  let repr = Vptree.to_repr t in
+  (match Vptree.of_repr repr with
+  | None -> Alcotest.fail "of_repr rejected its own to_repr"
+  | Some t' ->
+      checki "size survives" (Vptree.size t) (Vptree.size t');
+      checki "decoded build_evals is zero" 0 (Vptree.build_evals t');
+      for q = 0 to 19 do
+        let query = Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 10)) in
+        let dist_bounded id ~cutoff =
+          Flat.distance_bounded ~cutoff query flats.(id)
+        in
+        let h1, e1 = Vptree.nearest ~dist_bounded ~k:5 t in
+        let h2, e2 = Vptree.nearest ~dist_bounded ~k:5 t' in
+        if h1 <> h2 || e1 <> e2 then
+          Alcotest.failf "query %d: decoded tree differs (hits or evals)" q
+      done);
+  (* truncations never crash; most are rejected outright *)
+  for cut = 0 to min 40 (Array.length repr - 1) do
+    ignore (Vptree.of_repr (Array.sub repr 0 cut))
+  done;
+  checkb "empty repr rejected" true (Vptree.of_repr [||] = None);
+  (* bit flips in the header/bookkeeping words never crash *)
+  for _ = 1 to 200 do
+    let mangled = Array.copy repr in
+    let i = Prng.int rng (Array.length mangled) in
+    mangled.(i) <- mangled.(i) lxor (1 lsl Prng.int rng 30);
+    ignore (Vptree.of_repr mangled)
+  done;
+  (* duplicate ids are structural corruption and must be rejected *)
+  let dup = Vptree.to_repr (Vptree.build ~dist:(fun _ _ -> 1) [| 1; 2; 3 |]) in
+  (* leaf of [1;2;3]: words are [n; 0; len; 1; 2; 3] *)
+  dup.(4) <- 1;
+  checkb "duplicate ids rejected" true (Vptree.of_repr dup = None)
+
+(* Phase 2: the budgeted best-first mode. Unconstrained it must equal
+   brute force with an exact ledger; any run whose ledger still claims
+   exactness must in fact be brute-force-equal; ε runs must honour the
+   per-rank multiplicative guarantee. *)
+let test_vptree_budgeted () =
+  let rng = Prng.create 0xb4d_6e7 in
+  let n = max 400 prop_iters in
+  let points = make_points rng n 10 in
+  let flats = Array.map Flat.of_tree points in
+  let dist i j = Flat.distance flats.(i) flats.(j) in
+  let t = Vptree.build ~dist (Array.init n (fun i -> i)) in
+  let k = 7 in
+  for q = 0 to 29 do
+    let query = Flat.of_tree (gen_tree_sized rng (1 + Prng.int rng 10)) in
+    let dist_bounded id ~cutoff =
+      Flat.distance_bounded ~cutoff query flats.(id)
+    in
+    let brute =
+      List.sort compare
+        (List.init n (fun i -> (Flat.distance query flats.(i), i)))
+    in
+    let brute_k = List.filteri (fun i _ -> i < k) brute in
+    (* unconstrained: exact, and says so *)
+    let hits, ledger = Vptree.nearest_budgeted ~dist_bounded ~k t in
+    if hits <> brute_k then
+      Alcotest.failf "query %d: unconstrained budgeted k-NN not brute" q;
+    checkb "unconstrained ledger exact" true ledger.Vptree.guaranteed_exact;
+    let _, exact_evals = Vptree.nearest ~dist_bounded ~k t in
+    (* honesty across the budget sweep: exact claim implies brute
+       equality, and the unconstrained eval count must be reachable
+       (ledger claims exact) once the budget covers it *)
+    List.iter
+      (fun budget ->
+        let hits_b, lb = Vptree.nearest_budgeted ~dist_bounded ~k ~budget t in
+        checkb "budget respected" true (lb.Vptree.evals <= max budget 0);
+        if lb.Vptree.guaranteed_exact && hits_b <> brute_k then
+          Alcotest.failf
+            "query %d: budget %d claims exact but differs from brute" q budget;
+        if budget >= n && not lb.Vptree.guaranteed_exact then
+          Alcotest.failf
+            "query %d: budget %d >= n yet ledger claims approximate" q budget)
+      [ 0; 1; n / 20; n / 4; exact_evals; n; 10 * n ];
+    (* ε guarantee: every returned rank within (1+ε) of the true rank *)
+    List.iter
+      (fun epsilon ->
+        let hits_e, le =
+          Vptree.nearest_budgeted ~dist_bounded ~k ~epsilon t
+        in
+        checki "ε returns k hits" (min k n) (List.length hits_e);
+        List.iteri
+          (fun i (d, _) ->
+            let true_d = fst (List.nth brute i) in
+            if float_of_int d > ((1. +. epsilon) *. float_of_int true_d) +. 1e-9
+            then
+              Alcotest.failf
+                "query %d: ε=%.2f rank %d distance %d exceeds (1+ε)·%d" q
+                epsilon i d true_d)
+          hits_e;
+        if le.Vptree.guaranteed_exact && hits_e <> brute_k then
+          Alcotest.failf "query %d: ε=%.2f claims exact but differs" q epsilon)
+      [ 0.25; 1.0 ]
+  done
+
 let test_vptree_degenerate () =
   (* single element, and k larger than the population *)
   let dist _ _ = 0 in
@@ -233,6 +390,12 @@ let () =
         [
           Alcotest.test_case "k-NN and range equal brute force" `Quick
             test_vptree_vs_brute;
+          Alcotest.test_case "insert equals fresh build" `Quick
+            test_vptree_insert_equals_fresh;
+          Alcotest.test_case "repr round-trip and corruption" `Quick
+            test_vptree_repr_roundtrip;
+          Alcotest.test_case "budgeted mode honest and bounded" `Quick
+            test_vptree_budgeted;
           Alcotest.test_case "degenerate shapes" `Quick test_vptree_degenerate;
         ] );
     ]

@@ -28,7 +28,8 @@ let checkb = Alcotest.(check bool)
 let checki = Alcotest.(check int)
 let checks = Alcotest.(check string)
 
-let engine ?(jobs = 1) ?(lru_budget = 64 * 1024 * 1024) ?(high_water = 8) () =
+let engine ?(jobs = 1) ?(lru_budget = 64 * 1024 * 1024) ?(high_water = 8)
+    ?metric_cache_path () =
   Engine.create
     {
       Engine.jobs;
@@ -36,6 +37,7 @@ let engine ?(jobs = 1) ?(lru_budget = 64 * 1024 * 1024) ?(high_water = 8) () =
       high_water;
       ted_cache_path = None;
       index_cache_path = None;
+      metric_cache_path;
       persist_every = 0;
     }
 
@@ -112,7 +114,24 @@ let all_requests =
     P.Compare { app = "babelstream"; base = "serial"; target = "omp" };
     P.Matrix { app = "tealeaf"; metric = "t_sem" };
     P.Cluster { app = "minibude"; metric = "sloc" };
-    P.Nearest { app = "babelstream"; model = "omp"; metric = "t_sem"; k = 2 };
+    P.Nearest
+      {
+        app = "babelstream";
+        model = "omp";
+        metric = "t_sem";
+        k = 2;
+        budget = None;
+        epsilon = None;
+      };
+    P.Nearest
+      {
+        app = "babelstream";
+        model = "omp";
+        metric = "t_sem";
+        k = 2;
+        budget = Some 40;
+        epsilon = Some 0.25;
+      };
     P.Status;
     P.Shutdown;
   ]
@@ -132,8 +151,11 @@ let test_request_roundtrip () =
   match
     P.decode_request {|{"verb":"nearest","app":"a","model":"m","metric":"t_sem"}|}
   with
-  | Ok (None, P.Nearest { k = 3; _ }) -> ()
-  | _ -> Alcotest.fail "nearest without \"k\" must default to k=3"
+  | Ok (None, P.Nearest { k = 3; budget = None; epsilon = None; _ }) -> ()
+  | _ ->
+      Alcotest.fail
+        "nearest without \"k\"/\"budget\"/\"epsilon\" must default to an \
+         exact k=3 search"
 
 let test_request_taxonomy () =
   let kind payload =
@@ -159,7 +181,7 @@ let test_kind_spelling_bijection () =
   let kinds =
     [
       P.Oversized; P.Bad_json; P.Bad_request; P.Unknown_verb; P.Unknown_app;
-      P.Unknown_model; P.Unknown_metric; P.Failed;
+      P.Unknown_model; P.Unknown_metric; P.Invalid_request; P.Failed;
     ]
   in
   List.iter
@@ -259,7 +281,7 @@ let test_conformance_status () =
         (List.for_all
            (fun k -> List.mem_assoc k fields)
            [ "lru_entries"; "lru_bytes"; "lru_budget"; "lru_evictions";
-             "index_entries"; "ted_entries" ])
+             "index_entries"; "ted_entries"; "metric_entries"; "vp_entries" ])
   | _ -> Alcotest.fail "expected a status reply"
 
 let test_conformance_shutdown () =
@@ -327,6 +349,93 @@ let test_eviction_reload_identity () =
         (int_field fields "lru_evictions" > 0);
       checkb "spills were reloaded from the index cache" true
         (int_field fields "index_hits" > 0)
+  | _ -> Alcotest.fail "expected a status reply"
+
+(* --- nearest: validation, resident index memo, persisted metric cache --- *)
+
+let nearest_spec = "gen:grow:serial,omp:7:12"
+
+let nearest_req ?budget ?epsilon ?(k = 3) model =
+  P.Nearest { app = nearest_spec; model; metric = "t_sem"; k; budget; epsilon }
+
+let test_invalid_request () =
+  let e = engine () in
+  let expect_invalid name req =
+    match reply e (P.encode_request ~id:1 req) with
+    | Some 1, P.Error { kind = P.Invalid_request; _ } -> ()
+    | _, P.Error { kind; _ } ->
+        Alcotest.failf "%s: wrong kind %s" name (P.kind_to_string kind)
+    | _ -> Alcotest.failf "%s: expected invalid-request" name
+  in
+  expect_invalid "k = 0" (nearest_req ~k:0 "omp");
+  expect_invalid "negative k" (nearest_req ~k:(-3) "omp");
+  expect_invalid "negative budget" (nearest_req ~budget:(-1) "omp");
+  expect_invalid "negative epsilon" (nearest_req ~epsilon:(-0.5) "omp");
+  (* validation happens before app/model resolution: an out-of-domain
+     value is classified as such, not as whatever lookup fails first *)
+  expect_invalid "k = 0 beats unknown app"
+    (P.Nearest
+       {
+         app = "nope";
+         model = "m";
+         metric = "t_sem";
+         k = 0;
+         budget = None;
+         epsilon = None;
+       })
+
+let test_nearest_memo_and_approx () =
+  let e = engine () in
+  let cbs = Option.get (Apps.corpus_of_app nearest_spec) in
+  let q = (List.hd cbs).Sv_corpus.Emit.model in
+  let _, out1 = output_reply e ~id:1 (nearest_req q) in
+  let _, out2 = output_reply e ~id:2 (nearest_req q) in
+  checks "repeat nearest byte-identical" out1 out2;
+  (match reply e (P.encode_request P.Status) with
+  | _, P.Status_of fields ->
+      checkb "second request reused the resident index" true
+        (int_field fields "vp_hits" >= 1);
+      checkb "index resident" true (int_field fields "vp_entries" >= 1)
+  | _ -> Alcotest.fail "expected a status reply");
+  (* golden: the daemon's bytes are exactly the one-shot render through
+     an independent pipeline (no shared engine state) *)
+  let ixs = List.map Pipeline.index cbs in
+  let qix = List.hd ixs in
+  let m = Option.get (Sv_core.Tbmd.metric_of_string "t_sem") in
+  checks "matches the one-shot render"
+    (Engine.render_nearest ~app:nearest_spec ~model:q ~k:3 m qix ixs)
+    out1;
+  (* an unconstraining budget keeps the search exact and says so *)
+  let _, out_b = output_reply e ~id:3 (nearest_req ~budget:1_000_000 q) in
+  checkb "unconstraining budget claims exactness" true
+    (contains ~sub:"guaranteed_exact=true" out_b);
+  (* a zero budget cannot claim exactness *)
+  let _, out0 = output_reply e ~id:4 (nearest_req ~budget:0 q) in
+  checkb "exhausted budget is confessed" true
+    (contains ~sub:"guaranteed_exact=false" out0)
+
+let test_metric_cache_warm_restart () =
+  let path = Filename.temp_file "sv_metric_cache" ".svz" in
+  Sys.remove path;
+  Fun.protect
+    ~finally:(fun () -> if Sys.file_exists path then Sys.remove path)
+  @@ fun () ->
+  let cbs = Option.get (Apps.corpus_of_app nearest_spec) in
+  let q = (List.hd cbs).Sv_corpus.Emit.model in
+  let e1 = engine ~metric_cache_path:path () in
+  let _, out1 = output_reply e1 ~id:1 (nearest_req q) in
+  Engine.persist e1;
+  checkb "metric cache persisted" true (Sys.file_exists path);
+  (* a fresh engine on the same path = a daemon restart: the index must
+     come back from the persisted cache (a decode, not a rebuild) with
+     byte-identical answers *)
+  let e2 = engine ~metric_cache_path:path () in
+  let _, out2 = output_reply e2 ~id:1 (nearest_req q) in
+  checks "warm restart byte-identical" out1 out2;
+  match reply e2 (P.encode_request P.Status) with
+  | _, P.Status_of fields ->
+      checkb "restart reloaded the persisted index" true
+        (int_field fields "metric_hits" >= 1)
   | _ -> Alcotest.fail "expected a status reply"
 
 (* --- daemon fixtures (`Slow) --- *)
@@ -704,6 +813,12 @@ let () =
           Alcotest.test_case "index golden" `Quick test_conformance_index;
           Alcotest.test_case "eviction + reload identity" `Quick
             test_eviction_reload_identity;
+          Alcotest.test_case "invalid-request taxonomy" `Quick
+            test_invalid_request;
+          Alcotest.test_case "nearest memo + approximate ledger" `Quick
+            test_nearest_memo_and_approx;
+          Alcotest.test_case "metric cache warm restart" `Quick
+            test_metric_cache_warm_restart;
         ] );
       ( "daemon",
         [
